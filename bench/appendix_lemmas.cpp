@@ -1,0 +1,61 @@
+// Experiment E14 (Appendix, Lemmas 11-12): the two omitted-proof
+// geometric lemmas, probed numerically over dense parameter grids.
+// Lemma 11: in a convex quadrilateral o-u-p-v with |ov| = |up|,
+//   ∠ovp + ∠upv <= 180°  iff  |vp| >= |ou|.
+// Lemma 12 (core triple): under the stated circle construction,
+//   diam({v1, v2, p}) = 1.
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "bench_util.hpp"
+#include "packing/appendix.hpp"
+#include "sim/rng.hpp"
+#include "sim/table.hpp"
+
+int main() {
+  using namespace mcds;
+  bench::banner("E14 / Appendix", "Lemmas 11 and 12 probed numerically");
+  bench::Falsifier falsifier;
+
+  // Lemma 11 over random quadrilaterals.
+  std::size_t l11_checked = 0;
+  sim::Rng rng(2718);
+  while (l11_checked < 20000) {
+    const geom::Vec2 o{0, 0}, u{rng.uniform(0.2, 1.5), 0};
+    const double leg = rng.uniform(0.2, 2.5);
+    const packing::Lemma11Config cfg{
+        o, u, geom::from_polar(u, leg, rng.uniform(0.2, 2.9)),
+        geom::from_polar(o, leg, rng.uniform(0.2, 2.9))};
+    if (!cfg.hypothesis_holds()) continue;
+    ++l11_checked;
+    falsifier.check(cfg.lemma_holds(), "Lemma 11 equivalence");
+  }
+  std::cout << "Lemma 11: " << l11_checked
+            << " random convex quadrilaterals checked.\n";
+
+  // Lemma 12 over a dense (d, theta) grid; report the worst margin.
+  double worst = 0.0;
+  std::size_t l12_checked = 0;
+  for (double d = 0.02; d <= 1.0; d += 0.02) {
+    for (double theta = -std::numbers::pi; theta <= std::numbers::pi;
+         theta += 0.01) {
+      const auto cfg = packing::build_lemma12(d, theta);
+      if (!cfg) continue;
+      ++l12_checked;
+      const double diam = cfg->diameter();
+      worst = std::max(worst, diam);
+      falsifier.check(diam <= 1.0 + 1e-9,
+                      "Lemma 12: diam({v1,v2,p}) <= 1");
+    }
+  }
+  sim::Table table({"lemma", "configurations", "result"});
+  table.row().add("Lemma 11").add(l11_checked).add("equivalence held");
+  table.row().add("Lemma 12").add(l12_checked).add(
+      "max diam = " + sim::format_double(worst, 9));
+  table.print(std::cout);
+
+  falsifier.report("appendix_lemmas");
+  return falsifier.exit_code();
+}

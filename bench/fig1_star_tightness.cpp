@@ -1,0 +1,75 @@
+// Experiment E1 (Figure 1): the neighborhood of a 2-star (resp. 3-star)
+// contains 8 (resp. 12) independent points — so Theorem 3's φ_2 = 8 and
+// φ_3 = 12 are tight. Reconstructs the paper's explicit instance across
+// a sweep of ε and verifies it numerically; also re-finds the packing
+// with the stochastic optimizer, blind to the construction.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/bounds.hpp"
+#include "geom/closest.hpp"
+#include "geom/disk_union.hpp"
+#include "packing/fig1.hpp"
+#include "packing/packer.hpp"
+#include "sim/table.hpp"
+
+int main() {
+  using namespace mcds;
+  bench::banner("E1 / Figure 1",
+                "tight independent packings in 2-star and 3-star "
+                "neighborhoods");
+  bench::Falsifier falsifier;
+
+  sim::Table table({"instance", "eps", "points", "phi_n (Thm 3)",
+                    "min pair dist", "independent?", "covered?"});
+  for (const double eps : {1e-4, 1e-3, 1e-2, 0.03, 0.049}) {
+    for (const int star : {2, 3}) {
+      const packing::TightInstance inst =
+          star == 2 ? packing::fig1_two_star(eps)
+                    : packing::fig1_three_star(eps);
+      const bool ok = packing::verify_tight_instance(inst);
+      const double min_dist =
+          geom::closest_pair_distance(inst.independent);
+      const std::size_t phi = core::bounds::phi(static_cast<std::size_t>(star));
+      table.row()
+          .add(star == 2 ? "2-star" : "3-star")
+          .add(eps, 4)
+          .add(inst.independent.size())
+          .add(phi)
+          .add(min_dist, 6)
+          .add(min_dist > 1.0 ? "yes" : "NO")
+          .add(ok ? "yes" : "NO");
+      falsifier.check(ok, "construction must be a valid witness");
+      falsifier.check(inst.independent.size() == phi,
+                      "construction must achieve phi_n exactly");
+    }
+  }
+  table.print(std::cout);
+
+  // Independent rediscovery: the optimizer should approach (and by
+  // Theorem 3 can never exceed) phi_n.
+  std::cout << "\nStochastic packer (blind to the construction):\n";
+  sim::Table blind({"instance", "packer found", "phi_n", "within bound?"});
+  const geom::DiskUnion star2({{0, 0}, {1, 0}}, 1.0);
+  const geom::DiskUnion star3({{0, 0}, {1, 0}, {-1, 0}}, 1.0);
+  packing::PackOptions opt;
+  opt.grid_step = 0.04;
+  opt.restarts = 12;
+  opt.ruin_rounds = 40;
+  opt.seed = 2008;
+  const auto p2 = packing::pack_independent_points(star2, opt);
+  const auto p3 = packing::pack_independent_points(star3, opt);
+  blind.row().add("2-star").add(p2.points.size()).add(core::bounds::phi(2))
+      .add(p2.points.size() <= core::bounds::phi(2) ? "yes" : "NO");
+  blind.row().add("3-star").add(p3.points.size()).add(core::bounds::phi(3))
+      .add(p3.points.size() <= core::bounds::phi(3) ? "yes" : "NO");
+  blind.print(std::cout);
+  falsifier.check(p2.points.size() <= core::bounds::phi(2),
+                  "Theorem 3 upper bound phi_2");
+  falsifier.check(p3.points.size() <= core::bounds::phi(3),
+                  "Theorem 3 upper bound phi_3");
+
+  falsifier.report("fig1_star_tightness");
+  return falsifier.exit_code();
+}

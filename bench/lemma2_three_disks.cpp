@@ -1,0 +1,94 @@
+// Experiment E16 (Lemma 2): for {u1,u2,u3} ⊆ D_o, if the center disk
+// keeps a private independent point (in I(o)\{o} but no I(u_j)), then
+// |(∪_j I(u_j)) \ I(o)| <= 11 (the trivial bound is 12). Adversarial
+// probe: pack independent points into D_o ∪ D_u1 ∪ D_u2 ∪ D_u3 for
+// random satellite placements and measure the largest "outside count"
+// attained among packings that satisfy the private-point hypothesis.
+
+#include <algorithm>
+#include <iostream>
+#include <numbers>
+
+#include "bench_util.hpp"
+#include "geom/disk_union.hpp"
+#include "packing/packer.hpp"
+#include "sim/rng.hpp"
+#include "sim/table.hpp"
+
+namespace {
+
+using mcds::geom::Vec2;
+
+bool inside(Vec2 p, Vec2 c) { return mcds::geom::dist2(p, c) <= 1.0 + 1e-12; }
+
+}  // namespace
+
+int main() {
+  using namespace mcds;
+  bench::banner("E16 / Lemma 2",
+                "independent points in (D_u1 ∪ D_u2 ∪ D_u3) \\ D_o under "
+                "the private-point hypothesis");
+  bench::Falsifier falsifier;
+
+  const Vec2 o{0.0, 0.0};
+  sim::Rng rng(424242);
+  std::size_t max_outside_with_hypothesis = 0;
+  std::size_t max_outside_any = 0;
+  std::size_t packings = 0, with_hypothesis = 0;
+
+  for (int trial = 0; trial < 60; ++trial) {
+    // Satellites spread inside D_o, biased toward the rim where the
+    // packing outside D_o is largest (the paper's worst cases have the
+    // u_j near the boundary, well separated in angle).
+    const double base = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    std::vector<Vec2> centers{o};
+    for (int j = 0; j < 3; ++j) {
+      const double angle =
+          base + j * 2.0 * std::numbers::pi / 3.0 + rng.uniform(-0.3, 0.3);
+      const double radius = rng.uniform(0.75, 1.0);
+      centers.push_back(geom::from_polar(o, radius, angle));
+    }
+    packing::PackOptions opt;
+    opt.grid_step = 0.06;
+    opt.restarts = 4;
+    opt.ruin_rounds = 12;
+    opt.seed = 1000 + static_cast<std::uint64_t>(trial);
+    const auto found = packing::pack_independent_points(
+        geom::DiskUnion(centers, 1.0), opt);
+    ++packings;
+
+    std::size_t outside = 0;
+    bool private_point = false;
+    for (const Vec2 p : found.points) {
+      const bool in_o = inside(p, o);
+      const bool in_satellite = inside(p, centers[1]) ||
+                                inside(p, centers[2]) ||
+                                inside(p, centers[3]);
+      if (in_satellite && !in_o) ++outside;
+      if (in_o && !in_satellite && geom::dist(p, o) > 1e-9) {
+        private_point = true;
+      }
+    }
+    max_outside_any = std::max(max_outside_any, outside);
+    if (private_point) {
+      ++with_hypothesis;
+      max_outside_with_hypothesis =
+          std::max(max_outside_with_hypothesis, outside);
+      falsifier.check(outside <= 11,
+                      "Lemma 2: outside count <= 11 under the hypothesis");
+    }
+  }
+
+  sim::Table table({"quantity", "value"});
+  table.row().add("packings tried").add(packings);
+  table.row().add("packings with private I(o) point").add(with_hypothesis);
+  table.row().add("max outside count (hypothesis holds)")
+      .add(max_outside_with_hypothesis);
+  table.row().add("Lemma 2 bound").add(std::size_t{11});
+  table.row().add("max outside count (no hypothesis)").add(max_outside_any);
+  table.row().add("trivial bound").add(std::size_t{12});
+  table.print(std::cout);
+
+  falsifier.report("lemma2_three_disks");
+  return falsifier.exit_code();
+}

@@ -1,0 +1,59 @@
+// Experiment E9 (Lemma 4): every connected planar set of >= 2 points has
+// a non-trivial star-decomposition. Runs the constructive algorithm over
+// random connected deployments and reports decomposition shape
+// statistics (star count, star sizes) plus validation.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "packing/star_decomposition.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+int main() {
+  using namespace mcds;
+  bench::banner("E9 / Lemma 4",
+                "non-trivial star-decompositions of random connected sets");
+  bench::Falsifier falsifier;
+
+  sim::Table table({"n (points)", "instances", "valid", "mean #stars",
+                    "mean star size", "max star size"});
+  for (const std::size_t n : {10u, 25u, 50u, 100u, 200u}) {
+    const std::size_t instances = 20;
+    std::size_t valid = 0;
+    sim::Accumulator stars_acc, size_acc;
+    double max_size = 0.0;
+    for (std::size_t t = 0; t < instances; ++t) {
+      udg::InstanceParams params;
+      params.nodes = n;
+      params.side = std::max(2.0, std::sqrt(static_cast<double>(n)) * 0.9);
+      const auto inst = udg::generate_largest_component_instance(
+          params, 17 * n + t);
+      if (inst.points.size() < 2) continue;
+      const auto stars = packing::star_decomposition(inst.points);
+      const bool ok =
+          packing::is_nontrivial_star_decomposition(inst.points, stars);
+      falsifier.check(ok, "Lemma 4: decomposition must be valid");
+      if (ok) ++valid;
+      stars_acc.add(static_cast<double>(stars.size()));
+      for (const auto& s : stars) {
+        size_acc.add(static_cast<double>(s.size()));
+        max_size = std::max(max_size, static_cast<double>(s.size()));
+      }
+    }
+    table.row()
+        .add(n)
+        .add(instances)
+        .add(valid)
+        .add(stars_acc.mean(), 2)
+        .add(size_acc.mean(), 2)
+        .add(max_size, 0);
+  }
+  table.print(std::cout);
+
+  falsifier.report("lemma4_star_decomposition");
+  return falsifier.exit_code();
+}

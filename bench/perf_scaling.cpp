@@ -1,0 +1,96 @@
+// Experiment E12: runtime scaling of the construction algorithms
+// (google-benchmark). Not a paper artifact — an engineering companion
+// that documents the asymptotic behavior of this implementation.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/guha_khuller.hpp"
+#include "baselines/stojmenovic.hpp"
+#include "core/greedy_connect.hpp"
+#include "core/waf.hpp"
+#include "dist/distributed_cds.hpp"
+#include "exact/exact_cds.hpp"
+#include "graph/small_graph.hpp"
+#include "udg/builder.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using namespace mcds;
+
+udg::UdgInstance make_instance(std::size_t n) {
+  udg::InstanceParams params;
+  params.nodes = n;
+  params.side = std::sqrt(static_cast<double>(n)) * 0.85;
+  return udg::generate_largest_component_instance(params, 42 + n);
+}
+
+void BM_BuildUdg(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(udg::build_udg(inst.points));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildUdg)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_WafCds(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::waf_cds(inst.graph, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WafCds)->Range(64, 4096)->Complexity();
+
+void BM_GreedyCds(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_cds(inst.graph, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyCds)->Range(64, 2048)->Complexity();
+
+void BM_GuhaKhuller(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::guha_khuller_cds(inst.graph));
+  }
+}
+BENCHMARK(BM_GuhaKhuller)->Range(64, 1024);
+
+void BM_Stojmenovic(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::stojmenovic_cds(inst.graph));
+  }
+}
+BENCHMARK(BM_Stojmenovic)->Range(64, 1024);
+
+void BM_DistributedWaf(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::distributed_waf_cds(inst.graph));
+  }
+}
+BENCHMARK(BM_DistributedWaf)->Range(64, 512);
+
+void BM_ExactGammaC(benchmark::State& state) {
+  // Exponential solver: small n only; shows why approximation matters.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  udg::InstanceParams params;
+  params.nodes = n;
+  params.side = 2.8;
+  const auto inst = udg::generate_largest_component_instance(params, 5);
+  const graph::SmallGraph sg(inst.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::connected_domination_number(sg));
+  }
+}
+BENCHMARK(BM_ExactGammaC)->DenseRange(10, 18, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Experiment E13 (ablation of the Section IV design choice): with
+// phase 1 fixed to the BFS first-fit MIS, compare connector-selection
+// rules — tree parents [10], the paper's max-gain greedy, a
+// positive-gain-only greedy (no maximization), a random positive-gain
+// rule, shortest-path Steiner merging [8], and (on small instances) the
+// exact optimum connectors for the same MIS. Quantifies exactly how
+// much the "maximum gain" choice buys.
+
+#include <iostream>
+
+#include "baselines/phase2_ablation.hpp"
+#include "bench_util.hpp"
+#include "core/validate.hpp"
+#include "exact/exact_connectors.hpp"
+#include "graph/small_graph.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+int main() {
+  using namespace mcds;
+  using baselines::ConnectorPolicy;
+  bench::banner("E13 / phase-2 ablation",
+                "connector rules on a fixed BFS first-fit MIS");
+  bench::Falsifier falsifier;
+
+  const ConnectorPolicy policies[] = {
+      ConnectorPolicy::kTreeParent, ConnectorPolicy::kMaxGain,
+      ConnectorPolicy::kFirstPositiveGain,
+      ConnectorPolicy::kRandomPositiveGain, ConnectorPolicy::kShortestPath,
+  };
+
+  // Part A: mean connector counts at scale.
+  std::cout << "\nPart A - mean connector count |C| (20 seeds each):\n";
+  sim::Table table({"n", "side", "|I| mean", "tree-parent", "max-gain",
+                    "first-pos", "random-pos", "shortest-path"});
+  for (const std::size_t n : {100u, 250u, 500u}) {
+    for (const double side : {9.0, 13.0}) {
+      sim::Accumulator mis_acc;
+      sim::Accumulator conn[5];
+      for (std::uint64_t t = 0; t < 20; ++t) {
+        udg::InstanceParams params;
+        params.nodes = n;
+        params.side = side;
+        const auto inst = udg::generate_largest_component_instance(
+            params, 400 + 7 * t + n);
+        for (std::size_t p = 0; p < 5; ++p) {
+          const auto r = baselines::cds_with_policy(inst.graph, policies[p],
+                                                    0, 1234 + t);
+          falsifier.check(core::is_cds(inst.graph, r.cds),
+                          "every policy must yield a valid CDS");
+          conn[p].add(static_cast<double>(r.connectors.size()));
+          if (p == 0) {
+            mis_acc.add(static_cast<double>(r.phase1.mis.size()));
+          }
+        }
+      }
+      table.row().add(n).add(side, 0).add(mis_acc.mean(), 1);
+      for (auto& acc : conn) table.add(acc.mean(), 1);
+    }
+  }
+  table.print(std::cout);
+
+  // Part B: distance from the exact optimum phase 2 (small n).
+  std::cout << "\nPart B - connectors vs exact optimum for the same MIS "
+               "(n <= 18, exact Steiner-connectivity solver):\n";
+  sim::Table opt_table({"policy", "mean |C|", "mean |C*|",
+                        "mean |C|/|C*|", "optimal runs (%)"});
+  sim::Accumulator per_policy[5], opt_acc;
+  std::size_t optimal_hits[5] = {0, 0, 0, 0, 0};
+  std::size_t solved = 0;
+  for (std::uint64_t seed = 1; solved < 80 && seed <= 900; ++seed) {
+    udg::InstanceParams params;
+    params.nodes = 14 + seed % 5;
+    params.side = 2.8 + static_cast<double>(seed % 4) * 0.5;
+    params.max_retries = 0;
+    const auto inst = udg::generate_connected_instance(params, seed * 61);
+    if (!inst) continue;
+    const graph::SmallGraph sg(inst->graph);
+    const auto mis = core::bfs_first_fit_mis(inst->graph, 0);
+    graph::Mask mis_mask = 0;
+    for (const auto u : mis.mis) mis_mask |= graph::Mask{1} << u;
+    if (sg.is_connected(mis_mask)) continue;  // no connectors needed
+    ++solved;
+    const std::size_t opt =
+        exact::minimum_connector_count(sg, mis_mask);
+    opt_acc.add(static_cast<double>(opt));
+    for (std::size_t p = 0; p < 5; ++p) {
+      const auto r =
+          baselines::cds_with_policy(inst->graph, policies[p], 0, seed);
+      per_policy[p].add(static_cast<double>(r.connectors.size()));
+      falsifier.check(r.connectors.size() >= opt,
+                      "no heuristic can beat the exact optimum");
+      if (r.connectors.size() == opt) ++optimal_hits[p];
+    }
+  }
+  for (std::size_t p = 0; p < 5; ++p) {
+    opt_table.row()
+        .add(baselines::to_string(policies[p]))
+        .add(per_policy[p].mean(), 2)
+        .add(opt_acc.mean(), 2)
+        .add(per_policy[p].mean() / opt_acc.mean(), 3)
+        .add(100.0 * static_cast<double>(optimal_hits[p]) /
+                 static_cast<double>(solved),
+             1);
+  }
+  opt_table.print(std::cout);
+  std::cout << "Instances with a non-trivial phase 2: " << solved << "\n";
+
+  falsifier.report("phase2_ablation");
+  return falsifier.exit_code();
+}

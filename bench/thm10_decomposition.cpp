@@ -1,0 +1,107 @@
+// Experiment E15 (Theorem 10's proof accounting): the proof splits the
+// greedy connector sequence C into contiguous segments
+//   C1 = shortest prefix with q(C1) <= floor(11 gamma_c / 3) - 3,
+//   C1 ∪ C2 = shortest prefix with q <= 2 gamma_c + 1,
+//   C3 = the rest,
+// and shows |C1| <= 1, |C2| <= 13 gamma_c / 18 - 1 (for non-empty C2)
+// and |C3| <= 2 gamma_c - 1. This bench recomputes the decomposition on
+// exactly solved instances and checks each intermediate inequality —
+// a much finer probe than the end-to-end ratio.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/greedy_connect.hpp"
+#include "exact/exact_cds.hpp"
+#include "graph/small_graph.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+struct Decomposition {
+  std::size_t c1 = 0, c2 = 0, c3 = 0;
+};
+
+// Splits the recorded greedy steps by the proof's q-thresholds.
+Decomposition decompose(const std::vector<mcds::core::GreedyStep>& steps,
+                        std::size_t initial_q, std::size_t gamma_c) {
+  const auto t1 = static_cast<long>(11 * gamma_c / 3) - 3;  // floor - 3
+  const auto t2 = static_cast<long>(2 * gamma_c + 1);
+  Decomposition d;
+  long q = static_cast<long>(initial_q);
+  std::size_t phase = q <= t1 ? (q <= t2 ? 3 : 2) : 1;
+  for (const auto& s : steps) {
+    if (phase == 1) {
+      ++d.c1;
+    } else if (phase == 2) {
+      ++d.c2;
+    } else {
+      ++d.c3;
+    }
+    q = static_cast<long>(s.q_before - s.gain);
+    if (phase == 1 && q <= t1) phase = 2;
+    if (phase <= 2 && q <= t2) phase = 3;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcds;
+  bench::banner("E15 / Theorem 10 proof accounting",
+                "C1/C2/C3 segment bounds of the greedy connector run");
+  bench::Falsifier falsifier;
+
+  sim::Accumulator c1_acc, c2_acc, c3_acc;
+  std::size_t solved = 0, c2_nonempty = 0;
+  std::size_t worst_c3 = 0;
+  for (std::uint64_t seed = 1; solved < 250 && seed <= 3000; ++seed) {
+    udg::InstanceParams params;
+    params.nodes = 12 + seed % 7;
+    params.side = 2.4 + static_cast<double>(seed % 5) * 0.45;
+    params.max_retries = 0;
+    const auto inst = udg::generate_connected_instance(params, seed * 73);
+    if (!inst) continue;
+    const std::size_t gamma_c = exact::connected_domination_number(
+        graph::SmallGraph(inst->graph));
+    if (gamma_c < 2) continue;  // Theorem 10 treats gamma_c = 1 separately
+    ++solved;
+    const auto greedy = core::greedy_cds(inst->graph, 0);
+    const auto d =
+        decompose(greedy.steps, greedy.phase1.mis.size(), gamma_c);
+
+    falsifier.check(d.c1 <= 1, "|C1| <= 1");
+    if (d.c2 > 0) {
+      ++c2_nonempty;
+      falsifier.check(
+          static_cast<double>(d.c2) <=
+              13.0 * static_cast<double>(gamma_c) / 18.0 - 1.0 + 1e-9,
+          "|C2| <= 13 gamma_c / 18 - 1");
+    }
+    falsifier.check(d.c3 <= 2 * gamma_c - 1, "|C3| <= 2 gamma_c - 1");
+    falsifier.check(d.c1 + d.c2 + d.c3 == greedy.connectors.size(),
+                    "decomposition covers C");
+    c1_acc.add(static_cast<double>(d.c1));
+    c2_acc.add(static_cast<double>(d.c2));
+    c3_acc.add(static_cast<double>(d.c3));
+    worst_c3 = std::max(worst_c3, d.c3);
+  }
+
+  sim::Table table({"segment", "proof bound", "mean size", "max seen"});
+  table.row().add("C1").add("1").add(c1_acc.mean(), 3)
+      .add(c1_acc.max(), 0);
+  table.row().add("C2").add("13 gc/18 - 1").add(c2_acc.mean(), 3)
+      .add(c2_acc.max(), 0);
+  table.row().add("C3").add("2 gc - 1").add(c3_acc.mean(), 3)
+      .add(c3_acc.max(), 0);
+  table.print(std::cout);
+  std::cout << "Instances solved (gamma_c >= 2): " << solved
+            << ", with non-empty C2: " << c2_nonempty << "\n";
+
+  falsifier.report("thm10_decomposition");
+  return falsifier.exit_code();
+}

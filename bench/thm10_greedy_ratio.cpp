@@ -1,0 +1,109 @@
+// Experiment E6 (Theorem 10): the new greedy-connector CDS has size at
+// most 6 7/18·γ_c. Mirrors E5's two-part protocol, and additionally
+// reports the C1/C2/C3 decomposition statistics from the proof (the
+// prefix with gain >= 4/by Lemma 9 thresholds) via the recorded step
+// gains.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/bounds.hpp"
+#include "core/greedy_connect.hpp"
+#include "exact/exact_cds.hpp"
+#include "graph/small_graph.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+int main() {
+  using namespace mcds;
+  bench::banner("E6 / Theorem 10",
+                "greedy-connector CDS size vs 6 7/18 gamma_c");
+  bench::Falsifier falsifier;
+
+  std::cout << "\nPart A - exact gamma_c (n <= 30, SmallGraph128):\n";
+  sim::Table exact_table({"n", "instances", "worst ratio", "mean ratio",
+                          "proven bound 6.389"});
+  for (const std::size_t n : {12u, 18u, 24u, 30u}) {
+    double worst = 0.0;
+    sim::Accumulator acc;
+    std::size_t solved = 0;
+    for (std::uint64_t seed = 1; solved < 60 && seed <= 600; ++seed) {
+      udg::InstanceParams params;
+      params.nodes = n;
+      params.side = 2.5 + static_cast<double>(seed % 4) * 0.4;
+      params.max_retries = 0;
+      const auto inst = udg::generate_connected_instance(params, seed * 43);
+      if (!inst) continue;
+      ++solved;
+      const auto greedy = core::greedy_cds(inst->graph, 0);
+      const std::size_t gamma_c = exact::connected_domination_number(
+          graph::SmallGraph128(inst->graph));
+      const double ratio = static_cast<double>(greedy.cds.size()) /
+                           static_cast<double>(gamma_c);
+      worst = std::max(worst, ratio);
+      acc.add(ratio);
+      falsifier.check(
+          static_cast<double>(greedy.cds.size()) <=
+              core::bounds::greedy_upper_bound(gamma_c) + 1e-9,
+          "Theorem 10: |I u C| <= 6 7/18 gamma_c");
+      // Lemma 9 consequence: every greedy step has gain >= 1 and the
+      // first step's gain is at least ceil(q/gamma_c) - 1.
+      if (!greedy.steps.empty()) {
+        const auto& s0 = greedy.steps.front();
+        const std::size_t lemma9 =
+            (s0.q_before + gamma_c - 1) / gamma_c;  // ceil(q/gc)
+        falsifier.check(s0.gain + 1 >= lemma9,
+                        "Lemma 9: first gain >= ceil(q/gamma_c) - 1");
+      }
+    }
+    exact_table.row().add(n).add(solved).add(worst, 3).add(acc.mean(), 3)
+        .add(core::bounds::kGreedyRatio, 3);
+  }
+  exact_table.print(std::cout);
+
+  std::cout << "\nPart B - large instances, gamma_c >= ceil(3(|I|-1)/11), "
+               "with connector-gain histogram:\n";
+  sim::Table big_table({"n", "side", "mean |CDS|", "mean |C|",
+                        "steps w/ gain>=2 (%)",
+                        "worst |CDS|/LB(gamma_c)"});
+  for (const std::size_t n : {100u, 300u, 600u}) {
+    for (const double side : {8.0, 14.0}) {
+      double worst = 0.0;
+      sim::Accumulator cds_acc, conn_acc;
+      std::size_t steps_total = 0, steps_big_gain = 0;
+      for (std::uint64_t t = 0; t < 10; ++t) {
+        udg::InstanceParams params;
+        params.nodes = n;
+        params.side = side;
+        const auto inst =
+            udg::generate_largest_component_instance(params, 9000 + t);
+        const auto greedy = core::greedy_cds(inst.graph, 0);
+        const std::size_t lb =
+            core::bounds::gamma_c_lower_bound_from_independent(
+                greedy.phase1.mis.size());
+        worst = std::max(worst, static_cast<double>(greedy.cds.size()) /
+                                    static_cast<double>(lb));
+        cds_acc.add(static_cast<double>(greedy.cds.size()));
+        conn_acc.add(static_cast<double>(greedy.connectors.size()));
+        for (const auto& s : greedy.steps) {
+          ++steps_total;
+          if (s.gain >= 2) ++steps_big_gain;
+        }
+      }
+      big_table.row().add(n).add(side, 1).add(cds_acc.mean(), 1)
+          .add(conn_acc.mean(), 1)
+          .add(steps_total == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(steps_big_gain) /
+                         static_cast<double>(steps_total),
+               1)
+          .add(worst, 3);
+    }
+  }
+  big_table.print(std::cout);
+
+  falsifier.report("thm10_greedy_ratio");
+  return falsifier.exit_code();
+}

@@ -1,0 +1,108 @@
+// Broadcast backbone: the motivating CDS application. Network-wide
+// broadcast by blind flooding costs one transmission per node; with a
+// CDS backbone only backbone nodes retransmit. This example simulates
+// both over random networks and reports the transmission savings —
+// directly proportional to the CDS size the paper's algorithms minimize.
+//
+//   ./broadcast_backbone [nodes] [side] [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <queue>
+#include <vector>
+
+#include "core/greedy_connect.hpp"
+#include "core/waf.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using mcds::graph::Graph;
+using mcds::graph::NodeId;
+
+/// Simulates a broadcast from `source`: every node receiving the message
+/// for the first time retransmits iff `relays[node]`. Returns
+/// {transmissions, nodes reached}.
+std::pair<std::size_t, std::size_t> simulate_broadcast(
+    const Graph& g, NodeId source, const std::vector<bool>& relays) {
+  std::vector<bool> received(g.num_nodes(), false);
+  std::queue<NodeId> transmit_queue;
+  received[source] = true;
+  transmit_queue.push(source);  // the source always transmits
+  std::size_t transmissions = 0, reached = 1;
+  while (!transmit_queue.empty()) {
+    const NodeId u = transmit_queue.front();
+    transmit_queue.pop();
+    ++transmissions;
+    for (const NodeId v : g.neighbors(u)) {
+      if (received[v]) continue;
+      received[v] = true;
+      ++reached;
+      if (relays[v]) transmit_queue.push(v);
+    }
+  }
+  return {transmissions, reached};
+}
+
+std::vector<bool> relay_flags(const Graph& g,
+                              const std::vector<NodeId>& backbone) {
+  std::vector<bool> flags(g.num_nodes(), false);
+  for (const NodeId v : backbone) flags[v] = true;
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcds;
+
+  udg::InstanceParams params;
+  params.nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  params.side = argc > 2 ? std::strtod(argv[2], nullptr) : 11.0;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+  const auto inst = udg::generate_largest_component_instance(params, seed);
+  const Graph& g = inst.graph;
+  std::cout << "Network: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " links\n\n";
+
+  const auto waf = core::waf_cds(g, 0);
+  const auto greedy = core::greedy_cds(g, 0);
+
+  // Blind flooding: everyone relays.
+  const std::vector<bool> all_relay(g.num_nodes(), true);
+
+  sim::Table table({"scheme", "backbone size", "transmissions",
+                    "coverage", "savings vs flooding"});
+  const auto flood = simulate_broadcast(g, 0, all_relay);
+  const auto report = [&](const char* name, std::size_t backbone,
+                          std::pair<std::size_t, std::size_t> result) {
+    const double savings =
+        100.0 * (1.0 - static_cast<double>(result.first) /
+                           static_cast<double>(flood.first));
+    table.row()
+        .add(name)
+        .add(backbone)
+        .add(result.first)
+        .add(std::to_string(result.second) + "/" +
+             std::to_string(g.num_nodes()))
+        .add(sim::format_double(savings, 1) + "%");
+    if (result.second != g.num_nodes()) {
+      std::cerr << "ERROR: " << name << " failed to reach every node\n";
+      std::exit(1);
+    }
+  };
+
+  report("blind flooding", g.num_nodes(), flood);
+  report("WAF backbone [10]", waf.cds.size(),
+         simulate_broadcast(g, 0, relay_flags(g, waf.cds)));
+  report("greedy backbone (Sec IV)", greedy.cds.size(),
+         simulate_broadcast(g, 0, relay_flags(g, greedy.cds)));
+  table.print(std::cout);
+
+  std::cout << "\nEvery scheme reached all nodes; a smaller CDS backbone "
+               "means fewer redundant transmissions (and less energy/"
+               "interference).\n";
+  return 0;
+}

@@ -1,0 +1,212 @@
+// mcds_cli: command-line front end for the library.
+//
+//   mcds_cli generate --nodes N --side S [--model M] [--seed K] --out F
+//       deploys a connected instance and writes it as mcds-points text
+//   mcds_cli solve --in F [--algo waf|greedy|gk|stojmenovic|li-thai|
+//                          wu-li|alzoubi] [--prune] [--svg out.svg]
+//       builds the UDG, runs the chosen CDS algorithm, prints the
+//       backbone and stats, optionally renders an SVG
+//   mcds_cli stats --in F
+//       prints topology metrics of the instance
+//
+// Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "baselines/alzoubi.hpp"
+#include "baselines/bharghavan_das.hpp"
+#include "baselines/guha_khuller.hpp"
+#include "baselines/li_thai.hpp"
+#include "baselines/prune.hpp"
+#include "baselines/stojmenovic.hpp"
+#include "baselines/wu_li.hpp"
+#include "core/bounds.hpp"
+#include "core/greedy_connect.hpp"
+#include "core/validate.hpp"
+#include "core/waf.hpp"
+#include "graph/metrics.hpp"
+#include "udg/builder.hpp"
+#include "udg/instance.hpp"
+#include "udg/io.hpp"
+#include "viz/render.hpp"
+
+namespace {
+
+using namespace mcds;
+
+struct Args {
+  std::map<std::string, std::string> options;
+  bool has_flag(const std::string& name) const {
+    return options.count(name) > 0;
+  }
+  std::optional<std::string> get(const std::string& name) const {
+    const auto it = options.find(name);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Args parse(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --option, got " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";  // boolean flag
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  mcds_cli generate --nodes N --side S [--model "
+               "uniform|disk|grid|cluster|corridor] [--seed K] --out F\n"
+            << "  mcds_cli solve --in F [--algo waf|greedy|gk|stojmenovic|"
+               "li-thai|wu-li|alzoubi] [--prune] [--svg F.svg] [--quiet]\n"
+            << "  mcds_cli stats --in F\n";
+  return 1;
+}
+
+udg::DeploymentModel parse_model(const std::string& name) {
+  if (name == "uniform") return udg::DeploymentModel::kUniformSquare;
+  if (name == "disk") return udg::DeploymentModel::kUniformDisk;
+  if (name == "grid") return udg::DeploymentModel::kPerturbedGrid;
+  if (name == "cluster") return udg::DeploymentModel::kGaussianCluster;
+  if (name == "corridor") return udg::DeploymentModel::kCorridor;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+int cmd_generate(const Args& args) {
+  udg::InstanceParams params;
+  params.nodes = std::stoul(args.get("nodes").value_or("200"));
+  params.side = std::stod(args.get("side").value_or("10"));
+  params.model = parse_model(args.get("model").value_or("uniform"));
+  const auto seed = std::stoull(args.get("seed").value_or("1"));
+  const auto out = args.get("out");
+  if (!out) {
+    std::cerr << "generate: --out is required\n";
+    return 1;
+  }
+  const auto inst = udg::generate_largest_component_instance(params, seed);
+  udg::save_points_file(*out, inst.points);
+  std::cout << "wrote " << *out << ": " << inst.points.size()
+            << " nodes (connected component), " << inst.graph.num_edges()
+            << " links, seed " << seed << "\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::cerr << "solve: --in is required\n";
+    return 1;
+  }
+  const auto points = udg::load_points_file(*in);
+  const graph::Graph g = udg::build_udg(points);
+  if (!graph::is_connected(g)) {
+    std::cerr << "solve: instance topology is disconnected\n";
+    return 2;
+  }
+
+  const std::string algo = args.get("algo").value_or("greedy");
+  std::vector<graph::NodeId> cds, dominators;
+  if (algo == "waf") {
+    auto r = core::waf_cds(g);
+    cds = r.cds;
+    dominators = r.phase1.mis;
+  } else if (algo == "greedy") {
+    auto r = core::greedy_cds(g);
+    cds = r.cds;
+    dominators = r.phase1.mis;
+  } else if (algo == "gk") {
+    cds = baselines::guha_khuller_cds(g);
+  } else if (algo == "stojmenovic") {
+    cds = baselines::stojmenovic_cds(g);
+  } else if (algo == "li-thai") {
+    cds = baselines::li_thai_cds(g);
+  } else if (algo == "wu-li") {
+    cds = baselines::wu_li_cds(g);
+  } else if (algo == "alzoubi") {
+    cds = baselines::alzoubi_cds(g);
+  } else {
+    std::cerr << "solve: unknown --algo " << algo << "\n";
+    return 1;
+  }
+  if (args.has_flag("prune")) cds = baselines::prune_cds(g, cds);
+
+  if (!core::is_cds(g, cds)) {
+    std::cerr << "solve: INTERNAL ERROR - produced set is not a CDS\n";
+    return 2;
+  }
+  std::cout << "algorithm: " << algo
+            << (args.has_flag("prune") ? " + prune" : "") << "\n"
+            << "nodes: " << g.num_nodes() << ", links: " << g.num_edges()
+            << "\n"
+            << "backbone size: " << cds.size() << " ("
+            << 100.0 * static_cast<double>(cds.size()) /
+                   static_cast<double>(g.num_nodes())
+            << "% of nodes)\n";
+  if (!dominators.empty()) {
+    std::cout << "dominators: " << dominators.size()
+              << ", certified gamma_c lower bound: "
+              << core::bounds::gamma_c_lower_bound_from_independent(
+                     dominators.size())
+              << "\n";
+  }
+  if (!args.has_flag("quiet")) {
+    std::cout << "backbone nodes:";
+    for (const auto v : cds) std::cout << ' ' << v;
+    std::cout << "\n";
+  }
+  if (const auto svg = args.get("svg")) {
+    viz::render_network(points, g, cds, dominators).save(*svg);
+    std::cout << "wrote " << *svg << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::cerr << "stats: --in is required\n";
+    return 1;
+  }
+  const auto points = udg::load_points_file(*in);
+  const graph::Graph g = udg::build_udg(points);
+  const auto m = graph::compute_metrics(g);
+  std::cout << "nodes: " << m.nodes << "\nlinks: " << m.edges
+            << "\ndegree: min " << m.min_degree << ", avg " << m.avg_degree
+            << ", max " << m.max_degree
+            << "\ncomponents: " << m.components << "\n";
+  if (m.components == 1 && m.nodes > 1) {
+    std::cout << "diameter (hops): " << graph::diameter_hops(g) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "stats") return cmd_stats(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "mcds_cli: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, then every
+# reproduction bench. Fails fast on any error; a bench exiting non-zero
+# means a *proven* inequality of the paper was violated on some instance.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+status=0
+for bench in build/bench/*; do
+  if [[ -f "$bench" && -x "$bench" ]]; then
+    echo
+    "$bench" || status=1
+  fi
+done
+exit "$status"

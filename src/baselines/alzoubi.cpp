@@ -1,0 +1,58 @@
+#include "baselines/alzoubi.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "core/mis.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::baselines {
+
+std::vector<NodeId> alzoubi_cds(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("alzoubi_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("alzoubi_cds: graph must be connected");
+  }
+  const auto mis = core::lowest_id_mis(g);
+  std::vector<bool> in_cds(n, false);
+  for (const NodeId u : mis.mis) in_cds[u] = true;
+
+  // For each dominator u: depth-3 BFS; for every dominator w reached with
+  // id(w) < id(u), add the interior nodes of the BFS path u -> w.
+  std::vector<NodeId> depth(n), parent(n);
+  for (const NodeId u : mis.mis) {
+    std::fill(depth.begin(), depth.end(), graph::kNoNode);
+    std::fill(parent.begin(), parent.end(), graph::kNoNode);
+    std::queue<NodeId> q;
+    q.push(u);
+    depth[u] = 0;
+    while (!q.empty()) {
+      const NodeId x = q.front();
+      q.pop();
+      if (depth[x] >= 3) continue;
+      for (const NodeId y : g.neighbors(x)) {
+        if (depth[y] != graph::kNoNode) continue;
+        depth[y] = depth[x] + 1;
+        parent[y] = x;
+        q.push(y);
+        if (mis.in_mis[y] && y < u) {
+          // Interior nodes of the path u -> y become connectors.
+          for (NodeId t = parent[y]; t != u && t != graph::kNoNode;
+               t = parent[t]) {
+            in_cds[t] = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<NodeId> cds;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_cds[v]) cds.push_back(v);
+  }
+  return cds;
+}
+
+}  // namespace mcds::baselines

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file alzoubi.hpp
+/// Baseline in the style of Alzoubi–Wan–Frieder [1] (message-optimal
+/// construction): the dominators are an id-elected MIS; every dominator
+/// then connects to each dominator within three hops that has a smaller
+/// id, via the interior nodes of a shortest path. The paper notes this
+/// trades CDS size (a large constant ratio, < 192) for linear time and
+/// messages.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Runs the [1]-style construction. Requires a connected graph with
+/// >= 1 node; returns the CDS in ascending node id.
+[[nodiscard]] std::vector<NodeId> alzoubi_cds(const Graph& g);
+
+}  // namespace mcds::baselines

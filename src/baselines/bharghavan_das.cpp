@@ -1,0 +1,54 @@
+#include "baselines/bharghavan_das.hpp"
+
+#include <stdexcept>
+
+#include "baselines/connect_util.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::baselines {
+
+std::vector<NodeId> greedy_dominating_set(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> covered(n, false);
+  std::size_t uncovered = n;
+  std::vector<NodeId> ds;
+  while (uncovered > 0) {
+    NodeId best = graph::kNoNode;
+    std::size_t best_gain = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      std::size_t gain = covered[v] ? 0 : 1;
+      for (const NodeId w : g.neighbors(v)) {
+        if (!covered[w]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    // Every uncovered node covers at least itself, so best is set.
+    ds.push_back(best);
+    if (!covered[best]) {
+      covered[best] = true;
+      --uncovered;
+    }
+    for (const NodeId w : g.neighbors(best)) {
+      if (!covered[w]) {
+        covered[w] = true;
+        --uncovered;
+      }
+    }
+  }
+  return ds;
+}
+
+std::vector<NodeId> bharghavan_das_cds(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("bharghavan_das_cds: empty graph");
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("bharghavan_das_cds: graph must be connected");
+  }
+  return connected_closure(g, greedy_dominating_set(g));
+}
+
+}  // namespace mcds::baselines

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file bharghavan_das.hpp
+/// The two-phased baseline of Bharghavan & Das [2]: phase 1 selects a
+/// dominating set with Chvátal's greedy Set Cover heuristic [5] (each
+/// node's set is its closed neighborhood); phase 2 interconnects the
+/// dominators. The paper notes its ratio is only logarithmic.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Chvátal greedy dominating set: repeatedly pick the node covering the
+/// most uncovered nodes (ties toward smaller id). Works on any graph.
+[[nodiscard]] std::vector<NodeId> greedy_dominating_set(const Graph& g);
+
+/// Full Bharghavan–Das style CDS: greedy dominating set + shortest-path
+/// interconnection. Requires a connected graph with >= 1 node.
+[[nodiscard]] std::vector<NodeId> bharghavan_das_cds(const Graph& g);
+
+}  // namespace mcds::baselines

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file connect_util.hpp
+/// Shortest-path interconnection of a dominating set. Unlike the
+/// max-gain greedy of Section IV (which relies on the 2-hop separation
+/// of the BFS first-fit MIS), this works for *any* seed set in a
+/// connected graph: it repeatedly joins the component of the first seed
+/// to the nearest other component along a shortest path.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Returns the connector nodes (not in \p seeds) whose addition makes
+/// G[seeds ∪ connectors] connected. Preconditions: g connected and
+/// seeds non-empty.
+[[nodiscard]] std::vector<NodeId> connect_via_shortest_paths(
+    const Graph& g, const std::vector<NodeId>& seeds);
+
+/// Convenience: the union seeds ∪ connect_via_shortest_paths(seeds),
+/// ascending node id.
+[[nodiscard]] std::vector<NodeId> connected_closure(
+    const Graph& g, const std::vector<NodeId>& seeds);
+
+}  // namespace mcds::baselines

@@ -1,0 +1,96 @@
+#include "baselines/guha_khuller.hpp"
+
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+
+namespace mcds::baselines {
+
+namespace {
+enum class Color : unsigned char { kWhite, kGray, kBlack };
+}  // namespace
+
+std::vector<NodeId> guha_khuller_cds(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("guha_khuller_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("guha_khuller_cds: graph must be connected");
+  }
+  if (n == 1) return {0};
+
+  std::vector<Color> color(n, Color::kWhite);
+  std::size_t white = n;
+
+  const auto white_degree = [&](NodeId u) {
+    std::size_t count = 0;
+    for (const NodeId v : g.neighbors(u)) {
+      if (color[v] == Color::kWhite) ++count;
+    }
+    return count;
+  };
+  const auto blacken = [&](NodeId u) {
+    if (color[u] == Color::kWhite) --white;
+    color[u] = Color::kBlack;
+    for (const NodeId v : g.neighbors(u)) {
+      if (color[v] == Color::kWhite) {
+        color[v] = Color::kGray;
+        --white;
+      }
+    }
+  };
+
+  // Seed: the maximum-degree node.
+  NodeId seed = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.degree(v) > g.degree(seed)) seed = v;
+  }
+  blacken(seed);
+
+  while (white > 0) {
+    // Best single gray node, and best gray->white pair (the pair's yield
+    // is averaged per node added, as in the original scan rule).
+    NodeId best_single = graph::kNoNode;
+    std::size_t best_single_gain = 0;
+    NodeId best_pair_u = graph::kNoNode, best_pair_v = graph::kNoNode;
+    std::size_t best_pair_gain = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (color[u] != Color::kGray) continue;
+      const std::size_t gain_u = white_degree(u);
+      if (gain_u > best_single_gain) {
+        best_single_gain = gain_u;
+        best_single = u;
+      }
+      for (const NodeId v : g.neighbors(u)) {
+        if (color[v] != Color::kWhite) continue;
+        // Pair yield: u whitens gain_u (v among them), then v whitens its
+        // own white neighbors (v no longer white after u).
+        const std::size_t gain_v = white_degree(v);
+        const std::size_t pair_gain = gain_u + gain_v - 1;
+        if (pair_gain > best_pair_gain) {
+          best_pair_gain = pair_gain;
+          best_pair_u = u;
+          best_pair_v = v;
+        }
+      }
+    }
+    // Compare per-node yield; prefer the single when not worse.
+    if (best_single != graph::kNoNode &&
+        2 * best_single_gain >= best_pair_gain) {
+      blacken(best_single);
+    } else if (best_pair_u != graph::kNoNode) {
+      blacken(best_pair_u);
+      blacken(best_pair_v);
+    } else {
+      throw std::logic_error(
+          "guha_khuller_cds: no gray node adjacent to white nodes");
+    }
+  }
+
+  std::vector<NodeId> cds;
+  for (NodeId v = 0; v < n; ++v) {
+    if (color[v] == Color::kBlack) cds.push_back(v);
+  }
+  return cds;
+}
+
+}  // namespace mcds::baselines

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file guha_khuller.hpp
+/// The classic centralized greedy CDS of Guha & Khuller (1998) — the
+/// standard non-geometric baseline (ratio ln Δ + 3 on general graphs).
+/// Grows a connected black tree; at each step colors black the gray node
+/// — or gray+white pair — that whitens the most white nodes.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Runs the Guha–Khuller greedy. Requires a connected graph with >= 1
+/// node; returns the CDS in ascending node id. For a single node the CDS
+/// is that node.
+[[nodiscard]] std::vector<NodeId> guha_khuller_cds(const Graph& g);
+
+}  // namespace mcds::baselines

@@ -1,0 +1,19 @@
+#include "baselines/li_thai.hpp"
+
+#include <stdexcept>
+
+#include "baselines/connect_util.hpp"
+#include "core/mis.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::baselines {
+
+std::vector<NodeId> li_thai_cds(const Graph& g, NodeId root) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("li_thai_cds: empty graph");
+  }
+  const auto mis = core::bfs_first_fit_mis(g, root);
+  return connected_closure(g, mis.mis);
+}
+
+}  // namespace mcds::baselines

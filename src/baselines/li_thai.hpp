@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file li_thai.hpp
+/// Baseline in the style of Li–Thai–Wang–Yi–Wan–Du [8] (ST-MSN): phase 1
+/// is the BFS first-fit MIS; phase 2 builds a Steiner tree over the
+/// dominators with a greedy nearest-component merge. The paper derives a
+/// 5.8 + ln 5 ratio for [8] from its refined packing bound.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Runs the [8]-style construction from \p root. Requires a connected
+/// graph with >= 1 node; returns the CDS in ascending node id.
+[[nodiscard]] std::vector<NodeId> li_thai_cds(const Graph& g, NodeId root = 0);
+
+}  // namespace mcds::baselines

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mis.hpp"
+
+/// \file phase2_ablation.hpp
+/// Phase-2 ablation harness: with phase 1 fixed to the BFS first-fit MIS
+/// of [10], swap in different connector-selection rules and compare the
+/// resulting CDS sizes. This isolates exactly the design choice Section
+/// IV changes relative to Section III.
+
+namespace mcds::baselines {
+
+using core::Graph;
+using core::NodeId;
+
+/// The connector-selection rule to apply on top of the fixed MIS.
+enum class ConnectorPolicy {
+  kTreeParent,        ///< Section III ([10]): s + BFS-tree parents
+  kMaxGain,           ///< Section IV (the paper's new rule)
+  kFirstPositiveGain, ///< any positive-gain node (smallest id) — greedy
+                      ///< without the "maximum" part
+  kRandomPositiveGain,///< uniformly random positive-gain node
+  kShortestPath,      ///< Steiner-style nearest-component merging ([8])
+};
+
+/// Printable policy name.
+[[nodiscard]] const char* to_string(ConnectorPolicy policy) noexcept;
+
+/// Result of a policy run.
+struct Phase2Result {
+  core::MisResult phase1;
+  std::vector<NodeId> connectors;
+  std::vector<NodeId> cds;  ///< ascending node id
+};
+
+/// Runs phase 1 (BFS first-fit MIS from \p root) followed by phase 2
+/// under \p policy. \p seed only matters for kRandomPositiveGain.
+/// Preconditions: g connected, >= 1 node.
+[[nodiscard]] Phase2Result cds_with_policy(const Graph& g,
+                                           ConnectorPolicy policy,
+                                           NodeId root = 0,
+                                           std::uint64_t seed = 1);
+
+}  // namespace mcds::baselines

@@ -1,0 +1,36 @@
+#include "baselines/prune.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/validate.hpp"
+
+namespace mcds::baselines {
+
+std::vector<NodeId> prune_cds(const Graph& g, std::vector<NodeId> cds) {
+  if (!core::is_cds(g, cds)) {
+    throw std::invalid_argument("prune_cds: input is not a CDS");
+  }
+  std::sort(cds.begin(), cds.end(), std::greater<>());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < cds.size(); ++i) {
+      if (cds.size() == 1) break;
+      std::vector<NodeId> trial;
+      trial.reserve(cds.size() - 1);
+      for (std::size_t j = 0; j < cds.size(); ++j) {
+        if (j != i) trial.push_back(cds[j]);
+      }
+      if (core::is_cds(g, trial)) {
+        cds = std::move(trial);
+        changed = true;
+        --i;  // re-test the element now at position i
+      }
+    }
+  }
+  std::sort(cds.begin(), cds.end());
+  return cds;
+}
+
+}  // namespace mcds::baselines

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file prune.hpp
+/// Post-pruning pass applicable to any CDS: repeatedly drop a node whose
+/// removal keeps the set a CDS. Used by the ablation experiments to
+/// quantify how much slack each construction leaves behind.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Returns a minimal (inclusion-wise) CDS contained in \p cds.
+/// Candidates are tried in descending node id. Preconditions: g
+/// connected, cds a valid CDS of g.
+[[nodiscard]] std::vector<NodeId> prune_cds(const Graph& g,
+                                            std::vector<NodeId> cds);
+
+}  // namespace mcds::baselines

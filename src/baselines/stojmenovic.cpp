@@ -1,0 +1,22 @@
+#include "baselines/stojmenovic.hpp"
+
+#include <stdexcept>
+
+#include "baselines/connect_util.hpp"
+#include "core/mis.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::baselines {
+
+std::vector<NodeId> stojmenovic_cds(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("stojmenovic_cds: empty graph");
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("stojmenovic_cds: graph must be connected");
+  }
+  const auto mis = core::lowest_id_mis(g);
+  return connected_closure(g, mis.mis);
+}
+
+}  // namespace mcds::baselines

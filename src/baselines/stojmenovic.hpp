@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file stojmenovic.hpp
+/// Baseline in the style of Stojmenovic–Seddigh–Zunic [9]: the
+/// dominating set is an *arbitrary* MIS — here the id-order first-fit
+/// MIS, mirroring the id-based election of [9] — interconnected along
+/// shortest paths. Without the BFS-tree structure of [10] the selection
+/// has no 2-hop separation ordering, and the paper notes the ratio of
+/// [9] is only linear.
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Runs the [9]-style construction. Requires a connected graph with
+/// >= 1 node; returns the CDS in ascending node id.
+[[nodiscard]] std::vector<NodeId> stojmenovic_cds(const Graph& g);
+
+}  // namespace mcds::baselines

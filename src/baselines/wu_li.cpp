@@ -1,0 +1,99 @@
+#include "baselines/wu_li.hpp"
+
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+
+namespace mcds::baselines {
+
+namespace {
+
+// N[v] ⊆ N[u], assuming v and u are adjacent (so v ∈ N[u]): every
+// neighbor of v other than u must also be adjacent to u.
+bool closed_subset(const Graph& g, NodeId v, NodeId u) {
+  for (const NodeId x : g.neighbors(v)) {
+    if (x != u && !g.has_edge(u, x)) return false;
+  }
+  return true;
+}
+
+// N(v) ⊆ N(u) ∪ N(w) ∪ {u, w}.
+bool open_subset_pair(const Graph& g, NodeId v, NodeId u, NodeId w) {
+  for (const NodeId x : g.neighbors(v)) {
+    if (x == u || x == w) continue;
+    if (!g.has_edge(u, x) && !g.has_edge(w, x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<NodeId> wu_li_cds(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("wu_li_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("wu_li_cds: graph must be connected");
+  }
+
+  // Marking process: v is marked iff two of its neighbors are not
+  // adjacent to each other.
+  std::vector<bool> marked(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    bool mark = false;
+    for (std::size_t i = 0; i < nb.size() && !mark; ++i) {
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (!g.has_edge(nb[i], nb[j])) {
+          mark = true;
+          break;
+        }
+      }
+    }
+    marked[v] = mark;
+  }
+
+  // Rule 1: unmark v if a marked neighbor u with higher id covers N[v].
+  for (NodeId v = 0; v < n; ++v) {
+    if (!marked[v]) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (marked[u] && u > v && closed_subset(g, v, u)) {
+        marked[v] = false;
+        break;
+      }
+    }
+  }
+
+  // Rule 2: unmark v if two *adjacent* marked neighbors u, w with higher
+  // ids jointly cover N(v).
+  for (NodeId v = 0; v < n; ++v) {
+    if (!marked[v]) continue;
+    const auto nb = g.neighbors(v);
+    bool unmark = false;
+    for (std::size_t i = 0; i < nb.size() && !unmark; ++i) {
+      const NodeId u = nb[i];
+      if (!marked[u] || u <= v) continue;
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        const NodeId w = nb[j];
+        if (!marked[w] || w <= v || !g.has_edge(u, w)) continue;
+        if (open_subset_pair(g, v, u, w)) {
+          unmark = true;
+          break;
+        }
+      }
+    }
+    if (unmark) marked[v] = false;
+  }
+
+  std::vector<NodeId> cds;
+  for (NodeId v = 0; v < n; ++v) {
+    if (marked[v]) cds.push_back(v);
+  }
+  if (cds.empty()) {
+    // Complete graph (or single node): any single node dominates and is
+    // trivially connected.
+    cds.push_back(static_cast<NodeId>(n - 1));
+  }
+  return cds;
+}
+
+}  // namespace mcds::baselines

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file wu_li.hpp
+/// The marking-process CDS of Wu & Li (1999) with pruning Rules 1 and 2 —
+/// a widely used pruning-based comparator (not one of the paper's
+/// two-phased family, included to situate the two-phased results).
+///
+/// Marking: v is marked iff it has two neighbors that are not adjacent
+/// to each other. Rule 1: unmark v if some marked u with higher id has
+/// N[v] ⊆ N[u]. Rule 2: unmark v if two adjacent marked neighbors u, w
+/// with higher ids satisfy N(v) ⊆ N(u) ∪ N(w).
+
+namespace mcds::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Runs marking + Rule 1 + Rule 2. Requires a connected graph with >= 1
+/// node. For graphs where nothing is marked (complete graphs and single
+/// nodes) returns the highest-id node, which is then a valid CDS.
+[[nodiscard]] std::vector<NodeId> wu_li_cds(const Graph& g);
+
+}  // namespace mcds::baselines

@@ -1,0 +1,54 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcds::core::bounds {
+
+std::size_t phi(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("phi: n must be >= 1");
+  if (n <= 2) return 3 * n + 2;
+  return std::min<std::size_t>(3 * n + 3, 21);
+}
+
+double alpha_upper_bound(std::size_t gamma_c) noexcept {
+  return kAlphaSlope * static_cast<double>(gamma_c) + 1.0;
+}
+
+double alpha_upper_bound_intersecting(std::size_t gamma_c) noexcept {
+  return kAlphaSlope * static_cast<double>(gamma_c) - 1.0;
+}
+
+double waf_upper_bound(std::size_t gamma_c) noexcept {
+  return kWafRatio * static_cast<double>(gamma_c);
+}
+
+double greedy_upper_bound(std::size_t gamma_c) noexcept {
+  return kGreedyRatio * static_cast<double>(gamma_c);
+}
+
+double waf_bound_2004(std::size_t gamma_c) noexcept {
+  return 8.0 * static_cast<double>(gamma_c) - 1.0;
+}
+
+double waf_bound_2006(std::size_t gamma_c) noexcept {
+  return 7.6 * static_cast<double>(gamma_c) + 1.4;
+}
+
+double waf_conjectured_bound(std::size_t gamma_c) noexcept {
+  return 6.0 * static_cast<double>(gamma_c);
+}
+
+double greedy_conjectured_bound(std::size_t gamma_c) noexcept {
+  return 5.5 * static_cast<double>(gamma_c);
+}
+
+std::size_t gamma_c_lower_bound_from_independent(
+    std::size_t independent_size) noexcept {
+  if (independent_size <= 1) return 1;
+  // ceil(3(|I| - 1) / 11)
+  const std::size_t num = 3 * (independent_size - 1);
+  return std::max<std::size_t>(1, (num + 10) / 11);
+}
+
+}  // namespace mcds::core::bounds

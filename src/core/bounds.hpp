@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file bounds.hpp
+/// The paper's closed-form bounds, in one place, so benches and tests
+/// compare measurements against the exact fractions used in the proofs
+/// rather than rounded decimals.
+
+namespace mcds::core::bounds {
+
+/// φ_n of Section II: the maximum number of independent points packable
+/// in the neighborhood of an n-star (Theorem 3).
+///   φ_n = 3n + 2            if n <= 2
+///   φ_n = min(3n + 3, 21)   if n >= 3
+/// Precondition: n >= 1.
+[[nodiscard]] std::size_t phi(std::size_t n);
+
+/// Theorem 6 / Corollary 7: α(G) <= (11/3)·γ_c(G) + 1 for connected UDG
+/// with >= 2 nodes. Returns the right-hand side.
+[[nodiscard]] double alpha_upper_bound(std::size_t gamma_c) noexcept;
+
+/// Theorem 6 variant when the connected set intersects I:
+/// |I(V)| <= 11n/3 - 1.
+[[nodiscard]] double alpha_upper_bound_intersecting(
+    std::size_t gamma_c) noexcept;
+
+/// Theorem 8: bound on the WAF CDS, 7⅓·γ_c.
+[[nodiscard]] double waf_upper_bound(std::size_t gamma_c) noexcept;
+
+/// Theorem 10: bound on the greedy-connector CDS, 6 7/18·γ_c.
+[[nodiscard]] double greedy_upper_bound(std::size_t gamma_c) noexcept;
+
+/// Historical bound from [10]: 8·γ_c - 1 (via α <= 4γ_c + 1).
+[[nodiscard]] double waf_bound_2004(std::size_t gamma_c) noexcept;
+
+/// Historical bound from [12]: 7.6·γ_c + 1.4 (via α <= 3.8γ_c + 1.2).
+[[nodiscard]] double waf_bound_2006(std::size_t gamma_c) noexcept;
+
+/// Section V conjectured bounds (if 3(n+1) packing is optimal):
+/// WAF <= 6·γ_c, greedy <= 5.5·γ_c.
+[[nodiscard]] double waf_conjectured_bound(std::size_t gamma_c) noexcept;
+[[nodiscard]] double greedy_conjectured_bound(std::size_t gamma_c) noexcept;
+
+/// Lower bound on γ_c derivable from any independent set of size
+/// \p independent_size in a connected UDG with >= 2 nodes (inverts
+/// Corollary 7): γ_c >= ceil(3(|I| - 1)/11). Returns at least 1.
+[[nodiscard]] std::size_t gamma_c_lower_bound_from_independent(
+    std::size_t independent_size) noexcept;
+
+/// The constant approximation-ratio guarantees as doubles.
+inline constexpr double kWafRatio = 22.0 / 3.0;        // 7 1/3
+inline constexpr double kGreedyRatio = 115.0 / 18.0;   // 6 7/18
+inline constexpr double kAlphaSlope = 11.0 / 3.0;      // 3 2/3
+
+}  // namespace mcds::core::bounds

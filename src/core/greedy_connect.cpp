@@ -1,0 +1,84 @@
+#include "core/greedy_connect.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+
+namespace mcds::core {
+
+std::pair<std::vector<NodeId>, std::vector<GreedyStep>> greedy_connectors(
+    const Graph& g, const std::vector<NodeId>& mis) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> in_set(n, false);
+  std::vector<NodeId> members = mis;  // I ∪ C as it grows
+  for (const NodeId u : mis) {
+    if (u >= n) throw std::invalid_argument("greedy_connectors: bad node");
+    in_set[u] = true;
+  }
+
+  std::vector<NodeId> connectors;
+  std::vector<GreedyStep> steps;
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> comp(n, kUnset);
+  std::vector<std::uint32_t> mark(n, kUnset);  // scratch per candidate scan
+
+  while (true) {
+    // Label components of G[I ∪ C].
+    const auto [labels, q] = graph::subset_components(g, members);
+    if (q <= 1) break;
+    std::fill(comp.begin(), comp.end(), kUnset);
+    std::fill(mark.begin(), mark.end(), kUnset);  // marks are per-round
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      comp[members[i]] = labels[i];
+    }
+
+    // Find the maximum-gain node: gain(w) = (#distinct adjacent
+    // components) - 1. Lemma 9 guarantees some node has gain >= 1.
+    NodeId best = graph::kNoNode;
+    std::size_t best_gain = 0;
+    for (NodeId w = 0; w < n; ++w) {
+      if (in_set[w]) continue;
+      std::size_t distinct = 0;
+      for (const NodeId v : g.neighbors(w)) {
+        const std::uint32_t c = comp[v];
+        if (c != kUnset && mark[c] != w) {
+          mark[c] = w;
+          ++distinct;
+        }
+      }
+      if (distinct >= 2 && distinct - 1 > best_gain) {
+        best = w;
+        best_gain = distinct - 1;
+      }
+    }
+    if (best == graph::kNoNode) {
+      throw std::logic_error(
+          "greedy_connectors: no positive-gain node although q > 1 "
+          "(input MIS is not maximal or graph is disconnected)");
+    }
+    steps.push_back({best, q, best_gain});
+    connectors.push_back(best);
+    members.push_back(best);
+    in_set[best] = true;
+  }
+  return {std::move(connectors), std::move(steps)};
+}
+
+GreedyConnectResult greedy_cds(const Graph& g, NodeId root) {
+  GreedyConnectResult r;
+  r.phase1 = bfs_first_fit_mis(g, root);
+  auto [connectors, steps] = greedy_connectors(g, r.phase1.mis);
+  r.connectors = std::move(connectors);
+  r.steps = std::move(steps);
+
+  std::vector<bool> in_cds = r.phase1.in_mis;
+  for (const NodeId c : r.connectors) in_cds[c] = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_cds[v]) r.cds.push_back(v);
+  }
+  return r;
+}
+
+}  // namespace mcds::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/mis.hpp"
+
+/// \file greedy_connect.hpp
+/// The paper's new two-phased algorithm (Section IV): phase 1 is the
+/// same BFS first-fit MIS; phase 2 repeatedly adds the node of maximum
+/// *gain* — the drop in the number of connected components of G[I ∪ C] —
+/// until one component remains. Theorem 10: |I ∪ C| <= 6 7/18 · γ_c.
+
+namespace mcds::core {
+
+/// One greedy step of phase 2.
+struct GreedyStep {
+  NodeId node = 0;             ///< the connector chosen at this step
+  std::size_t q_before = 0;    ///< q(C) just before the step
+  std::size_t gain = 0;        ///< Δ_w q(C) realized by the step
+};
+
+/// Output of the greedy-connector construction.
+struct GreedyConnectResult {
+  MisResult phase1;                ///< dominators and the BFS structure
+  std::vector<NodeId> connectors;  ///< phase-2 connectors in pick order
+  std::vector<GreedyStep> steps;   ///< per-step accounting (for Thm 10)
+  std::vector<NodeId> cds;         ///< I ∪ C, ascending node id
+};
+
+/// Runs the Section IV algorithm from \p root. Requires a connected
+/// graph with at least one node. Ties in gain are broken toward the
+/// smaller node id, making the output deterministic.
+[[nodiscard]] GreedyConnectResult greedy_cds(const Graph& g, NodeId root = 0);
+
+/// Phase 2 alone: greedily connects an arbitrary maximal independent set
+/// \p mis of \p g (needed by the baseline variants and ablations).
+/// Preconditions: g connected, mis a maximal independent set.
+/// Returns the connectors in pick order, with step accounting.
+[[nodiscard]] std::pair<std::vector<NodeId>, std::vector<GreedyStep>>
+greedy_connectors(const Graph& g, const std::vector<NodeId>& mis);
+
+}  // namespace mcds::core

@@ -1,0 +1,65 @@
+#include "core/mis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcds::core {
+
+MisResult first_fit_mis(const Graph& g, std::span<const NodeId> order) {
+  MisResult r;
+  r.in_mis.assign(g.num_nodes(), false);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (const NodeId u : order) {
+    if (u >= g.num_nodes()) {
+      throw std::invalid_argument("first_fit_mis: node out of range");
+    }
+    if (seen[u]) {
+      throw std::invalid_argument("first_fit_mis: duplicate node in order");
+    }
+    seen[u] = true;
+    bool blocked = false;
+    for (const NodeId v : g.neighbors(u)) {
+      if (r.in_mis[v]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      r.in_mis[u] = true;
+      r.mis.push_back(u);
+    }
+  }
+  return r;
+}
+
+MisResult bfs_first_fit_mis(const Graph& g, NodeId root) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("bfs_first_fit_mis: empty graph");
+  }
+  graph::BfsResult bfs = graph::bfs(g, root);
+  if (bfs.reached() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "bfs_first_fit_mis: graph must be connected");
+  }
+  MisResult r = first_fit_mis(g, bfs.order);
+  r.bfs = std::move(bfs);
+  return r;
+}
+
+MisResult lowest_id_mis(const Graph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return first_fit_mis(g, order);
+}
+
+MisResult max_degree_mis(const Graph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return first_fit_mis(g, order);
+}
+
+}  // namespace mcds::core

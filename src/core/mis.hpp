@@ -1,0 +1,52 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/traversal.hpp"
+
+/// \file mis.hpp
+/// Phase 1 of both two-phased algorithms: construction of a maximal
+/// independent set (the *dominators*). The paper's algorithms use the
+/// BFS first-fit MIS of Wan–Alzoubi–Frieder [10], whose 2-hop separation
+/// property drives Lemma 9 and both ratio proofs.
+
+namespace mcds::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Output of a phase-1 MIS construction.
+struct MisResult {
+  /// The maximal independent set, in selection order.
+  std::vector<NodeId> mis;
+  /// in_mis[v] — membership indicator.
+  std::vector<bool> in_mis;
+  /// The BFS traversal that ordered the selection (root, order, parent,
+  /// level). For order-based variants without a BFS, parent/level are
+  /// empty.
+  graph::BfsResult bfs;
+};
+
+/// First-fit MIS over an explicit node ordering: scan \p order; a node
+/// joins the MIS iff none of its already-scanned neighbors joined.
+/// \p order must enumerate distinct valid nodes (not necessarily all).
+[[nodiscard]] MisResult first_fit_mis(const Graph& g,
+                                      std::span<const NodeId> order);
+
+/// The MIS of [10]: first-fit in BFS order from \p root. The root always
+/// joins the MIS. Requires a connected graph (throws otherwise) so that
+/// the BFS order covers every node.
+[[nodiscard]] MisResult bfs_first_fit_mis(const Graph& g, NodeId root = 0);
+
+/// First-fit MIS in increasing node-id order (the "arbitrary MIS" of
+/// [1], [9] — no BFS structure). Works on disconnected graphs.
+[[nodiscard]] MisResult lowest_id_mis(const Graph& g);
+
+/// First-fit MIS in decreasing degree order (a common heuristic MIS used
+/// as an ablation: larger early coverage, but no 2-hop separation order
+/// guarantee relative to a tree).
+[[nodiscard]] MisResult max_degree_mis(const Graph& g);
+
+}  // namespace mcds::core

@@ -1,0 +1,132 @@
+#include "core/repair.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/steiner.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::core {
+
+RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("repair_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("repair_cds: graph must be connected");
+  }
+
+  RepairResult out;
+  std::vector<bool> in_set(n, false);
+  std::vector<NodeId> members;
+  for (const NodeId v : old_cds) {
+    if (v >= n) {
+      ++out.dropped;  // failed / departed node
+      continue;
+    }
+    if (!in_set[v]) {
+      in_set[v] = true;
+      members.push_back(v);
+      ++out.kept;
+    }
+  }
+  if (members.empty()) {
+    // Everything failed: seed from the max-degree survivor.
+    NodeId seed = 0;
+    for (NodeId v = 1; v < n; ++v) {
+      if (g.degree(v) > g.degree(seed)) seed = v;
+    }
+    in_set[seed] = true;
+    members.push_back(seed);
+    ++out.added;
+  }
+
+  // Step 1 — restore domination. For each uncovered node pick the
+  // member of its closed neighborhood covering the most uncovered
+  // nodes (a local decision, as a real deployment would make).
+  std::vector<bool> dominated(n, false);
+  const auto mark = [&](NodeId v) {
+    dominated[v] = true;
+    for (const NodeId w : g.neighbors(v)) dominated[w] = true;
+  };
+  for (const NodeId v : members) mark(v);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dominated[v]) continue;
+    NodeId best = v;
+    std::size_t best_cover = 0;
+    const auto coverage = [&](NodeId w) {
+      std::size_t c = dominated[w] ? 0 : 1;
+      for (const NodeId x : g.neighbors(w)) {
+        if (!dominated[x]) ++c;
+      }
+      return c;
+    };
+    best_cover = coverage(v);
+    for (const NodeId w : g.neighbors(v)) {
+      const std::size_t c = coverage(w);
+      if (c > best_cover || (c == best_cover && w < best)) {
+        best = w;
+        best_cover = c;
+      }
+    }
+    in_set[best] = true;
+    members.push_back(best);
+    ++out.added;
+    mark(best);
+  }
+
+  // Step 2 — restore connectivity. Prefer positive-gain connectors
+  // (cheap local merges); when none exists, bridge the nearest pair of
+  // components along a shortest path.
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> comp(n), seen(n);
+  while (true) {
+    const auto [labels, q] = graph::subset_components(g, members);
+    if (q <= 1) break;
+    std::fill(comp.begin(), comp.end(), kUnset);
+    std::fill(seen.begin(), seen.end(), kUnset);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      comp[members[i]] = labels[i];
+    }
+    NodeId best = graph::kNoNode;
+    std::size_t best_gain = 1;  // require gain >= 1
+    for (NodeId w = 0; w < n; ++w) {
+      if (in_set[w]) continue;
+      std::size_t distinct = 0;
+      for (const NodeId v : g.neighbors(w)) {
+        const std::uint32_t c = comp[v];
+        if (c != kUnset && seen[c] != w) {
+          seen[c] = w;
+          ++distinct;
+        }
+      }
+      if (distinct >= 2 && distinct - 1 >= best_gain) {
+        if (distinct - 1 > best_gain || best == graph::kNoNode) {
+          best = w;
+          best_gain = distinct - 1;
+        }
+      }
+    }
+    if (best != graph::kNoNode) {
+      in_set[best] = true;
+      members.push_back(best);
+      ++out.added;
+      continue;
+    }
+    // No single node merges two components: fall back to path bridging
+    // (adds every interior node of the chosen shortest path at once).
+    const auto bridge = graph::shortest_path_augment(g, members);
+    for (const NodeId v : bridge) {
+      in_set[v] = true;
+      members.push_back(v);
+      ++out.added;
+    }
+  }
+
+  out.cds = members;
+  std::sort(out.cds.begin(), out.cds.end());
+  return out;
+}
+
+}  // namespace mcds::core

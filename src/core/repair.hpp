@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file repair.hpp
+/// Local CDS maintenance: when the topology changes (node failures,
+/// mobility), repair the previous backbone instead of rebuilding it.
+/// Repair first restores domination (adding best-coverage neighbors of
+/// uncovered nodes), then restores connectivity (preferring positive-
+/// gain connectors, falling back to shortest-path merging). The repaired
+/// set is always a valid CDS of the new topology; the point is that it
+/// usually differs from the old backbone in only a few nodes (low
+/// churn), which the maintenance bench quantifies against full rebuild.
+
+namespace mcds::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Outcome of a repair.
+struct RepairResult {
+  std::vector<NodeId> cds;  ///< valid CDS of the new topology, ascending
+  std::size_t kept = 0;     ///< old backbone nodes still in the CDS
+  std::size_t added = 0;    ///< nodes newly recruited
+  std::size_t dropped = 0;  ///< old backbone nodes discarded
+};
+
+/// Repairs \p old_cds against the (changed) topology \p g. Entries of
+/// old_cds that are out of range are treated as failed nodes and
+/// dropped. Preconditions: g connected with >= 1 node.
+[[nodiscard]] RepairResult repair_cds(const Graph& g,
+                                      const std::vector<NodeId>& old_cds);
+
+}  // namespace mcds::core

@@ -1,0 +1,84 @@
+#include "core/validate.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+
+namespace mcds::core {
+
+namespace {
+std::vector<bool> membership(const Graph& g, std::span<const NodeId> set) {
+  std::vector<bool> in(g.num_nodes(), false);
+  for (const NodeId v : set) {
+    if (v >= g.num_nodes()) {
+      throw std::invalid_argument("validate: node out of range");
+    }
+    in[v] = true;
+  }
+  return in;
+}
+}  // namespace
+
+bool is_independent_set(const Graph& g, std::span<const NodeId> set) {
+  const auto in = membership(g, set);
+  for (const NodeId u : set) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (in[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_dominating_set(const Graph& g, std::span<const NodeId> set) {
+  const auto in = membership(g, set);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) continue;
+    bool dominated = false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (in[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, std::span<const NodeId> set) {
+  return is_independent_set(g, set) && is_dominating_set(g, set);
+}
+
+bool is_cds(const Graph& g, std::span<const NodeId> set) {
+  if (g.num_nodes() == 0) return set.empty();
+  if (set.empty()) return false;
+  return is_dominating_set(g, set) && graph::is_connected_subset(g, set);
+}
+
+bool has_two_hop_separation(const Graph& g, std::span<const NodeId> mis,
+                            std::span<const std::size_t> order_rank,
+                            NodeId root) {
+  const auto in = membership(g, mis);
+  if (order_rank.size() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "has_two_hop_separation: rank size mismatch");
+  }
+  for (const NodeId u : mis) {
+    if (u == root) continue;
+    bool ok = false;
+    for (const NodeId v : g.neighbors(u)) {
+      for (const NodeId w : g.neighbors(v)) {
+        if (w != u && in[w] && order_rank[w] < order_rank[u]) {
+          ok = true;
+          break;
+        }
+      }
+      if (ok) break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace mcds::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file validate.hpp
+/// Correctness predicates for dominating-set constructions. Every
+/// algorithm in this library is checked against these in tests, and the
+/// bench harness re-checks each produced CDS before reporting it.
+
+namespace mcds::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// True if \p set is an independent set of \p g (no two members
+/// adjacent).
+[[nodiscard]] bool is_independent_set(const Graph& g,
+                                      std::span<const NodeId> set);
+
+/// True if \p set is a *maximal* independent set: independent, and every
+/// non-member has a member neighbor (equivalently: independent and
+/// dominating).
+[[nodiscard]] bool is_maximal_independent_set(const Graph& g,
+                                              std::span<const NodeId> set);
+
+/// True if every node of \p g is in \p set or adjacent to a member.
+[[nodiscard]] bool is_dominating_set(const Graph& g,
+                                     std::span<const NodeId> set);
+
+/// True if \p set is a connected dominating set: dominating, non-empty
+/// (for non-empty graphs) and G[set] connected.
+[[nodiscard]] bool is_cds(const Graph& g, std::span<const NodeId> set);
+
+/// The 2-hop separation property of the BFS first-fit MIS ([10], used by
+/// Lemma 9): every MIS node other than the BFS root has another MIS node
+/// at hop distance exactly 2 that was selected earlier. \p order_rank
+/// maps node -> its rank in the selection order (any strictly increasing
+/// numbering works).
+[[nodiscard]] bool has_two_hop_separation(
+    const Graph& g, std::span<const NodeId> mis,
+    std::span<const std::size_t> order_rank, NodeId root);
+
+}  // namespace mcds::core

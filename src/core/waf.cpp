@@ -1,0 +1,63 @@
+#include "core/waf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcds::core {
+
+WafResult waf_cds(const Graph& g, NodeId root) {
+  WafResult r;
+  r.phase1 = bfs_first_fit_mis(g, root);
+  if (g.num_nodes() == 1) {
+    r.s = root;
+    r.cds = {root};
+    return r;
+  }
+
+  const auto& in_mis = r.phase1.in_mis;
+  // s := neighbor of the root adjacent to the largest number of
+  // dominators (ties broken toward the smaller id for determinism).
+  NodeId best = graph::kNoNode;
+  std::size_t best_count = 0;
+  for (const NodeId v : g.neighbors(root)) {
+    std::size_t count = 0;
+    for (const NodeId w : g.neighbors(v)) {
+      if (in_mis[w]) ++count;
+    }
+    if (best == graph::kNoNode || count > best_count) {
+      best = v;
+      best_count = count;
+    }
+  }
+  // Connected graph with >= 2 nodes: the root has a neighbor.
+  r.s = best;
+
+  std::vector<bool> in_cds = in_mis;  // start from the dominators
+  std::vector<bool> adjacent_to_s(g.num_nodes(), false);
+  adjacent_to_s[r.s] = true;  // covers the (impossible) s ∈ I case cleanly
+  for (const NodeId w : g.neighbors(r.s)) adjacent_to_s[w] = true;
+
+  const auto add_connector = [&](NodeId c) {
+    if (!in_cds[c]) {
+      in_cds[c] = true;
+      r.connectors.push_back(c);
+    }
+  };
+  add_connector(r.s);
+  for (const NodeId u : r.phase1.mis) {
+    if (adjacent_to_s[u]) continue;  // u ∈ I(s): s already connects it
+    const NodeId p = r.phase1.bfs.parent[u];
+    if (p == graph::kNoNode) {
+      // Only the root has no parent, and the root is adjacent to s.
+      throw std::logic_error("waf_cds: non-root dominator without parent");
+    }
+    add_connector(p);
+  }
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_cds[v]) r.cds.push_back(v);
+  }
+  return r;
+}
+
+}  // namespace mcds::core

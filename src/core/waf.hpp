@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "core/mis.hpp"
+
+/// \file waf.hpp
+/// The two-phased CDS algorithm of Wan–Alzoubi–Frieder [10], whose
+/// approximation ratio Section III of the paper improves to 7⅓.
+///
+/// Phase 1: BFS first-fit MIS (dominators).
+/// Phase 2: let s be the neighbor of the root adjacent to the most
+/// dominators; the connectors are s plus the BFS-tree parents of every
+/// dominator not adjacent to s.
+
+namespace mcds::core {
+
+/// Output of the WAF construction.
+struct WafResult {
+  MisResult phase1;                ///< dominators and the BFS structure
+  NodeId s = 0;                    ///< the distinguished neighbor of root
+  std::vector<NodeId> connectors;  ///< phase-2 connectors (C), s first
+  std::vector<NodeId> cds;         ///< I ∪ C, ascending node id
+};
+
+/// Runs the WAF algorithm from \p root. Requires a connected graph with
+/// at least one node; throws std::invalid_argument otherwise. For a
+/// single-node graph the CDS is that node.
+[[nodiscard]] WafResult waf_cds(const Graph& g, NodeId root = 0);
+
+}  // namespace mcds::core

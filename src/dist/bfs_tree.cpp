@@ -1,0 +1,72 @@
+#include "dist/bfs_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcds::dist {
+
+namespace {
+
+class BfsProtocol final : public Protocol {
+ public:
+  BfsProtocol(Runtime& rt, NodeId root)
+      : rt_(rt),
+        root_(root),
+        parent_(rt.topology().num_nodes(), graph::kNoNode),
+        level_(rt.topology().num_nodes(), graph::kNoNode) {}
+
+  void start(NodeId self) override {
+    if (self == root_) {
+      level_[self] = 0;
+      rt_.broadcast(self, Message{0, 0, 0, 0});  // a = my level
+    }
+  }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    if (level_[self] != graph::kNoNode || inbox.empty()) return;
+    // All offers in one round carry the same level (synchronous BFS);
+    // adopt the smallest-id offeror as parent.
+    NodeId best_parent = graph::kNoNode;
+    std::int64_t offer_level = 0;
+    for (const Message& m : inbox) {
+      if (best_parent == graph::kNoNode || m.from < best_parent) {
+        best_parent = m.from;
+        offer_level = m.a;
+      }
+    }
+    parent_[self] = best_parent;
+    level_[self] = static_cast<NodeId>(offer_level + 1);
+    rt_.broadcast(self,
+                  Message{0, 0, static_cast<std::int64_t>(level_[self]), 0});
+  }
+
+  [[nodiscard]] std::vector<NodeId> parents() const { return parent_; }
+  [[nodiscard]] std::vector<NodeId> levels() const { return level_; }
+
+ private:
+  Runtime& rt_;
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> level_;
+};
+
+}  // namespace
+
+BfsTreeResult build_bfs_tree(const Graph& g, NodeId root) {
+  if (root >= g.num_nodes()) {
+    throw std::invalid_argument("build_bfs_tree: root out of range");
+  }
+  Runtime rt(g);
+  BfsProtocol protocol(rt, root);
+  BfsTreeResult out;
+  out.root = root;
+  out.stats = rt.run(protocol);
+  out.parent = protocol.parents();
+  out.level = protocol.levels();
+  if (std::count(out.level.begin(), out.level.end(), graph::kNoNode) > 0) {
+    throw std::invalid_argument("build_bfs_tree: topology is disconnected");
+  }
+  return out;
+}
+
+}  // namespace mcds::dist

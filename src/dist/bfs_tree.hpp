@@ -1,0 +1,25 @@
+#pragma once
+
+#include "dist/runtime.hpp"
+#include "graph/traversal.hpp"
+
+/// \file bfs_tree.hpp
+/// Distributed BFS spanning-tree construction from a root: the root
+/// announces level 0; a node adopting level L+1 picks the smallest-id
+/// offering neighbor as its parent and announces its own level once.
+
+namespace mcds::dist {
+
+/// Result of distributed BFS-tree construction.
+struct BfsTreeResult {
+  NodeId root = 0;
+  std::vector<NodeId> parent;  ///< graph::kNoNode for the root
+  std::vector<NodeId> level;   ///< hop distance from the root
+  RunStats stats;
+};
+
+/// Builds the BFS tree of \p g rooted at \p root. Precondition:
+/// g connected, root valid.
+[[nodiscard]] BfsTreeResult build_bfs_tree(const Graph& g, NodeId root);
+
+}  // namespace mcds::dist

@@ -1,0 +1,133 @@
+#include "dist/connector_selection.hpp"
+
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+
+namespace mcds::dist {
+
+namespace {
+
+// Message types.
+constexpr std::int32_t kReport = 1;  ///< a = #dominator neighbors
+constexpr std::int32_t kElect = 2;   ///< leader -> s
+constexpr std::int32_t kIAmS = 3;    ///< s -> neighbors
+constexpr std::int32_t kInvite = 4;  ///< dominator -> parent
+constexpr std::int32_t kAccept = 5;  ///< connector -> neighbors
+
+class ConnectorProtocol final : public Protocol {
+ public:
+  ConnectorProtocol(Runtime& rt, NodeId leader,
+                    const std::vector<NodeId>& parent,
+                    const std::vector<bool>& in_mis)
+      : rt_(rt),
+        leader_(leader),
+        parent_(parent),
+        in_mis_(in_mis),
+        covered_by_s_(rt.topology().num_nodes(), false),
+        connector_(rt.topology().num_nodes(), false) {}
+
+  void start(NodeId self) override {
+    // Leader's neighbors report their dominator coverage.
+    if (rt_.topology().has_edge(self, leader_)) {
+      std::int64_t count = 0;
+      for (const NodeId w : rt_.topology().neighbors(self)) {
+        if (in_mis_[w]) ++count;
+      }
+      rt_.send(self, leader_, Message{0, kReport, count, 0});
+    }
+  }
+
+  void on_round_begin() override { ++round_; }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    for (const Message& m : inbox) {
+      switch (m.type) {
+        case kReport:
+          // Leader picks the best reporter (max count, then min id).
+          if (best_ == graph::kNoNode || m.a > best_count_ ||
+              (m.a == best_count_ && m.from < best_)) {
+            best_ = m.from;
+            best_count_ = m.a;
+          }
+          break;
+        case kElect:
+          s_ = self;
+          connector_[self] = true;
+          rt_.broadcast(self, Message{0, kIAmS, 0, 0});
+          break;
+        case kIAmS:
+          covered_by_s_[self] = true;
+          break;
+        case kInvite:
+          if (!connector_[self]) {
+            connector_[self] = true;
+            rt_.broadcast(self, Message{0, kAccept, 0, 0});
+          }
+          break;
+        case kAccept:
+          break;  // informational
+        default:
+          throw std::logic_error("connector protocol: unknown message");
+      }
+    }
+
+    // Round 1: all reports are in; the leader elects s.
+    if (self == leader_ && round_ == 1) {
+      if (best_ == graph::kNoNode) {
+        throw std::logic_error("connector protocol: leader heard no reports");
+      }
+      rt_.send(self, best_, Message{0, kElect, 0, 0});
+    }
+    // Round 3: IAmS announcements have been processed above; dominators
+    // not covered by s (and not the leader itself) invite their parents.
+    if (round_ == 3 && in_mis_[self] && self != leader_ &&
+        !covered_by_s_[self]) {
+      rt_.send(self, parent_[self], Message{0, kInvite, 0, 0});
+    }
+  }
+
+  [[nodiscard]] NodeId s() const { return s_; }
+  [[nodiscard]] const std::vector<bool>& connectors() const {
+    return connector_;
+  }
+
+ private:
+  Runtime& rt_;
+  NodeId leader_;
+  const std::vector<NodeId>& parent_;
+  const std::vector<bool>& in_mis_;
+  std::vector<bool> covered_by_s_;
+  std::vector<bool> connector_;
+  NodeId best_ = graph::kNoNode;
+  std::int64_t best_count_ = -1;
+  NodeId s_ = graph::kNoNode;
+  std::size_t round_ = 0;
+};
+
+}  // namespace
+
+ConnectorResult select_connectors(const Graph& g, NodeId leader,
+                                  const std::vector<NodeId>& parent,
+                                  const std::vector<bool>& in_mis) {
+  if (g.num_nodes() < 2) {
+    throw std::invalid_argument("select_connectors: need >= 2 nodes");
+  }
+  if (parent.size() != g.num_nodes() || in_mis.size() != g.num_nodes()) {
+    throw std::invalid_argument("select_connectors: input size mismatch");
+  }
+  Runtime rt(g);
+  ConnectorProtocol protocol(rt, leader, parent, in_mis);
+  ConnectorResult out;
+  out.stats = rt.run(protocol);
+  out.s = protocol.s();
+
+  const auto& conn = protocol.connectors();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (conn[v] && !in_mis[v]) out.connectors.push_back(v);
+    if (conn[v] || in_mis[v]) out.cds.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace mcds::dist

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "dist/runtime.hpp"
+
+/// \file connector_selection.hpp
+/// Distributed phase 2 of the WAF construction (Section III): the
+/// leader's neighbors report how many dominators they cover; the leader
+/// elects the best one as s; s announces itself; every dominator not
+/// covered by s invites its BFS-tree parent, which joins as a connector.
+
+namespace mcds::dist {
+
+/// Result of connector selection.
+struct ConnectorResult {
+  NodeId s = 0;                    ///< the elected neighbor of the leader
+  std::vector<NodeId> connectors;  ///< s plus the invited parents
+  std::vector<NodeId> cds;         ///< dominators ∪ connectors, ascending
+  RunStats stats;
+};
+
+/// Runs connector selection on \p g. Inputs come from the earlier
+/// phases: \p leader, per-node BFS \p parent, and the \p in_mis flags.
+/// Precondition: g connected with >= 2 nodes; in_mis is the rank-elected
+/// MIS containing the leader.
+[[nodiscard]] ConnectorResult select_connectors(
+    const Graph& g, NodeId leader, const std::vector<NodeId>& parent,
+    const std::vector<bool>& in_mis);
+
+}  // namespace mcds::dist

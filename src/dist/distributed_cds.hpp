@@ -1,0 +1,33 @@
+#pragma once
+
+#include "dist/bfs_tree.hpp"
+#include "dist/connector_selection.hpp"
+#include "dist/leader_election.hpp"
+#include "dist/mis_election.hpp"
+
+/// \file distributed_cds.hpp
+/// End-to-end distributed WAF construction: leader election -> BFS tree
+/// -> rank-based MIS election -> connector selection, with per-phase
+/// message/round accounting. This is the algorithm whose approximation
+/// ratio Section III bounds by 7⅓.
+
+namespace mcds::dist {
+
+/// Combined result of the four-phase distributed construction.
+struct DistributedCdsResult {
+  NodeId leader = 0;
+  BfsTreeResult tree;
+  MisElectionResult mis;
+  ConnectorResult connectors;
+  std::vector<NodeId> cds;  ///< final CDS, ascending node id
+
+  RunStats leader_stats;
+  RunStats total;  ///< all phases combined
+};
+
+/// Runs the full distributed construction on \p g. Precondition:
+/// g connected with >= 1 node. For a single node the CDS is that node
+/// and no messages are exchanged.
+[[nodiscard]] DistributedCdsResult distributed_waf_cds(const Graph& g);
+
+}  // namespace mcds::dist

@@ -1,0 +1,222 @@
+#include "dist/greedy_protocol.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "dist/bfs_tree.hpp"
+#include "dist/leader_election.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::dist {
+
+namespace {
+
+// Phase A of an epoch: members agree on component labels (min member id
+// in the component) by flooding along member-member edges.
+class LabelProtocol final : public Protocol {
+ public:
+  LabelProtocol(Runtime& rt, const std::vector<bool>& member)
+      : rt_(rt), member_(member), label_(rt.topology().num_nodes()) {
+    for (NodeId v = 0; v < label_.size(); ++v) label_[v] = v;
+  }
+
+  void start(NodeId self) override {
+    if (!member_[self]) return;
+    rt_.broadcast(self, Message{0, 0, static_cast<std::int64_t>(self), 0});
+  }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    if (!member_[self]) return;  // radio noise for non-members
+    bool improved = false;
+    for (const Message& m : inbox) {
+      if (!member_[m.from]) continue;
+      const auto lbl = static_cast<NodeId>(m.a);
+      if (lbl < label_[self]) {
+        label_[self] = lbl;
+        improved = true;
+      }
+    }
+    if (improved) {
+      rt_.broadcast(self,
+                    Message{0, 0, static_cast<std::int64_t>(label_[self]), 0});
+    }
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& labels() const { return label_; }
+
+ private:
+  Runtime& rt_;
+  const std::vector<bool>& member_;
+  std::vector<NodeId> label_;
+};
+
+// Phase B of an epoch: gain bidding over two hops.
+// round 1: members announce their component label;
+// round 2: candidates with gain >= 1 broadcast BID(gain, id);
+// round 3: every node forwards each distinct bid once (2-hop spread);
+// round 4: bidders that heard no better bid join and announce it.
+class BidProtocol final : public Protocol {
+ public:
+  static constexpr std::int32_t kLabel = 1;
+  static constexpr std::int32_t kBid = 2;
+  static constexpr std::int32_t kJoin = 3;
+
+  BidProtocol(Runtime& rt, const std::vector<bool>& member,
+              const std::vector<NodeId>& label)
+      : rt_(rt),
+        member_(member),
+        label_(label),
+        adjacent_labels_(rt.topology().num_nodes()),
+        best_rival_gain_(rt.topology().num_nodes(), 0),
+        best_rival_id_(rt.topology().num_nodes(), graph::kNoNode),
+        my_gain_(rt.topology().num_nodes(), 0),
+        seen_bidders_(rt.topology().num_nodes()) {}
+
+  void start(NodeId self) override {
+    if (member_[self]) {
+      rt_.broadcast(self, Message{0, kLabel,
+                                  static_cast<std::int64_t>(label_[self]), 0});
+    }
+  }
+
+  void on_round_begin() override { ++round_; }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    for (const Message& m : inbox) {
+      switch (m.type) {
+        case kLabel:
+          if (!member_[self]) {
+            adjacent_labels_[self].insert(static_cast<NodeId>(m.a));
+          }
+          break;
+        case kBid: {
+          const auto gain = static_cast<std::size_t>(m.a);
+          const auto bidder = static_cast<NodeId>(m.b);
+          if (bidder != self && seen_bidders_[self].insert(bidder).second) {
+            consider_rival(self, gain, bidder);
+            // Relay only first-hand bids, so each bid travels exactly
+            // two hops — the competition stays local.
+            if (m.from == bidder) rt_.broadcast(self, m);
+          }
+          break;
+        }
+        case kJoin:
+          break;  // membership updates are applied by the orchestrator
+        default:
+          throw std::logic_error("greedy protocol: unknown message");
+      }
+    }
+
+    if (round_ == 1 && !member_[self]) {
+      // Labels are in; compute the gain and bid if positive.
+      const std::size_t distinct = adjacent_labels_[self].size();
+      if (distinct >= 2) {
+        my_gain_[self] = distinct - 1;
+        rt_.broadcast(self,
+                      Message{0, kBid,
+                              static_cast<std::int64_t>(my_gain_[self]),
+                              static_cast<std::int64_t>(self)});
+      }
+    }
+    if (round_ == 3 && my_gain_[self] >= 1) {
+      // All bids within two hops have arrived (first-hand in round 2,
+      // relayed in round 3); decide.
+      const bool beaten =
+          best_rival_id_[self] != graph::kNoNode &&
+          (best_rival_gain_[self] > my_gain_[self] ||
+           (best_rival_gain_[self] == my_gain_[self] &&
+            best_rival_id_[self] < self));
+      if (!beaten) {
+        winners_.push_back(self);
+        rt_.broadcast(self, Message{0, kJoin, 0, 0});
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& winners() const {
+    return winners_;
+  }
+
+ private:
+  void consider_rival(NodeId self, std::size_t gain, NodeId bidder) {
+    if (member_[self]) return;
+    if (best_rival_id_[self] == graph::kNoNode ||
+        gain > best_rival_gain_[self] ||
+        (gain == best_rival_gain_[self] && bidder < best_rival_id_[self])) {
+      best_rival_gain_[self] = gain;
+      best_rival_id_[self] = bidder;
+    }
+  }
+
+  Runtime& rt_;
+  const std::vector<bool>& member_;
+  const std::vector<NodeId>& label_;
+  std::vector<std::set<NodeId>> adjacent_labels_;
+  std::vector<std::size_t> best_rival_gain_;
+  std::vector<NodeId> best_rival_id_;
+  std::vector<std::size_t> my_gain_;
+  std::vector<std::set<NodeId>> seen_bidders_;
+  std::vector<NodeId> winners_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace
+
+DistGreedyResult distributed_greedy_cds(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("distributed_greedy_cds: empty graph");
+  }
+  DistGreedyResult out;
+  if (g.num_nodes() == 1) {
+    out.mis.in_mis = {true};
+    out.mis.mis = {0};
+    out.cds = {0};
+    return out;
+  }
+
+  const LeaderResult leader = elect_leader(g);
+  out.total = leader.stats;
+  const BfsTreeResult tree = build_bfs_tree(g, leader.leader);
+  out.total += tree.stats;
+  out.mis = elect_mis(g, tree.level);
+  out.total += out.mis.stats;
+
+  std::vector<bool> member = out.mis.in_mis;
+  const std::size_t max_epochs = out.mis.mis.size();  // q drops each epoch
+  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+    // Phase A: component labels.
+    Runtime label_rt(g);
+    LabelProtocol labels(label_rt, member);
+    out.total += label_rt.run(labels);
+    std::set<NodeId> distinct;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (member[v]) distinct.insert(labels.labels()[v]);
+    }
+    if (distinct.size() <= 1) break;
+
+    // Phase B: bidding.
+    ++out.epochs;
+    Runtime bid_rt(g);
+    BidProtocol bids(bid_rt, member, labels.labels());
+    out.total += bid_rt.run(bids);
+    if (bids.winners().empty()) {
+      throw std::logic_error(
+          "distributed_greedy_cds: no winner although q > 1 (Lemma 9 "
+          "guarantees the global maximum bidder wins)");
+    }
+    for (const NodeId w : bids.winners()) {
+      member[w] = true;
+      out.connectors.push_back(w);
+    }
+  }
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (member[v]) out.cds.push_back(v);
+  }
+  std::sort(out.connectors.begin(), out.connectors.end());
+  return out;
+}
+
+}  // namespace mcds::dist

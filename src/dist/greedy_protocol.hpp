@@ -1,0 +1,39 @@
+#pragma once
+
+#include "dist/mis_election.hpp"
+#include "dist/runtime.hpp"
+
+/// \file greedy_protocol.hpp
+/// A distributed realization of the paper's Section IV algorithm. The
+/// centralized rule — "add the node of globally maximum gain" — is
+/// localized: per epoch,
+///   1. members of G[I ∪ C] agree on component labels by min-id
+///      flooding inside their component (label propagation);
+///   2. members announce their final label to neighbors;
+///   3. every candidate computes its gain (#distinct adjacent component
+///      labels − 1) and broadcasts a bid (gain, id) two hops;
+///   4. a candidate joins C iff its bid beats every competing bid it
+///      heard from candidates that share one of its components
+///      (lexicographic: higher gain, then smaller id).
+/// Every epoch at least the globally best bidder survives its own
+/// comparison, so the component count strictly decreases (Lemma 9), and
+/// simultaneous winners never hurt correctness — they only add
+/// connectors, which is the price of locality that the bench measures.
+
+namespace mcds::dist {
+
+/// Result of the distributed greedy construction.
+struct DistGreedyResult {
+  MisElectionResult mis;           ///< rank-elected dominators
+  std::vector<NodeId> connectors;  ///< all epoch winners
+  std::vector<NodeId> cds;         ///< dominators ∪ connectors, ascending
+  std::size_t epochs = 0;          ///< greedy epochs executed
+  RunStats total;                  ///< all phases, all epochs
+};
+
+/// Runs the protocol on \p g: leaderless rank MIS (by BFS level from the
+/// min-id node, to mirror the centralized phase 1) followed by the
+/// localized greedy epochs. Precondition: g connected with >= 1 node.
+[[nodiscard]] DistGreedyResult distributed_greedy_cds(const Graph& g);
+
+}  // namespace mcds::dist

@@ -1,0 +1,64 @@
+#include "dist/leader_election.hpp"
+
+#include <stdexcept>
+
+#include "graph/traversal.hpp"
+
+namespace mcds::dist {
+
+namespace {
+
+class MinIdFlood final : public Protocol {
+ public:
+  explicit MinIdFlood(Runtime& rt)
+      : rt_(rt), known_(rt.topology().num_nodes()) {
+    for (NodeId v = 0; v < known_.size(); ++v) known_[v] = v;
+  }
+
+  void start(NodeId self) override {
+    rt_.broadcast(self, Message{0, 0, static_cast<std::int64_t>(self), 0});
+  }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    bool improved = false;
+    for (const Message& m : inbox) {
+      const auto id = static_cast<NodeId>(m.a);
+      if (id < known_[self]) {
+        known_[self] = id;
+        improved = true;
+      }
+    }
+    if (improved) {
+      rt_.broadcast(self,
+                    Message{0, 0, static_cast<std::int64_t>(known_[self]), 0});
+    }
+  }
+
+  [[nodiscard]] NodeId known(NodeId v) const { return known_[v]; }
+
+ private:
+  Runtime& rt_;
+  std::vector<NodeId> known_;
+};
+
+}  // namespace
+
+LeaderResult elect_leader(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("elect_leader: empty graph");
+  }
+  Runtime rt(g);
+  MinIdFlood protocol(rt);
+  LeaderResult out;
+  out.stats = rt.run(protocol);
+  out.leader = protocol.known(0);
+  // All nodes must agree — guaranteed on a connected topology.
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (protocol.known(v) != out.leader) {
+      throw std::invalid_argument("elect_leader: topology is disconnected");
+    }
+  }
+  return out;
+}
+
+}  // namespace mcds::dist

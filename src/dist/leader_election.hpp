@@ -1,0 +1,22 @@
+#pragma once
+
+#include "dist/runtime.hpp"
+
+/// \file leader_election.hpp
+/// Minimum-id leader election by flooding: every node repeatedly
+/// forwards the smallest id it has heard of; after (diameter + 1) quiet
+/// rounds of no change the flood dies out and all nodes agree on the
+/// minimum id. Requires a connected topology.
+
+namespace mcds::dist {
+
+/// Result of leader election.
+struct LeaderResult {
+  NodeId leader = 0;  ///< the elected (minimum-id) node
+  RunStats stats;
+};
+
+/// Runs min-id flooding on \p g. Precondition: g connected, >= 1 node.
+[[nodiscard]] LeaderResult elect_leader(const Graph& g);
+
+}  // namespace mcds::dist

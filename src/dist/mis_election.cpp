@@ -1,0 +1,96 @@
+#include "dist/mis_election.hpp"
+
+#include <stdexcept>
+
+namespace mcds::dist {
+
+namespace {
+
+// Message type: a == 1 if the sender joined the MIS, 0 otherwise.
+class MisProtocol final : public Protocol {
+ public:
+  MisProtocol(Runtime& rt, const std::vector<NodeId>& level)
+      : rt_(rt), level_(level) {
+    const Graph& g = rt.topology();
+    const std::size_t n = g.num_nodes();
+    undecided_lower_.assign(n, 0);
+    decided_.assign(n, false);
+    in_mis_.assign(n, false);
+    blocked_.assign(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId u : g.neighbors(v)) {
+        if (rank_less(u, v)) ++undecided_lower_[v];
+      }
+    }
+  }
+
+  void start(NodeId self) override { try_decide(self); }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    for (const Message& m : inbox) {
+      if (rank_less(m.from, self)) {
+        --undecided_lower_[self];
+        if (m.a == 1) blocked_[self] = true;
+      }
+    }
+    try_decide(self);
+  }
+
+  [[nodiscard]] const std::vector<bool>& in_mis() const { return in_mis_; }
+  [[nodiscard]] bool all_decided() const {
+    for (const bool d : decided_) {
+      if (!d) return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] bool rank_less(NodeId a, NodeId b) const {
+    return level_[a] < level_[b] || (level_[a] == level_[b] && a < b);
+  }
+
+  void try_decide(NodeId self) {
+    if (decided_[self]) return;
+    // Early out: a lower-ranked dominator neighbor settles it.
+    // Completion: all lower-ranked neighbors decided (all dominatees).
+    if (blocked_[self]) {
+      decided_[self] = true;
+      in_mis_[self] = false;
+    } else if (undecided_lower_[self] == 0) {
+      decided_[self] = true;
+      in_mis_[self] = true;
+    } else {
+      return;
+    }
+    rt_.broadcast(self, Message{0, 0, in_mis_[self] ? 1 : 0, 0});
+  }
+
+  Runtime& rt_;
+  const std::vector<NodeId>& level_;
+  std::vector<std::size_t> undecided_lower_;
+  std::vector<bool> decided_;
+  std::vector<bool> in_mis_;
+  std::vector<bool> blocked_;
+};
+
+}  // namespace
+
+MisElectionResult elect_mis(const Graph& g, const std::vector<NodeId>& level) {
+  if (level.size() != g.num_nodes()) {
+    throw std::invalid_argument("elect_mis: level size mismatch");
+  }
+  Runtime rt(g);
+  MisProtocol protocol(rt, level);
+  MisElectionResult out;
+  out.stats = rt.run(protocol);
+  if (!protocol.all_decided()) {
+    throw std::logic_error("elect_mis: protocol quiesced undecided");
+  }
+  out.in_mis = protocol.in_mis();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out.in_mis[v]) out.mis.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace mcds::dist

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "dist/runtime.hpp"
+
+/// \file mis_election.hpp
+/// Distributed rank-based MIS election ([10]): ranks are (BFS level,
+/// id) lexicographically; a node joins the MIS once every lower-ranked
+/// neighbor has announced a decision and none of them joined. This
+/// realizes first-fit over a level-monotone order, so the elected MIS
+/// has the 2-hop separation property the paper's Lemma 9 relies on.
+
+namespace mcds::dist {
+
+/// Result of MIS election.
+struct MisElectionResult {
+  std::vector<bool> in_mis;       ///< per-node dominator flag
+  std::vector<NodeId> mis;        ///< dominators, ascending id
+  RunStats stats;
+};
+
+/// Runs the election on \p g given the BFS \p level of every node
+/// (from build_bfs_tree). Precondition: levels consistent with a
+/// connected topology.
+[[nodiscard]] MisElectionResult elect_mis(const Graph& g,
+                                          const std::vector<NodeId>& level);
+
+}  // namespace mcds::dist

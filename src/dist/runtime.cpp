@@ -1,0 +1,50 @@
+#include "dist/runtime.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcds::dist {
+
+Runtime::Runtime(const Graph& g) : g_(g), pending_(g.num_nodes()) {}
+
+void Runtime::send(NodeId from, NodeId to, Message m) {
+  if (!g_.has_edge(from, to)) {
+    throw std::invalid_argument(
+        "Runtime::send: nodes are not one-hop neighbors");
+  }
+  m.from = from;
+  pending_[to].push_back(m);
+  ++in_flight_;
+}
+
+void Runtime::broadcast(NodeId from, Message m) {
+  for (const NodeId to : g_.neighbors(from)) {
+    m.from = from;
+    pending_[to].push_back(m);
+    ++in_flight_;
+  }
+}
+
+RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
+  RunStats stats;
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) p.start(v);
+
+  while (in_flight_ > 0) {
+    if (stats.rounds >= max_rounds) {
+      throw std::runtime_error("Runtime::run: round limit exceeded");
+    }
+    // Swap in this round's inboxes; sends during step() land next round.
+    std::vector<std::vector<Message>> inboxes(g_.num_nodes());
+    inboxes.swap(pending_);
+    stats.messages += in_flight_;
+    in_flight_ = 0;
+    ++stats.rounds;
+    p.on_round_begin();
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      p.step(v, inboxes[v]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace mcds::dist

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file runtime.hpp
+/// A synchronous round-based message-passing runtime over a fixed
+/// communication topology — the execution model in which the paper's
+/// distributed algorithms are stated (nodes exchange messages with
+/// one-hop neighbors; a round delivers everything sent in the previous
+/// round). The runtime counts rounds and messages so the cost benches
+/// (experiment E11) can report protocol overheads.
+
+namespace mcds::dist {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// A protocol message. Protocols define their own meaning for `type`,
+/// `a` and `b`; `from` is stamped by the runtime.
+struct Message {
+  NodeId from = 0;
+  std::int32_t type = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Cost accounting for one protocol execution.
+struct RunStats {
+  std::size_t rounds = 0;    ///< synchronous rounds executed
+  std::size_t messages = 0;  ///< point-to-point messages delivered
+
+  RunStats& operator+=(const RunStats& o) noexcept {
+    rounds += o.rounds;
+    messages += o.messages;
+    return *this;
+  }
+};
+
+/// A node-local protocol. The runtime calls start() once for every node,
+/// then step() each round with the node's inbox, until a round passes
+/// with no messages in flight (quiescence) or the protocol declares
+/// completion via Runtime::all_idle_means_done.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once per node before round 0; may send initial messages.
+  virtual void start(NodeId self) = 0;
+
+  /// Called once at the beginning of each round, before any step().
+  /// Lets phase-structured protocols advance a local round counter.
+  virtual void on_round_begin() {}
+
+  /// Called once per node per round with the messages delivered this
+  /// round (possibly empty once the protocol is winding down).
+  virtual void step(NodeId self, const std::vector<Message>& inbox) = 0;
+};
+
+/// The synchronous runtime: owns the outboxes and runs a Protocol to
+/// quiescence over a topology.
+class Runtime {
+ public:
+  /// \p g must outlive the runtime.
+  explicit Runtime(const Graph& g);
+
+  /// Sends \p m from \p from to the one-hop neighbor \p to (delivered
+  /// next round). Throws std::invalid_argument if {from,to} is not an
+  /// edge of the topology.
+  void send(NodeId from, NodeId to, Message m);
+
+  /// Sends \p m from \p from to all of its neighbors.
+  void broadcast(NodeId from, Message m);
+
+  /// Runs \p p until no messages are in flight. \p max_rounds guards
+  /// against livelock; exceeding it throws std::runtime_error.
+  RunStats run(Protocol& p, std::size_t max_rounds = 1u << 20);
+
+  /// The topology.
+  [[nodiscard]] const Graph& topology() const noexcept { return g_; }
+
+ private:
+  const Graph& g_;
+  std::vector<std::vector<Message>> pending_;  ///< next-round inboxes
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace mcds::dist

@@ -1,0 +1,71 @@
+#include "exact/brute_force.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcds::exact {
+
+using graph::Mask;
+using graph::SmallGraph;
+
+namespace {
+void check_size(const SmallGraph& g) {
+  if (g.num_nodes() > 25) {
+    throw std::invalid_argument("brute force limited to 25 nodes");
+  }
+}
+}  // namespace
+
+std::size_t independence_number_brute_force(const SmallGraph& g) {
+  check_size(g);
+  const Mask end = g.all();
+  std::size_t best = 0;
+  for (Mask s = 0;; ++s) {
+    if (g.is_independent(s)) {
+      best = std::max<std::size_t>(best,
+                                   static_cast<std::size_t>(graph::popcount(s)));
+    }
+    if (s == end) break;
+  }
+  return best;
+}
+
+std::size_t domination_number_brute_force(const SmallGraph& g) {
+  check_size(g);
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("domination: empty graph");
+  }
+  const Mask end = g.all();
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (Mask s = 0;; ++s) {
+    if (g.is_dominating(s)) {
+      best = std::min<std::size_t>(best,
+                                   static_cast<std::size_t>(graph::popcount(s)));
+    }
+    if (s == end) break;
+  }
+  return best;
+}
+
+std::size_t connected_domination_number_brute_force(const SmallGraph& g) {
+  check_size(g);
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("connected domination: empty graph");
+  }
+  if (!g.is_connected(g.all())) {
+    throw std::invalid_argument("connected domination: disconnected graph");
+  }
+  const Mask end = g.all();
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (Mask s = 1;; ++s) {  // a CDS is non-empty
+    if (g.is_dominating(s) && g.is_connected(s)) {
+      best = std::min<std::size_t>(best,
+                                   static_cast<std::size_t>(graph::popcount(s)));
+    }
+    if (s == end) break;
+  }
+  return best;
+}
+
+}  // namespace mcds::exact

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "graph/small_graph.hpp"
+
+/// \file brute_force.hpp
+/// Exhaustive-enumeration reference solvers. Exponential in n — intended
+/// only to cross-check the branch-and-bound solvers in tests (n <= ~20).
+
+namespace mcds::exact {
+
+/// α(G) by enumerating all 2^n subsets. Precondition: n <= 25.
+[[nodiscard]] std::size_t independence_number_brute_force(
+    const graph::SmallGraph& g);
+
+/// γ(G) by enumerating all 2^n subsets. Precondition: n <= 25.
+[[nodiscard]] std::size_t domination_number_brute_force(
+    const graph::SmallGraph& g);
+
+/// γ_c(G) by enumerating all 2^n subsets. Preconditions: n <= 25 and
+/// g connected.
+[[nodiscard]] std::size_t connected_domination_number_brute_force(
+    const graph::SmallGraph& g);
+
+}  // namespace mcds::exact

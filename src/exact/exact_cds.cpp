@@ -1,0 +1,15 @@
+#include "exact/exact_cds.hpp"
+
+namespace mcds::exact {
+
+template graph::Mask minimum_connected_dominating_set<graph::SmallGraph>(
+    const graph::SmallGraph&);
+template graph::Mask128
+minimum_connected_dominating_set<graph::SmallGraph128>(
+    const graph::SmallGraph128&);
+template std::size_t connected_domination_number<graph::SmallGraph>(
+    const graph::SmallGraph&);
+template std::size_t connected_domination_number<graph::SmallGraph128>(
+    const graph::SmallGraph128&);
+
+}  // namespace mcds::exact

@@ -1,0 +1,14 @@
+#include "exact/exact_connectors.hpp"
+
+namespace mcds::exact {
+
+template graph::Mask minimum_connectors<graph::SmallGraph>(
+    const graph::SmallGraph&, graph::Mask);
+template graph::Mask128 minimum_connectors<graph::SmallGraph128>(
+    const graph::SmallGraph128&, graph::Mask128);
+template std::size_t minimum_connector_count<graph::SmallGraph>(
+    const graph::SmallGraph&, graph::Mask);
+template std::size_t minimum_connector_count<graph::SmallGraph128>(
+    const graph::SmallGraph128&, graph::Mask128);
+
+}  // namespace mcds::exact

@@ -1,0 +1,14 @@
+#include "exact/exact_ds.hpp"
+
+namespace mcds::exact {
+
+template graph::Mask minimum_dominating_set<graph::SmallGraph>(
+    const graph::SmallGraph&);
+template graph::Mask128 minimum_dominating_set<graph::SmallGraph128>(
+    const graph::SmallGraph128&);
+template std::size_t domination_number<graph::SmallGraph>(
+    const graph::SmallGraph&);
+template std::size_t domination_number<graph::SmallGraph128>(
+    const graph::SmallGraph128&);
+
+}  // namespace mcds::exact

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/small_graph.hpp"
+
+/// \file exact_ds.hpp
+/// Exact minimum dominating set (the domination number γ(G)) via branch
+/// and bound on undominated vertices, for SmallGraph and SmallGraph128.
+/// γ(G) is a lower bound on γ_c(G) and seeds the CDS solver.
+
+namespace mcds::exact {
+
+// Bring both mask widths' popcount/lowest_bit overloads into scope
+// (fundamental mask types have no associated namespace for ADL).
+using graph::lowest_bit;
+using graph::popcount;
+
+namespace detail {
+
+template <class SG>
+struct DsSolver {
+  using M = typename SG::mask_type;
+
+  const SG& g;
+  int max_closed_degree;
+  int best_size;
+  M best_set{0};
+
+  // Branches on an undominated vertex with the fewest closed-
+  // neighborhood candidates: one of them must join the dominating set.
+  void solve(M chosen, int chosen_size, M dominated) {
+    if (dominated == g.all()) {
+      if (chosen_size < best_size) {
+        best_size = chosen_size;
+        best_set = chosen;
+      }
+      return;
+    }
+    const int undominated = popcount(g.all() & ~dominated);
+    // Each further vertex dominates at most Δ+1 new vertices.
+    const int lb = (undominated + max_closed_degree - 1) / max_closed_degree;
+    if (chosen_size + lb >= best_size) return;
+
+    // Pick the undominated vertex with the smallest closed neighborhood
+    // — the tightest branching constraint.
+    M und = g.all() & ~dominated;
+    graph::NodeId pick = lowest_bit(und);
+    int pick_opts = static_cast<int>(graph::kMaskBits<M>) + 1;
+    while (!(und == M{0})) {
+      const graph::NodeId v = lowest_bit(und);
+      und &= und - M{1};
+      const int opts = popcount(g.closed_neighbors(v));
+      if (opts < pick_opts) {
+        pick_opts = opts;
+        pick = v;
+      }
+    }
+    M options = g.closed_neighbors(pick);
+    while (!(options == M{0})) {
+      const graph::NodeId w = lowest_bit(options);
+      options &= options - M{1};
+      solve(chosen | SG::bit(w), chosen_size + 1,
+            dominated | g.closed_neighbors(w));
+    }
+  }
+};
+
+// Greedy max-coverage upper bound to seed the search.
+template <class SG>
+typename SG::mask_type greedy_ds(const SG& g) {
+  using M = typename SG::mask_type;
+  M chosen{0}, dominated{0};
+  while (!(dominated == g.all())) {
+    graph::NodeId best = 0;
+    int best_gain = -1;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const int gain = popcount(g.closed_neighbors(v) & ~dominated);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    chosen |= SG::bit(best);
+    dominated |= g.closed_neighbors(best);
+  }
+  return chosen;
+}
+
+}  // namespace detail
+
+/// A minimum dominating set of \p g as a bitmask. Precondition: g has
+/// at least one node.
+template <class SG>
+[[nodiscard]] typename SG::mask_type minimum_dominating_set(const SG& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("minimum_dominating_set: empty graph");
+  }
+  int max_cd = 1;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_cd = std::max(max_cd, popcount(g.closed_neighbors(v)));
+  }
+  const auto seed = detail::greedy_ds(g);
+  detail::DsSolver<SG> solver{g, max_cd, popcount(seed), seed};
+  solver.solve(typename SG::mask_type{0}, 0, typename SG::mask_type{0});
+  return solver.best_set;
+}
+
+/// The domination number γ(G).
+template <class SG>
+[[nodiscard]] std::size_t domination_number(const SG& g) {
+  return static_cast<std::size_t>(popcount(minimum_dominating_set(g)));
+}
+
+}  // namespace mcds::exact

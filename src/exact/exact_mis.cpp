@@ -1,0 +1,15 @@
+#include "exact/exact_mis.hpp"
+
+namespace mcds::exact {
+
+// Explicit instantiations for the two supported graph widths.
+template graph::Mask maximum_independent_set<graph::SmallGraph>(
+    const graph::SmallGraph&);
+template graph::Mask128 maximum_independent_set<graph::SmallGraph128>(
+    const graph::SmallGraph128&);
+template std::size_t independence_number<graph::SmallGraph>(
+    const graph::SmallGraph&);
+template std::size_t independence_number<graph::SmallGraph128>(
+    const graph::SmallGraph128&);
+
+}  // namespace mcds::exact

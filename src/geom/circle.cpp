@@ -1,0 +1,84 @@
+#include "geom/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mcds::geom {
+
+double Circle::area() const noexcept {
+  return std::numbers::pi * radius * radius;
+}
+
+std::vector<Vec2> intersect(const Circle& a, const Circle& b, double tol) {
+  const Vec2 d = b.center - a.center;
+  const double dd = d.norm();
+  if (dd <= tol) return {};  // concentric (coincident or nested): no points
+  const double rsum = a.radius + b.radius;
+  const double rdiff = std::abs(a.radius - b.radius);
+  if (dd > rsum + tol || dd < rdiff - tol) return {};
+
+  // Distance from a.center to the radical line along d.
+  const double t = (dd * dd + a.radius * a.radius - b.radius * b.radius) /
+                   (2.0 * dd);
+  const double h2 = a.radius * a.radius - t * t;
+  const Vec2 base = a.center + d * (t / dd);
+  if (h2 <= tol * tol) return {base};  // tangency
+
+  const double h = std::sqrt(std::max(0.0, h2));
+  const Vec2 off = d.perp() * (h / dd);
+  return {base + off, base - off};  // left of a->b first
+}
+
+std::optional<Vec2> circle_circle_point(const Circle& a, const Circle& b,
+                                        int side, double tol) {
+  if (side != 1 && side != -1) {
+    throw std::invalid_argument("circle_circle_point: side must be +1 or -1");
+  }
+  const auto pts = intersect(a, b, tol);
+  if (pts.size() != 2) return std::nullopt;
+  return side == 1 ? pts[0] : pts[1];
+}
+
+bool disks_overlap(const Circle& a, const Circle& b, double tol) noexcept {
+  return dist(a.center, b.center) <= a.radius + b.radius + tol;
+}
+
+std::vector<Vec2> arc_points(const Circle& c, double a0, double a1,
+                             int count) {
+  if (count < 0) throw std::invalid_argument("arc_points: negative count");
+  double span = a1 - a0;
+  if (span < 0) span += 2.0 * std::numbers::pi;
+  std::vector<Vec2> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count == 1) {
+    out.push_back(c.point_at(a0 + span / 2.0));
+    return out;
+  }
+  for (int i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / (count - 1);
+    out.push_back(c.point_at(a0 + span * t));
+  }
+  return out;
+}
+
+double lens_area(const Circle& a, const Circle& b) noexcept {
+  const double d = dist(a.center, b.center);
+  const double r1 = a.radius, r2 = b.radius;
+  if (d >= r1 + r2) return 0.0;
+  if (d <= std::abs(r1 - r2)) {
+    const double r = std::min(r1, r2);
+    return std::numbers::pi * r * r;  // smaller disk fully inside
+  }
+  const double alpha =
+      2.0 * std::acos(std::clamp((d * d + r1 * r1 - r2 * r2) / (2 * d * r1),
+                                 -1.0, 1.0));
+  const double beta =
+      2.0 * std::acos(std::clamp((d * d + r2 * r2 - r1 * r1) / (2 * d * r2),
+                                 -1.0, 1.0));
+  return 0.5 * r1 * r1 * (alpha - std::sin(alpha)) +
+         0.5 * r2 * r2 * (beta - std::sin(beta));
+}
+
+}  // namespace mcds::geom

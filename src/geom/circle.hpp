@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file circle.hpp
+/// Circles, circle-circle intersection, and arc sampling. These are the
+/// primitives behind the paper's geometric constructions (unit disks
+/// D_u, boundary circles ∂D_u, and arc points such as the p/q points of
+/// Figures 1 and 5).
+
+namespace mcds::geom {
+
+/// A circle given by center and radius. Radius must be >= 0.
+struct Circle {
+  Vec2 center;
+  double radius = 1.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(Vec2 c, double r) noexcept : center(c), radius(r) {}
+
+  /// True if \p p lies inside or on the circle (within tolerance).
+  [[nodiscard]] bool contains(Vec2 p, double tol = kEps) const noexcept {
+    return dist(center, p) <= radius + tol;
+  }
+
+  /// True if \p p lies strictly inside the circle (within tolerance).
+  [[nodiscard]] bool strictly_contains(Vec2 p,
+                                       double tol = kEps) const noexcept {
+    return dist(center, p) < radius - tol;
+  }
+
+  /// True if \p p lies on the boundary circle (within tolerance).
+  [[nodiscard]] bool on_boundary(Vec2 p, double tol = kEps) const noexcept {
+    return almost_equal(dist(center, p), radius, tol);
+  }
+
+  /// Point on the boundary at the given angle (radians, CCW from +x).
+  [[nodiscard]] Vec2 point_at(double radians) const noexcept {
+    return from_polar(center, radius, radians);
+  }
+
+  /// Area of the disk.
+  [[nodiscard]] double area() const noexcept;
+};
+
+/// Unit circle/disk centered at \p c — the D_u of the paper.
+[[nodiscard]] constexpr Circle unit_disk(Vec2 c) noexcept { return {c, 1.0}; }
+
+/// Intersection points of two circle boundaries.
+///
+/// Returns 0, 1 (tangency) or 2 points. Coincident circles return empty
+/// (the intersection is not a finite point set). For two distinct points
+/// the first returned point is the one on the left of the directed line
+/// a.center -> b.center.
+[[nodiscard]] std::vector<Vec2> intersect(const Circle& a, const Circle& b,
+                                          double tol = kEps);
+
+/// The intersection point of ∂D_a and ∂D_b lying on the given \p side of
+/// the directed line a.center -> b.center (+1 = left, -1 = right).
+/// Empty if the boundaries do not meet in two points.
+[[nodiscard]] std::optional<Vec2> circle_circle_point(const Circle& a,
+                                                      const Circle& b,
+                                                      int side,
+                                                      double tol = kEps);
+
+/// True if the two disks overlap (closed disks share a point).
+[[nodiscard]] bool disks_overlap(const Circle& a, const Circle& b,
+                                 double tol = kEps) noexcept;
+
+/// \p count points evenly spaced (by angle) on the CCW arc of \p c from
+/// angle \p a0 to angle \p a1 (a1 may exceed a0 by more than 2*pi is not
+/// allowed; if a1 < a0 the arc wraps through a0 + delta with
+/// delta = a1 - a0 + 2*pi). Endpoints are included when \p count >= 2.
+[[nodiscard]] std::vector<Vec2> arc_points(const Circle& c, double a0,
+                                           double a1, int count);
+
+/// Area of the intersection (lens) of two disks.
+[[nodiscard]] double lens_area(const Circle& a, const Circle& b) noexcept;
+
+}  // namespace mcds::geom

@@ -1,0 +1,103 @@
+#include "geom/closest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcds::geom {
+
+namespace {
+
+struct Indexed {
+  Vec2 p;
+  std::size_t idx;
+};
+
+struct PairResult {
+  double d2 = std::numeric_limits<double>::infinity();
+  std::size_t i = 0, j = 0;
+
+  void consider(const Indexed& a, const Indexed& b) noexcept {
+    const double d = dist2(a.p, b.p);
+    if (d < d2) {
+      d2 = d;
+      i = a.idx;
+      j = b.idx;
+    }
+  }
+};
+
+// Classic divide-and-conquer closest pair on points sorted by x;
+// `strip` is scratch space for the merge step.
+void solve(std::vector<Indexed>& pts, std::size_t lo, std::size_t hi,
+           std::vector<Indexed>& strip, PairResult& best) {
+  const std::size_t n = hi - lo;
+  if (n <= 3) {
+    for (std::size_t a = lo; a < hi; ++a) {
+      for (std::size_t b = a + 1; b < hi; ++b) {
+        best.consider(pts[a], pts[b]);
+      }
+    }
+    std::sort(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+              pts.begin() + static_cast<std::ptrdiff_t>(hi),
+              [](const Indexed& a, const Indexed& b) { return a.p.y < b.p.y; });
+    return;
+  }
+  const std::size_t mid = lo + n / 2;
+  const double mid_x = pts[mid].p.x;
+  solve(pts, lo, mid, strip, best);
+  solve(pts, mid, hi, strip, best);
+  std::inplace_merge(
+      pts.begin() + static_cast<std::ptrdiff_t>(lo),
+      pts.begin() + static_cast<std::ptrdiff_t>(mid),
+      pts.begin() + static_cast<std::ptrdiff_t>(hi),
+      [](const Indexed& a, const Indexed& b) { return a.p.y < b.p.y; });
+
+  strip.clear();
+  for (std::size_t a = lo; a < hi; ++a) {
+    const double dx = pts[a].p.x - mid_x;
+    if (dx * dx < best.d2) strip.push_back(pts[a]);
+  }
+  for (std::size_t a = 0; a < strip.size(); ++a) {
+    for (std::size_t b = a + 1; b < strip.size(); ++b) {
+      const double dy = strip[b].p.y - strip[a].p.y;
+      if (dy * dy >= best.d2) break;
+      best.consider(strip[a], strip[b]);
+    }
+  }
+}
+
+PairResult run(std::span<const Vec2> pts) {
+  std::vector<Indexed> v;
+  v.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) v.push_back({pts[i], i});
+  std::sort(v.begin(), v.end(),
+            [](const Indexed& a, const Indexed& b) { return a.p.x < b.p.x; });
+  std::vector<Indexed> strip;
+  strip.reserve(v.size());
+  PairResult best;
+  solve(v, 0, v.size(), strip, best);
+  return best;
+}
+
+}  // namespace
+
+double closest_pair_distance(std::span<const Vec2> pts) {
+  if (pts.size() < 2) return std::numeric_limits<double>::infinity();
+  return std::sqrt(run(pts).d2);
+}
+
+std::pair<std::size_t, std::size_t> closest_pair(std::span<const Vec2> pts) {
+  if (pts.size() < 2) {
+    throw std::invalid_argument("closest_pair: need at least two points");
+  }
+  const PairResult r = run(pts);
+  return {r.i, r.j};
+}
+
+bool is_independent_point_set(std::span<const Vec2> pts, double threshold) {
+  if (pts.size() < 2) return true;
+  return closest_pair_distance(pts) > threshold;
+}
+
+}  // namespace mcds::geom

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file closest.hpp
+/// Closest-pair and independence predicates. A point set is *independent*
+/// in the paper's sense when all pairwise distances are strictly greater
+/// than one (the unit-disk radius).
+
+namespace mcds::geom {
+
+/// Smallest pairwise distance (+infinity for < 2 points). O(n log n)
+/// divide and conquer.
+[[nodiscard]] double closest_pair_distance(std::span<const Vec2> pts);
+
+/// The pair of indices realizing the closest distance. Precondition:
+/// at least two points.
+[[nodiscard]] std::pair<std::size_t, std::size_t> closest_pair(
+    std::span<const Vec2> pts);
+
+/// True if all pairwise distances are > \p threshold (strictly).
+/// This is the paper's independence predicate for threshold = 1.
+[[nodiscard]] bool is_independent_point_set(std::span<const Vec2> pts,
+                                            double threshold = 1.0);
+
+}  // namespace mcds::geom

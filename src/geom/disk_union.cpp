@@ -1,0 +1,141 @@
+#include "geom/disk_union.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "geom/hull.hpp"
+
+namespace mcds::geom {
+
+DiskUnion::DiskUnion(std::vector<Vec2> centers, double radius)
+    : centers_(std::move(centers)), radius_(radius) {
+  if (centers_.empty()) {
+    throw std::invalid_argument("DiskUnion: empty center set");
+  }
+  if (!(radius_ > 0.0)) {
+    throw std::invalid_argument("DiskUnion: radius must be positive");
+  }
+  cell_ = radius_;
+  const auto [lo, hi] = geom::bounding_box(centers_);
+  gx0_ = static_cast<long>(std::floor(lo.x / cell_));
+  gy0_ = static_cast<long>(std::floor(lo.y / cell_));
+  gw_ = static_cast<long>(std::floor(hi.x / cell_)) - gx0_ + 1;
+  gh_ = static_cast<long>(std::floor(hi.y / cell_)) - gy0_ + 1;
+  cells_.assign(static_cast<std::size_t>(gw_ * gh_), {});
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    const auto [cx, cy] = cell_of(centers_[i]);
+    cells_[static_cast<std::size_t>((cy - gy0_) * gw_ + (cx - gx0_))]
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::pair<long, long> DiskUnion::cell_of(Vec2 p) const noexcept {
+  return {static_cast<long>(std::floor(p.x / cell_)),
+          static_cast<long>(std::floor(p.y / cell_))};
+}
+
+bool DiskUnion::contains(Vec2 p, double tol) const noexcept {
+  return nearest_center_distance(p) <= radius_ + tol;
+}
+
+double DiskUnion::nearest_center_distance(Vec2 p) const noexcept {
+  return dist(p, centers_[nearest_center(p)]);
+}
+
+std::size_t DiskUnion::nearest_center(Vec2 p) const noexcept {
+  // Search grid rings outward from p's cell; a full fallback scan keeps
+  // this correct for points far outside the grid.
+  const auto [pcx, pcy] = cell_of(p);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (long ring = 0; ring <= std::max(gw_, gh_) + 1; ++ring) {
+    // Once the closest possible point of the next ring is farther than the
+    // best found distance, stop.
+    if (best < std::numeric_limits<double>::infinity() &&
+        (static_cast<double>(ring) - 1.0) * cell_ > best) {
+      break;
+    }
+    bool any_cell = false;
+    for (long dy = -ring; dy <= ring; ++dy) {
+      for (long dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const long cx = pcx + dx, cy = pcy + dy;
+        if (cx < gx0_ || cx >= gx0_ + gw_ || cy < gy0_ || cy >= gy0_ + gh_) {
+          continue;
+        }
+        any_cell = true;
+        for (const std::uint32_t i :
+             cells_[static_cast<std::size_t>((cy - gy0_) * gw_ +
+                                             (cx - gx0_))]) {
+          const double d = dist(p, centers_[i]);
+          if (d < best) {
+            best = d;
+            best_i = i;
+          }
+        }
+      }
+    }
+    // If the ring fell fully outside the grid and we already have a
+    // candidate, growing further cannot help beyond the stop rule above.
+    if (!any_cell && ring > std::max(gw_, gh_)) break;
+  }
+  if (best == std::numeric_limits<double>::infinity()) {
+    // Point far outside the grid: linear scan fallback.
+    for (std::size_t i = 0; i < centers_.size(); ++i) {
+      const double d = dist(p, centers_[i]);
+      if (d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+  }
+  return best_i;
+}
+
+std::pair<Vec2, Vec2> DiskUnion::bounding_box() const noexcept {
+  const auto [lo, hi] = geom::bounding_box(centers_);
+  return {lo - Vec2{radius_, radius_}, hi + Vec2{radius_, radius_}};
+}
+
+std::vector<Vec2> DiskUnion::grid_points_inside(double step) const {
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("grid_points_inside: step must be positive");
+  }
+  const auto [lo, hi] = bounding_box();
+  std::vector<Vec2> out;
+  for (double y = lo.y; y <= hi.y + step / 2; y += step) {
+    for (double x = lo.x; x <= hi.x + step / 2; x += step) {
+      const Vec2 p{x, y};
+      if (contains(p)) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+double DiskUnion::estimate_area(std::size_t samples, std::uint64_t seed) const {
+  if (samples == 0) {
+    throw std::invalid_argument("estimate_area: need at least one sample");
+  }
+  const auto [lo, hi] = bounding_box();
+  const double w = hi.x - lo.x, h = hi.y - lo.y;
+  // SplitMix64 stream; self-contained to avoid a dependency on mcds_sim.
+  std::uint64_t state = seed;
+  const auto next01 = [&state]() {
+    state += 0x9E3779B97f4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  };
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Vec2 p{lo.x + w * next01(), lo.y + h * next01()};
+    if (contains(p)) ++hits;
+  }
+  return w * h * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace mcds::geom

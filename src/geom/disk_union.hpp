@@ -1,0 +1,65 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file disk_union.hpp
+/// The *neighborhood* of a planar point set S is the union of unit disks
+/// centered at the points of S (paper, Section I). This type answers
+/// membership and sampling queries against such a region, for arbitrary
+/// (not just unit) radius.
+
+namespace mcds::geom {
+
+/// Union of equal-radius disks around a fixed set of centers.
+/// Membership queries are accelerated with a uniform grid over centers.
+class DiskUnion {
+ public:
+  /// Builds the union of disks of radius \p radius around \p centers.
+  /// Preconditions: non-empty centers, radius > 0.
+  DiskUnion(std::vector<Vec2> centers, double radius = 1.0);
+
+  /// The disk centers.
+  [[nodiscard]] std::span<const Vec2> centers() const noexcept {
+    return centers_;
+  }
+
+  /// The common disk radius.
+  [[nodiscard]] double radius() const noexcept { return radius_; }
+
+  /// True if \p p lies in the closed union (within tolerance).
+  [[nodiscard]] bool contains(Vec2 p, double tol = 0.0) const noexcept;
+
+  /// Distance from \p p to the nearest center.
+  [[nodiscard]] double nearest_center_distance(Vec2 p) const noexcept;
+
+  /// Index of the nearest center to \p p.
+  [[nodiscard]] std::size_t nearest_center(Vec2 p) const noexcept;
+
+  /// Axis-aligned bounding box of the union, as (lo, hi).
+  [[nodiscard]] std::pair<Vec2, Vec2> bounding_box() const noexcept;
+
+  /// All grid points with the given \p step that lie inside the union.
+  /// Used as the candidate set of the packing optimizer.
+  [[nodiscard]] std::vector<Vec2> grid_points_inside(double step) const;
+
+  /// Monte-Carlo estimate of the union's area using \p samples samples
+  /// from the deterministic stream seeded by \p seed.
+  [[nodiscard]] double estimate_area(std::size_t samples,
+                                     std::uint64_t seed) const;
+
+ private:
+  [[nodiscard]] std::pair<long, long> cell_of(Vec2 p) const noexcept;
+
+  std::vector<Vec2> centers_;
+  double radius_;
+  // Uniform grid over centers, cell size = radius, for O(1)-ish lookup.
+  double cell_ = 1.0;
+  long gx0_ = 0, gy0_ = 0;     // grid origin cell
+  long gw_ = 1, gh_ = 1;       // grid extent in cells
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace mcds::geom

@@ -1,0 +1,103 @@
+#include "geom/hull.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "geom/closest.hpp"
+
+namespace mcds::geom {
+
+std::vector<Vec2> convex_hull(std::span<const Vec2> pts) {
+  std::vector<Vec2> p(pts.begin(), pts.end());
+  std::sort(p.begin(), p.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+  const std::size_t n = p.size();
+  if (n <= 2) return p;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).cross(p[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = p[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper hull
+    while (k >= t &&
+           (hull[k - 1] - hull[k - 2]).cross(p[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = p[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double polygon_area(std::span<const Vec2> poly) noexcept {
+  const std::size_t n = poly.size();
+  if (n < 3) return 0.0;
+  double twice = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    twice += poly[i].cross(poly[(i + 1) % n]);
+  }
+  return 0.5 * twice;
+}
+
+double diameter(std::span<const Vec2> pts) {
+  if (pts.size() < 2) return 0.0;
+  const auto hull = convex_hull(pts);
+  const std::size_t m = hull.size();
+  if (m == 1) return 0.0;
+  if (m == 2) return dist(hull[0], hull[1]);
+
+  // Rotating calipers over antipodal pairs.
+  double best = 0.0;
+  std::size_t j = 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Vec2 edge = hull[(i + 1) % m] - hull[i];
+    while (true) {
+      const std::size_t jn = (j + 1) % m;
+      if (edge.cross(hull[jn] - hull[j]) > 0.0) {
+        j = jn;
+      } else {
+        break;
+      }
+    }
+    best = std::max(best, dist(hull[i], hull[j]));
+    best = std::max(best, dist(hull[(i + 1) % m], hull[j]));
+  }
+  return best;
+}
+
+double min_pairwise_distance(std::span<const Vec2> pts) {
+  return closest_pair_distance(pts);
+}
+
+Vec2 centroid(std::span<const Vec2> pts) {
+  if (pts.empty()) throw std::invalid_argument("centroid: empty point set");
+  Vec2 sum;
+  for (const Vec2 p : pts) sum += p;
+  return sum / static_cast<double>(pts.size());
+}
+
+std::pair<Vec2, Vec2> bounding_box(std::span<const Vec2> pts) {
+  if (pts.empty()) {
+    throw std::invalid_argument("bounding_box: empty point set");
+  }
+  Vec2 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec2 hi = -lo;
+  for (const Vec2 p : pts) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  return {lo, hi};
+}
+
+}  // namespace mcds::geom

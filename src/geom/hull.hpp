@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file hull.hpp
+/// Convex hulls, diameters and related global shape queries on point sets.
+/// The paper's arc-polygon arguments reduce diameter claims to vertex-set
+/// diameters; we provide exact (O(n^2) or hull-based) diameter routines
+/// for verifying such claims numerically.
+
+namespace mcds::geom {
+
+/// Convex hull (monotone chain), CCW order, no duplicate endpoint, no
+/// collinear interior points. Handles degenerate inputs (empty, single,
+/// collinear) by returning the extreme points.
+[[nodiscard]] std::vector<Vec2> convex_hull(std::span<const Vec2> pts);
+
+/// Signed area of a simple polygon in CCW order (positive if CCW).
+[[nodiscard]] double polygon_area(std::span<const Vec2> poly) noexcept;
+
+/// Largest pairwise distance of a point set (0 for fewer than 2 points).
+/// Uses rotating calipers on the convex hull: O(n log n).
+[[nodiscard]] double diameter(std::span<const Vec2> pts);
+
+/// Smallest pairwise distance of a point set (+infinity for fewer than
+/// 2 points). O(n log n) via a sweep.
+[[nodiscard]] double min_pairwise_distance(std::span<const Vec2> pts);
+
+/// Centroid of a point set. Precondition: non-empty.
+[[nodiscard]] Vec2 centroid(std::span<const Vec2> pts);
+
+/// Axis-aligned bounding box as (lo, hi). Precondition: non-empty.
+[[nodiscard]] std::pair<Vec2, Vec2> bounding_box(std::span<const Vec2> pts);
+
+}  // namespace mcds::geom

@@ -1,0 +1,53 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+
+namespace mcds::geom {
+
+Vec2 closest_point(const Segment& s, Vec2 p) noexcept {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.norm2();
+  if (len2 == 0.0) return s.a;  // degenerate segment
+  const double t = std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+  return s.a + d * t;
+}
+
+double distance(const Segment& s, Vec2 p) noexcept {
+  return dist(p, closest_point(s, p));
+}
+
+int orientation(Vec2 a, Vec2 b, Vec2 c, double tol) noexcept {
+  const double cr = (b - a).cross(c - a);
+  if (cr > tol) return 1;
+  if (cr < -tol) return -1;
+  return 0;
+}
+
+namespace {
+bool on_segment_collinear(const Segment& s, Vec2 p, double tol) noexcept {
+  return p.x >= std::min(s.a.x, s.b.x) - tol &&
+         p.x <= std::max(s.a.x, s.b.x) + tol &&
+         p.y >= std::min(s.a.y, s.b.y) - tol &&
+         p.y <= std::max(s.a.y, s.b.y) + tol;
+}
+}  // namespace
+
+bool segments_intersect(const Segment& s, const Segment& t,
+                        double tol) noexcept {
+  const int o1 = orientation(s.a, s.b, t.a, tol);
+  const int o2 = orientation(s.a, s.b, t.b, tol);
+  const int o3 = orientation(t.a, t.b, s.a, tol);
+  const int o4 = orientation(t.a, t.b, s.b, tol);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment_collinear(s, t.a, tol)) return true;
+  if (o2 == 0 && on_segment_collinear(s, t.b, tol)) return true;
+  if (o3 == 0 && on_segment_collinear(t, s.a, tol)) return true;
+  if (o4 == 0 && on_segment_collinear(t, s.b, tol)) return true;
+  return false;
+}
+
+int side_of_line(Vec2 a, Vec2 b, Vec2 p, double tol) noexcept {
+  return orientation(a, b, p, tol);
+}
+
+}  // namespace mcds::geom

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+/// \file segment.hpp
+/// Line segments and point/segment distance queries.
+
+namespace mcds::geom {
+
+/// A closed line segment [a, b].
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Vec2 pa, Vec2 pb) noexcept : a(pa), b(pb) {}
+
+  /// Segment length.
+  [[nodiscard]] double length() const noexcept { return dist(a, b); }
+
+  /// Point at parameter t in [0, 1].
+  [[nodiscard]] constexpr Vec2 point_at(double t) const noexcept {
+    return lerp(a, b, t);
+  }
+};
+
+/// Closest point on the segment to \p p.
+[[nodiscard]] Vec2 closest_point(const Segment& s, Vec2 p) noexcept;
+
+/// Euclidean distance from \p p to the segment.
+[[nodiscard]] double distance(const Segment& s, Vec2 p) noexcept;
+
+/// Orientation of the triple (a, b, c): >0 CCW, <0 CW, 0 collinear
+/// (within tolerance).
+[[nodiscard]] int orientation(Vec2 a, Vec2 b, Vec2 c,
+                              double tol = kEps) noexcept;
+
+/// True if the two closed segments share at least one point.
+[[nodiscard]] bool segments_intersect(const Segment& s, const Segment& t,
+                                      double tol = kEps) noexcept;
+
+/// Signed side of point \p p relative to the directed line a -> b:
+/// +1 left, -1 right, 0 on the line (within tolerance).
+[[nodiscard]] int side_of_line(Vec2 a, Vec2 b, Vec2 p,
+                               double tol = kEps) noexcept;
+
+}  // namespace mcds::geom

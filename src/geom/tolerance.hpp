@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file tolerance.hpp
+/// Numeric tolerances shared by the geometric predicates.
+///
+/// All geometry in this library operates on coordinates of magnitude
+/// O(100) (deployment regions) built from unit-radius disks, so a single
+/// absolute epsilon is adequate; we do not need adaptive-precision
+/// predicates for the constructions and checks performed here.
+
+namespace mcds::geom {
+
+/// Default absolute tolerance for geometric comparisons.
+inline constexpr double kEps = 1e-9;
+
+/// Looser tolerance used when verifying constructions that are themselves
+/// parameterized by a small epsilon (e.g. the Figure 1 / Figure 2 tight
+/// packing instances of the paper).
+inline constexpr double kLooseEps = 1e-6;
+
+/// True if |a - b| <= tol.
+[[nodiscard]] constexpr bool almost_equal(double a, double b,
+                                          double tol = kEps) noexcept {
+  const double d = a - b;
+  return (d < 0 ? -d : d) <= tol;
+}
+
+}  // namespace mcds::geom

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+#include "geom/tolerance.hpp"
+
+/// \file vec2.hpp
+/// Plain 2-D point/vector type used throughout the library.
+
+namespace mcds::geom {
+
+/// A 2-D point (equivalently, vector). Value-semantic aggregate.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) noexcept : x(px), y(py) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept {
+    return x * o.x + y * o.y;
+  }
+
+  /// 2-D cross product (z-component of the 3-D cross product).
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept {
+    return x * o.y - y * o.x;
+  }
+
+  /// Squared Euclidean norm.
+  [[nodiscard]] constexpr double norm2() const noexcept { return dot(*this); }
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction. Precondition: norm() > 0.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return {x / n, y / n};
+  }
+
+  /// Counter-clockwise rotation by \p radians.
+  [[nodiscard]] Vec2 rotated(double radians) const noexcept {
+    const double c = std::cos(radians), s = std::sin(radians);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// Perpendicular vector (counter-clockwise quarter turn).
+  [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+
+  /// Angle of this vector in (-pi, pi].
+  [[nodiscard]] double angle() const noexcept { return std::atan2(y, x); }
+};
+
+inline constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+/// Squared distance between two points.
+[[nodiscard]] constexpr double dist2(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm2();
+}
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double dist(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+/// Linear interpolation: a at t=0, b at t=1.
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Midpoint of the segment [a, b].
+[[nodiscard]] constexpr Vec2 midpoint(Vec2 a, Vec2 b) noexcept {
+  return lerp(a, b, 0.5);
+}
+
+/// Componentwise approximate equality.
+[[nodiscard]] inline bool almost_equal(Vec2 a, Vec2 b,
+                                       double tol = kEps) noexcept {
+  return almost_equal(a.x, b.x, tol) && almost_equal(a.y, b.y, tol);
+}
+
+/// Point built from polar coordinates around a center.
+[[nodiscard]] inline Vec2 from_polar(Vec2 center, double radius,
+                                     double radians) noexcept {
+  return {center.x + radius * std::cos(radians),
+          center.y + radius * std::sin(radians)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace mcds::geom

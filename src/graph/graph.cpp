@@ -1,0 +1,65 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mcds::graph {
+
+Graph::Graph(std::size_t n, std::span<const std::pair<NodeId, NodeId>> edges)
+    : adj_(n) {
+  for (const auto& [u, v] : edges) add_edge(u, v);
+  finalize();
+}
+
+void Graph::check_node(NodeId u) const {
+  if (u >= adj_.size()) {
+    throw std::invalid_argument("Graph: node " + std::to_string(u) +
+                                " out of range (n=" +
+                                std::to_string(adj_.size()) + ")");
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("Graph: self-loops not allowed");
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  num_edges_ = 0;
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    num_edges_ += list.size();
+  }
+  num_edges_ /= 2;
+  finalized_ = true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  if (!finalized_) {
+    throw std::logic_error("Graph::has_edge requires a finalized graph");
+  }
+  const auto& list = adj_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (const NodeId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcds::graph

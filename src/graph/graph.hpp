@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file graph.hpp
+/// Simple undirected graph with adjacency lists. This is the communication
+/// topology G = (V, E) on which every CDS algorithm in the library runs.
+
+namespace mcds::graph {
+
+/// Node identifier: dense 0-based index.
+using NodeId = std::uint32_t;
+
+/// An undirected simple graph over nodes 0..n-1.
+///
+/// Edges are stored in per-node adjacency lists. Call finalize() (or use
+/// the edge-list constructor) before running queries that require sorted
+/// adjacency (has_edge); the algorithms in this library all operate on
+/// finalized graphs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph with \p n nodes.
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  /// Creates a graph from an explicit edge list.
+  Graph(std::size_t n, std::span<const std::pair<NodeId, NodeId>> edges);
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adj_.size(); }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Throws std::invalid_argument for
+  /// out-of-range endpoints or self-loops. Duplicate edges are detected at
+  /// finalize() time and removed (counted once).
+  void add_edge(NodeId u, NodeId v);
+
+  /// Sorts adjacency lists and removes duplicate edges. Idempotent.
+  void finalize();
+
+  /// Neighbors of \p u in increasing order (after finalize()).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return adj_.at(u);
+  }
+
+  /// Degree of \p u.
+  [[nodiscard]] std::size_t degree(NodeId u) const { return adj_.at(u).size(); }
+
+  /// True if the edge {u, v} exists. O(log deg) after finalize().
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// True if finalize() has been called since the last mutation.
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// All edges as (u, v) with u < v, lexicographic order.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+  bool finalized_ = true;  // an edgeless graph is trivially finalized
+};
+
+}  // namespace mcds::graph

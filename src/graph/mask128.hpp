@@ -1,0 +1,91 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+/// \file mask128.hpp
+/// A 128-bit vertex-subset mask, enabling the exact solvers to handle
+/// graphs with up to 128 nodes. Supports exactly the operations the
+/// branch-and-bound code uses on std::uint64_t masks: bitwise logic,
+/// shifts, subtraction (for the x & (x-1) lowest-bit-clear idiom),
+/// popcount and lowest-bit queries.
+
+namespace mcds::graph {
+
+/// 128-bit unsigned mask (lo = bits 0..63, hi = bits 64..127).
+struct Mask128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  constexpr Mask128() = default;
+  /// Implicit from uint64 so `Mask128 m = 1` and comparisons with
+  /// integer literals mirror the built-in mask type.
+  constexpr Mask128(std::uint64_t value) noexcept : lo(value) {}  // NOLINT
+  constexpr Mask128(std::uint64_t low, std::uint64_t high) noexcept
+      : lo(low), hi(high) {}
+
+  constexpr bool operator==(const Mask128&) const = default;
+
+  constexpr Mask128 operator&(Mask128 o) const noexcept {
+    return {lo & o.lo, hi & o.hi};
+  }
+  constexpr Mask128 operator|(Mask128 o) const noexcept {
+    return {lo | o.lo, hi | o.hi};
+  }
+  constexpr Mask128 operator^(Mask128 o) const noexcept {
+    return {lo ^ o.lo, hi ^ o.hi};
+  }
+  constexpr Mask128 operator~() const noexcept { return {~lo, ~hi}; }
+
+  constexpr Mask128& operator&=(Mask128 o) noexcept {
+    lo &= o.lo;
+    hi &= o.hi;
+    return *this;
+  }
+  constexpr Mask128& operator|=(Mask128 o) noexcept {
+    lo |= o.lo;
+    hi |= o.hi;
+    return *this;
+  }
+  constexpr Mask128& operator^=(Mask128 o) noexcept {
+    lo ^= o.lo;
+    hi ^= o.hi;
+    return *this;
+  }
+
+  constexpr Mask128 operator<<(unsigned k) const noexcept {
+    if (k == 0) return *this;
+    if (k >= 128) return {};
+    if (k >= 64) return {0, lo << (k - 64)};
+    return {lo << k, (hi << k) | (lo >> (64 - k))};
+  }
+
+  constexpr Mask128 operator>>(unsigned k) const noexcept {
+    if (k == 0) return *this;
+    if (k >= 128) return {};
+    if (k >= 64) return {hi >> (k - 64), 0};
+    return {(lo >> k) | (hi << (64 - k)), hi >> k};
+  }
+
+  /// Subtraction with borrow — used only as `m - 1` in the
+  /// clear-lowest-set-bit idiom, but implemented generally.
+  constexpr Mask128 operator-(Mask128 o) const noexcept {
+    const std::uint64_t new_lo = lo - o.lo;
+    const std::uint64_t borrow = lo < o.lo ? 1 : 0;
+    return {new_lo, hi - o.hi - borrow};
+  }
+};
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(Mask128 m) noexcept {
+  return std::popcount(m.lo) + std::popcount(m.hi);
+}
+
+/// Index of the lowest set bit. Precondition: m != 0.
+[[nodiscard]] constexpr std::uint32_t lowest_bit(Mask128 m) noexcept {
+  return m.lo != 0
+             ? static_cast<std::uint32_t>(std::countr_zero(m.lo))
+             : static_cast<std::uint32_t>(64 + std::countr_zero(m.hi));
+}
+
+}  // namespace mcds::graph

@@ -1,0 +1,28 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/traversal.hpp"
+
+namespace mcds::graph {
+
+GraphMetrics compute_metrics(const Graph& g) {
+  GraphMetrics m;
+  m.nodes = g.num_nodes();
+  m.edges = g.num_edges();
+  if (m.nodes == 0) return m;
+  m.min_degree = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (NodeId u = 0; u < m.nodes; ++u) {
+    const std::size_t d = g.degree(u);
+    m.min_degree = std::min(m.min_degree, d);
+    m.max_degree = std::max(m.max_degree, d);
+    total += d;
+  }
+  m.avg_degree = static_cast<double>(total) / static_cast<double>(m.nodes);
+  m.components = connected_components(g).second;
+  return m;
+}
+
+}  // namespace mcds::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+/// \file metrics.hpp
+/// Basic topology statistics used by the experiment harness when
+/// characterizing generated UDG workloads.
+
+namespace mcds::graph {
+
+/// Aggregate degree/connectivity statistics of a graph.
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::size_t components = 0;
+};
+
+/// Computes GraphMetrics over \p g.
+[[nodiscard]] GraphMetrics compute_metrics(const Graph& g);
+
+}  // namespace mcds::graph

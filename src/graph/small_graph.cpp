@@ -1,0 +1,8 @@
+#include "graph/small_graph.hpp"
+
+namespace mcds::graph {
+
+template class BasicSmallGraph<Mask>;
+template class BasicSmallGraph<Mask128>;
+
+}  // namespace mcds::graph

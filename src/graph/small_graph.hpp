@@ -1,0 +1,176 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/mask128.hpp"
+
+/// \file small_graph.hpp
+/// Bitset representation of small graphs, used by the exact solvers
+/// (α, γ, γ_c) that validate the paper's bounds on random UDGs. All
+/// vertex subsets are masks: std::uint64_t for up to 64 nodes
+/// (SmallGraph) or Mask128 for up to 128 (SmallGraph128).
+
+namespace mcds::graph {
+
+/// Vertex-subset mask for SmallGraph (the 64-node variant).
+using Mask = std::uint64_t;
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(Mask m) noexcept {
+  return std::popcount(m);
+}
+
+/// Index of the lowest set bit. Precondition: m != 0.
+[[nodiscard]] constexpr NodeId lowest_bit(Mask m) noexcept {
+  return static_cast<NodeId>(std::countr_zero(m));
+}
+
+/// Capacity (in nodes) of a mask type.
+template <class M>
+inline constexpr std::size_t kMaskBits = 0;
+template <>
+inline constexpr std::size_t kMaskBits<Mask> = 64;
+template <>
+inline constexpr std::size_t kMaskBits<Mask128> = 128;
+
+/// Graph over at most kMaskBits<M> nodes with O(1) neighborhood masks.
+template <class M>
+class BasicSmallGraph {
+ public:
+  using mask_type = M;
+
+  /// Builds from a general Graph. Throws std::invalid_argument if the
+  /// graph exceeds the mask capacity.
+  explicit BasicSmallGraph(const Graph& g) : BasicSmallGraph(g.num_nodes()) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (u < v) add_edge(u, v);
+      }
+    }
+  }
+
+  /// Creates an edgeless small graph with \p n nodes.
+  explicit BasicSmallGraph(std::size_t n) : n_(n), adj_(n, M{0}) {
+    if (n > kMaskBits<M>) {
+      throw std::invalid_argument("BasicSmallGraph: too many nodes");
+    }
+  }
+
+  /// Single-vertex mask {v}.
+  [[nodiscard]] static constexpr M bit(NodeId v) noexcept {
+    return M{1} << v;
+  }
+
+  /// Adds the undirected edge {u, v}.
+  void add_edge(NodeId u, NodeId v) {
+    if (u >= n_ || v >= n_) {
+      throw std::invalid_argument("BasicSmallGraph: node out of range");
+    }
+    if (u == v) throw std::invalid_argument("BasicSmallGraph: self-loop");
+    adj_[u] |= bit(v);
+    adj_[v] |= bit(u);
+  }
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+
+  /// Mask of all nodes.
+  [[nodiscard]] M all() const noexcept {
+    return n_ == kMaskBits<M> ? ~M{0} : bit(static_cast<NodeId>(n_)) - M{1};
+  }
+
+  /// Open neighborhood N(u) as a mask.
+  [[nodiscard]] M neighbors(NodeId u) const { return adj_.at(u); }
+
+  /// Closed neighborhood N[u] = N(u) ∪ {u}.
+  [[nodiscard]] M closed_neighbors(NodeId u) const {
+    return adj_.at(u) | bit(u);
+  }
+
+  /// Union of closed neighborhoods over the subset \p s — the set of
+  /// nodes dominated by \p s.
+  [[nodiscard]] M dominated_by(M s) const noexcept {
+    M dom = s & all();
+    M rest = dom;
+    while (!(rest == M{0})) {
+      const NodeId u = static_cast<NodeId>(lowest_bit(rest));
+      rest &= rest - M{1};
+      dom |= adj_[u];
+    }
+    return dom;
+  }
+
+  /// True if subset \p s dominates all nodes.
+  [[nodiscard]] bool is_dominating(M s) const noexcept {
+    return dominated_by(s) == all();
+  }
+
+  /// The component of the induced subgraph G[s] containing \p u
+  /// (u must be in s).
+  [[nodiscard]] M component_of(M s, NodeId u) const noexcept {
+    M comp = bit(u);
+    M frontier = comp;
+    while (!(frontier == M{0})) {
+      M next{0};
+      M f = frontier;
+      while (!(f == M{0})) {
+        const NodeId v = static_cast<NodeId>(lowest_bit(f));
+        f &= f - M{1};
+        next |= adj_[v] & s;
+      }
+      frontier = next & ~comp;
+      comp |= frontier;
+    }
+    return comp;
+  }
+
+  /// True if the subgraph induced by \p s is connected (empty and
+  /// singleton subsets count as connected).
+  [[nodiscard]] bool is_connected(M s) const noexcept {
+    s &= all();
+    if (s == M{0}) return true;
+    return component_of(s, static_cast<NodeId>(lowest_bit(s))) == s;
+  }
+
+  /// Number of connected components of the subgraph induced by \p s.
+  [[nodiscard]] std::size_t count_components(M s) const noexcept {
+    s &= all();
+    std::size_t count = 0;
+    while (!(s == M{0})) {
+      const M comp = component_of(s, static_cast<NodeId>(lowest_bit(s)));
+      s &= ~comp;
+      ++count;
+    }
+    return count;
+  }
+
+  /// True if \p s is an independent set.
+  [[nodiscard]] bool is_independent(M s) const noexcept {
+    M rest = s & all();
+    while (!(rest == M{0})) {
+      const NodeId u = static_cast<NodeId>(lowest_bit(rest));
+      rest &= rest - M{1};
+      if (!((adj_[u] & s) == M{0})) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<M> adj_;
+};
+
+/// The 64-node variant used throughout the library and tests.
+using SmallGraph = BasicSmallGraph<Mask>;
+
+/// The 128-node variant for larger exact validation runs.
+using SmallGraph128 = BasicSmallGraph<Mask128>;
+
+extern template class BasicSmallGraph<Mask>;
+extern template class BasicSmallGraph<Mask128>;
+
+}  // namespace mcds::graph

@@ -1,0 +1,77 @@
+#include "graph/steiner.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::graph {
+
+std::vector<NodeId> shortest_path_augment(
+    const Graph& g, const std::vector<NodeId>& seeds) {
+  if (seeds.empty()) {
+    throw std::invalid_argument("shortest_path_augment: empty seeds");
+  }
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> member(n, false);
+  std::vector<NodeId> members = seeds;
+  for (const NodeId v : seeds) {
+    if (v >= n) {
+      throw std::invalid_argument("shortest_path_augment: bad seed");
+    }
+    member[v] = true;
+  }
+
+  std::vector<NodeId> connectors;
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  while (true) {
+    const auto [labels, q] = subset_components(g, members);
+    if (q <= 1) break;
+    std::vector<std::uint32_t> comp(n, kUnset);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      comp[members[i]] = labels[i];
+    }
+
+    // Multi-source BFS from component 0 until another component is hit.
+    std::vector<NodeId> parent(n, kNoNode);
+    std::vector<bool> visited(n, false);
+    std::queue<NodeId> queue;
+    for (const NodeId v : members) {
+      if (comp[v] == 0) {
+        visited[v] = true;
+        queue.push(v);
+      }
+    }
+    NodeId hit = kNoNode;
+    while (!queue.empty() && hit == kNoNode) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const NodeId v : g.neighbors(u)) {
+        if (visited[v]) continue;
+        visited[v] = true;
+        parent[v] = u;
+        if (comp[v] != kUnset && comp[v] != 0) {
+          hit = v;
+          break;
+        }
+        queue.push(v);
+      }
+    }
+    if (hit == kNoNode) {
+      throw std::invalid_argument(
+          "shortest_path_augment: graph is disconnected");
+    }
+    // Add the interior nodes of the found path as connectors.
+    for (NodeId v = parent[hit]; v != kNoNode && !member[v];
+         v = parent[v]) {
+      member[v] = true;
+      members.push_back(v);
+      connectors.push_back(v);
+    }
+  }
+  return connectors;
+}
+
+}  // namespace mcds::graph

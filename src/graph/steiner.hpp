@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file steiner.hpp
+/// Shortest-path Steiner augmentation: the graph-generic primitive
+/// behind several connector phases — given seed nodes, add interior
+/// nodes of shortest paths until the seeds induce one component.
+
+namespace mcds::graph {
+
+/// Returns nodes (disjoint from \p seeds) whose addition makes
+/// G[seeds ∪ result] connected, by repeatedly joining the first seed's
+/// component to the nearest other component along a BFS shortest path.
+/// Preconditions: g connected and seeds non-empty; throws
+/// std::invalid_argument otherwise (including when unreachable
+/// components reveal a disconnected graph).
+[[nodiscard]] std::vector<NodeId> shortest_path_augment(
+    const Graph& g, const std::vector<NodeId>& seeds);
+
+}  // namespace mcds::graph

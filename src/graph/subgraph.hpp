@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file subgraph.hpp
+/// Induced subgraphs and subset connectivity. The CDS predicate needs
+/// "G[U] is connected" for node subsets U; these helpers avoid building
+/// the induced graph when only connectivity is required.
+
+namespace mcds::graph {
+
+/// The subgraph induced by \p nodes, plus the mapping from new ids back
+/// to the original node ids (new id i corresponds to original
+/// mapping[i]). Duplicate entries in \p nodes are an error.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> mapping;
+};
+
+/// Builds the induced subgraph G[nodes].
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g,
+                                               std::span<const NodeId> nodes);
+
+/// True if the subgraph of \p g induced by \p subset is connected.
+/// Empty and singleton subsets count as connected.
+[[nodiscard]] bool is_connected_subset(const Graph& g,
+                                       std::span<const NodeId> subset);
+
+/// Number of connected components of G[subset] (0 for the empty subset).
+[[nodiscard]] std::size_t count_components_subset(
+    const Graph& g, std::span<const NodeId> subset);
+
+/// Component label (within the subset) of every node of \p subset, in
+/// subset order, plus the number of components.
+[[nodiscard]] std::pair<std::vector<std::uint32_t>, std::size_t>
+subset_components(const Graph& g, std::span<const NodeId> subset);
+
+}  // namespace mcds::graph

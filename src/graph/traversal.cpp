@@ -1,0 +1,99 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mcds::graph {
+
+BfsResult bfs(const Graph& g, NodeId root) {
+  if (root >= g.num_nodes()) {
+    throw std::invalid_argument("bfs: root out of range");
+  }
+  BfsResult r;
+  r.root = root;
+  r.parent.assign(g.num_nodes(), kNoNode);
+  r.level.assign(g.num_nodes(), kNoNode);
+  r.order.reserve(g.num_nodes());
+
+  std::queue<NodeId> q;
+  q.push(root);
+  r.level[root] = 0;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    r.order.push_back(u);
+    for (const NodeId v : g.neighbors(u)) {
+      if (r.level[v] == kNoNode) {
+        r.level[v] = r.level[u] + 1;
+        r.parent[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  return r;
+}
+
+std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
+    const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> label(n, std::numeric_limits<std::uint32_t>::max());
+  std::size_t count = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != std::numeric_limits<std::uint32_t>::max()) continue;
+    const auto lbl = static_cast<std::uint32_t>(count++);
+    stack.push_back(s);
+    label[s] = lbl;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId v : g.neighbors(u)) {
+        if (label[v] == std::numeric_limits<std::uint32_t>::max()) {
+          label[v] = lbl;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return {std::move(label), count};
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return bfs(g, 0).reached() == g.num_nodes();
+}
+
+std::vector<NodeId> hop_distances(const Graph& g, NodeId source) {
+  return bfs(g, source).level;
+}
+
+std::size_t diameter_hops(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n <= 1) return 0;
+  std::size_t best = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    const auto lv = hop_distances(g, s);
+    for (const NodeId d : lv) {
+      if (d == kNoNode) {
+        throw std::invalid_argument("diameter_hops: graph is disconnected");
+      }
+      best = std::max<std::size_t>(best, d);
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId s, NodeId t) {
+  const BfsResult r = bfs(g, s);
+  if (t >= g.num_nodes()) {
+    throw std::invalid_argument("shortest_path: target out of range");
+  }
+  if (r.level[t] == kNoNode) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != kNoNode; v = r.parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace mcds::graph

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file traversal.hpp
+/// BFS/DFS, connectivity and spanning-tree queries. The WAF algorithm's
+/// phase 1 consumes the BFS order and BFS tree produced here.
+
+namespace mcds::graph {
+
+/// Marker for "not reached" in parent/level arrays.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Result of a breadth-first search from a root.
+struct BfsResult {
+  NodeId root = 0;
+  /// Nodes in visit order (root first). Unreachable nodes are absent.
+  std::vector<NodeId> order;
+  /// parent[v] — BFS-tree parent; kNoNode for the root and unreachables.
+  std::vector<NodeId> parent;
+  /// level[v] — hop distance from the root; kNoNode if unreachable.
+  std::vector<NodeId> level;
+
+  /// Number of nodes reached (== order.size()).
+  [[nodiscard]] std::size_t reached() const noexcept { return order.size(); }
+};
+
+/// Breadth-first search from \p root; neighbors are visited in increasing
+/// id order, making the visit order deterministic.
+[[nodiscard]] BfsResult bfs(const Graph& g, NodeId root);
+
+/// Connected-component labels, 0-based, in order of smallest contained
+/// node. Returns the label vector and the number of components.
+[[nodiscard]] std::pair<std::vector<std::uint32_t>, std::size_t>
+connected_components(const Graph& g);
+
+/// True if the whole graph is connected (the empty graph counts as
+/// connected, a single node too).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Hop distances from \p source to every node (kNoNode if unreachable).
+[[nodiscard]] std::vector<NodeId> hop_distances(const Graph& g, NodeId source);
+
+/// Eccentricity-based graph diameter in hops. Exact, O(n*(n+m)).
+/// Returns 0 for graphs with <= 1 node; throws std::invalid_argument if
+/// the graph is disconnected.
+[[nodiscard]] std::size_t diameter_hops(const Graph& g);
+
+/// A shortest path (as a node sequence, inclusive) from \p s to \p t,
+/// or an empty vector if unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_path(const Graph& g, NodeId s,
+                                                NodeId t);
+
+}  // namespace mcds::graph

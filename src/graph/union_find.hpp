@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+/// \file union_find.hpp
+/// Disjoint-set union with path halving and union by size. Used by the
+/// greedy-connector phase (Section IV) to track the components of
+/// G[I ∪ C] incrementally.
+
+namespace mcds::graph {
+
+/// Disjoint-set forest over elements 0..n-1.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), count_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  /// Representative of the set containing \p x (with path halving).
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing \p a and \p b. Returns true if they were
+  /// previously distinct.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --count_;
+    return true;
+  }
+
+  /// True if \p a and \p b are in the same set.
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  /// Size of the set containing \p x.
+  [[nodiscard]] std::size_t set_size(std::uint32_t x) noexcept {
+    return size_[find(x)];
+  }
+
+  /// Number of disjoint sets over the whole universe.
+  [[nodiscard]] std::size_t num_sets() const noexcept { return count_; }
+
+  /// Number of elements in the universe.
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return parent_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t count_;
+};
+
+}  // namespace mcds::graph

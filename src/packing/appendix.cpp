@@ -1,0 +1,108 @@
+#include "packing/appendix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "geom/circle.hpp"
+#include "geom/segment.hpp"
+
+namespace mcds::packing {
+
+namespace {
+
+// Interior angle at vertex `at` between rays toward `toward1`/`toward2`.
+double angle_at(Vec2 at, Vec2 toward1, Vec2 toward2) noexcept {
+  const Vec2 r1 = toward1 - at, r2 = toward2 - at;
+  const double denominator = r1.norm() * r2.norm();
+  if (denominator == 0.0) return 0.0;
+  const double c = std::clamp(r1.dot(r2) / denominator, -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace
+
+double Lemma11Config::angle_sum() const noexcept {
+  // ∠ovp: at v between o and p; ∠upv: at p between u and v.
+  return angle_at(v, o, p) + angle_at(p, u, v);
+}
+
+bool Lemma11Config::hypothesis_holds(double tol) const noexcept {
+  if (std::abs(geom::dist(o, v) - geom::dist(u, p)) > tol) return false;
+  // Convexity of the cyclic order o -> u -> p -> v: all cross products
+  // of consecutive edges share a sign.
+  const Vec2 pts[4] = {o, u, p, v};
+  int sign = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Vec2 e1 = pts[(i + 1) % 4] - pts[i];
+    const Vec2 e2 = pts[(i + 2) % 4] - pts[(i + 1) % 4];
+    const double cr = e1.cross(e2);
+    if (std::abs(cr) <= tol) return false;  // degenerate corner
+    const int s = cr > 0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Lemma11Config::lemma_holds(double slack) const noexcept {
+  const double sum = angle_sum();
+  const double vp = geom::dist(v, p);
+  const double ou = geom::dist(o, u);
+  // Near the boundary (vp == ou, sum == pi) both sides flip together;
+  // skip the numeric dead-band.
+  if (std::abs(vp - ou) <= slack || std::abs(sum - std::numbers::pi) <= slack) {
+    return true;
+  }
+  const bool angles_small = sum < std::numbers::pi;
+  const bool vp_large = vp > ou;
+  return angles_small == vp_large;
+}
+
+double Lemma12Config::diameter() const noexcept {
+  return std::max({geom::dist(v1, v2), geom::dist(v1, p),
+                   geom::dist(v2, p)});
+}
+
+std::optional<Lemma12Config> build_lemma12(double d, double theta) {
+  if (!(d > 0.0) || d > 1.0) return std::nullopt;
+  Lemma12Config cfg;
+  cfg.o = {0.0, 0.0};
+  cfg.u = {d, 0.0};
+  const auto oa = geom::intersect(geom::unit_disk(cfg.o),
+                                  geom::unit_disk(cfg.u));
+  if (oa.size() != 2) return std::nullopt;
+  cfg.a = oa[0].y > 0 ? oa[0] : oa[1];  // the upper intersection
+  cfg.p = geom::unit_disk(cfg.u).point_at(theta);
+  if (geom::dist(cfg.a, cfg.p) > 1.0 || geom::dist(cfg.o, cfg.p) < 1.0) {
+    return std::nullopt;
+  }
+
+  const auto pick_same_side = [&](Vec2 line_a, Vec2 line_b,
+                                  const std::vector<Vec2>& candidates)
+      -> std::optional<Vec2> {
+    const int want = geom::side_of_line(line_a, line_b, cfg.a);
+    if (want == 0) return std::nullopt;
+    for (const Vec2 c : candidates) {
+      if (geom::side_of_line(line_a, line_b, c) == want) return c;
+    }
+    return std::nullopt;
+  };
+
+  const auto v1c = geom::intersect(geom::unit_disk(cfg.p),
+                                   geom::unit_disk(cfg.o));
+  const auto v2c = geom::intersect(geom::unit_disk(cfg.p),
+                                   geom::unit_disk(cfg.u));
+  if (v1c.size() != 2 || v2c.size() != 2) return std::nullopt;
+  const auto v1 = pick_same_side(cfg.o, cfg.p, v1c);
+  const auto v2 = pick_same_side(cfg.u, cfg.p, v2c);
+  if (!v1 || !v2) return std::nullopt;
+  cfg.v1 = *v1;
+  cfg.v2 = *v2;
+  return cfg;
+}
+
+}  // namespace mcds::packing

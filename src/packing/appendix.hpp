@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.hpp"
+
+/// \file appendix.hpp
+/// Numeric formulations of the appendix geometry (Lemmas 11 and 12),
+/// which underpin the proofs of Lemma 1 and Lemma 2. The paper omits
+/// their proofs for space; here each is expressed as a checkable
+/// predicate so the test suite and the appendix bench can probe them
+/// exhaustively at machine precision.
+
+namespace mcds::packing {
+
+using geom::Vec2;
+
+/// Lemma 11 configuration: a convex quadrilateral o-u-p-v (in this
+/// cyclic order) with |ov| = |up|.
+struct Lemma11Config {
+  Vec2 o, u, p, v;
+
+  /// ∠ovp + ∠upv in radians.
+  [[nodiscard]] double angle_sum() const noexcept;
+
+  /// True if o,u,p,v really form a convex quadrilateral with |ov|=|up|
+  /// (within tolerance) — the lemma's hypothesis.
+  [[nodiscard]] bool hypothesis_holds(double tol = 1e-9) const noexcept;
+
+  /// The lemma's equivalence: ∠ovp + ∠upv <= 180° iff |vp| >= |ou|.
+  /// Returns true when the two sides of the iff agree (allowing a
+  /// numeric dead-band of width \p slack around the boundary case).
+  [[nodiscard]] bool lemma_holds(double slack = 1e-7) const noexcept;
+};
+
+/// Lemma 12 configuration (the triple at its core): 0 < |ou| <= 1,
+/// a ∈ ∂D_o ∩ ∂D_u (upper), p ∈ ∂D_u with |ap| <= 1 <= |op|,
+/// v1 ∈ ∂D_p ∩ ∂D_o on the same side of the line o-p as a,
+/// v2 ∈ ∂D_p ∩ ∂D_u on the same side of the line u-p as a.
+/// Claim: diam({v1, v2, p}) = 1 (so the three arc-triangle corners are
+/// mutually within unit distance, which the Lemma 1 proof composes).
+struct Lemma12Config {
+  Vec2 o, u, a, p, v1, v2;
+
+  /// Largest pairwise distance among {v1, v2, p}.
+  [[nodiscard]] double diameter() const noexcept;
+};
+
+/// Builds the Lemma 12 configuration for center distance \p d = |ou|
+/// in (0, 1] and the angle \p theta of p on ∂D_u. Returns std::nullopt
+/// when the hypotheses (|ap| <= 1 <= |op|, intersections exist on the
+/// required sides) are not satisfiable for these parameters.
+[[nodiscard]] std::optional<Lemma12Config> build_lemma12(double d,
+                                                         double theta);
+
+}  // namespace mcds::packing

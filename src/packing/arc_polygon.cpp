@@ -1,0 +1,116 @@
+#include "packing/arc_polygon.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/hull.hpp"
+
+namespace mcds::packing {
+
+namespace {
+
+// Normalizes an angle difference into [0, 2*pi).
+double ccw_span(double from, double to) noexcept {
+  double span = to - from;
+  while (span < 0) span += 2.0 * std::numbers::pi;
+  while (span >= 2.0 * std::numbers::pi) span -= 2.0 * std::numbers::pi;
+  return span;
+}
+
+// The minor-arc sweep between two points on the unit circle around
+// `center`, returned as (start angle, signed span) with |span| <= pi.
+std::pair<double, double> minor_arc(Vec2 center, Vec2 from, Vec2 to) {
+  const double a0 = (from - center).angle();
+  const double a1 = (to - center).angle();
+  const double ccw = ccw_span(a0, a1);
+  if (ccw <= std::numbers::pi) return {a0, ccw};
+  return {a0, ccw - 2.0 * std::numbers::pi};  // go clockwise instead
+}
+
+}  // namespace
+
+ArcPolygon::ArcPolygon(Vec2 start, std::vector<BoundaryPiece> pieces)
+    : start_(start), pieces_(std::move(pieces)) {
+  if (pieces_.empty()) {
+    throw std::invalid_argument("ArcPolygon: need at least one piece");
+  }
+  vertices_.reserve(pieces_.size());
+  for (const auto& p : pieces_) vertices_.push_back(p.to);
+}
+
+bool ArcPolygon::well_formed(double tol) const {
+  if (!geom::almost_equal(pieces_.back().to, start_, tol)) return false;
+  Vec2 cur = start_;
+  for (const auto& p : pieces_) {
+    if (p.is_arc) {
+      // Both endpoints on the unit circle around the arc center.
+      if (std::abs(geom::dist(cur, p.arc_center) - 1.0) > tol) return false;
+      if (std::abs(geom::dist(p.to, p.arc_center) - 1.0) > tol) return false;
+    }
+    cur = p.to;
+  }
+  return true;
+}
+
+std::vector<Vec2> ArcPolygon::sample_boundary(double step) const {
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("sample_boundary: step must be positive");
+  }
+  std::vector<Vec2> out;
+  Vec2 cur = start_;
+  for (const auto& p : pieces_) {
+    out.push_back(cur);
+    if (p.is_arc) {
+      const auto [a0, span] = minor_arc(p.arc_center, cur, p.to);
+      const auto samples = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::ceil(std::abs(span) / step)));
+      for (std::size_t i = 1; i < samples; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(samples);
+        out.push_back(geom::from_polar(p.arc_center, 1.0, a0 + span * t));
+      }
+    } else {
+      const double len = geom::dist(cur, p.to);
+      const auto samples = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::ceil(len / step)));
+      for (std::size_t i = 1; i < samples; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(samples);
+        out.push_back(geom::lerp(cur, p.to, t));
+      }
+    }
+    cur = p.to;
+  }
+  return out;
+}
+
+double ArcPolygon::boundary_diameter(double step) const {
+  return geom::diameter(sample_boundary(step));
+}
+
+double ArcPolygon::vertex_diameter() const {
+  return geom::diameter(vertices_);
+}
+
+ArcPolygon make_arc_triangle(Vec2 a, Vec2 b, Vec2 c, Vec2 center_ab,
+                             Vec2 center_bc, Vec2 center_ca) {
+  const auto check = [](Vec2 v, Vec2 center, const char* what) {
+    if (std::abs(geom::dist(v, center) - 1.0) > 1e-7) {
+      throw std::invalid_argument(
+          std::string("make_arc_triangle: vertex not on unit circle of ") +
+          what);
+    }
+  };
+  check(a, center_ab, "ab");
+  check(b, center_ab, "ab");
+  check(b, center_bc, "bc");
+  check(c, center_bc, "bc");
+  check(c, center_ca, "ca");
+  check(a, center_ca, "ca");
+  std::vector<BoundaryPiece> pieces;
+  pieces.push_back({b, true, center_ab});
+  pieces.push_back({c, true, center_bc});
+  pieces.push_back({a, true, center_ca});
+  return ArcPolygon(a, std::move(pieces));
+}
+
+}  // namespace mcds::packing

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file arc_polygon.hpp
+/// Arc-polygons (appendix, first paragraph): bounded regions whose
+/// boundary consists of minor unit-arcs and line segments. The appendix
+/// reduces diameter claims about such regions to their vertex sets:
+/// "the diameter of an arc-polygon is at most one iff the diameter of
+/// its vertex set is at most one". This module represents arc-polygon
+/// boundaries and probes that reduction numerically (the arc triangles
+/// of Figures 5-9 are instances).
+
+namespace mcds::packing {
+
+using geom::Vec2;
+
+/// One boundary piece: either a straight segment to the next vertex or
+/// a minor unit-arc (radius 1, central angle <= 180°) bulging toward
+/// `arc_center`'s far side.
+struct BoundaryPiece {
+  /// Endpoint of the piece (the next vertex of the arc-polygon).
+  Vec2 to;
+  /// If true, the piece is a minor unit-arc with the given center;
+  /// otherwise it is the straight segment.
+  bool is_arc = false;
+  Vec2 arc_center;
+};
+
+/// An arc-polygon given by a starting vertex and boundary pieces that
+/// return to it. Vertices are the piece endpoints.
+class ArcPolygon {
+ public:
+  /// \p start plus \p pieces; the final piece must end at \p start
+  /// (within tolerance) — validated lazily by is_closed().
+  ArcPolygon(Vec2 start, std::vector<BoundaryPiece> pieces);
+
+  /// The vertex set (piece endpoints; size == number of pieces).
+  [[nodiscard]] const std::vector<Vec2>& vertices() const noexcept {
+    return vertices_;
+  }
+
+  /// True if the boundary returns to the start and every arc piece is a
+  /// *minor* arc of a unit circle through both of its endpoints.
+  [[nodiscard]] bool well_formed(double tol = 1e-9) const;
+
+  /// Densely sampled boundary points (arcs sampled at ~`step` arc
+  /// length; segments at their endpoints plus interior samples).
+  [[nodiscard]] std::vector<Vec2> sample_boundary(double step = 0.01) const;
+
+  /// Diameter of the sampled boundary (the region's diameter: for a
+  /// closed bounded region the diameter is attained on the boundary).
+  [[nodiscard]] double boundary_diameter(double step = 0.01) const;
+
+  /// Diameter of the vertex set alone.
+  [[nodiscard]] double vertex_diameter() const;
+
+ private:
+  Vec2 start_;
+  std::vector<BoundaryPiece> pieces_;
+  std::vector<Vec2> vertices_;
+};
+
+/// The arc triangle used throughout the paper's appendix: the region
+/// bounded by three minor unit-arcs with the given centers, joining the
+/// three pairwise circle-intersection vertices \p a, \p b, \p c, where
+/// the arc from a to b lies on the circle centered at \p c_ab, etc.
+/// Returns a well-formed ArcPolygon. Throws std::invalid_argument if a
+/// vertex is not at distance 1 from its two arc centers.
+[[nodiscard]] ArcPolygon make_arc_triangle(Vec2 a, Vec2 b, Vec2 c,
+                                           Vec2 center_ab, Vec2 center_bc,
+                                           Vec2 center_ca);
+
+}  // namespace mcds::packing

@@ -1,0 +1,88 @@
+#include "packing/fig1.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/closest.hpp"
+
+namespace mcds::packing {
+
+using geom::Vec2;
+
+namespace {
+
+void check_eps(double eps) {
+  if (!(eps > 0.0) || eps >= 0.05) {
+    throw std::invalid_argument("fig1: eps must lie in (0, 0.05)");
+  }
+}
+
+// The four boundary points of an end disk centered at `c`, opening
+// toward +x (`dir` = +1) or -x (`dir` = -1): the paper's p1, q1, q2, p2.
+// p1 sits just past the vertical diameter (angle 90° + delta with
+// delta ≈ eps²/4, the margin that keeps it > 1 from the w-point of the
+// neighboring disk), and the four points are evenly spread over the
+// major arc, so consecutive central angles exceed 60°.
+std::vector<Vec2> end_arc_points(Vec2 c, int dir, double eps) {
+  const double delta = eps * eps / 4.0;
+  const double a1 = std::numbers::pi / 2.0 + delta;
+  const std::vector<double> angles{a1, a1 / 3.0, -a1 / 3.0, -a1};
+  std::vector<Vec2> out;
+  out.reserve(angles.size());
+  for (const double a : angles) {
+    out.push_back({c.x + dir * std::cos(a), c.y + std::sin(a)});
+  }
+  return out;
+}
+
+// The central cluster of Figure 1: v1, w1, v2, w2 around the origin o.
+std::vector<Vec2> center_cluster(double eps) {
+  return {{0.5, eps}, {0.0, 1.0 - eps}, {-0.5, -eps}, {0.0, -1.0 + eps}};
+}
+
+}  // namespace
+
+TightInstance fig1_two_star(double eps) {
+  check_eps(eps);
+  TightInstance inst;
+  inst.centers = {{0.0, 0.0}, {1.0, 0.0}};
+  inst.independent = center_cluster(eps);
+  for (const Vec2 p : end_arc_points({1.0, 0.0}, +1, eps)) {
+    inst.independent.push_back(p);
+  }
+  return inst;
+}
+
+TightInstance fig1_three_star(double eps) {
+  check_eps(eps);
+  TightInstance inst;
+  inst.centers = {{0.0, 0.0}, {1.0, 0.0}, {-1.0, 0.0}};
+  inst.independent = center_cluster(eps);
+  for (const Vec2 p : end_arc_points({1.0, 0.0}, +1, eps)) {
+    inst.independent.push_back(p);
+  }
+  for (const Vec2 p : end_arc_points({-1.0, 0.0}, -1, eps)) {
+    inst.independent.push_back(p);
+  }
+  return inst;
+}
+
+bool verify_tight_instance(const TightInstance& inst) {
+  if (!geom::is_independent_point_set(inst.independent, 1.0)) return false;
+  for (const Vec2 p : inst.independent) {
+    bool covered = false;
+    for (const Vec2 c : inst.centers) {
+      // Closed-disk membership with a tolerance for points constructed
+      // exactly on a boundary circle.
+      if (geom::dist2(p, c) <= 1.0 + 1e-12) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace mcds::packing

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file fig1.hpp
+/// Explicit constructions of the paper's Figure 1: tight independent
+/// packings in the neighborhood of a 2-star (8 points = φ_2) and of a
+/// 3-star (12 points = φ_3), parameterized by the small ε of the paper.
+
+namespace mcds::packing {
+
+/// A tight-instance witness: a planar set (`centers`) plus an
+/// independent point set contained in its neighborhood.
+struct TightInstance {
+  std::vector<geom::Vec2> centers;      ///< the star / path nodes
+  std::vector<geom::Vec2> independent;  ///< pairwise distances > 1
+};
+
+/// Figure 1 (2-star): centers {o, u1} with |o u1| = 1; 8 independent
+/// points in D_o ∪ D_{u1}. Requires 0 < eps < 0.05.
+[[nodiscard]] TightInstance fig1_two_star(double eps = 0.02);
+
+/// Figure 1 (3-star): centers {o, u1, u2} with u1 = (1,0), u2 = (-1,0);
+/// 12 independent points in the star's neighborhood. Requires
+/// 0 < eps < 0.05.
+[[nodiscard]] TightInstance fig1_three_star(double eps = 0.02);
+
+/// Validates a TightInstance: `independent` is pairwise > 1 apart and
+/// every point lies within unit distance of some center.
+[[nodiscard]] bool verify_tight_instance(const TightInstance& inst);
+
+}  // namespace mcds::packing

@@ -1,0 +1,52 @@
+#include "packing/fig2.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mcds::packing {
+
+using geom::Vec2;
+
+TightInstance fig2_linear(std::size_t n, double eps) {
+  if (n < 3) throw std::invalid_argument("fig2_linear: n must be >= 3");
+  if (!(eps > 0.0) || eps >= 0.04) {
+    throw std::invalid_argument("fig2_linear: eps must lie in (0, 0.04)");
+  }
+  TightInstance inst;
+  for (std::size_t k = 0; k < n; ++k) {
+    inst.centers.push_back({static_cast<double>(k), 0.0});
+  }
+  auto& pts = inst.independent;
+
+  // End caps: 4 boundary points each; the top/bottom ones sit at angle
+  // 90° + delta past the vertical diameter (delta ≈ eps²/4 keeps them
+  // > 1 away from the neighboring interior top/bottom points), and the
+  // other two at ±(90° + delta)/3, giving all consecutive pairs a
+  // central angle of (90° + delta)·2/3 > 60°.
+  const double delta = eps * eps / 4.0;
+  const double a1 = std::numbers::pi / 2.0 + delta;
+  const double xr = static_cast<double>(n - 1);
+  for (const double a : {a1, a1 / 3.0, -a1 / 3.0, -a1}) {
+    pts.push_back({0.0 - std::cos(a), std::sin(a)});  // left cap (dir -x)
+    pts.push_back({xr + std::cos(a), std::sin(a)});   // right cap (dir +x)
+  }
+
+  // Interior nodes: top and bottom points with alternating heights.
+  for (std::size_t k = 1; k + 1 < n; ++k) {
+    const double a_k = (k % 2 == 1) ? eps : 2.0 * eps;
+    const double x = static_cast<double>(k);
+    pts.push_back({x, 1.0 - a_k});
+    pts.push_back({x, -(1.0 - a_k)});
+  }
+
+  // Edge midpoints: near-axis points with alternating sign.
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    const double sign = (j % 2 == 0) ? 1.0 : -1.0;
+    pts.push_back({static_cast<double>(j) + 0.5, sign * eps});
+  }
+
+  return inst;
+}
+
+}  // namespace mcds::packing

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+#include "packing/fig1.hpp"
+
+/// \file fig2.hpp
+/// Explicit construction of the paper's Figure 2: the neighborhood of
+/// n >= 3 collinear points with consecutive distance one contains
+/// 3(n+1) independent points. The construction generalizes Figure 1:
+///
+///  * each end disk carries 4 boundary points (top/bottom just past the
+///    vertical diameter, plus two at ±(30°+δ/3), evenly spread so all
+///    consecutive central angles exceed 60°);
+///  * each interior node k carries a top point (k, 1-a_k) and a bottom
+///    point (k, -(1-a_k)) with alternating heights a_k ∈ {ε, 2ε}, so
+///    horizontally-adjacent points are sqrt(1 + ε²) > 1 apart;
+///  * each edge midpoint carries a near-axis point (k+1/2, ±ε) with
+///    alternating signs.
+///
+/// Total: 8 + 2(n-2) + (n-1) = 3n + 3 = 3(n+1).
+
+namespace mcds::packing {
+
+/// Builds the Figure 2 instance for \p n collinear unit-spaced nodes.
+/// Requires n >= 3 and 0 < eps < 0.04. The returned witness has exactly
+/// 3(n+1) independent points.
+[[nodiscard]] TightInstance fig2_linear(std::size_t n, double eps = 0.02);
+
+}  // namespace mcds::packing

@@ -1,0 +1,111 @@
+#include "packing/packer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/rng.hpp"
+
+namespace mcds::packing {
+
+using geom::Vec2;
+
+namespace {
+
+// Occupancy grid with cell size 1 for O(1) conflict checks between
+// chosen points (pairwise distance must exceed 1).
+class ConflictGrid {
+ public:
+  explicit ConflictGrid(bool allow_touching)
+      // With touching allowed, only distances strictly below 1 conflict;
+      // the small epsilon absorbs floating-point noise in lattice grids.
+      : limit2_(allow_touching ? 1.0 - 1e-9 : 1.0) {}
+
+  [[nodiscard]] bool conflicts(Vec2 p) const {
+    const long cx = static_cast<long>(std::floor(p.x));
+    const long cy = static_cast<long>(std::floor(p.y));
+    for (long dy = -1; dy <= 1; ++dy) {
+      for (long dx = -1; dx <= 1; ++dx) {
+        const auto it = cells_.find(key(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (const Vec2 q : it->second) {
+          if (geom::dist2(p, q) <= limit2_) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void insert(Vec2 p) {
+    cells_[key(static_cast<long>(std::floor(p.x)),
+               static_cast<long>(std::floor(p.y)))]
+        .push_back(p);
+  }
+
+ private:
+  static std::uint64_t key(long cx, long cy) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx))
+            << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  double limit2_;
+  std::unordered_map<std::uint64_t, std::vector<Vec2>> cells_;
+};
+
+// Greedy insertion over `candidates` starting from `kept`.
+std::vector<Vec2> greedy_fill(const std::vector<Vec2>& candidates,
+                              std::vector<Vec2> kept, bool allow_touching,
+                              std::size_t& evaluations) {
+  ConflictGrid grid(allow_touching);
+  for (const Vec2 p : kept) grid.insert(p);
+  for (const Vec2 p : candidates) {
+    ++evaluations;
+    if (!grid.conflicts(p)) {
+      grid.insert(p);
+      kept.push_back(p);
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+PackingResult pack_independent_points(const geom::DiskUnion& region,
+                                      const PackOptions& options) {
+  if (!(options.grid_step > 0.0)) {
+    throw std::invalid_argument("pack: grid_step must be positive");
+  }
+  if (options.ruin_fraction < 0.0 || options.ruin_fraction > 1.0) {
+    throw std::invalid_argument("pack: ruin_fraction must be in [0, 1]");
+  }
+  std::vector<Vec2> candidates = region.grid_points_inside(options.grid_step);
+  sim::Rng rng(options.seed);
+  PackingResult result;
+
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    rng.shuffle(candidates);
+    std::vector<Vec2> cur = greedy_fill(candidates, {},
+                                        options.allow_touching,
+                                        result.evaluations);
+
+    for (std::size_t round = 0; round < options.ruin_rounds; ++round) {
+      // Ruin: drop a random fraction, keep the rest.
+      std::vector<Vec2> kept = cur;
+      rng.shuffle(kept);
+      const auto drop = static_cast<std::size_t>(
+          options.ruin_fraction * static_cast<double>(kept.size()));
+      kept.resize(kept.size() - std::min(drop, kept.size()));
+      // Recreate with a fresh candidate order.
+      rng.shuffle(candidates);
+      std::vector<Vec2> next =
+          greedy_fill(candidates, std::move(kept), options.allow_touching,
+                      result.evaluations);
+      if (next.size() >= cur.size()) cur = std::move(next);
+    }
+    if (cur.size() > result.points.size()) result.points = std::move(cur);
+  }
+  return result;
+}
+
+}  // namespace mcds::packing

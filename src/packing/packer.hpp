@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/disk_union.hpp"
+#include "geom/vec2.hpp"
+
+/// \file packer.hpp
+/// Stochastic maximizer for independent-point packing: how many points
+/// with pairwise distance > 1 fit inside a given neighborhood region?
+/// Used to probe the tightness of Theorem 3 (φ_n), Theorem 6 (11n/3 + 1)
+/// and the Figure 2 construction, independently of the explicit
+/// constructions.
+
+namespace mcds::packing {
+
+/// Options for pack_independent_points.
+struct PackOptions {
+  double grid_step = 0.05;      ///< candidate lattice spacing
+  std::size_t restarts = 30;    ///< independent randomized greedy runs
+  std::size_t ruin_rounds = 60; ///< ruin-and-recreate improvement rounds
+  double ruin_fraction = 0.3;   ///< fraction of points removed per round
+  std::uint64_t seed = 1;       ///< randomness seed (reproducible)
+  /// If false (default), pairwise distances must be strictly > 1 (the
+  /// paper's independence). If true, distance exactly 1 is allowed —
+  /// Wegner's packing regime (pairwise >= 1).
+  bool allow_touching = false;
+};
+
+/// Result of a packing search.
+struct PackingResult {
+  std::vector<geom::Vec2> points;  ///< best independent set found
+  std::size_t evaluations = 0;     ///< candidate insertions attempted
+};
+
+/// Searches for a large set of points inside \p region with pairwise
+/// distances > 1 (randomized greedy over a candidate lattice, improved
+/// by ruin-and-recreate). The result is a lower bound witness on the
+/// region's independence packing number; its independence is guaranteed.
+[[nodiscard]] PackingResult pack_independent_points(
+    const geom::DiskUnion& region, const PackOptions& options = {});
+
+}  // namespace mcds::packing

@@ -1,0 +1,155 @@
+#include "packing/star_decomposition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "udg/builder.hpp"
+
+namespace mcds::packing {
+
+using geom::Vec2;
+using graph::Graph;
+
+namespace {
+
+// Unit-disk adjacency criterion, identical to udg::build_udg's.
+bool within_unit(Vec2 a, Vec2 b) noexcept { return geom::dist2(a, b) <= 1.0; }
+
+struct Decomposer {
+  const Graph& g;
+  std::span<const Vec2> pts;
+
+  // Decomposes the connected subset V (|V| >= 2) and appends the stars.
+  void decompose(std::vector<NodeId> V, std::vector<Star>& out) {
+    if (V.size() < 2) {
+      throw std::logic_error("star_decomposition: internal subset < 2");
+    }
+    if (V.size() == 2) {
+      out.push_back(Star{0, std::move(V)});
+      return;
+    }
+    const NodeId v = V.front();
+    std::vector<NodeId> rest(V.begin() + 1, V.end());
+    const auto [labels, count] = graph::subset_components(g, rest);
+
+    std::vector<std::vector<NodeId>> comps(count);
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      comps[labels[i]].push_back(rest[i]);
+    }
+
+    std::vector<NodeId> singles;
+    const std::size_t first_new_star = out.size();
+    for (auto& comp : comps) {
+      if (comp.size() == 1) {
+        singles.push_back(comp.front());
+      } else {
+        decompose(std::move(comp), out);
+      }
+    }
+
+    if (!singles.empty()) {
+      // Case 1: the singleton components are all adjacent to v; they form
+      // a star centered at v.
+      Star s;
+      s.center_index = 0;
+      s.members.push_back(v);
+      for (const NodeId x : singles) s.members.push_back(x);
+      out.push_back(std::move(s));
+      return;
+    }
+
+    // Case 2: no singleton components. Attach v via a neighbor u.
+    NodeId u = graph::kNoNode;
+    std::vector<bool> in_v(g.num_nodes(), false);
+    for (const NodeId x : V) in_v[x] = true;
+    for (const NodeId x : g.neighbors(v)) {
+      if (in_v[x]) {
+        u = x;
+        break;
+      }
+    }
+    if (u == graph::kNoNode) {
+      throw std::logic_error("star_decomposition: connected subset has "
+                             "isolated pivot");
+    }
+    // Find the star (created in this call's recursion) containing u.
+    std::size_t star_idx = out.size();
+    for (std::size_t i = first_new_star; i < out.size(); ++i) {
+      if (std::find(out[i].members.begin(), out[i].members.end(), u) !=
+          out[i].members.end()) {
+        star_idx = i;
+        break;
+      }
+    }
+    if (star_idx == out.size()) {
+      throw std::logic_error("star_decomposition: neighbor star not found");
+    }
+    Star& s = out[star_idx];
+    const bool fits_u = std::all_of(
+        s.members.begin(), s.members.end(),
+        [&](NodeId m) { return within_unit(pts[m], pts[u]); });
+    if (fits_u) {
+      // S ⊆ D_u: S ∪ {v} is a star centered at u.
+      const auto u_pos = static_cast<std::size_t>(
+          std::find(s.members.begin(), s.members.end(), u) -
+          s.members.begin());
+      s.members.push_back(v);
+      s.center_index = u_pos;
+    } else {
+      // |S| >= 3 and the center is not u (else S ⊆ D_u): split off u and
+      // pair it with v.
+      const NodeId center = s.center();
+      s.members.erase(std::find(s.members.begin(), s.members.end(), u));
+      s.center_index = static_cast<std::size_t>(
+          std::find(s.members.begin(), s.members.end(), center) -
+          s.members.begin());
+      out.push_back(Star{0, {u, v}});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Star> star_decomposition(std::span<const Vec2> points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("star_decomposition: need >= 2 points");
+  }
+  const Graph g = udg::build_udg(points, 1.0);
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("star_decomposition: set must be connected");
+  }
+  std::vector<NodeId> all(points.size());
+  for (NodeId i = 0; i < points.size(); ++i) all[i] = i;
+  std::vector<Star> out;
+  Decomposer{g, points}.decompose(std::move(all), out);
+  return out;
+}
+
+bool is_star(std::span<const Vec2> points, const Star& star) {
+  if (star.members.empty() || star.center_index >= star.members.size()) {
+    return false;
+  }
+  const Vec2 c = points[star.center()];
+  return std::all_of(star.members.begin(), star.members.end(),
+                     [&](NodeId m) { return within_unit(points[m], c); });
+}
+
+bool is_nontrivial_star_decomposition(std::span<const Vec2> points,
+                                      std::span<const Star> stars) {
+  std::vector<bool> seen(points.size(), false);
+  std::size_t total = 0;
+  for (const Star& s : stars) {
+    if (!is_star(points, s)) return false;
+    if (s.size() < 2) return false;
+    for (const NodeId m : s.members) {
+      if (m >= points.size() || seen[m]) return false;
+      seen[m] = true;
+      ++total;
+    }
+  }
+  return total == points.size();
+}
+
+}  // namespace mcds::packing

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+
+/// \file star_decomposition.hpp
+/// Constructive version of Lemma 4: every connected planar set of at
+/// least two points has a *non-trivial star-decomposition* — a partition
+/// into stars (sets contained in the unit disk of one of their members)
+/// none of which is a singleton. The decomposition is the engine that
+/// lifts the star packing bound (Theorem 3) to arbitrary connected sets
+/// (Lemma 5 / Theorem 6).
+
+namespace mcds::packing {
+
+using graph::NodeId;
+
+/// A star: members[center_index] is the point whose unit disk contains
+/// every member.
+struct Star {
+  std::size_t center_index = 0;     ///< index into members
+  std::vector<NodeId> members;      ///< point indices (into the input set)
+
+  [[nodiscard]] NodeId center() const { return members.at(center_index); }
+  [[nodiscard]] std::size_t size() const noexcept { return members.size(); }
+};
+
+/// Computes a non-trivial star-decomposition of the connected point set
+/// \p points (unit-disk adjacency). Follows the inductive proof of
+/// Lemma 4. Preconditions: points.size() >= 2 and the induced UDG is
+/// connected; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<Star> star_decomposition(
+    std::span<const geom::Vec2> points);
+
+/// True if \p star is a star of \p points: all members lie within unit
+/// distance of the center point.
+[[nodiscard]] bool is_star(std::span<const geom::Vec2> points,
+                           const Star& star);
+
+/// True if \p stars is a valid non-trivial star-decomposition of
+/// \p points: a partition into stars, each of size >= 2... except that a
+/// decomposition of a 1-point set would be trivially empty (the lemma
+/// requires >= 2 points).
+[[nodiscard]] bool is_nontrivial_star_decomposition(
+    std::span<const geom::Vec2> points, std::span<const Star> stars);
+
+}  // namespace mcds::packing

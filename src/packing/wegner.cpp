@@ -1,0 +1,16 @@
+#include "packing/wegner.hpp"
+
+#include "geom/closest.hpp"
+
+namespace mcds::packing {
+
+bool is_wegner_witness(geom::Vec2 center, std::span<const geom::Vec2> points,
+                       double min_separation) {
+  for (const geom::Vec2 p : points) {
+    if (geom::dist(p, center) > 2.0 + 1e-12) return false;
+  }
+  if (points.size() < 2) return true;
+  return geom::closest_pair_distance(points) >= min_separation - 1e-12;
+}
+
+}  // namespace mcds::packing

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+
+#include "geom/vec2.hpp"
+
+/// \file wegner.hpp
+/// Wegner's circle-packing theorem, as used by Theorem 3: any disk of
+/// radius two contains at most 21 points with pairwise distances >= 1.
+/// We expose the constant plus a witness validator so the packing bench
+/// can probe the bound empirically.
+
+namespace mcds::packing {
+
+/// The Wegner limit for a radius-2 disk.
+inline constexpr std::size_t kWegnerLimit = 21;
+
+/// True if all \p points lie in the closed disk of radius 2 around
+/// \p center and their pairwise distances are all >= \p min_separation
+/// (default 1, Wegner's hypothesis; the paper's independence is the
+/// strict variant with separation > 1, which is stronger).
+[[nodiscard]] bool is_wegner_witness(geom::Vec2 center,
+                                     std::span<const geom::Vec2> points,
+                                     double min_separation = 1.0);
+
+}  // namespace mcds::packing

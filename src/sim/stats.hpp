@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Summary statistics for experiment outputs (CDS sizes, ratios, message
+/// counts). Keeps the bench binaries free of ad-hoc accumulation code.
+
+namespace mcds::sim {
+
+/// Streaming accumulator for min/max/mean/stdev (Welford).
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stdev() const noexcept;
+
+  /// Half-width of a ~95% normal confidence interval for the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a finished sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double ci95 = 0.0;  ///< half-width of the ~95% CI for the mean
+};
+
+/// Computes a Summary over \p xs (copies for the median sort).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// q-th percentile (0 <= q <= 1) by linear interpolation.
+/// Precondition: non-empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+}  // namespace mcds::sim

@@ -1,0 +1,98 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcds::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+Table& Table::row() {
+  if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+    throw std::logic_error("Table: previous row incomplete");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) throw std::logic_error("Table: call row() first");
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table: row already full");
+  }
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(width[c])) << cell;
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      if (cells[c].find(',') != std::string::npos ||
+          cells[c].find('"') != std::string::npos) {
+        os << '"';
+        for (const char ch : cells[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+}  // namespace mcds::sim

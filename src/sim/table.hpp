@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Fixed-width ASCII table and CSV emitters. Every reproduction bench
+/// prints its result through this type so all tables share one format.
+
+namespace mcds::sim {
+
+/// A simple column-aligned table. Cells are strings; helpers format
+/// numbers consistently.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  /// Appends a cell to the current row.
+  Table& add(std::string cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace mcds::sim

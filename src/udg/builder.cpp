@@ -1,0 +1,78 @@
+#include "udg/builder.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace mcds::udg {
+
+using geom::Vec2;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+// Packs a 2-D grid cell into one key. Cells are bounded by the
+// deployment region so 32-bit halves are ample.
+[[nodiscard]] std::uint64_t cell_key(long cx, long cy) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+}  // namespace
+
+Graph build_udg(std::span<const Vec2> points, double radius) {
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("build_udg: radius must be positive");
+  }
+  Graph g(points.size());
+  if (points.size() < 2) {
+    g.finalize();
+    return g;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> grid;
+  grid.reserve(points.size() * 2);
+  const auto cell_of = [radius](Vec2 p) {
+    return std::pair{static_cast<long>(std::floor(p.x / radius)),
+                     static_cast<long>(std::floor(p.y / radius))};
+  };
+  for (NodeId i = 0; i < points.size(); ++i) {
+    const auto [cx, cy] = cell_of(points[i]);
+    grid[cell_key(cx, cy)].push_back(i);
+  }
+
+  const double r2 = radius * radius;
+  for (NodeId i = 0; i < points.size(); ++i) {
+    const auto [cx, cy] = cell_of(points[i]);
+    for (long dy = -1; dy <= 1; ++dy) {
+      for (long dx = -1; dx <= 1; ++dx) {
+        const auto it = grid.find(cell_key(cx + dx, cy + dy));
+        if (it == grid.end()) continue;
+        for (const NodeId j : it->second) {
+          if (j <= i) continue;
+          if (geom::dist2(points[i], points[j]) <= r2) g.add_edge(i, j);
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph build_udg_naive(std::span<const Vec2> points, double radius) {
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("build_udg_naive: radius must be positive");
+  }
+  Graph g(points.size());
+  const double r2 = radius * radius;
+  for (NodeId i = 0; i < points.size(); ++i) {
+    for (NodeId j = i + 1; j < points.size(); ++j) {
+      if (geom::dist2(points[i], points[j]) <= r2) g.add_edge(i, j);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace mcds::udg

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+
+/// \file builder.hpp
+/// Unit-disk graph construction: nodes are points; {u, v} is an edge iff
+/// |uv| <= radius. A uniform grid makes construction O(n) expected for
+/// bounded densities (vs the naive O(n^2)).
+
+namespace mcds::udg {
+
+/// Builds the unit-disk graph over \p points with communication radius
+/// \p radius (default 1, the paper's normalization). Points exactly at
+/// distance `radius` are connected (closed-disk model, matching the
+/// paper's "distance at most one").
+[[nodiscard]] graph::Graph build_udg(std::span<const geom::Vec2> points,
+                                     double radius = 1.0);
+
+/// Reference quadratic implementation, used to cross-check build_udg in
+/// tests.
+[[nodiscard]] graph::Graph build_udg_naive(std::span<const geom::Vec2> points,
+                                           double radius = 1.0);
+
+}  // namespace mcds::udg

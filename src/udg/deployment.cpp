@@ -1,0 +1,133 @@
+#include "udg/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace mcds::udg {
+
+using geom::Vec2;
+
+const char* to_string(DeploymentModel m) noexcept {
+  switch (m) {
+    case DeploymentModel::kUniformSquare: return "uniform-square";
+    case DeploymentModel::kUniformDisk: return "uniform-disk";
+    case DeploymentModel::kPerturbedGrid: return "perturbed-grid";
+    case DeploymentModel::kGaussianCluster: return "gaussian-cluster";
+    case DeploymentModel::kCorridor: return "corridor";
+  }
+  return "unknown";
+}
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+}
+}  // namespace
+
+std::vector<Vec2> deploy_uniform_square(std::size_t n, double side,
+                                        sim::Rng& rng) {
+  require_positive(side, "side");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> deploy_uniform_disk(std::size_t n, double radius,
+                                      sim::Rng& rng) {
+  require_positive(radius, "radius");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  const Vec2 c{radius, radius};
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inverse-CDF sampling: radius ~ sqrt(U) for uniform area density.
+    const double r = radius * std::sqrt(rng.uniform01());
+    const double a = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    pts.push_back(geom::from_polar(c, r, a));
+  }
+  return pts;
+}
+
+std::vector<Vec2> deploy_perturbed_grid(std::size_t n, double side,
+                                        double jitter, sim::Rng& rng) {
+  require_positive(side, "side");
+  if (jitter < 0.0) throw std::invalid_argument("jitter must be >= 0");
+  if (n == 0) return {};
+  const auto k =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const double pitch = side / static_cast<double>(k);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t row = 0; row < k && pts.size() < n; ++row) {
+    for (std::size_t col = 0; col < k && pts.size() < n; ++col) {
+      const double x = (static_cast<double>(col) + 0.5) * pitch +
+                       rng.uniform(-jitter, jitter) * pitch;
+      const double y = (static_cast<double>(row) + 0.5) * pitch +
+                       rng.uniform(-jitter, jitter) * pitch;
+      pts.push_back({std::clamp(x, 0.0, side), std::clamp(y, 0.0, side)});
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> deploy_gaussian_clusters(std::size_t n, double side,
+                                           std::size_t clusters, double sigma,
+                                           sim::Rng& rng) {
+  require_positive(side, "side");
+  require_positive(sigma, "sigma");
+  if (clusters == 0) {
+    throw std::invalid_argument("clusters must be >= 1");
+  }
+  std::vector<Vec2> centers;
+  centers.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 c = centers[i % clusters];
+    const Vec2 p{c.x + sigma * rng.normal(), c.y + sigma * rng.normal()};
+    pts.push_back({std::clamp(p.x, 0.0, side), std::clamp(p.y, 0.0, side)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> deploy_corridor(std::size_t n, double length, double width,
+                                  sim::Rng& rng) {
+  require_positive(length, "length");
+  require_positive(width, "width");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, length), rng.uniform(0.0, width)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> deploy(DeploymentModel m, std::size_t n, double side,
+                         sim::Rng& rng) {
+  switch (m) {
+    case DeploymentModel::kUniformSquare:
+      return deploy_uniform_square(n, side, rng);
+    case DeploymentModel::kUniformDisk:
+      return deploy_uniform_disk(n, side / 2.0, rng);
+    case DeploymentModel::kPerturbedGrid:
+      return deploy_perturbed_grid(n, side, 0.45, rng);
+    case DeploymentModel::kGaussianCluster:
+      return deploy_gaussian_clusters(
+          n, side, std::max<std::size_t>(2, n / 40), side / 12.0, rng);
+    case DeploymentModel::kCorridor:
+      return deploy_corridor(n, side * 2.0, std::max(1.5, side / 8.0), rng);
+  }
+  throw std::invalid_argument("deploy: unknown model");
+}
+
+}  // namespace mcds::udg

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/rng.hpp"
+
+/// \file deployment.hpp
+/// Node deployment (placement) models for wireless ad hoc network
+/// workloads. All models are deterministic given an Rng.
+
+namespace mcds::udg {
+
+/// Deployment model selector, used by the sweep harness.
+enum class DeploymentModel {
+  kUniformSquare,   ///< i.i.d. uniform in an axis-aligned square
+  kUniformDisk,     ///< i.i.d. uniform in a disk
+  kPerturbedGrid,   ///< grid points jittered by a fraction of the pitch
+  kGaussianCluster, ///< mixture of Gaussian clusters with uniform centers
+  kCorridor,        ///< uniform in a long thin rectangle (linear network)
+};
+
+/// Printable name of a deployment model.
+[[nodiscard]] const char* to_string(DeploymentModel m) noexcept;
+
+/// \p n i.i.d. uniform points in the square [0, side] x [0, side].
+[[nodiscard]] std::vector<geom::Vec2> deploy_uniform_square(std::size_t n,
+                                                            double side,
+                                                            sim::Rng& rng);
+
+/// \p n i.i.d. uniform points in the disk of the given radius centered at
+/// (radius, radius).
+[[nodiscard]] std::vector<geom::Vec2> deploy_uniform_disk(std::size_t n,
+                                                          double radius,
+                                                          sim::Rng& rng);
+
+/// ~n points on a jittered grid filling [0, side]^2: the ceil(sqrt(n))^2
+/// grid is jittered per point by uniform(-jitter, jitter) * pitch and the
+/// first n points (row-major) are kept.
+[[nodiscard]] std::vector<geom::Vec2> deploy_perturbed_grid(std::size_t n,
+                                                            double side,
+                                                            double jitter,
+                                                            sim::Rng& rng);
+
+/// \p n points from \p clusters Gaussian clusters: centers uniform in
+/// [0, side]^2, per-cluster stdev \p sigma, points assigned round-robin.
+/// Points are clamped to the deployment square.
+[[nodiscard]] std::vector<geom::Vec2> deploy_gaussian_clusters(
+    std::size_t n, double side, std::size_t clusters, double sigma,
+    sim::Rng& rng);
+
+/// \p n i.i.d. uniform points in [0, length] x [0, width] (width is the
+/// short side; models vehicular / corridor topologies).
+[[nodiscard]] std::vector<geom::Vec2> deploy_corridor(std::size_t n,
+                                                      double length,
+                                                      double width,
+                                                      sim::Rng& rng);
+
+/// Dispatch helper used by the sweep harness: deploys \p n nodes in a
+/// region whose dominant extent is \p side under the given model.
+[[nodiscard]] std::vector<geom::Vec2> deploy(DeploymentModel m, std::size_t n,
+                                             double side, sim::Rng& rng);
+
+}  // namespace mcds::udg

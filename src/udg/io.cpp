@@ -1,0 +1,63 @@
+#include "udg/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mcds::udg {
+
+namespace {
+constexpr const char* kMagic = "mcds-points";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_points(std::ostream& os, const std::vector<geom::Vec2>& points) {
+  os << kMagic << ' ' << kVersion << '\n' << points.size() << '\n';
+  os << std::setprecision(17);
+  for (const auto p : points) os << p.x << ' ' << p.y << '\n';
+}
+
+void save_points_file(const std::string& path,
+                      const std::vector<geom::Vec2>& points) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_points: cannot open " + path);
+  save_points(file, points);
+  if (!file) throw std::runtime_error("save_points: write failed " + path);
+}
+
+std::vector<geom::Vec2> load_points(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("load_points: not an mcds-points stream");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_points: unsupported version " +
+                             std::to_string(version));
+  }
+  std::size_t count = 0;
+  if (!(is >> count)) {
+    throw std::runtime_error("load_points: missing point count");
+  }
+  std::vector<geom::Vec2> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    geom::Vec2 p;
+    if (!(is >> p.x >> p.y)) {
+      throw std::runtime_error("load_points: truncated at point " +
+                               std::to_string(i));
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<geom::Vec2> load_points_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_points: cannot open " + path);
+  return load_points(file);
+}
+
+}  // namespace mcds::udg

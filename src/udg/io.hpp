@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file io.hpp
+/// Plain-text persistence for deployments, so instances can be shared
+/// between the CLI, external tools and regression corpora. Format:
+///
+///   mcds-points 1        (magic + version)
+///   <count>
+///   <x> <y>              (one node per line, full double precision)
+
+namespace mcds::udg {
+
+/// Writes \p points in the mcds-points format.
+void save_points(std::ostream& os, const std::vector<geom::Vec2>& points);
+
+/// Writes \p points to \p path. Throws std::runtime_error on I/O error.
+void save_points_file(const std::string& path,
+                      const std::vector<geom::Vec2>& points);
+
+/// Reads an mcds-points stream. Throws std::runtime_error on malformed
+/// input (bad magic, wrong count, non-numeric coordinates).
+[[nodiscard]] std::vector<geom::Vec2> load_points(std::istream& is);
+
+/// Reads \p path. Throws std::runtime_error on I/O or format error.
+[[nodiscard]] std::vector<geom::Vec2> load_points_file(
+    const std::string& path);
+
+}  // namespace mcds::udg

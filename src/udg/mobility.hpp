@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/rng.hpp"
+
+/// \file mobility.hpp
+/// Random-waypoint mobility — the standard MANET evaluation model. Each
+/// node picks a uniform destination in the field and a uniform speed,
+/// travels there in straight-line steps, pauses, and repeats. Drives
+/// the maintenance experiments (E18) and the topology_maintenance
+/// example with realistic correlated motion (unlike i.i.d. jitter,
+/// waypoint motion has momentum, so topologies change smoothly).
+
+namespace mcds::udg {
+
+/// Parameters of the random-waypoint process.
+struct WaypointParams {
+  double side = 10.0;       ///< square field [0, side]^2
+  double min_speed = 0.05;  ///< per-tick distance lower bound (> 0)
+  double max_speed = 0.5;   ///< per-tick distance upper bound
+  std::size_t pause_ticks = 2;  ///< dwell time at each waypoint
+};
+
+/// The mobility process over a fixed set of nodes.
+class RandomWaypoint {
+ public:
+  /// Starts every node at a uniform position with a fresh waypoint.
+  /// Preconditions: nodes >= 1, 0 < min_speed <= max_speed, side > 0.
+  RandomWaypoint(std::size_t nodes, const WaypointParams& params,
+                 std::uint64_t seed);
+
+  /// Advances every node by one tick (move toward its waypoint by its
+  /// speed; on arrival, pause then redraw waypoint and speed).
+  void step();
+
+  /// Current node positions.
+  [[nodiscard]] const std::vector<geom::Vec2>& positions() const noexcept {
+    return positions_;
+  }
+
+  /// Number of ticks executed so far.
+  [[nodiscard]] std::size_t ticks() const noexcept { return ticks_; }
+
+ private:
+  struct NodeState {
+    geom::Vec2 target;
+    double speed = 0.0;
+    std::size_t pause_left = 0;
+  };
+
+  void redraw(std::size_t i);
+
+  WaypointParams params_;
+  sim::Rng rng_;
+  std::vector<geom::Vec2> positions_;
+  std::vector<NodeState> state_;
+  std::size_t ticks_ = 0;
+};
+
+}  // namespace mcds::udg

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+/// \file qudg.hpp
+/// Quasi unit-disk graphs: the standard robustness model for real
+/// radios. Links shorter than r_min always exist, links longer than
+/// r_max never exist, and links in between exist with probability
+/// decaying linearly in the distance. The paper's guarantees are proven
+/// for exact UDGs; the robustness bench (E17) measures how the
+/// algorithms behave when the model is perturbed.
+
+namespace mcds::udg {
+
+/// Builds a quasi-UDG over \p points. Preconditions:
+/// 0 < r_min <= r_max. With r_min == r_max this is exactly the UDG of
+/// radius r_min. Randomness is drawn from \p rng (deterministic per
+/// seed); each candidate edge consumes exactly one variate.
+[[nodiscard]] graph::Graph build_quasi_udg(std::span<const geom::Vec2> points,
+                                           double r_min, double r_max,
+                                           sim::Rng& rng);
+
+}  // namespace mcds::udg

@@ -1,0 +1,90 @@
+#include "viz/render.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "geom/hull.hpp"
+
+namespace mcds::viz {
+
+SvgCanvas render_network(std::span<const Vec2> points, const Graph& g,
+                         std::span<const NodeId> backbone,
+                         std::span<const NodeId> dominators,
+                         const NetworkRenderOptions& options) {
+  if (points.size() != g.num_nodes()) {
+    throw std::invalid_argument("render_network: point/graph size mismatch");
+  }
+  if (points.empty()) {
+    throw std::invalid_argument("render_network: nothing to render");
+  }
+  const auto [lo, hi] = geom::bounding_box(points);
+  const Vec2 pad{options.margin, options.margin};
+  SvgCanvas canvas(lo - pad, hi + pad, options.pixel_width);
+
+  std::vector<bool> in_backbone(points.size(), false);
+  for (const NodeId v : backbone) in_backbone.at(v) = true;
+  std::vector<bool> in_dominators(points.size(), false);
+  for (const NodeId v : dominators) in_dominators.at(v) = true;
+
+  if (options.draw_links) {
+    Style link;
+    link.stroke = "#c8c8c8";
+    link.stroke_width = 0.015;
+    for (const auto& [u, v] : g.edges()) canvas.segment(points[u], points[v], link);
+  }
+  // Backbone-internal links on top, heavier.
+  Style spine_link;
+  spine_link.stroke = "#d62728";
+  spine_link.stroke_width = 0.05;
+  for (const auto& [u, v] : g.edges()) {
+    if (in_backbone[u] && in_backbone[v]) {
+      canvas.segment(points[u], points[v], spine_link);
+    }
+  }
+  if (options.draw_radii) {
+    Style radius;
+    radius.stroke = "#f0b0b0";
+    radius.stroke_width = 0.01;
+    for (NodeId v = 0; v < points.size(); ++v) {
+      if (in_backbone[v]) canvas.circle(points[v], 1.0, radius);
+    }
+  }
+  for (NodeId v = 0; v < points.size(); ++v) {
+    if (in_dominators[v]) {
+      Style ring;
+      ring.stroke = "#1f77b4";
+      ring.stroke_width = 0.04;
+      canvas.circle(points[v], 0.16, ring);
+    }
+    if (in_backbone[v]) {
+      canvas.dot(points[v], 0.1, "#d62728");
+    } else {
+      canvas.dot(points[v], 0.06, "#444444");
+    }
+  }
+  return canvas;
+}
+
+SvgCanvas render_packing(std::span<const Vec2> centers,
+                         std::span<const Vec2> witness, double pixel_width) {
+  if (centers.empty()) {
+    throw std::invalid_argument("render_packing: no centers");
+  }
+  std::vector<Vec2> all(centers.begin(), centers.end());
+  all.insert(all.end(), witness.begin(), witness.end());
+  const auto [lo, hi] = geom::bounding_box(all);
+  const Vec2 pad{1.3, 1.3};
+  SvgCanvas canvas(lo - pad, hi + pad, pixel_width);
+
+  Style disk;
+  disk.stroke = "#9ecae1";
+  disk.stroke_width = 0.02;
+  for (const Vec2 c : centers) {
+    canvas.circle(c, 1.0, disk);
+    canvas.dot(c, 0.05, "#1f77b4");
+  }
+  for (const Vec2 p : witness) canvas.dot(p, 0.05, "#d62728");
+  return canvas;
+}
+
+}  // namespace mcds::viz

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "viz/svg.hpp"
+
+/// \file render.hpp
+/// High-level renderers: a deployed network with its links and backbone,
+/// and a packing witness with its disk neighborhood.
+
+namespace mcds::viz {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Rendering options for render_network.
+struct NetworkRenderOptions {
+  double pixel_width = 900.0;
+  bool draw_links = true;
+  bool draw_radii = false;       ///< unit disks around backbone nodes
+  double margin = 1.2;           ///< world-units margin around the bbox
+};
+
+/// Renders \p points with graph links; nodes in \p backbone are drawn
+/// large/red, nodes in \p dominators additionally ringed. Any of the
+/// two sets may be empty.
+[[nodiscard]] SvgCanvas render_network(std::span<const Vec2> points,
+                                       const Graph& g,
+                                       std::span<const NodeId> backbone,
+                                       std::span<const NodeId> dominators,
+                                       const NetworkRenderOptions& options = {});
+
+/// Renders a packing instance: unit disks around \p centers plus the
+/// independent \p witness points.
+[[nodiscard]] SvgCanvas render_packing(std::span<const Vec2> centers,
+                                       std::span<const Vec2> witness,
+                                       double pixel_width = 900.0);
+
+}  // namespace mcds::viz

@@ -1,0 +1,106 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcds::viz {
+
+namespace {
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+SvgCanvas::SvgCanvas(Vec2 lo, Vec2 hi, double pixel_width)
+    : lo_(lo), hi_(hi), pixel_width_(pixel_width) {
+  if (!(hi.x > lo.x) || !(hi.y > lo.y)) {
+    throw std::invalid_argument("SvgCanvas: degenerate viewport");
+  }
+  if (!(pixel_width > 0)) {
+    throw std::invalid_argument("SvgCanvas: pixel width must be positive");
+  }
+  scale_ = pixel_width_ / (hi_.x - lo_.x);
+}
+
+Vec2 SvgCanvas::to_px(Vec2 world) const noexcept {
+  return {(world.x - lo_.x) * scale_, (hi_.y - world.y) * scale_};
+}
+
+double SvgCanvas::scale_px(double world) const noexcept {
+  return world * scale_;
+}
+
+void SvgCanvas::circle(Vec2 center, double r, const Style& style) {
+  const Vec2 c = to_px(center);
+  std::ostringstream ss;
+  ss << "<circle cx=\"" << c.x << "\" cy=\"" << c.y << "\" r=\""
+     << scale_px(r) << "\" stroke=\"" << xml_escape(style.stroke)
+     << "\" stroke-width=\"" << scale_px(style.stroke_width)
+     << "\" fill=\"" << xml_escape(style.fill) << "\" opacity=\""
+     << style.opacity << "\"/>";
+  elements_.push_back(ss.str());
+}
+
+void SvgCanvas::dot(Vec2 p, double r, const std::string& color) {
+  Style s;
+  s.stroke = "none";
+  s.stroke_width = 0.0;
+  s.fill = color;
+  circle(p, r, s);
+}
+
+void SvgCanvas::segment(Vec2 a, Vec2 b, const Style& style) {
+  const Vec2 pa = to_px(a), pb = to_px(b);
+  std::ostringstream ss;
+  ss << "<line x1=\"" << pa.x << "\" y1=\"" << pa.y << "\" x2=\"" << pb.x
+     << "\" y2=\"" << pb.y << "\" stroke=\"" << xml_escape(style.stroke)
+     << "\" stroke-width=\"" << scale_px(style.stroke_width)
+     << "\" opacity=\"" << style.opacity << "\"/>";
+  elements_.push_back(ss.str());
+}
+
+void SvgCanvas::text(Vec2 p, const std::string& label, double size,
+                     const std::string& color) {
+  const Vec2 px = to_px(p);
+  std::ostringstream ss;
+  ss << "<text x=\"" << px.x << "\" y=\"" << px.y << "\" font-size=\""
+     << scale_px(size) << "\" fill=\"" << xml_escape(color) << "\">"
+     << xml_escape(label) << "</text>";
+  elements_.push_back(ss.str());
+}
+
+void SvgCanvas::write(std::ostream& os) const {
+  const double height = (hi_.y - lo_.y) * scale_;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << pixel_width_ << "\" height=\"" << height << "\" viewBox=\"0 0 "
+     << pixel_width_ << ' ' << height << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& e : elements_) os << e << '\n';
+  os << "</svg>\n";
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("SvgCanvas::save: cannot open " + path);
+  }
+  write(file);
+  if (!file) {
+    throw std::runtime_error("SvgCanvas::save: write failed for " + path);
+  }
+}
+
+}  // namespace mcds::viz

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+/// \file svg.hpp
+/// Minimal SVG canvas for rendering deployments, disk neighborhoods and
+/// backbones. World coordinates are the plane coordinates of the
+/// instance; the canvas flips the y axis (SVG grows downward) and scales
+/// to a fixed pixel width.
+
+namespace mcds::viz {
+
+using geom::Vec2;
+
+/// Style for a drawn element. Colors are any SVG color string.
+struct Style {
+  std::string stroke = "black";
+  double stroke_width = 0.02;  ///< in world units
+  std::string fill = "none";
+  double opacity = 1.0;
+};
+
+/// An append-only SVG scene over world coordinates.
+class SvgCanvas {
+ public:
+  /// World-coordinate viewport (lo, hi) rendered at \p pixel_width.
+  SvgCanvas(Vec2 lo, Vec2 hi, double pixel_width = 800.0);
+
+  /// Adds a circle of world radius \p r around \p center.
+  void circle(Vec2 center, double r, const Style& style);
+
+  /// Adds a dot (filled circle of radius \p r) at \p p.
+  void dot(Vec2 p, double r, const std::string& color);
+
+  /// Adds a line segment.
+  void segment(Vec2 a, Vec2 b, const Style& style);
+
+  /// Adds a text label anchored at \p p (world units; font size in
+  /// world units too).
+  void text(Vec2 p, const std::string& label, double size,
+            const std::string& color = "black");
+
+  /// Serializes the scene as a complete SVG document.
+  void write(std::ostream& os) const;
+
+  /// Writes the scene to \p path. Throws std::runtime_error on I/O
+  /// failure.
+  void save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] Vec2 to_px(Vec2 world) const noexcept;
+  [[nodiscard]] double scale_px(double world) const noexcept;
+
+  Vec2 lo_, hi_;
+  double pixel_width_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace mcds::viz

@@ -1,0 +1,85 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcds::core::bounds {
+namespace {
+
+TEST(Phi, PaperValues) {
+  // Section II: φ_n = 3n+2 for n <= 2, min(3n+3, 21) for n >= 3.
+  EXPECT_EQ(phi(1), 5u);
+  EXPECT_EQ(phi(2), 8u);
+  EXPECT_EQ(phi(3), 12u);
+  EXPECT_EQ(phi(4), 15u);
+  EXPECT_EQ(phi(5), 18u);
+  EXPECT_EQ(phi(6), 21u);
+  EXPECT_EQ(phi(7), 21u);   // capped by Wegner
+  EXPECT_EQ(phi(100), 21u);
+  EXPECT_THROW((void)phi(0), std::invalid_argument);
+}
+
+TEST(Phi, SatisfiesElevenThirdsInequality) {
+  // The paper uses φ_n <= 11n/3 + 1 for n >= 2.
+  for (std::size_t n = 2; n <= 50; ++n) {
+    EXPECT_LE(static_cast<double>(phi(n)),
+              11.0 * static_cast<double>(n) / 3.0 + 1.0 + 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(AlphaBound, Corollary7Values) {
+  EXPECT_DOUBLE_EQ(alpha_upper_bound(3), 12.0);
+  EXPECT_DOUBLE_EQ(alpha_upper_bound(0), 1.0);
+  EXPECT_NEAR(alpha_upper_bound(6), 23.0, 1e-12);
+  EXPECT_DOUBLE_EQ(alpha_upper_bound_intersecting(3), 10.0);
+}
+
+TEST(RatioBounds, ExactFractions) {
+  EXPECT_NEAR(kWafRatio, 7.0 + 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(kGreedyRatio, 6.0 + 7.0 / 18.0, 1e-15);
+  EXPECT_NEAR(kAlphaSlope, 3.0 + 2.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(waf_upper_bound(3), 22.0);
+  EXPECT_NEAR(greedy_upper_bound(18), 115.0, 1e-12);
+}
+
+TEST(RatioBounds, ImprovementOverPriorWork) {
+  // The paper's improvement chain: 7⅓ < 7.6·γ_c + 1.4 < 8·γ_c − 1 for
+  // all γ_c >= 2 at the ratio level.
+  for (std::size_t gc = 1; gc <= 30; ++gc) {
+    EXPECT_LT(waf_upper_bound(gc), waf_bound_2006(gc));
+    if (gc >= 9) {  // 7.6x+1.4 < 8x-1 for x > 8
+      EXPECT_LT(waf_bound_2006(gc), waf_bound_2004(gc));
+    }
+    EXPECT_LT(greedy_upper_bound(gc), waf_upper_bound(gc));
+  }
+}
+
+TEST(ConjecturedBounds, Section5Values) {
+  EXPECT_DOUBLE_EQ(waf_conjectured_bound(4), 24.0);
+  EXPECT_DOUBLE_EQ(greedy_conjectured_bound(4), 22.0);
+  for (std::size_t gc = 1; gc <= 10; ++gc) {
+    EXPECT_LT(waf_conjectured_bound(gc), waf_upper_bound(gc));
+    EXPECT_LT(greedy_conjectured_bound(gc), greedy_upper_bound(gc));
+  }
+}
+
+TEST(GammaCLowerBound, InvertsCorollary7) {
+  EXPECT_EQ(gamma_c_lower_bound_from_independent(0), 1u);
+  EXPECT_EQ(gamma_c_lower_bound_from_independent(1), 1u);
+  EXPECT_EQ(gamma_c_lower_bound_from_independent(2), 1u);
+  // |I| = 12 -> ceil(33/11) = 3.
+  EXPECT_EQ(gamma_c_lower_bound_from_independent(12), 3u);
+  // |I| = 13 -> ceil(36/11) = 4.
+  EXPECT_EQ(gamma_c_lower_bound_from_independent(13), 4u);
+  // Consistency: the bound never exceeds what Corollary 7 allows.
+  for (std::size_t size = 2; size <= 200; ++size) {
+    const std::size_t lb = gamma_c_lower_bound_from_independent(size);
+    EXPECT_GE(alpha_upper_bound(lb) + 1e-9, static_cast<double>(size));
+    if (lb > 1) {
+      EXPECT_LT(alpha_upper_bound(lb - 1), static_cast<double>(size));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcds::core::bounds

@@ -1,0 +1,88 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mcds::core {
+namespace {
+
+TEST(IsIndependentSet, Basics) {
+  const Graph g = test::make_path(5);
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{0, 2, 4}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<NodeId>{3}));
+}
+
+TEST(IsDominatingSet, Basics) {
+  const Graph g = test::make_path(5);
+  EXPECT_TRUE(is_dominating_set(g, std::vector<NodeId>{1, 3}));
+  EXPECT_FALSE(is_dominating_set(g, std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(is_dominating_set(g, std::vector<NodeId>{0, 2, 4}));
+  EXPECT_FALSE(is_dominating_set(g, std::vector<NodeId>{}));
+  const Graph star = test::make_star(6);
+  EXPECT_TRUE(is_dominating_set(star, std::vector<NodeId>{0}));
+}
+
+TEST(IsMaximalIndependentSet, IndependentButNotMaximal) {
+  const Graph g = test::make_path(7);
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<NodeId>{0, 6}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<NodeId>{0, 2, 4, 6}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<NodeId>{1, 3, 5}));
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<NodeId>{1, 2}));
+}
+
+TEST(IsCds, Basics) {
+  const Graph g = test::make_cycle(6);
+  EXPECT_TRUE(is_cds(g, std::vector<NodeId>{0, 1, 2, 3}));
+  // Dominating but disconnected:
+  EXPECT_FALSE(is_cds(g, std::vector<NodeId>{0, 3}));
+  // Connected but not dominating:
+  EXPECT_FALSE(is_cds(g, std::vector<NodeId>{0, 1}));
+  EXPECT_FALSE(is_cds(g, std::vector<NodeId>{}));
+}
+
+TEST(IsCds, EmptyGraphEdgeCase) {
+  const graph::Graph g;
+  EXPECT_TRUE(is_cds(g, std::vector<NodeId>{}));
+}
+
+TEST(IsCds, SingleNodeGraph) {
+  const graph::Graph g(1);
+  EXPECT_TRUE(is_cds(g, std::vector<NodeId>{0}));
+  EXPECT_FALSE(is_cds(g, std::vector<NodeId>{}));
+}
+
+TEST(Validate, OutOfRangeNodeThrows) {
+  const Graph g = test::make_path(3);
+  EXPECT_THROW((void)is_independent_set(g, std::vector<NodeId>{9}),
+               std::invalid_argument);
+}
+
+TEST(TwoHopSeparation, PathMisFromEnd) {
+  const Graph g = test::make_path(5);
+  const std::vector<NodeId> mis{0, 2, 4};
+  std::vector<std::size_t> rank{0, 1, 2, 3, 4};
+  EXPECT_TRUE(has_two_hop_separation(g, mis, rank, 0));
+}
+
+TEST(TwoHopSeparation, FailsWhenEarlierWitnessMissing) {
+  // MIS {1, 4} on a path of 6: node 4 has no MIS node at distance 2
+  // with smaller rank (node 1 is 3 hops away).
+  const Graph g = test::make_path(6);
+  const std::vector<NodeId> mis{1, 4};
+  std::vector<std::size_t> rank{0, 1, 2, 3, 4, 5};
+  EXPECT_FALSE(has_two_hop_separation(g, mis, rank, 1));
+}
+
+TEST(TwoHopSeparation, RankSizeMismatchThrows) {
+  const Graph g = test::make_path(3);
+  const std::vector<NodeId> mis{0, 2};
+  std::vector<std::size_t> rank{0, 1};
+  EXPECT_THROW((void)has_two_hop_separation(g, mis, rank, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcds::core

@@ -1,0 +1,157 @@
+#include "dist/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mcds::dist {
+namespace {
+
+// Toy protocol: node 0 sends a token that each node forwards to its
+// highest-id unvisited neighbor; used to validate delivery and counting.
+class TokenPass final : public Protocol {
+ public:
+  explicit TokenPass(Runtime& rt)
+      : rt_(rt), visited_(rt.topology().num_nodes(), false) {}
+
+  void start(NodeId self) override {
+    if (self == 0) {
+      visited_[0] = true;
+      forward(self);
+    }
+  }
+
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    if (inbox.empty()) return;
+    visited_[self] = true;
+    forward(self);
+  }
+
+  [[nodiscard]] std::size_t visited_count() const {
+    std::size_t c = 0;
+    for (const bool v : visited_) c += v ? 1 : 0;
+    return c;
+  }
+
+ private:
+  void forward(NodeId self) {
+    for (const NodeId v : rt_.topology().neighbors(self)) {
+      if (!visited_[v]) {
+        rt_.send(self, v, Message{});
+        return;
+      }
+    }
+  }
+
+  Runtime& rt_;
+  std::vector<bool> visited_;
+};
+
+TEST(Runtime, TokenTraversesPath) {
+  const Graph g = test::make_path(6);
+  Runtime rt(g);
+  TokenPass p(rt);
+  const RunStats stats = rt.run(p);
+  EXPECT_EQ(p.visited_count(), 6u);
+  EXPECT_EQ(stats.messages, 5u);  // one hop per edge of the path
+  EXPECT_EQ(stats.rounds, 5u);
+}
+
+TEST(Runtime, SendRequiresAdjacency) {
+  const Graph g = test::make_path(4);
+  Runtime rt(g);
+  EXPECT_THROW(rt.send(0, 2, Message{}), std::invalid_argument);
+  EXPECT_NO_THROW(rt.send(0, 1, Message{}));
+}
+
+TEST(Runtime, BroadcastReachesAllNeighbors) {
+  const Graph g = test::make_star(5);
+  Runtime rt(g);
+
+  class CountInbox final : public Protocol {
+   public:
+    explicit CountInbox(Runtime& rt) : rt_(rt), got_(5, 0) {}
+    void start(NodeId self) override {
+      if (self == 0) rt_.broadcast(0, Message{});
+    }
+    void step(NodeId self, const std::vector<Message>& inbox) override {
+      got_[self] += inbox.size();
+    }
+    Runtime& rt_;
+    std::vector<std::size_t> got_;
+  };
+
+  CountInbox p(rt);
+  const RunStats stats = rt.run(p);
+  EXPECT_EQ(stats.messages, 4u);
+  EXPECT_EQ(stats.rounds, 1u);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_EQ(p.got_[leaf], 1u);
+  EXPECT_EQ(p.got_[0], 0u);
+}
+
+TEST(Runtime, FromFieldStamped) {
+  const Graph g = test::make_path(2);
+  Runtime rt(g);
+
+  class CheckFrom final : public Protocol {
+   public:
+    explicit CheckFrom(Runtime& rt) : rt_(rt) {}
+    void start(NodeId self) override {
+      if (self == 1) rt_.send(1, 0, Message{.from = 99, .type = 5});
+    }
+    void step(NodeId self, const std::vector<Message>& inbox) override {
+      if (self == 0 && !inbox.empty()) {
+        from = inbox[0].from;
+        type = inbox[0].type;
+      }
+    }
+    Runtime& rt_;
+    NodeId from = 42;
+    std::int32_t type = 0;
+  };
+
+  CheckFrom p(rt);
+  (void)rt.run(p);
+  EXPECT_EQ(p.from, 1u);  // runtime overwrites the forged from
+  EXPECT_EQ(p.type, 5);
+}
+
+TEST(Runtime, RoundLimitGuard) {
+  const Graph g = test::make_path(2);
+  Runtime rt(g);
+
+  // Ping-pong forever.
+  class PingPong final : public Protocol {
+   public:
+    explicit PingPong(Runtime& rt) : rt_(rt) {}
+    void start(NodeId self) override {
+      if (self == 0) rt_.send(0, 1, Message{});
+    }
+    void step(NodeId self, const std::vector<Message>& inbox) override {
+      if (!inbox.empty()) rt_.send(self, self == 0 ? 1 : 0, Message{});
+    }
+    Runtime& rt_;
+  };
+
+  PingPong p(rt);
+  EXPECT_THROW((void)rt.run(p, 50), std::runtime_error);
+}
+
+TEST(Runtime, QuiescenceWithNoInitialMessages) {
+  const Graph g = test::make_path(3);
+  Runtime rt(g);
+
+  class Silent final : public Protocol {
+   public:
+    void start(NodeId) override {}
+    void step(NodeId, const std::vector<Message>&) override {}
+  };
+
+  Silent p;
+  const RunStats stats = rt.run(p);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+}  // namespace
+}  // namespace mcds::dist

@@ -1,0 +1,93 @@
+// Exact solvers over SmallGraph128: differential equality with the
+// 64-bit solvers on shared instances, plus genuinely wide (> 64 node)
+// cases with known answers.
+
+#include <gtest/gtest.h>
+
+#include "exact/exact_cds.hpp"
+#include "exact/exact_connectors.hpp"
+#include "exact/exact_ds.hpp"
+#include "exact/exact_mis.hpp"
+#include "graph/small_graph.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+#include "udg/builder.hpp"
+#include "udg/instance.hpp"
+
+namespace mcds::exact {
+namespace {
+
+using graph::Mask128;
+using graph::SmallGraph;
+using graph::SmallGraph128;
+
+TEST(Exact128, WidePathKnownValues) {
+  // Path of 80 nodes: alpha = ceil(80/2) = 40, gamma = ceil(80/3) = 27,
+  // gamma_c = 78 (all interior nodes).
+  const auto path = test::make_path(80);
+  const SmallGraph128 g(path);
+  EXPECT_EQ(independence_number(g), 40u);
+  EXPECT_EQ(domination_number(g), 27u);
+  EXPECT_EQ(connected_domination_number(g), 78u);
+}
+
+TEST(Exact128, WideStarAndCycle) {
+  const SmallGraph128 star(test::make_star(100));
+  EXPECT_EQ(connected_domination_number(star), 1u);
+  EXPECT_EQ(independence_number(star), 99u);
+  const SmallGraph128 cycle(test::make_cycle(90));
+  EXPECT_EQ(independence_number(cycle), 45u);
+  EXPECT_EQ(domination_number(cycle), 30u);
+}
+
+TEST(Exact128, ConnectorsOnWidePath) {
+  const auto path = test::make_path(70);
+  const SmallGraph128 g(path);
+  Mask128 mis{0};
+  for (graph::NodeId v = 0; v < 70; v += 2) {
+    mis |= SmallGraph128::bit(v);  // {0,2,...,68}: maximal independent
+  }
+  const auto c = minimum_connectors(g, mis);
+  EXPECT_EQ(graph::popcount(c), 34);  // one odd node per gap
+}
+
+// Differential: both widths give identical numbers on <= 20-node UDGs.
+class Exact128Differential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(Exact128Differential, MatchesSixtyFourBitSolvers) {
+  udg::InstanceParams params;
+  params.nodes = 10 + GetParam() % 8;
+  params.side = 2.6;
+  const auto inst =
+      udg::generate_connected_instance(params, GetParam() * 449);
+  if (!inst) GTEST_SKIP() << "no connected draw";
+  const SmallGraph g64(inst->graph);
+  const SmallGraph128 g128(inst->graph);
+  EXPECT_EQ(independence_number(g64), independence_number(g128));
+  EXPECT_EQ(domination_number(g64), domination_number(g128));
+  EXPECT_EQ(connected_domination_number(g64),
+            connected_domination_number(g128));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Exact128Differential,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// A mid-size (n ~ 26) exactly solved UDG: the witness must actually be
+// a connected dominating set of minimum-consistent size.
+TEST(Exact128, MidSizeUdgWitnessValid) {
+  udg::InstanceParams params;
+  params.nodes = 26;
+  params.side = 4.0;
+  const auto inst = udg::generate_connected_instance(params, 31415);
+  ASSERT_TRUE(inst.has_value());
+  const SmallGraph128 g(inst->graph);
+  const Mask128 cds = minimum_connected_dominating_set(g);
+  EXPECT_TRUE(g.is_dominating(cds));
+  EXPECT_TRUE(g.is_connected(cds));
+  EXPECT_GE(static_cast<std::size_t>(graph::popcount(cds)),
+            domination_number(g));
+}
+
+}  // namespace
+}  // namespace mcds::exact

@@ -1,0 +1,129 @@
+#include "geom/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mcds::geom {
+namespace {
+
+TEST(Circle, ContainmentPredicates) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_TRUE(c.contains({0.5, 0.5}));
+  EXPECT_TRUE(c.contains({1.0, 0.0}));
+  EXPECT_FALSE(c.contains({1.1, 0.0}));
+  EXPECT_TRUE(c.strictly_contains({0.5, 0.0}));
+  EXPECT_FALSE(c.strictly_contains({1.0, 0.0}));
+  EXPECT_TRUE(c.on_boundary({std::sqrt(0.5), std::sqrt(0.5)}));
+  EXPECT_FALSE(c.on_boundary({0.5, 0.0}));
+}
+
+TEST(Circle, PointAtAngle) {
+  const Circle c{{1.0, 2.0}, 2.0};
+  EXPECT_TRUE(almost_equal(c.point_at(0.0), Vec2(3.0, 2.0)));
+  EXPECT_TRUE(
+      almost_equal(c.point_at(std::numbers::pi / 2.0), Vec2(1.0, 4.0)));
+}
+
+TEST(Circle, Area) {
+  EXPECT_NEAR(Circle({0, 0}, 2.0).area(), 4.0 * std::numbers::pi, kEps);
+}
+
+TEST(CircleIntersect, TwoUnitCirclesAtDistanceOne) {
+  // Classic configuration of the paper: ∂D_o ∩ ∂D_u = {a, a'} at
+  // (1/2, ±√3/2) when u = (1, 0).
+  const auto pts = intersect(unit_disk({0, 0}), unit_disk({1, 0}));
+  ASSERT_EQ(pts.size(), 2u);
+  // First point is left of the directed line o -> u, i.e. above.
+  EXPECT_NEAR(pts[0].x, 0.5, kEps);
+  EXPECT_NEAR(pts[0].y, std::sqrt(3.0) / 2.0, kEps);
+  EXPECT_NEAR(pts[1].x, 0.5, kEps);
+  EXPECT_NEAR(pts[1].y, -std::sqrt(3.0) / 2.0, kEps);
+}
+
+TEST(CircleIntersect, Tangency) {
+  const auto pts = intersect({{0, 0}, 1.0}, {{2, 0}, 1.0});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(almost_equal(pts[0], Vec2(1.0, 0.0), 1e-6));
+}
+
+TEST(CircleIntersect, DisjointAndNested) {
+  EXPECT_TRUE(intersect({{0, 0}, 1.0}, {{5, 0}, 1.0}).empty());
+  EXPECT_TRUE(intersect({{0, 0}, 3.0}, {{0.5, 0}, 1.0}).empty());
+  EXPECT_TRUE(intersect({{0, 0}, 1.0}, {{0, 0}, 1.0}).empty());
+}
+
+TEST(CircleIntersect, PointsLieOnBothCircles) {
+  const Circle a{{0.3, -0.2}, 1.7}, b{{1.4, 0.9}, 1.1};
+  for (const Vec2 p : intersect(a, b)) {
+    EXPECT_TRUE(a.on_boundary(p, 1e-7));
+    EXPECT_TRUE(b.on_boundary(p, 1e-7));
+  }
+  EXPECT_EQ(intersect(a, b).size(), 2u);
+}
+
+TEST(CircleIntersect, SidedSelection) {
+  const Circle a = unit_disk({0, 0}), b = unit_disk({1, 0});
+  const auto left = circle_circle_point(a, b, +1);
+  const auto right = circle_circle_point(a, b, -1);
+  ASSERT_TRUE(left.has_value());
+  ASSERT_TRUE(right.has_value());
+  EXPECT_GT(left->y, 0.0);
+  EXPECT_LT(right->y, 0.0);
+  EXPECT_THROW((void)circle_circle_point(a, b, 0), std::invalid_argument);
+  EXPECT_FALSE(circle_circle_point(a, {{5, 0}, 1.0}, 1).has_value());
+}
+
+TEST(Circle, DisksOverlap) {
+  EXPECT_TRUE(disks_overlap(unit_disk({0, 0}), unit_disk({2, 0})));
+  EXPECT_TRUE(disks_overlap(unit_disk({0, 0}), unit_disk({1.5, 0})));
+  EXPECT_FALSE(disks_overlap(unit_disk({0, 0}), unit_disk({2.5, 0})));
+}
+
+TEST(ArcPoints, EndpointsIncludedAndOnCircle) {
+  const Circle c = unit_disk({0, 0});
+  const auto pts = arc_points(c, 0.0, std::numbers::pi, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_TRUE(almost_equal(pts.front(), Vec2(1, 0)));
+  EXPECT_TRUE(almost_equal(pts.back(), Vec2(-1, 0)));
+  for (const Vec2 p : pts) EXPECT_TRUE(c.on_boundary(p, 1e-9));
+}
+
+TEST(ArcPoints, WrappingArc) {
+  // From pi/2 down through 0 to -pi/2 (a1 < a0 wraps).
+  const auto pts =
+      arc_points(unit_disk({0, 0}), std::numbers::pi / 2.0,
+                 -std::numbers::pi / 2.0 + 2.0 * std::numbers::pi, 3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_TRUE(almost_equal(pts[1], Vec2(-1.0, 0.0)));
+}
+
+TEST(ArcPoints, SinglePointIsMidpoint) {
+  const auto pts = arc_points(unit_disk({0, 0}), 0.0, std::numbers::pi, 1);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(almost_equal(pts[0], Vec2(0.0, 1.0)));
+}
+
+TEST(ArcPoints, NegativeCountThrows) {
+  EXPECT_THROW((void)arc_points(unit_disk({0, 0}), 0.0, 1.0, -1),
+               std::invalid_argument);
+}
+
+TEST(LensArea, KnownValues) {
+  // Disjoint disks: zero.
+  EXPECT_DOUBLE_EQ(lens_area({{0, 0}, 1.0}, {{3, 0}, 1.0}), 0.0);
+  // Nested: smaller disk's area.
+  EXPECT_NEAR(lens_area({{0, 0}, 2.0}, {{0.1, 0}, 1.0}), std::numbers::pi,
+              1e-9);
+  // Coincident unit disks: pi.
+  EXPECT_NEAR(lens_area({{0, 0}, 1.0}, {{0, 0}, 1.0}), std::numbers::pi,
+              1e-9);
+  // Unit disks at distance 1: 2*pi/3 - sqrt(3)/2.
+  const double expected = 2.0 * std::numbers::pi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(lens_area(unit_disk({0, 0}), unit_disk({1, 0})), expected,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mcds::geom

@@ -1,0 +1,74 @@
+#include "geom/closest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace mcds::geom {
+namespace {
+
+TEST(ClosestPair, TrivialSizes) {
+  EXPECT_EQ(closest_pair_distance(std::vector<Vec2>{}),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(closest_pair_distance(std::vector<Vec2>{{1, 1}}),
+            std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(closest_pair_distance(std::vector<Vec2>{{0, 0}, {3, 4}}),
+                   5.0);
+  EXPECT_THROW((void)closest_pair(std::vector<Vec2>{{1, 1}}),
+               std::invalid_argument);
+}
+
+TEST(ClosestPair, KnownConfiguration) {
+  const std::vector<Vec2> pts{{0, 0}, {10, 0}, {10.5, 0}, {5, 5}};
+  EXPECT_DOUBLE_EQ(closest_pair_distance(pts), 0.5);
+  const auto [i, j] = closest_pair(pts);
+  EXPECT_EQ(std::min(i, j), 1u);
+  EXPECT_EQ(std::max(i, j), 2u);
+}
+
+TEST(ClosestPair, DuplicatePointsGiveZero) {
+  const std::vector<Vec2> pts{{1, 1}, {2, 2}, {1, 1}};
+  EXPECT_DOUBLE_EQ(closest_pair_distance(pts), 0.0);
+}
+
+// Property sweep: divide-and-conquer must match the quadratic reference
+// on random inputs of varying size.
+class ClosestPairRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosestPairRandom, MatchesBruteForce) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.uniform_int(300);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10)});
+  }
+  double brute = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      brute = std::min(brute, dist(pts[i], pts[j]));
+    }
+  }
+  EXPECT_NEAR(closest_pair_distance(pts), brute, 1e-12);
+  const auto [a, b] = closest_pair(pts);
+  EXPECT_NEAR(dist(pts[a], pts[b]), brute, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosestPairRandom,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(IsIndependent, ThresholdIsStrict) {
+  // Distance exactly 1 is NOT independent (the paper requires > 1).
+  const std::vector<Vec2> at_one{{0, 0}, {1, 0}};
+  EXPECT_FALSE(is_independent_point_set(at_one, 1.0));
+  const std::vector<Vec2> above{{0, 0}, {1.0001, 0}};
+  EXPECT_TRUE(is_independent_point_set(above, 1.0));
+  EXPECT_TRUE(is_independent_point_set(std::vector<Vec2>{}, 1.0));
+  EXPECT_TRUE(is_independent_point_set(std::vector<Vec2>{{5, 5}}, 1.0));
+}
+
+}  // namespace
+}  // namespace mcds::geom

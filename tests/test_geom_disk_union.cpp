@@ -1,0 +1,91 @@
+#include "geom/disk_union.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "geom/circle.hpp"
+#include "sim/rng.hpp"
+
+namespace mcds::geom {
+namespace {
+
+TEST(DiskUnion, ConstructionPreconditions) {
+  EXPECT_THROW(DiskUnion({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(DiskUnion({{0, 0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(DiskUnion({{0, 0}}, -1.0), std::invalid_argument);
+}
+
+TEST(DiskUnion, SingleDiskMembership) {
+  const DiskUnion u({{0.0, 0.0}}, 1.0);
+  EXPECT_TRUE(u.contains({0.5, 0.5}));
+  EXPECT_TRUE(u.contains({1.0, 0.0}));
+  EXPECT_FALSE(u.contains({1.01, 0.0}));
+  EXPECT_FALSE(u.contains({5.0, 5.0}));
+}
+
+TEST(DiskUnion, TwoDiskStadium) {
+  const DiskUnion u({{0.0, 0.0}, {1.0, 0.0}}, 1.0);
+  EXPECT_TRUE(u.contains({0.5, 0.86}));  // sqrt(0.25 + 0.86^2) < 1
+  EXPECT_TRUE(u.contains({-1.0, 0.0}));
+  EXPECT_TRUE(u.contains({2.0, 0.0}));
+  EXPECT_FALSE(u.contains({0.5, 0.87}));  // just above the waist
+  EXPECT_FALSE(u.contains({-1.0, 1.0}));
+}
+
+TEST(DiskUnion, NearestCenterMatchesBruteForce) {
+  sim::Rng rng(7);
+  std::vector<Vec2> centers;
+  for (int i = 0; i < 40; ++i) {
+    centers.push_back({rng.uniform(0, 8), rng.uniform(0, 8)});
+  }
+  const DiskUnion u(centers, 1.0);
+  for (int t = 0; t < 200; ++t) {
+    const Vec2 p{rng.uniform(-3, 11), rng.uniform(-3, 11)};
+    double best = 1e300;
+    for (const Vec2 c : centers) best = std::min(best, dist(p, c));
+    EXPECT_NEAR(u.nearest_center_distance(p), best, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(DiskUnion, NearestCenterFarOutsideGrid) {
+  const DiskUnion u({{0.0, 0.0}, {3.0, 0.0}}, 1.0);
+  EXPECT_NEAR(u.nearest_center_distance({100.0, 100.0}),
+              dist(Vec2{3, 0}, Vec2{100, 100}), 1e-9);
+  EXPECT_EQ(u.nearest_center({100.0, 100.0}), 1u);
+  EXPECT_EQ(u.nearest_center({-50.0, 0.0}), 0u);
+}
+
+TEST(DiskUnion, BoundingBoxCoversUnion) {
+  const DiskUnion u({{0.0, 0.0}, {4.0, 2.0}}, 1.5);
+  const auto [lo, hi] = u.bounding_box();
+  EXPECT_DOUBLE_EQ(lo.x, -1.5);
+  EXPECT_DOUBLE_EQ(lo.y, -1.5);
+  EXPECT_DOUBLE_EQ(hi.x, 5.5);
+  EXPECT_DOUBLE_EQ(hi.y, 3.5);
+}
+
+TEST(DiskUnion, GridPointsAllInside) {
+  const DiskUnion u({{0.0, 0.0}, {1.0, 0.0}}, 1.0);
+  const auto pts = u.grid_points_inside(0.2);
+  EXPECT_GT(pts.size(), 50u);
+  for (const Vec2 p : pts) EXPECT_TRUE(u.contains(p, 1e-12));
+  EXPECT_THROW((void)u.grid_points_inside(0.0), std::invalid_argument);
+}
+
+TEST(DiskUnion, AreaEstimateSingleDisk) {
+  const DiskUnion u({{0.0, 0.0}}, 1.0);
+  EXPECT_NEAR(u.estimate_area(200000, 3), std::numbers::pi, 0.05);
+  EXPECT_THROW((void)u.estimate_area(0, 1), std::invalid_argument);
+}
+
+TEST(DiskUnion, AreaEstimateTwoDisksMatchesInclusionExclusion) {
+  const DiskUnion u({{0.0, 0.0}, {1.0, 0.0}}, 1.0);
+  const double expected =
+      2.0 * std::numbers::pi - lens_area(unit_disk({0, 0}), unit_disk({1, 0}));
+  EXPECT_NEAR(u.estimate_area(200000, 5), expected, 0.08);
+}
+
+}  // namespace
+}  // namespace mcds::geom

@@ -1,0 +1,88 @@
+#include "geom/hull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/closest.hpp"
+#include "sim/rng.hpp"
+
+namespace mcds::geom {
+namespace {
+
+TEST(ConvexHull, Square) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_NEAR(polygon_area(hull), 1.0, kEps);
+}
+
+TEST(ConvexHull, CollinearPoints) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 2u);  // just the extremes
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  EXPECT_TRUE(convex_hull(std::vector<Vec2>{}).empty());
+  EXPECT_EQ(convex_hull(std::vector<Vec2>{{1, 2}}).size(), 1u);
+  const std::vector<Vec2> dup{{1, 2}, {1, 2}, {1, 2}};
+  EXPECT_EQ(convex_hull(dup).size(), 1u);
+}
+
+TEST(Diameter, KnownShapes) {
+  const std::vector<Vec2> sq{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_NEAR(diameter(sq), std::sqrt(2.0), kEps);
+  const std::vector<Vec2> two{{0, 0}, {3, 4}};
+  EXPECT_NEAR(diameter(two), 5.0, kEps);
+  EXPECT_DOUBLE_EQ(diameter(std::vector<Vec2>{{1, 1}}), 0.0);
+}
+
+TEST(Diameter, MatchesBruteForceOnRandomSets) {
+  sim::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 3 + rng.uniform_int(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    }
+    double brute = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        brute = std::max(brute, dist(pts[i], pts[j]));
+      }
+    }
+    EXPECT_NEAR(diameter(pts), brute, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(PolygonArea, TriangleAndOrientation) {
+  const std::vector<Vec2> ccw{{0, 0}, {2, 0}, {0, 2}};
+  EXPECT_NEAR(polygon_area(ccw), 2.0, kEps);
+  const std::vector<Vec2> cw{{0, 0}, {0, 2}, {2, 0}};
+  EXPECT_NEAR(polygon_area(cw), -2.0, kEps);
+  EXPECT_DOUBLE_EQ(polygon_area(std::vector<Vec2>{{0, 0}, {1, 1}}), 0.0);
+}
+
+TEST(Centroid, MeanOfPoints) {
+  const std::vector<Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_TRUE(almost_equal(centroid(pts), Vec2(1, 1)));
+  EXPECT_THROW((void)centroid(std::vector<Vec2>{}), std::invalid_argument);
+}
+
+TEST(BoundingBox, ComputesExtremes) {
+  const std::vector<Vec2> pts{{1, 5}, {-2, 0}, {4, -3}};
+  const auto [lo, hi] = bounding_box(pts);
+  EXPECT_EQ(lo, Vec2(-2, -3));
+  EXPECT_EQ(hi, Vec2(4, 5));
+  EXPECT_THROW((void)bounding_box(std::vector<Vec2>{}),
+               std::invalid_argument);
+}
+
+TEST(MinPairwiseDistance, MatchesClosestPair) {
+  const std::vector<Vec2> pts{{0, 0}, {5, 5}, {1, 0.5}, {9, 9}};
+  EXPECT_NEAR(min_pairwise_distance(pts), dist({0, 0}, {1, 0.5}), kEps);
+}
+
+}  // namespace
+}  // namespace mcds::geom

@@ -1,0 +1,67 @@
+#include "geom/segment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcds::geom {
+namespace {
+
+TEST(Segment, LengthAndPointAt) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.point_at(0.0), Vec2(0, 0));
+  EXPECT_EQ(s.point_at(1.0), Vec2(3, 4));
+  EXPECT_EQ(s.point_at(0.5), Vec2(1.5, 2.0));
+}
+
+TEST(Segment, ClosestPointInterior) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_TRUE(almost_equal(closest_point(s, {5, 3}), Vec2(5, 0)));
+  EXPECT_DOUBLE_EQ(distance(s, {5, 3}), 3.0);
+}
+
+TEST(Segment, ClosestPointClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_TRUE(almost_equal(closest_point(s, {-4, 3}), Vec2(0, 0)));
+  EXPECT_DOUBLE_EQ(distance(s, {-4, 3}), 5.0);
+  EXPECT_TRUE(almost_equal(closest_point(s, {14, -3}), Vec2(10, 0)));
+  EXPECT_DOUBLE_EQ(distance(s, {14, -3}), 5.0);
+}
+
+TEST(Segment, DegenerateSegment) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_EQ(closest_point(s, {4, 5}), Vec2(1, 1));
+  EXPECT_DOUBLE_EQ(distance(s, {4, 5}), 5.0);
+}
+
+TEST(Orientation, Basics) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {0, 1}), 1);   // CCW
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {0, -1}), -1); // CW
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(SideOfLine, MatchesOrientation) {
+  EXPECT_EQ(side_of_line({0, 0}, {0, 1}, {-1, 0.5}), 1);
+  EXPECT_EQ(side_of_line({0, 0}, {0, 1}, {1, 0.5}), -1);
+  EXPECT_EQ(side_of_line({0, 0}, {0, 1}, {0, 9}), 0);
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3.5}}));
+}
+
+TEST(SegmentsIntersect, TouchingAtEndpoint) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 0}}, {{1, 0}, {2, 5}}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentsIntersect, ParallelNonIntersecting) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+}
+
+}  // namespace
+}  // namespace mcds::geom

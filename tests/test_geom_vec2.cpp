@@ -1,0 +1,100 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace mcds::geom {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(Vec2(1, 0).cross(Vec2(0, 1)), 1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(dist(Vec2(0, 0), a), 5.0);
+  EXPECT_DOUBLE_EQ(dist2(Vec2(1, 1), Vec2(4, 5)), 25.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 n = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, kEps);
+  EXPECT_NEAR(n.x, 0.6, kEps);
+  EXPECT_NEAR(n.y, 0.8, kEps);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = Vec2{1.0, 0.0}.rotated(std::numbers::pi / 2.0);
+  EXPECT_TRUE(almost_equal(r, Vec2(0.0, 1.0)));
+  EXPECT_EQ(Vec2(1.0, 0.0).perp(), Vec2(0.0, 1.0));
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.5, -1.5};
+  for (double a = 0.0; a < 6.3; a += 0.37) {
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), kEps);
+  }
+}
+
+TEST(Vec2, Angle) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).angle(), 0.0, kEps);
+  EXPECT_NEAR(Vec2(0.0, 1.0).angle(), std::numbers::pi / 2.0, kEps);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), std::numbers::pi, kEps);
+}
+
+TEST(Vec2, LerpAndMidpoint) {
+  const Vec2 a{0.0, 0.0}, b{2.0, 4.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.25), Vec2(0.5, 1.0));
+  EXPECT_EQ(midpoint(a, b), Vec2(1.0, 2.0));
+}
+
+TEST(Vec2, FromPolar) {
+  const Vec2 p = from_polar({1.0, 1.0}, 2.0, std::numbers::pi / 2.0);
+  EXPECT_TRUE(almost_equal(p, Vec2(1.0, 3.0)));
+}
+
+TEST(Vec2, AlmostEqualTolerance) {
+  EXPECT_TRUE(almost_equal(Vec2(1.0, 1.0), Vec2(1.0 + 1e-12, 1.0)));
+  EXPECT_FALSE(almost_equal(Vec2(1.0, 1.0), Vec2(1.1, 1.0)));
+  EXPECT_TRUE(almost_equal(1.0, 1.05, 0.1));
+  EXPECT_FALSE(almost_equal(1.0, 1.05, 0.01));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream ss;
+  ss << Vec2{1.5, -2.0};
+  EXPECT_EQ(ss.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace mcds::geom

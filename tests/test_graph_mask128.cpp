@@ -1,0 +1,112 @@
+#include "graph/mask128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/small_graph.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+#include "udg/builder.hpp"
+#include "udg/deployment.hpp"
+
+namespace mcds::graph {
+namespace {
+
+TEST(Mask128, BasicBitwise) {
+  const Mask128 a{0b1100, 0};
+  const Mask128 b{0b1010, 0};
+  EXPECT_EQ((a & b), Mask128(0b1000));
+  EXPECT_EQ((a | b), Mask128(0b1110));
+  EXPECT_EQ((a ^ b), Mask128(0b0110));
+  EXPECT_EQ((~Mask128{0}).lo, ~std::uint64_t{0});
+  EXPECT_EQ((~Mask128{0}).hi, ~std::uint64_t{0});
+}
+
+TEST(Mask128, ShiftsAcrossTheWordBoundary) {
+  const Mask128 one{1};
+  EXPECT_EQ((one << 0), Mask128(1));
+  EXPECT_EQ((one << 5).lo, std::uint64_t{1} << 5);
+  EXPECT_EQ((one << 64).lo, 0u);
+  EXPECT_EQ((one << 64).hi, 1u);
+  EXPECT_EQ((one << 127).hi, std::uint64_t{1} << 63);
+  EXPECT_EQ((one << 128), Mask128(0));
+  // Straddling shift.
+  const Mask128 wide{~std::uint64_t{0}, 0};
+  EXPECT_EQ((wide << 4).lo, ~std::uint64_t{0} << 4);
+  EXPECT_EQ((wide << 4).hi, 0xFu);
+  // Right shifts mirror.
+  EXPECT_EQ(((one << 100) >> 100), one);
+  EXPECT_EQ((Mask128(0, 1) >> 64), Mask128(1));
+}
+
+TEST(Mask128, SubtractionWithBorrow) {
+  const Mask128 x{0, 1};  // 2^64
+  const Mask128 y = x - Mask128{1};
+  EXPECT_EQ(y.lo, ~std::uint64_t{0});
+  EXPECT_EQ(y.hi, 0u);
+  EXPECT_EQ((Mask128{5} - Mask128{3}), Mask128(2));
+}
+
+TEST(Mask128, ClearLowestBitIdiom) {
+  Mask128 m = (Mask128{1} << 70) | (Mask128{1} << 3);
+  EXPECT_EQ(popcount(m), 2);
+  EXPECT_EQ(lowest_bit(m), 3u);
+  m &= m - Mask128{1};
+  EXPECT_EQ(popcount(m), 1);
+  EXPECT_EQ(lowest_bit(m), 70u);
+  m &= m - Mask128{1};
+  EXPECT_EQ(m, Mask128(0));
+}
+
+TEST(SmallGraph128, CapacityAndAllMask) {
+  EXPECT_NO_THROW(SmallGraph128{128});
+  EXPECT_THROW(SmallGraph128{129}, std::invalid_argument);
+  EXPECT_EQ(SmallGraph128(128).all(), ~Mask128{0});
+  const auto all70 = SmallGraph128(70).all();
+  EXPECT_EQ(popcount(all70), 70);
+}
+
+TEST(SmallGraph128, WideGraphOperations) {
+  // A path spanning the 64-bit boundary.
+  graph::Graph path = test::make_path(100);
+  const SmallGraph128 g(path);
+  EXPECT_TRUE(g.is_connected(g.all()));
+  EXPECT_EQ(g.count_components(g.all()), 1u);
+  // Endpoints only: two components.
+  const Mask128 ends = SmallGraph128::bit(0) | SmallGraph128::bit(99);
+  EXPECT_EQ(g.count_components(ends), 2u);
+  EXPECT_TRUE(g.is_independent(ends));
+  // Every other node is an independent dominating set.
+  Mask128 alternate{0};
+  for (NodeId v = 0; v < 100; v += 2) alternate |= SmallGraph128::bit(v);
+  EXPECT_TRUE(g.is_independent(alternate));
+  EXPECT_TRUE(g.is_dominating(alternate));
+}
+
+// Differential check: SmallGraph128 must agree with SmallGraph on
+// graphs that fit in 64 bits.
+class Mask128Differential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(Mask128Differential, AgreesWithSmallGraph) {
+  sim::Rng rng(GetParam() * 997);
+  const std::size_t n = 5 + rng.uniform_int(20);
+  const auto pts = udg::deploy_uniform_square(n, 4.0, rng);
+  const auto g = udg::build_udg(pts);
+  const SmallGraph g64(g);
+  const SmallGraph128 g128(g);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Mask s = rng.uniform_int(Mask{1} << n);
+    const Mask128 s128{s};
+    EXPECT_EQ(g64.count_components(s), g128.count_components(s128));
+    EXPECT_EQ(g64.is_connected(s), g128.is_connected(s128));
+    EXPECT_EQ(g64.is_independent(s), g128.is_independent(s128));
+    EXPECT_EQ(g64.dominated_by(s), g128.dominated_by(s128).lo);
+    EXPECT_EQ(g128.dominated_by(s128).hi, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Mask128Differential,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mcds::graph

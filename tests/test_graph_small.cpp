@@ -1,0 +1,101 @@
+#include "graph/small_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+#include "udg/builder.hpp"
+#include "udg/deployment.hpp"
+
+namespace mcds::graph {
+namespace {
+
+TEST(SmallGraph, SizeLimit) {
+  EXPECT_NO_THROW(SmallGraph{64});
+  EXPECT_THROW(SmallGraph{65}, std::invalid_argument);
+  const Graph big(65);
+  EXPECT_THROW(SmallGraph{big}, std::invalid_argument);
+}
+
+TEST(SmallGraph, NeighborMasks) {
+  SmallGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.neighbors(0), 0b0110u);
+  EXPECT_EQ(g.closed_neighbors(0), 0b0111u);
+  EXPECT_EQ(g.neighbors(3), 0u);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 4), std::invalid_argument);
+}
+
+TEST(SmallGraph, AllMask) {
+  EXPECT_EQ(SmallGraph(3).all(), 0b111u);
+  EXPECT_EQ(SmallGraph(64).all(), ~Mask{0});
+}
+
+TEST(SmallGraph, DominationOnStar) {
+  const SmallGraph g(test::make_star(6));
+  EXPECT_TRUE(g.is_dominating(Mask{1} << 0));  // center dominates all
+  EXPECT_FALSE(g.is_dominating(Mask{1} << 1));
+  EXPECT_EQ(g.dominated_by(Mask{1} << 1), 0b000011u);
+}
+
+TEST(SmallGraph, ConnectivityOnPath) {
+  const SmallGraph g(test::make_path(5));
+  EXPECT_TRUE(g.is_connected(0b00111));
+  EXPECT_FALSE(g.is_connected(0b00101));
+  EXPECT_TRUE(g.is_connected(0));        // empty: trivially connected
+  EXPECT_TRUE(g.is_connected(0b00100));  // singleton
+  EXPECT_EQ(g.count_components(0b10101), 3u);
+  EXPECT_EQ(g.count_components(0b11111), 1u);
+  EXPECT_EQ(g.component_of(0b11011, 0), 0b00011u);
+}
+
+TEST(SmallGraph, IndependenceOnCycle) {
+  const SmallGraph g(test::make_cycle(5));
+  EXPECT_TRUE(g.is_independent(0b00101));
+  EXPECT_FALSE(g.is_independent(0b00011));
+  EXPECT_TRUE(g.is_independent(0));
+}
+
+// Property sweep: SmallGraph connectivity/domination must agree with the
+// general Graph routines on random UDGs.
+class SmallGraphRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallGraphRandom, AgreesWithGeneralGraph) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = 4 + rng.uniform_int(14);
+  const auto pts = udg::deploy_uniform_square(n, 3.0, rng);
+  const Graph g = udg::build_udg(pts);
+  const SmallGraph sg(g);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const Mask m = rng.uniform_int(Mask{1} << n);
+    std::vector<NodeId> subset;
+    for (NodeId v = 0; v < n; ++v) {
+      if (m & (Mask{1} << v)) subset.push_back(v);
+    }
+    EXPECT_EQ(sg.count_components(m), count_components_subset(g, subset));
+    EXPECT_EQ(sg.is_connected(m), is_connected_subset(g, subset));
+
+    // Domination cross-check.
+    std::vector<bool> dom(n, false);
+    for (const NodeId v : subset) {
+      dom[v] = true;
+      for (const NodeId w : g.neighbors(v)) dom[w] = true;
+    }
+    Mask dom_mask = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dom[v]) dom_mask |= Mask{1} << v;
+    }
+    EXPECT_EQ(sg.dominated_by(m), dom_mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallGraphRandom,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mcds::graph

@@ -1,0 +1,69 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace mcds::graph {
+namespace {
+
+TEST(InducedSubgraph, CycleMinusOneNodeIsPath) {
+  const Graph g = test::make_cycle(5);
+  const std::vector<NodeId> keep{0, 1, 2, 3};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.mapping, keep);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_FALSE(sub.graph.has_edge(0, 3));
+}
+
+TEST(InducedSubgraph, MappingRoundTrips) {
+  const Graph g = test::make_grid(3, 3);
+  const std::vector<NodeId> keep{8, 4, 0};
+  const auto sub = induced_subgraph(g, keep);
+  // Edges in the subgraph must exist between the mapped originals.
+  for (NodeId u = 0; u < sub.graph.num_nodes(); ++u) {
+    for (const NodeId v : sub.graph.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(sub.mapping[u], sub.mapping[v]));
+    }
+  }
+}
+
+TEST(InducedSubgraph, RejectsBadInput) {
+  const Graph g = test::make_path(4);
+  const std::vector<NodeId> dup{1, 1};
+  EXPECT_THROW((void)induced_subgraph(g, dup), std::invalid_argument);
+  const std::vector<NodeId> oob{1, 9};
+  EXPECT_THROW((void)induced_subgraph(g, oob), std::invalid_argument);
+}
+
+TEST(SubsetConnectivity, PathSubsets) {
+  const Graph g = test::make_path(6);
+  EXPECT_TRUE(is_connected_subset(g, std::vector<NodeId>{1, 2, 3}));
+  EXPECT_FALSE(is_connected_subset(g, std::vector<NodeId>{0, 2}));
+  EXPECT_TRUE(is_connected_subset(g, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_connected_subset(g, std::vector<NodeId>{4}));
+}
+
+TEST(SubsetComponents, CountsComponents) {
+  const Graph g = test::make_path(7);
+  EXPECT_EQ(count_components_subset(g, std::vector<NodeId>{0, 1, 3, 5, 6}),
+            3u);
+  EXPECT_EQ(count_components_subset(g, std::vector<NodeId>{}), 0u);
+  const auto [labels, count] =
+      subset_components(g, std::vector<NodeId>{0, 1, 3, 5, 6});
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(labels[0], labels[1]);  // {0,1}
+  EXPECT_NE(labels[1], labels[2]);  // {3}
+  EXPECT_EQ(labels[3], labels[4]);  // {5,6}
+}
+
+TEST(SubsetComponents, StarCenterJoinsAll) {
+  const Graph g = test::make_star(6);
+  EXPECT_EQ(count_components_subset(g, std::vector<NodeId>{1, 2, 3}), 3u);
+  EXPECT_EQ(count_components_subset(g, std::vector<NodeId>{0, 1, 2, 3}), 1u);
+}
+
+}  // namespace
+}  // namespace mcds::graph

@@ -1,0 +1,53 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcds::graph {
+namespace {
+
+TEST(UnionFind, InitialState) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_EQ(uf.universe_size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));  // already together
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, ChainCollapsesToOne) {
+  const std::uint32_t n = 1000;
+  UnionFind uf(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) EXPECT_TRUE(uf.unite(i, i + 1));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.set_size(0), n);
+  EXPECT_TRUE(uf.same(0, n - 1));
+}
+
+TEST(UnionFind, TransitivityProperty) {
+  UnionFind uf(10);
+  uf.unite(0, 5);
+  uf.unite(5, 9);
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.same(0, 9));
+  EXPECT_FALSE(uf.same(9, 2));
+  // Representative is consistent within a set.
+  EXPECT_EQ(uf.find(0), uf.find(9));
+}
+
+}  // namespace
+}  // namespace mcds::graph

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "baselines/guha_khuller.hpp"
+#include "baselines/li_thai.hpp"
+#include "baselines/prune.hpp"
+#include "baselines/stojmenovic.hpp"
+#include "core/bounds.hpp"
+#include "core/greedy_connect.hpp"
+#include "core/validate.hpp"
+#include "core/waf.hpp"
+#include "dist/distributed_cds.hpp"
+#include "exact/exact_cds.hpp"
+#include "exact/exact_mis.hpp"
+#include "graph/small_graph.hpp"
+#include "graph/subgraph.hpp"
+#include "packing/fig2.hpp"
+#include "udg/builder.hpp"
+#include "udg/instance.hpp"
+
+namespace mcds {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// End-to-end pipeline over one instance: every construction yields a
+// valid CDS and the proven size orderings hold.
+class Pipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Pipeline, AllAlgorithmsProduceValidCds) {
+  udg::InstanceParams params;
+  params.nodes = 120;
+  params.side = 10.0;
+  const auto inst =
+      udg::generate_largest_component_instance(params, GetParam() * 97);
+  const Graph& g = inst.graph;
+
+  const auto waf = core::waf_cds(g, 0);
+  const auto greedy = core::greedy_cds(g, 0);
+  const auto gk = baselines::guha_khuller_cds(g);
+  const auto sto = baselines::stojmenovic_cds(g);
+  const auto lt = baselines::li_thai_cds(g);
+  const auto dist = dist::distributed_waf_cds(g);
+
+  for (const auto* cds :
+       {&waf.cds, &greedy.cds, &gk, &sto, &lt, &dist.cds}) {
+    EXPECT_TRUE(core::is_cds(g, *cds));
+  }
+
+  // Both two-phased algorithms share phase 1, so their dominator sets
+  // are identical and the greedy phase-2 never uses more connectors
+  // than components minus one.
+  EXPECT_EQ(waf.phase1.mis, greedy.phase1.mis);
+  EXPECT_LE(greedy.connectors.size(), waf.phase1.mis.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Pipeline,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Corollary 7 validated end-to-end on exhaustively solved instances.
+class Corollary7 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Corollary7, AlphaBoundedByGammaC) {
+  udg::InstanceParams params;
+  params.nodes = 14;
+  params.side = 3.0;
+  const auto inst =
+      udg::generate_connected_instance(params, GetParam() * 139);
+  if (!inst) GTEST_SKIP() << "no connected draw";
+  const graph::SmallGraph sg(inst->graph);
+  const std::size_t alpha = exact::independence_number(sg);
+  const std::size_t gamma_c = exact::connected_domination_number(sg);
+  EXPECT_LE(static_cast<double>(alpha),
+            core::bounds::alpha_upper_bound(gamma_c) + 1e-9)
+      << "alpha=" << alpha << " gamma_c=" << gamma_c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Corollary7,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// The Figure 2 point set, fed back through the UDG machinery: its
+// centers form a path whose gamma_c is n-2, and the witness points are
+// an independent set of the UDG over (centers ∪ witness)... the witness
+// alone must be independent in UDG terms.
+TEST(Fig2Integration, WitnessIsUdgIndependentSet) {
+  const auto inst = packing::fig2_linear(8);
+  auto all = inst.centers;
+  const auto base = static_cast<NodeId>(all.size());
+  all.insert(all.end(), inst.independent.begin(), inst.independent.end());
+  const Graph g = udg::build_udg(all);
+  std::vector<NodeId> witness;
+  for (NodeId i = base; i < all.size(); ++i) witness.push_back(i);
+  EXPECT_TRUE(core::is_independent_set(g, witness));
+
+  // The centers form a connected path in the UDG.
+  std::vector<NodeId> centers;
+  for (NodeId i = 0; i < base; ++i) centers.push_back(i);
+  EXPECT_TRUE(graph::is_connected_subset(g, centers));
+}
+
+// Pruning never increases size and preserves validity for every
+// construction.
+TEST(PruneIntegration, PruningImprovesOrKeepsAllAlgorithms) {
+  udg::InstanceParams params;
+  params.nodes = 90;
+  params.side = 8.0;
+  const auto inst = udg::generate_largest_component_instance(params, 1234);
+  const Graph& g = inst.graph;
+  const auto waf = core::waf_cds(g, 0).cds;
+  const auto greedy = core::greedy_cds(g, 0).cds;
+  for (const auto& cds : {waf, greedy}) {
+    const auto pruned = baselines::prune_cds(g, cds);
+    EXPECT_TRUE(core::is_cds(g, pruned));
+    EXPECT_LE(pruned.size(), cds.size());
+  }
+}
+
+// Ratio ordering on exhaustively solved instances: the measured sizes
+// respect OPT <= greedy-bound and OPT <= waf-bound, and OPT is reached
+// or approached by pruning.
+class SmallInstanceOrdering : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SmallInstanceOrdering, SizesRespectOpt) {
+  udg::InstanceParams params;
+  params.nodes = 15;
+  params.side = 3.2;
+  const auto inst =
+      udg::generate_connected_instance(params, GetParam() * 211 + 7);
+  if (!inst) GTEST_SKIP() << "no connected draw";
+  const Graph& g = inst->graph;
+  const graph::SmallGraph sg(g);
+  const std::size_t opt = exact::connected_domination_number(sg);
+
+  const auto waf = core::waf_cds(g, 0).cds;
+  const auto greedy = core::greedy_cds(g, 0).cds;
+  EXPECT_GE(waf.size(), opt);
+  EXPECT_GE(greedy.size(), opt);
+  EXPECT_GE(baselines::prune_cds(g, waf).size(), opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallInstanceOrdering,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mcds

@@ -1,0 +1,135 @@
+#include "packing/appendix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/rng.hpp"
+
+namespace mcds::packing {
+namespace {
+
+TEST(Lemma11, SquareIsBoundaryCase) {
+  // Unit square: ov = up = 1, vp = ou = 1, both angles 90° -> sum 180°.
+  const Lemma11Config square{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_TRUE(square.hypothesis_holds());
+  EXPECT_NEAR(square.angle_sum(), std::numbers::pi, 1e-9);
+  EXPECT_TRUE(square.lemma_holds());
+}
+
+TEST(Lemma11, WideTrapezoidHasSmallAngles) {
+  // vp longer than ou: the legs splay outward, angle sum < 180°.
+  const Lemma11Config cfg{{0, 0}, {1, 0}, {1.5, 1.0}, {-0.5, 1.0}};
+  ASSERT_TRUE(cfg.hypothesis_holds());
+  EXPECT_GT(geom::dist(cfg.v, cfg.p), geom::dist(cfg.o, cfg.u));
+  EXPECT_LT(cfg.angle_sum(), std::numbers::pi);
+  EXPECT_TRUE(cfg.lemma_holds());
+}
+
+TEST(Lemma11, NarrowTrapezoidHasLargeAngles) {
+  // vp shorter than ou: angle sum > 180°.
+  const Lemma11Config cfg{{0, 0}, {1, 0}, {0.8, 1.0}, {0.2, 1.0}};
+  ASSERT_TRUE(cfg.hypothesis_holds());
+  EXPECT_LT(geom::dist(cfg.v, cfg.p), geom::dist(cfg.o, cfg.u));
+  EXPECT_GT(cfg.angle_sum(), std::numbers::pi);
+  EXPECT_TRUE(cfg.lemma_holds());
+}
+
+TEST(Lemma11, HypothesisRejectsBadInputs) {
+  // |ov| != |up|.
+  const Lemma11Config unequal{{0, 0}, {1, 0}, {1, 2}, {0, 1}};
+  EXPECT_FALSE(unequal.hypothesis_holds());
+  // Non-convex (reflex) order.
+  const Lemma11Config reflex{{0, 0}, {1, 0}, {0.4, 0.1}, {0, 1}};
+  EXPECT_FALSE(reflex.hypothesis_holds());
+}
+
+// Property sweep for Lemma 11: random isosceles-leg trapezoids
+// (symmetric construction guarantees ov = up exactly).
+class Lemma11Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma11Random, EquivalenceHolds) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    // Symmetric trapezoid: o=(-w,0), u=(w,0), p=(x,h), v=(-x,h).
+    const double w = rng.uniform(0.2, 2.0);
+    const double x = rng.uniform(0.05, 2.5);
+    const double h = rng.uniform(0.1, 2.0);
+    const Lemma11Config cfg{{-w, 0}, {w, 0}, {x, h}, {-x, h}};
+    if (!cfg.hypothesis_holds()) continue;
+    EXPECT_TRUE(cfg.lemma_holds())
+        << "w=" << w << " x=" << x << " h=" << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma11Random,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Lemma 11 also holds for asymmetric quadrilaterals with |ov| = |up|.
+class Lemma11Asymmetric : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma11Asymmetric, EquivalenceHolds) {
+  sim::Rng rng(GetParam() * 131);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000 && accepted < 100; ++trial) {
+    const Vec2 o{0, 0}, u{rng.uniform(0.3, 1.5), 0};
+    const double leg = rng.uniform(0.3, 2.0);
+    // v above o, p above u, both at leg length with random directions.
+    const Vec2 v = geom::from_polar(o, leg, rng.uniform(0.3, 2.8));
+    const Vec2 p = geom::from_polar(u, leg, rng.uniform(0.3, 2.8));
+    const Lemma11Config cfg{o, u, p, v};
+    if (!cfg.hypothesis_holds()) continue;
+    ++accepted;
+    EXPECT_TRUE(cfg.lemma_holds()) << "trial " << trial;
+  }
+  EXPECT_GT(accepted, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma11Asymmetric,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Lemma12, BuilderRespectsHypotheses) {
+  // p on the far lower-right of ∂D_u: |ap| > 1, hypothesis fails.
+  EXPECT_FALSE(build_lemma12(0.8, -0.3).has_value());
+  // Invalid separations: rejected.
+  EXPECT_FALSE(build_lemma12(0.0, 0.0).has_value());
+  EXPECT_FALSE(build_lemma12(1.5, 0.0).has_value());
+}
+
+TEST(Lemma12, KnownConfigurationDiameterIsOne) {
+  // p = u + (cos 1.2, sin 1.2): |ap| ≈ 0.76 <= 1 and |op| ≈ 1.49 >= 1.
+  const auto cfg = build_lemma12(0.8, 1.2);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_LE(cfg->diameter(), 1.0 + 1e-9);
+  // p is on both ∂D_p-circles' centers... v1 and v2 are on ∂D_p:
+  EXPECT_NEAR(geom::dist(cfg->p, cfg->v1), 1.0, 1e-9);
+  EXPECT_NEAR(geom::dist(cfg->p, cfg->v2), 1.0, 1e-9);
+}
+
+// Property sweep for Lemma 12: diam({v1, v2, p}) <= 1 over the whole
+// admissible parameter range, and the diameter is exactly 1 (attained
+// by the unit radii).
+class Lemma12Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma12Random, DiameterNeverExceedsOne) {
+  sim::Rng rng(GetParam() * 17 + 5);
+  int accepted = 0;
+  for (int trial = 0; trial < 5000 && accepted < 300; ++trial) {
+    const double d = rng.uniform(0.05, 1.0);
+    const double theta = rng.uniform(-std::numbers::pi, std::numbers::pi);
+    const auto cfg = build_lemma12(d, theta);
+    if (!cfg) continue;
+    ++accepted;
+    EXPECT_LE(cfg->diameter(), 1.0 + 1e-9)
+        << "d=" << d << " theta=" << theta;
+    EXPECT_NEAR(cfg->diameter(), 1.0, 1e-9);  // attained by |p v1|
+  }
+  EXPECT_GT(accepted, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma12Random,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mcds::packing

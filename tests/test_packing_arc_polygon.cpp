@@ -1,0 +1,111 @@
+#include "packing/arc_polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/circle.hpp"
+#include "sim/rng.hpp"
+
+namespace mcds::packing {
+namespace {
+
+// The lens of two unit circles at distance d: an arc-polygon with two
+// vertices (the circle intersections) and two arc pieces.
+ArcPolygon make_lens(double d) {
+  const Vec2 o{0, 0}, u{d, 0};
+  const auto pts = geom::intersect(geom::unit_disk(o), geom::unit_disk(u));
+  const Vec2 top = pts[0], bottom = pts[1];
+  std::vector<BoundaryPiece> pieces;
+  pieces.push_back({bottom, true, o});  // right boundary: circle around o
+  pieces.push_back({top, true, u});     // left boundary: circle around u
+  return ArcPolygon(top, std::move(pieces));
+}
+
+TEST(ArcPolygon, LensIsWellFormed) {
+  const auto lens = make_lens(1.0);
+  EXPECT_TRUE(lens.well_formed());
+  EXPECT_EQ(lens.vertices().size(), 2u);
+}
+
+TEST(ArcPolygon, LensDiameters) {
+  // Unit-circle lens at center distance 1: vertices at distance
+  // sqrt(3); the region diameter equals the vertex diameter (lens is
+  // "thin" in the other direction: width 2 - d = 1 < sqrt(3)).
+  const auto lens = make_lens(1.0);
+  EXPECT_NEAR(lens.vertex_diameter(), std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(lens.boundary_diameter(0.005), std::sqrt(3.0), 1e-3);
+}
+
+TEST(ArcPolygon, RejectsEmptyAndDetectsOpenBoundary) {
+  EXPECT_THROW(ArcPolygon({0, 0}, {}), std::invalid_argument);
+  std::vector<BoundaryPiece> open;
+  open.push_back({{1.0, 0.0}, false, {}});
+  const ArcPolygon poly({0, 0}, std::move(open));
+  EXPECT_FALSE(poly.well_formed());  // does not return to start
+}
+
+TEST(ArcPolygon, ArcPieceMustLieOnUnitCircle) {
+  std::vector<BoundaryPiece> pieces;
+  pieces.push_back({{1.0, 0.0}, true, {5.0, 5.0}});  // bad arc center
+  pieces.push_back({{0.0, 0.0}, false, {}});
+  const ArcPolygon poly({0, 0}, std::move(pieces));
+  EXPECT_FALSE(poly.well_formed());
+}
+
+TEST(ArcTriangle, FromThreeMutuallyIntersectingCircles) {
+  // Circle centers forming a small triangle; vertices are pairwise
+  // intersections chosen on the outer side.
+  const Vec2 c1{0.0, 0.0}, c2{0.8, 0.0}, c3{0.4, 0.7};
+  const Vec2 a = geom::intersect(geom::unit_disk(c1),
+                                 geom::unit_disk(c2))[0];  // above
+  const Vec2 b = geom::intersect(geom::unit_disk(c2),
+                                 geom::unit_disk(c3))[0];
+  const Vec2 c = geom::intersect(geom::unit_disk(c3),
+                                 geom::unit_disk(c1))[0];
+  // a,b share circle c2; b,c share c3; c,a share c1.
+  const auto tri = make_arc_triangle(a, b, c, c2, c3, c1);
+  EXPECT_TRUE(tri.well_formed());
+  EXPECT_EQ(tri.vertices().size(), 3u);
+  EXPECT_GE(tri.boundary_diameter(0.01) + 1e-9, tri.vertex_diameter());
+}
+
+TEST(ArcTriangle, ValidatesVertexDistances) {
+  EXPECT_THROW((void)make_arc_triangle({0, 0}, {1, 0}, {0, 1}, {5, 5},
+                                       {5, 5}, {5, 5}),
+               std::invalid_argument);
+}
+
+// Appendix claim: the diameter of an arc-polygon is <= 1 iff the
+// diameter of its vertex set is <= 1. Probe on random lenses and arc
+// triangles: boundary diameter must equal the vertex diameter whenever
+// the vertex diameter <= 1, and can only exceed it via vertices
+// otherwise (minor arcs never bulge beyond their chord's circle...).
+class ArcPolygonDiameter : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArcPolygonDiameter, VertexSetDeterminesUnitDiameter) {
+  sim::Rng rng(GetParam() * 7 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double d = rng.uniform(0.2, 1.9);
+    const auto lens = make_lens(d);
+    ASSERT_TRUE(lens.well_formed());
+    const double vd = lens.vertex_diameter();
+    const double bd = lens.boundary_diameter(0.01);
+    // The reduction, numerically: (bd <= 1) iff (vd <= 1), with a small
+    // dead-band for sampling error.
+    if (vd <= 1.0 - 1e-3) {
+      EXPECT_LE(bd, 1.0 + 1e-6) << "d=" << d;
+    }
+    if (vd > 1.0 + 1e-3) {
+      EXPECT_GT(bd, 1.0) << "d=" << d;
+    }
+    // Boundary diameter is never below the vertex diameter.
+    EXPECT_GE(bd + 1e-9, vd);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArcPolygonDiameter,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mcds::packing

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "geom/closest.hpp"
+#include "packing/fig1.hpp"
+#include "packing/fig2.hpp"
+
+namespace mcds::packing {
+namespace {
+
+TEST(Fig1, TwoStarAchievesPhi2) {
+  const TightInstance inst = fig1_two_star();
+  EXPECT_EQ(inst.centers.size(), 2u);
+  EXPECT_EQ(inst.independent.size(), core::bounds::phi(2));
+  EXPECT_TRUE(verify_tight_instance(inst));
+}
+
+TEST(Fig1, ThreeStarAchievesPhi3) {
+  const TightInstance inst = fig1_three_star();
+  EXPECT_EQ(inst.centers.size(), 3u);
+  EXPECT_EQ(inst.independent.size(), core::bounds::phi(3));
+  EXPECT_TRUE(verify_tight_instance(inst));
+}
+
+class Fig1EpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig1EpsSweep, ValidAcrossEpsilons) {
+  const double eps = GetParam();
+  EXPECT_TRUE(verify_tight_instance(fig1_two_star(eps))) << eps;
+  EXPECT_TRUE(verify_tight_instance(fig1_three_star(eps))) << eps;
+  // Strict independence (distance > 1, not >= 1).
+  EXPECT_GT(geom::closest_pair_distance(fig1_three_star(eps).independent),
+            1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, Fig1EpsSweep,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 0.03, 0.049));
+
+TEST(Fig1, RejectsBadEps) {
+  EXPECT_THROW((void)fig1_two_star(0.0), std::invalid_argument);
+  EXPECT_THROW((void)fig1_two_star(-0.01), std::invalid_argument);
+  EXPECT_THROW((void)fig1_three_star(0.06), std::invalid_argument);
+}
+
+TEST(Fig2, CountIsExactlyThreeNPlusThree) {
+  for (std::size_t n = 3; n <= 20; ++n) {
+    const TightInstance inst = fig2_linear(n);
+    EXPECT_EQ(inst.centers.size(), n);
+    EXPECT_EQ(inst.independent.size(), 3 * n + 3) << "n=" << n;
+    EXPECT_TRUE(verify_tight_instance(inst)) << "n=" << n;
+  }
+}
+
+TEST(Fig2, CentersAreUnitSpacedCollinear) {
+  const TightInstance inst = fig2_linear(6);
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_DOUBLE_EQ(inst.centers[k].x, static_cast<double>(k));
+    EXPECT_DOUBLE_EQ(inst.centers[k].y, 0.0);
+  }
+}
+
+TEST(Fig2, MatchesFig1AtNEqualsThree) {
+  // For n = 3 the linear instance is a 3-star: both constructions
+  // achieve the same count φ_3 = 12.
+  EXPECT_EQ(fig2_linear(3).independent.size(),
+            fig1_three_star().independent.size());
+}
+
+class Fig2EpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig2EpsSweep, ValidAcrossEpsilons) {
+  for (std::size_t n : {3u, 5u, 10u}) {
+    const TightInstance inst = fig2_linear(n, GetParam());
+    EXPECT_TRUE(verify_tight_instance(inst))
+        << "n=" << n << " eps=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, Fig2EpsSweep,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 0.039));
+
+TEST(Fig2, Preconditions) {
+  EXPECT_THROW((void)fig2_linear(2), std::invalid_argument);
+  EXPECT_THROW((void)fig2_linear(5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)fig2_linear(5, 0.05), std::invalid_argument);
+}
+
+TEST(Fig2, StaysBelowTheorem6UpperBound) {
+  // Theorem 6: at most 11n/3 + 1 independent points in the neighborhood
+  // of n connected points; the construction gives 3n + 3 < 11n/3 + 1
+  // for n > 6 and equals the φ_n star bound pattern otherwise.
+  for (std::size_t n = 3; n <= 30; ++n) {
+    const double upper = 11.0 * static_cast<double>(n) / 3.0 + 1.0;
+    EXPECT_LE(static_cast<double>(fig2_linear(n).independent.size()),
+              upper + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcds::packing

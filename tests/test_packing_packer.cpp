@@ -1,0 +1,106 @@
+#include "packing/packer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/closest.hpp"
+#include "packing/wegner.hpp"
+
+namespace mcds::packing {
+namespace {
+
+using geom::DiskUnion;
+using geom::Vec2;
+
+PackOptions fast_options(std::uint64_t seed) {
+  PackOptions opt;
+  opt.grid_step = 0.08;
+  opt.restarts = 6;
+  opt.ruin_rounds = 10;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(Packer, OutputIsIndependentAndInside) {
+  const DiskUnion region({{0, 0}, {1, 0}, {2, 0}}, 1.0);
+  const auto result = pack_independent_points(region, fast_options(1));
+  EXPECT_FALSE(result.points.empty());
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_TRUE(geom::is_independent_point_set(result.points, 1.0));
+  for (const Vec2 p : result.points) EXPECT_TRUE(region.contains(p, 1e-9));
+}
+
+TEST(Packer, SingleDiskRespectsFivePointLimit) {
+  // |I(u)| <= 5 (Section II, trivial bound): no more than five points
+  // with pairwise distance > 1 fit in a closed unit disk.
+  const DiskUnion region({{0, 0}}, 1.0);
+  const auto result = pack_independent_points(region, fast_options(2));
+  EXPECT_LE(result.points.size(), 5u);
+  EXPECT_GE(result.points.size(), 4u);  // the optimizer should get close
+}
+
+TEST(Packer, TwoStarRespectsPhi2) {
+  const DiskUnion region({{0, 0}, {1, 0}}, 1.0);
+  const auto result = pack_independent_points(region, fast_options(3));
+  EXPECT_LE(result.points.size(), 8u);  // φ_2 (Theorem 3)
+  EXPECT_GE(result.points.size(), 6u);
+}
+
+TEST(Packer, DeterministicForSeed) {
+  const DiskUnion region({{0, 0}, {0.8, 0.3}}, 1.0);
+  const auto a = pack_independent_points(region, fast_options(7));
+  const auto b = pack_independent_points(region, fast_options(7));
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_EQ(a.points[i].y, b.points[i].y);
+  }
+}
+
+TEST(Packer, OptionValidation) {
+  const DiskUnion region({{0, 0}}, 1.0);
+  PackOptions bad;
+  bad.grid_step = 0.0;
+  EXPECT_THROW((void)pack_independent_points(region, bad),
+               std::invalid_argument);
+  PackOptions bad2;
+  bad2.ruin_fraction = 1.5;
+  EXPECT_THROW((void)pack_independent_points(region, bad2),
+               std::invalid_argument);
+}
+
+TEST(Wegner, WitnessValidation) {
+  const std::vector<Vec2> ok{{0, 0}, {1.2, 0}, {0, 1.2}};
+  EXPECT_TRUE(is_wegner_witness({0, 0}, ok));
+  const std::vector<Vec2> too_far{{0, 0}, {2.5, 0}};
+  EXPECT_FALSE(is_wegner_witness({0, 0}, too_far));
+  const std::vector<Vec2> too_close{{0, 0}, {0.5, 0}};
+  EXPECT_FALSE(is_wegner_witness({0, 0}, too_close));
+  EXPECT_TRUE(is_wegner_witness({0, 0}, std::vector<Vec2>{}));
+  EXPECT_EQ(kWegnerLimit, 21u);
+}
+
+TEST(Wegner, PackerStaysBelowLimitInRadiusTwoDisk) {
+  // Theorem 3 uses Wegner: <= 21 points at pairwise distance >= 1 in a
+  // radius-2 disk. Our strict-independence packer must stay below that.
+  const DiskUnion region({{0, 0}}, 2.0);
+  const auto result = pack_independent_points(region, fast_options(11));
+  EXPECT_LE(result.points.size(), kWegnerLimit);
+  EXPECT_GE(result.points.size(), 12u);
+  EXPECT_TRUE(is_wegner_witness({0, 0}, result.points));
+}
+
+TEST(Packer, AllowTouchingPacksAtLeastAsMany) {
+  const DiskUnion region({{0, 0}, {1, 0}}, 1.0);
+  PackOptions strict = fast_options(5);
+  PackOptions touching = strict;
+  touching.allow_touching = true;
+  const auto s = pack_independent_points(region, strict);
+  const auto t = pack_independent_points(region, touching);
+  // The >= 1 regime is a relaxation of the > 1 regime.
+  EXPECT_GE(t.points.size(), s.points.size());
+  // Every returned pair still respects the relaxed separation.
+  EXPECT_TRUE(geom::is_independent_point_set(t.points, 1.0 - 1e-6));
+}
+
+}  // namespace
+}  // namespace mcds::packing

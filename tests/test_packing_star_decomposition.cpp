@@ -1,0 +1,99 @@
+#include "packing/star_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "udg/builder.hpp"
+#include "udg/instance.hpp"
+
+namespace mcds::packing {
+namespace {
+
+using geom::Vec2;
+
+TEST(StarDecomposition, TwoPoints) {
+  const std::vector<Vec2> pts{{0, 0}, {0.5, 0}};
+  const auto stars = star_decomposition(pts);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_EQ(stars[0].size(), 2u);
+  EXPECT_TRUE(is_nontrivial_star_decomposition(pts, stars));
+}
+
+TEST(StarDecomposition, CollinearPath) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 9; ++i) pts.push_back({0.9 * i, 0.0});
+  const auto stars = star_decomposition(pts);
+  EXPECT_TRUE(is_nontrivial_star_decomposition(pts, stars));
+  // A path decomposes into at most ceil(n/2) stars.
+  EXPECT_LE(stars.size(), 5u);
+}
+
+TEST(StarDecomposition, DenseCluster) {
+  // All points within one unit disk: a single star suffices, but any
+  // valid nontrivial decomposition is accepted.
+  std::vector<Vec2> pts{{0, 0}, {0.1, 0.2}, {-0.2, 0.1},
+                        {0.3, -0.1}, {-0.1, -0.3}};
+  const auto stars = star_decomposition(pts);
+  EXPECT_TRUE(is_nontrivial_star_decomposition(pts, stars));
+}
+
+TEST(StarDecomposition, Preconditions) {
+  EXPECT_THROW((void)star_decomposition(std::vector<Vec2>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)star_decomposition(std::vector<Vec2>{{1, 1}}),
+               std::invalid_argument);
+  const std::vector<Vec2> disconnected{{0, 0}, {5, 5}};
+  EXPECT_THROW((void)star_decomposition(disconnected),
+               std::invalid_argument);
+}
+
+TEST(IsStar, Definition) {
+  const std::vector<Vec2> pts{{0, 0}, {0.8, 0}, {-0.8, 0}};
+  Star centered_at_0{0, {0, 1, 2}};
+  EXPECT_TRUE(is_star(pts, centered_at_0));
+  Star centered_at_1{1, {0, 1, 2}};  // 2 is 1.6 away from 1
+  EXPECT_FALSE(is_star(pts, centered_at_1));
+  Star bad_index{5, {0, 1}};
+  EXPECT_FALSE(is_star(pts, bad_index));
+}
+
+TEST(IsNontrivialStarDecomposition, RejectsBadPartitions) {
+  const std::vector<Vec2> pts{{0, 0}, {0.5, 0}, {1.0, 0}, {1.5, 0}};
+  // Singleton star: invalid.
+  const std::vector<Star> with_singleton{{0, {0, 1, 2}}, {0, {3}}};
+  EXPECT_FALSE(is_nontrivial_star_decomposition(pts, with_singleton));
+  // Missing node 3: invalid.
+  const std::vector<Star> missing{{0, {0, 1, 2}}};
+  EXPECT_FALSE(is_nontrivial_star_decomposition(pts, missing));
+  // Overlap: invalid.
+  const std::vector<Star> overlap{{0, {0, 1}}, {0, {1, 2, 3}}};
+  EXPECT_FALSE(is_nontrivial_star_decomposition(pts, overlap));
+  // Proper: {0,1} and {2,3}.
+  const std::vector<Star> proper{{0, {0, 1}}, {0, {2, 3}}};
+  EXPECT_TRUE(is_nontrivial_star_decomposition(pts, proper));
+}
+
+// Lemma 4 property sweep: every random connected planar set of >= 2
+// points must admit (and our algorithm must find) a non-trivial
+// star-decomposition.
+class Lemma4Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma4Random, DecompositionAlwaysValid) {
+  udg::InstanceParams params;
+  params.nodes = 8 + (GetParam() % 50);
+  params.side = 2.0 + static_cast<double>(GetParam() % 5);
+  const auto inst =
+      udg::generate_largest_component_instance(params, GetParam() * 71);
+  if (inst.points.size() < 2) GTEST_SKIP() << "degenerate component";
+  const auto stars = star_decomposition(inst.points);
+  EXPECT_TRUE(is_nontrivial_star_decomposition(inst.points, stars))
+      << "n=" << inst.points.size();
+  // A nontrivial decomposition has at most floor(n/2) stars.
+  EXPECT_LE(stars.size(), inst.points.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma4Random,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace mcds::packing

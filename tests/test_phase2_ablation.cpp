@@ -1,0 +1,107 @@
+#include "baselines/phase2_ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/greedy_connect.hpp"
+#include "core/validate.hpp"
+#include "test_util.hpp"
+#include "udg/instance.hpp"
+
+namespace mcds::baselines {
+namespace {
+
+constexpr ConnectorPolicy kAllPolicies[] = {
+    ConnectorPolicy::kTreeParent,        ConnectorPolicy::kMaxGain,
+    ConnectorPolicy::kFirstPositiveGain, ConnectorPolicy::kRandomPositiveGain,
+    ConnectorPolicy::kShortestPath,
+};
+
+TEST(Phase2Ablation, PolicyNames) {
+  for (const auto p : kAllPolicies) {
+    EXPECT_NE(std::string(to_string(p)), "unknown");
+  }
+}
+
+TEST(Phase2Ablation, AllPoliciesShareTheSameMis) {
+  udg::InstanceParams params;
+  params.nodes = 80;
+  params.side = 8.0;
+  const auto inst = udg::generate_largest_component_instance(params, 5);
+  std::vector<NodeId> reference;
+  for (const auto p : kAllPolicies) {
+    const auto r = cds_with_policy(inst.graph, p);
+    if (reference.empty()) {
+      reference = r.phase1.mis;
+    } else {
+      EXPECT_EQ(r.phase1.mis, reference) << to_string(p);
+    }
+  }
+}
+
+TEST(Phase2Ablation, MaxGainMatchesGreedyEntryPoint) {
+  udg::InstanceParams params;
+  params.nodes = 90;
+  params.side = 9.0;
+  const auto inst = udg::generate_largest_component_instance(params, 8);
+  const auto policy = cds_with_policy(inst.graph, ConnectorPolicy::kMaxGain);
+  const auto direct = core::greedy_cds(inst.graph, 0);
+  EXPECT_EQ(policy.cds, direct.cds);
+}
+
+TEST(Phase2Ablation, RandomPolicyIsSeedDeterministic) {
+  udg::InstanceParams params;
+  params.nodes = 70;
+  params.side = 7.5;
+  const auto inst = udg::generate_largest_component_instance(params, 13);
+  const auto a = cds_with_policy(inst.graph,
+                                 ConnectorPolicy::kRandomPositiveGain, 0, 42);
+  const auto b = cds_with_policy(inst.graph,
+                                 ConnectorPolicy::kRandomPositiveGain, 0, 42);
+  EXPECT_EQ(a.cds, b.cds);
+}
+
+TEST(Phase2Ablation, SingleNodeGraph) {
+  const graph::Graph g(1);
+  for (const auto p : kAllPolicies) {
+    const auto r = cds_with_policy(g, p);
+    EXPECT_EQ(r.cds, (std::vector<NodeId>{0})) << to_string(p);
+  }
+}
+
+// Property sweep: every policy yields a valid CDS; max-gain never loses
+// to first-positive by more than it gains elsewhere (weak sanity: both
+// stay within |I| - 1 connectors).
+class PolicyValidity
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PolicyValidity, ValidCdsAndBoundedConnectors) {
+  const auto [pi, seed] = GetParam();
+  const auto policy = kAllPolicies[pi];
+  udg::InstanceParams params;
+  params.nodes = 90;
+  params.side = 6.0 + static_cast<double>(seed % 3) * 2.0;
+  const auto inst =
+      udg::generate_largest_component_instance(params, seed * 19 + 3);
+  const auto r = cds_with_policy(inst.graph, policy, 0, seed);
+  EXPECT_TRUE(core::is_cds(inst.graph, r.cds)) << to_string(policy);
+  // Gain-driven rules merge at least one component pair per connector,
+  // so they never use more than |I| - 1 connectors. (Tree parents and
+  // shortest-path interiors have no such per-node guarantee.)
+  if (!r.phase1.mis.empty() &&
+      (policy == ConnectorPolicy::kMaxGain ||
+       policy == ConnectorPolicy::kFirstPositiveGain ||
+       policy == ConnectorPolicy::kRandomPositiveGain)) {
+    EXPECT_LE(r.connectors.size(), r.phase1.mis.size() - 1)
+        << to_string(policy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySeeds, PolicyValidity,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Range<std::uint64_t>(1, 9)));
+
+}  // namespace
+}  // namespace mcds::baselines

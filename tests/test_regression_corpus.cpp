@@ -1,0 +1,66 @@
+// Golden regression corpus: pins the exact output sizes of every
+// construction on three fixed instances. Any behavioral change to an
+// algorithm, the RNG, the deployment models or the UDG builder shows up
+// here first. Update the golden table deliberately when a change is
+// intended, never to make a red test pass.
+
+#include <gtest/gtest.h>
+
+#include "baselines/alzoubi.hpp"
+#include "baselines/bharghavan_das.hpp"
+#include "baselines/guha_khuller.hpp"
+#include "baselines/li_thai.hpp"
+#include "baselines/stojmenovic.hpp"
+#include "baselines/wu_li.hpp"
+#include "core/greedy_connect.hpp"
+#include "core/waf.hpp"
+#include "dist/distributed_cds.hpp"
+#include "udg/instance.hpp"
+
+namespace mcds {
+namespace {
+
+struct Golden {
+  std::size_t nodes;
+  double side;
+  std::uint64_t seed;
+  // Expected values:
+  std::size_t graph_nodes, graph_edges;
+  std::size_t waf, greedy, gk, bd, sto, li_thai, wu_li, alzoubi, dist_waf;
+};
+
+// Produced by the construction stack at corpus creation time.
+constexpr Golden kCorpus[] = {
+    {80, 7.0, 101, 80, 185, 50, 46, 34, 35, 46, 49, 50, 56, 50},
+    {150, 10.0, 202, 91, 240, 48, 46, 35, 41, 47, 49, 50, 57, 46},
+    {300, 12.0, 303, 300, 906, 144, 132, 97, 114, 136, 142, 158, 179, 140},
+};
+
+class RegressionCorpus : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(RegressionCorpus, AllSizesMatchGolden) {
+  const Golden& c = GetParam();
+  udg::InstanceParams params;
+  params.nodes = c.nodes;
+  params.side = c.side;
+  const auto inst = udg::generate_largest_component_instance(params, c.seed);
+  const graph::Graph& g = inst.graph;
+  EXPECT_EQ(g.num_nodes(), c.graph_nodes);
+  EXPECT_EQ(g.num_edges(), c.graph_edges);
+
+  EXPECT_EQ(core::waf_cds(g, 0).cds.size(), c.waf);
+  EXPECT_EQ(core::greedy_cds(g, 0).cds.size(), c.greedy);
+  EXPECT_EQ(baselines::guha_khuller_cds(g).size(), c.gk);
+  EXPECT_EQ(baselines::bharghavan_das_cds(g).size(), c.bd);
+  EXPECT_EQ(baselines::stojmenovic_cds(g).size(), c.sto);
+  EXPECT_EQ(baselines::li_thai_cds(g).size(), c.li_thai);
+  EXPECT_EQ(baselines::wu_li_cds(g).size(), c.wu_li);
+  EXPECT_EQ(baselines::alzoubi_cds(g).size(), c.alzoubi);
+  EXPECT_EQ(dist::distributed_waf_cds(g).cds.size(), c.dist_waf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RegressionCorpus,
+                         ::testing::ValuesIn(kCorpus));
+
+}  // namespace
+}  // namespace mcds

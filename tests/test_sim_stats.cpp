@@ -1,0 +1,79 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mcds::sim {
+namespace {
+
+TEST(Accumulator, KnownValues) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Accumulator, EmptyAndSingle) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.stdev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci95_halfwidth(), 0.0);
+}
+
+TEST(Accumulator, CiShrinksWithSamples) {
+  Accumulator small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Summarize, FullSummary) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stdev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs{30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, Preconditions) {
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 0.5),
+               std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 1.0);
+}
+
+}  // namespace
+}  // namespace mcds::sim

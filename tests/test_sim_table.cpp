@@ -1,0 +1,62 @@
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcds::sim {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(3.14159, 2);
+  t.row().add("b").add(std::size_t{42});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("say \"hi\"");
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, UsageErrors) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+  Table t({"only"});
+  EXPECT_THROW(t.add("no row yet"), std::logic_error);
+  t.row().add("ok");
+  EXPECT_THROW(t.add("overflow"), std::logic_error);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.row().add("only one");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Table, IntColumns) {
+  Table t({"i"});
+  t.row().add(-7);
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("-7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcds::sim

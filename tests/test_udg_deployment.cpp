@@ -1,0 +1,113 @@
+#include "udg/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcds::udg {
+namespace {
+
+TEST(Deployment, UniformSquareBoundsAndCount) {
+  sim::Rng rng(1);
+  const auto pts = deploy_uniform_square(200, 7.5, rng);
+  EXPECT_EQ(pts.size(), 200u);
+  for (const auto p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 7.5);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 7.5);
+  }
+}
+
+TEST(Deployment, UniformDiskInsideDisk) {
+  sim::Rng rng(2);
+  const auto pts = deploy_uniform_disk(300, 4.0, rng);
+  EXPECT_EQ(pts.size(), 300u);
+  for (const auto p : pts) {
+    EXPECT_LE(geom::dist(p, {4.0, 4.0}), 4.0 + 1e-9);
+  }
+}
+
+TEST(Deployment, PerturbedGridCountAndBounds) {
+  sim::Rng rng(3);
+  const auto pts = deploy_perturbed_grid(90, 10.0, 0.4, rng);
+  EXPECT_EQ(pts.size(), 90u);
+  for (const auto p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 10.0);
+  }
+  EXPECT_TRUE(deploy_perturbed_grid(0, 10.0, 0.4, rng).empty());
+}
+
+TEST(Deployment, PerturbedGridZeroJitterIsRegular) {
+  sim::Rng rng(4);
+  const auto pts = deploy_perturbed_grid(9, 3.0, 0.0, rng);
+  ASSERT_EQ(pts.size(), 9u);
+  EXPECT_NEAR(pts[0].x, 0.5, 1e-12);
+  EXPECT_NEAR(pts[0].y, 0.5, 1e-12);
+  EXPECT_NEAR(pts[4].x, 1.5, 1e-12);
+}
+
+TEST(Deployment, GaussianClustersClamped) {
+  sim::Rng rng(5);
+  const auto pts = deploy_gaussian_clusters(250, 6.0, 4, 0.8, rng);
+  EXPECT_EQ(pts.size(), 250u);
+  for (const auto p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 6.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 6.0);
+  }
+}
+
+TEST(Deployment, CorridorShape) {
+  sim::Rng rng(6);
+  const auto pts = deploy_corridor(100, 20.0, 2.0, rng);
+  for (const auto p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 20.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 2.0);
+  }
+}
+
+TEST(Deployment, InvalidParametersThrow) {
+  sim::Rng rng(7);
+  EXPECT_THROW((void)deploy_uniform_square(5, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)deploy_uniform_disk(5, -1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)deploy_perturbed_grid(5, 5.0, -0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)deploy_gaussian_clusters(5, 5.0, 0, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)deploy_gaussian_clusters(5, 5.0, 2, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)deploy_corridor(5, 5.0, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Deployment, DispatchCoversAllModels) {
+  for (const auto m :
+       {DeploymentModel::kUniformSquare, DeploymentModel::kUniformDisk,
+        DeploymentModel::kPerturbedGrid, DeploymentModel::kGaussianCluster,
+        DeploymentModel::kCorridor}) {
+    sim::Rng rng(8);
+    const auto pts = deploy(m, 50, 8.0, rng);
+    EXPECT_EQ(pts.size(), 50u) << to_string(m);
+    EXPECT_NE(std::string(to_string(m)), "unknown");
+  }
+}
+
+TEST(Deployment, DeterministicPerSeed) {
+  sim::Rng a(99), b(99);
+  const auto pa = deploy_uniform_square(20, 5.0, a);
+  const auto pb = deploy_uniform_square(20, 5.0, b);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(pa[i].x, pb[i].x);
+    EXPECT_EQ(pa[i].y, pb[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace mcds::udg

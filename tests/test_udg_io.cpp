@@ -1,0 +1,70 @@
+#include "udg/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "udg/deployment.hpp"
+
+namespace mcds::udg {
+namespace {
+
+using geom::Vec2;
+
+TEST(PointsIo, RoundTripPreservesExactValues) {
+  sim::Rng rng(1);
+  const auto original = deploy_uniform_square(50, 9.0, rng);
+  std::stringstream ss;
+  save_points(ss, original);
+  const auto loaded = load_points(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // Full double precision: bit-exact round trip.
+    EXPECT_EQ(loaded[i].x, original[i].x) << i;
+    EXPECT_EQ(loaded[i].y, original[i].y) << i;
+  }
+}
+
+TEST(PointsIo, EmptySetRoundTrips) {
+  std::stringstream ss;
+  save_points(ss, {});
+  EXPECT_TRUE(load_points(ss).empty());
+}
+
+TEST(PointsIo, RejectsBadMagic) {
+  std::stringstream ss("not-points 1\n2\n0 0\n1 1\n");
+  EXPECT_THROW((void)load_points(ss), std::runtime_error);
+}
+
+TEST(PointsIo, RejectsBadVersion) {
+  std::stringstream ss("mcds-points 99\n1\n0 0\n");
+  EXPECT_THROW((void)load_points(ss), std::runtime_error);
+}
+
+TEST(PointsIo, RejectsTruncatedData) {
+  std::stringstream ss("mcds-points 1\n3\n0 0\n1 1\n");
+  EXPECT_THROW((void)load_points(ss), std::runtime_error);
+}
+
+TEST(PointsIo, RejectsNonNumericCoordinates) {
+  std::stringstream ss("mcds-points 1\n1\nfoo bar\n");
+  EXPECT_THROW((void)load_points(ss), std::runtime_error);
+}
+
+TEST(PointsIo, FileRoundTrip) {
+  const std::string path = "/tmp/mcds_io_test.pts";
+  const std::vector<Vec2> pts{{1.25, -3.5}, {0.0, 0.0}};
+  save_points_file(path, pts);
+  const auto loaded = load_points_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].x, 1.25);
+  EXPECT_EQ(loaded[1].y, 0.0);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_points_file(path), std::runtime_error);
+  EXPECT_THROW(save_points_file("/nonexistent-dir/x.pts", pts),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcds::udg

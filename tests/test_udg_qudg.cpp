@@ -1,0 +1,76 @@
+#include "udg/qudg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "udg/builder.hpp"
+#include "udg/deployment.hpp"
+
+namespace mcds::udg {
+namespace {
+
+using geom::Vec2;
+
+TEST(QuasiUdg, DegeneratesToUdgWhenBandIsEmpty) {
+  sim::Rng deploy_rng(1);
+  const auto pts = deploy_uniform_square(80, 8.0, deploy_rng);
+  sim::Rng rng(2);
+  const auto qudg = build_quasi_udg(pts, 1.0, 1.0, rng);
+  const auto udg = build_udg(pts, 1.0);
+  EXPECT_EQ(qudg.edges(), udg.edges());
+}
+
+TEST(QuasiUdg, EdgesRespectRadiusBands) {
+  sim::Rng deploy_rng(3);
+  const auto pts = deploy_uniform_square(100, 9.0, deploy_rng);
+  sim::Rng rng(4);
+  const double r_min = 0.7, r_max = 1.3;
+  const auto g = build_quasi_udg(pts, r_min, r_max, rng);
+  // Certain region always connected, far region never.
+  for (graph::NodeId i = 0; i < pts.size(); ++i) {
+    for (graph::NodeId j = i + 1; j < pts.size(); ++j) {
+      const double d = geom::dist(pts[i], pts[j]);
+      if (d <= r_min) {
+        EXPECT_TRUE(g.has_edge(i, j)) << i << "," << j;
+      } else if (d > r_max) {
+        EXPECT_FALSE(g.has_edge(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(QuasiUdg, GrayZoneDensityBetweenExtremes) {
+  sim::Rng deploy_rng(5);
+  const auto pts = deploy_uniform_square(150, 10.0, deploy_rng);
+  sim::Rng rng(6);
+  const auto g = build_quasi_udg(pts, 0.6, 1.4, rng);
+  const auto lower = build_udg(pts, 0.6);
+  const auto upper = build_udg(pts, 1.4);
+  EXPECT_GE(g.num_edges(), lower.num_edges());
+  EXPECT_LE(g.num_edges(), upper.num_edges());
+  // Some gray-zone links should exist and some should be missing.
+  EXPECT_GT(g.num_edges(), lower.num_edges());
+  EXPECT_LT(g.num_edges(), upper.num_edges());
+}
+
+TEST(QuasiUdg, DeterministicPerSeed) {
+  sim::Rng deploy_rng(7);
+  const auto pts = deploy_uniform_square(60, 7.0, deploy_rng);
+  sim::Rng a(9), b(9), c(10);
+  const auto ga = build_quasi_udg(pts, 0.8, 1.2, a);
+  const auto gb = build_quasi_udg(pts, 0.8, 1.2, b);
+  const auto gc = build_quasi_udg(pts, 0.8, 1.2, c);
+  EXPECT_EQ(ga.edges(), gb.edges());
+  EXPECT_NE(ga.edges(), gc.edges());  // different stream, different draw
+}
+
+TEST(QuasiUdg, InvalidParametersThrow) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 0}};
+  sim::Rng rng(1);
+  EXPECT_THROW((void)build_quasi_udg(pts, 0.0, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_quasi_udg(pts, 1.2, 1.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcds::udg

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/greedy_connect.hpp"
+#include "packing/fig1.hpp"
+#include "udg/instance.hpp"
+#include "viz/render.hpp"
+#include "viz/svg.hpp"
+
+namespace mcds::viz {
+namespace {
+
+TEST(SvgCanvas, ValidDocumentStructure) {
+  SvgCanvas canvas({0, 0}, {10, 5}, 500.0);
+  canvas.dot({1, 1}, 0.2, "red");
+  canvas.circle({5, 2}, 1.0, Style{});
+  canvas.segment({0, 0}, {10, 5}, Style{});
+  canvas.text({2, 2}, "label & <tag>", 0.5);
+  std::ostringstream ss;
+  canvas.write(ss);
+  const std::string out = ss.str();
+  EXPECT_EQ(out.find("<svg xmlns"), 0u);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find("<line"), std::string::npos);
+  // XML escaping applied.
+  EXPECT_NE(out.find("label &amp; &lt;tag&gt;"), std::string::npos);
+  EXPECT_EQ(out.find("<tag>"), std::string::npos);
+}
+
+TEST(SvgCanvas, CoordinateMapping) {
+  // Viewport (0,0)-(10,5) at width 500 => scale 50 px/unit; y flipped.
+  SvgCanvas canvas({0, 0}, {10, 5}, 500.0);
+  canvas.dot({0, 0}, 0.1, "black");  // bottom-left => (0, 250)
+  std::ostringstream ss;
+  canvas.write(ss);
+  EXPECT_NE(ss.str().find("cx=\"0\" cy=\"250\""), std::string::npos);
+}
+
+TEST(SvgCanvas, RejectsDegenerateViewport) {
+  EXPECT_THROW(SvgCanvas({0, 0}, {0, 5}, 500.0), std::invalid_argument);
+  EXPECT_THROW(SvgCanvas({0, 0}, {5, 0}, 500.0), std::invalid_argument);
+  EXPECT_THROW(SvgCanvas({0, 0}, {5, 5}, 0.0), std::invalid_argument);
+}
+
+TEST(RenderNetwork, ContainsBackboneAndNodes) {
+  udg::InstanceParams params;
+  params.nodes = 40;
+  params.side = 5.0;
+  const auto inst = udg::generate_largest_component_instance(params, 2);
+  const auto greedy = core::greedy_cds(inst.graph, 0);
+  const auto canvas = render_network(inst.points, inst.graph, greedy.cds,
+                                     greedy.phase1.mis);
+  std::ostringstream ss;
+  canvas.write(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("#d62728"), std::string::npos);  // backbone red
+  EXPECT_NE(out.find("#1f77b4"), std::string::npos);  // dominator ring
+  // One dot per node at least.
+  std::size_t circles = 0;
+  for (std::size_t pos = out.find("<circle"); pos != std::string::npos;
+       pos = out.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_GE(circles, inst.points.size());
+}
+
+TEST(RenderNetwork, Preconditions) {
+  const graph::Graph g(3);
+  const std::vector<geom::Vec2> two{{0, 0}, {1, 1}};
+  EXPECT_THROW((void)render_network(two, g, {}, {}), std::invalid_argument);
+  const std::vector<geom::Vec2> none;
+  EXPECT_THROW((void)render_network(none, graph::Graph{}, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(RenderPacking, DrawsDisksAndWitness) {
+  const auto fig1 = packing::fig1_three_star();
+  const auto canvas = render_packing(fig1.centers, fig1.independent);
+  std::ostringstream ss;
+  canvas.write(ss);
+  std::size_t circles = 0;
+  for (std::size_t pos = ss.str().find("<circle");
+       pos != std::string::npos; pos = ss.str().find("<circle", pos + 1)) {
+    ++circles;
+  }
+  // 3 disks + 3 center dots + 12 witness dots.
+  EXPECT_EQ(circles, 18u);
+  EXPECT_THROW((void)render_packing({}, fig1.independent),
+               std::invalid_argument);
+}
+
+TEST(SvgCanvas, SaveWritesFileAndReportsErrors) {
+  SvgCanvas canvas({0, 0}, {1, 1}, 100.0);
+  canvas.dot({0.5, 0.5}, 0.1, "black");
+  const std::string path = "/tmp/mcds_viz_test.svg";
+  canvas.save(path);
+  std::ifstream file(path);
+  std::string first;
+  std::getline(file, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(path.c_str());
+  EXPECT_THROW(canvas.save("/nonexistent-dir/x.svg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcds::viz
