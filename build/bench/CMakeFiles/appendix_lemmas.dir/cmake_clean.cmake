@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_lemmas.dir/appendix_lemmas.cpp.o"
+  "CMakeFiles/appendix_lemmas.dir/appendix_lemmas.cpp.o.d"
+  "appendix_lemmas"
+  "appendix_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

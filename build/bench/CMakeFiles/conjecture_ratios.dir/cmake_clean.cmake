@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjecture_ratios.dir/conjecture_ratios.cpp.o"
+  "CMakeFiles/conjecture_ratios.dir/conjecture_ratios.cpp.o.d"
+  "conjecture_ratios"
+  "conjecture_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjecture_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

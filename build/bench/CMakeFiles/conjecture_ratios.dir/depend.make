@@ -1,0 +1,2 @@
+# Empty dependencies file for conjecture_ratios.
+# This may be replaced when dependencies are built.

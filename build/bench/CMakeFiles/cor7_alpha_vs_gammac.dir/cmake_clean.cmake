@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cor7_alpha_vs_gammac.dir/cor7_alpha_vs_gammac.cpp.o"
+  "CMakeFiles/cor7_alpha_vs_gammac.dir/cor7_alpha_vs_gammac.cpp.o.d"
+  "cor7_alpha_vs_gammac"
+  "cor7_alpha_vs_gammac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cor7_alpha_vs_gammac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

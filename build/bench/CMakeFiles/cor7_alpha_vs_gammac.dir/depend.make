@@ -1,0 +1,2 @@
+# Empty dependencies file for cor7_alpha_vs_gammac.
+# This may be replaced when dependencies are built.

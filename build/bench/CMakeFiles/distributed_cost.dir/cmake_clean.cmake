@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_cost.dir/distributed_cost.cpp.o"
+  "CMakeFiles/distributed_cost.dir/distributed_cost.cpp.o.d"
+  "distributed_cost"
+  "distributed_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

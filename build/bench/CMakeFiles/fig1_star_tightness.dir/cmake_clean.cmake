@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_star_tightness.dir/fig1_star_tightness.cpp.o"
+  "CMakeFiles/fig1_star_tightness.dir/fig1_star_tightness.cpp.o.d"
+  "fig1_star_tightness"
+  "fig1_star_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_star_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_linear_packing.dir/fig2_linear_packing.cpp.o"
+  "CMakeFiles/fig2_linear_packing.dir/fig2_linear_packing.cpp.o.d"
+  "fig2_linear_packing"
+  "fig2_linear_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_linear_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_symdiff.dir/lemma1_symdiff.cpp.o"
+  "CMakeFiles/lemma1_symdiff.dir/lemma1_symdiff.cpp.o.d"
+  "lemma1_symdiff"
+  "lemma1_symdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_symdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

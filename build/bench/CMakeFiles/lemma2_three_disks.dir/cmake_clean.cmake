@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma2_three_disks.dir/lemma2_three_disks.cpp.o"
+  "CMakeFiles/lemma2_three_disks.dir/lemma2_three_disks.cpp.o.d"
+  "lemma2_three_disks"
+  "lemma2_three_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma2_three_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

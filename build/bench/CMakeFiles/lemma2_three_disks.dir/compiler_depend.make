@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma2_three_disks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for lemma2_three_disks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma4_star_decomposition.dir/lemma4_star_decomposition.cpp.o"
+  "CMakeFiles/lemma4_star_decomposition.dir/lemma4_star_decomposition.cpp.o.d"
+  "lemma4_star_decomposition"
+  "lemma4_star_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma4_star_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase1_ablation.dir/phase1_ablation.cpp.o"
+  "CMakeFiles/phase1_ablation.dir/phase1_ablation.cpp.o.d"
+  "phase1_ablation"
+  "phase1_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase1_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

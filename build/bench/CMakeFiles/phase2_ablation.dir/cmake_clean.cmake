@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase2_ablation.dir/phase2_ablation.cpp.o"
+  "CMakeFiles/phase2_ablation.dir/phase2_ablation.cpp.o.d"
+  "phase2_ablation"
+  "phase2_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

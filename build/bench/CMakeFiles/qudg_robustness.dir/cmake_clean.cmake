@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qudg_robustness.dir/qudg_robustness.cpp.o"
+  "CMakeFiles/qudg_robustness.dir/qudg_robustness.cpp.o.d"
+  "qudg_robustness"
+  "qudg_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qudg_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_vs_rebuild.dir/repair_vs_rebuild.cpp.o"
+  "CMakeFiles/repair_vs_rebuild.dir/repair_vs_rebuild.cpp.o.d"
+  "repair_vs_rebuild"
+  "repair_vs_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_vs_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm10_decomposition.dir/thm10_decomposition.cpp.o"
+  "CMakeFiles/thm10_decomposition.dir/thm10_decomposition.cpp.o.d"
+  "thm10_decomposition"
+  "thm10_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm10_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm10_greedy_ratio.dir/thm10_greedy_ratio.cpp.o"
+  "CMakeFiles/thm10_greedy_ratio.dir/thm10_greedy_ratio.cpp.o.d"
+  "thm10_greedy_ratio"
+  "thm10_greedy_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm10_greedy_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm10_greedy_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm3_star_packing.dir/thm3_star_packing.cpp.o"
+  "CMakeFiles/thm3_star_packing.dir/thm3_star_packing.cpp.o.d"
+  "thm3_star_packing"
+  "thm3_star_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm3_star_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

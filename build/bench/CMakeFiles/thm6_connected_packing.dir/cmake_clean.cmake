@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm6_connected_packing.dir/thm6_connected_packing.cpp.o"
+  "CMakeFiles/thm6_connected_packing.dir/thm6_connected_packing.cpp.o.d"
+  "thm6_connected_packing"
+  "thm6_connected_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm6_connected_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm8_waf_ratio.dir/thm8_waf_ratio.cpp.o"
+  "CMakeFiles/thm8_waf_ratio.dir/thm8_waf_ratio.cpp.o.d"
+  "thm8_waf_ratio"
+  "thm8_waf_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm8_waf_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wegner_limit.dir/wegner_limit.cpp.o"
+  "CMakeFiles/wegner_limit.dir/wegner_limit.cpp.o.d"
+  "wegner_limit"
+  "wegner_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wegner_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_backbone.dir/broadcast_backbone.cpp.o"
+  "CMakeFiles/broadcast_backbone.dir/broadcast_backbone.cpp.o.d"
+  "broadcast_backbone"
+  "broadcast_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_cli.dir/mcds_cli.cpp.o"
+  "CMakeFiles/mcds_cli.dir/mcds_cli.cpp.o.d"
+  "mcds_cli"
+  "mcds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_spine.dir/routing_spine.cpp.o"
+  "CMakeFiles/routing_spine.dir/routing_spine.cpp.o.d"
+  "routing_spine"
+  "routing_spine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_spine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

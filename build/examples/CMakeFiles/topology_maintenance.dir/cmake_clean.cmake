@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_maintenance.dir/topology_maintenance.cpp.o"
+  "CMakeFiles/topology_maintenance.dir/topology_maintenance.cpp.o.d"
+  "topology_maintenance"
+  "topology_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

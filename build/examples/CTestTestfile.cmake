@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_generate]=] "/root/repo/build/examples/mcds_cli" "generate" "--nodes" "60" "--side" "7" "--seed" "3" "--out" "/root/repo/build/examples/cli_test.pts")
+set_tests_properties([=[cli_generate]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[cli_stats]=] "/root/repo/build/examples/mcds_cli" "stats" "--in" "/root/repo/build/examples/cli_test.pts")
+set_tests_properties([=[cli_stats]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[cli_solve_greedy]=] "/root/repo/build/examples/mcds_cli" "solve" "--in" "/root/repo/build/examples/cli_test.pts" "--algo" "greedy" "--prune" "--quiet")
+set_tests_properties([=[cli_solve_greedy]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[cli_solve_waf_svg]=] "/root/repo/build/examples/mcds_cli" "solve" "--in" "/root/repo/build/examples/cli_test.pts" "--algo" "waf" "--quiet" "--svg" "/root/repo/build/examples/cli_test.svg")
+set_tests_properties([=[cli_solve_waf_svg]=] PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[cli_rejects_unknown_algo]=] "/root/repo/build/examples/mcds_cli" "solve" "--in" "/root/repo/build/examples/cli_test.pts" "--algo" "bogus")
+set_tests_properties([=[cli_rejects_unknown_algo]=] PROPERTIES  DEPENDS "cli_generate" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

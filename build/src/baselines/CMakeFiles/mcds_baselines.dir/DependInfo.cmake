@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alzoubi.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/alzoubi.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/alzoubi.cpp.o.d"
+  "/root/repo/src/baselines/bharghavan_das.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/bharghavan_das.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/bharghavan_das.cpp.o.d"
+  "/root/repo/src/baselines/connect_util.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/connect_util.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/connect_util.cpp.o.d"
+  "/root/repo/src/baselines/guha_khuller.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/guha_khuller.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/guha_khuller.cpp.o.d"
+  "/root/repo/src/baselines/li_thai.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/li_thai.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/li_thai.cpp.o.d"
+  "/root/repo/src/baselines/phase2_ablation.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/phase2_ablation.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/phase2_ablation.cpp.o.d"
+  "/root/repo/src/baselines/prune.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/prune.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/prune.cpp.o.d"
+  "/root/repo/src/baselines/stojmenovic.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/stojmenovic.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/stojmenovic.cpp.o.d"
+  "/root/repo/src/baselines/wu_li.cpp" "src/baselines/CMakeFiles/mcds_baselines.dir/wu_li.cpp.o" "gcc" "src/baselines/CMakeFiles/mcds_baselines.dir/wu_li.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

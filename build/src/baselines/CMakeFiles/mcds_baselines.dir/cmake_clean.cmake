@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_baselines.dir/alzoubi.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/alzoubi.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/bharghavan_das.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/bharghavan_das.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/connect_util.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/connect_util.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/guha_khuller.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/guha_khuller.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/li_thai.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/li_thai.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/phase2_ablation.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/phase2_ablation.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/prune.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/prune.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/stojmenovic.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/stojmenovic.cpp.o.d"
+  "CMakeFiles/mcds_baselines.dir/wu_li.cpp.o"
+  "CMakeFiles/mcds_baselines.dir/wu_li.cpp.o.d"
+  "libmcds_baselines.a"
+  "libmcds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/mcds_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/mcds_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/greedy_connect.cpp" "src/core/CMakeFiles/mcds_core.dir/greedy_connect.cpp.o" "gcc" "src/core/CMakeFiles/mcds_core.dir/greedy_connect.cpp.o.d"
+  "/root/repo/src/core/mis.cpp" "src/core/CMakeFiles/mcds_core.dir/mis.cpp.o" "gcc" "src/core/CMakeFiles/mcds_core.dir/mis.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/mcds_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/mcds_core.dir/repair.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/mcds_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/mcds_core.dir/validate.cpp.o.d"
+  "/root/repo/src/core/waf.cpp" "src/core/CMakeFiles/mcds_core.dir/waf.cpp.o" "gcc" "src/core/CMakeFiles/mcds_core.dir/waf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_core.dir/bounds.cpp.o"
+  "CMakeFiles/mcds_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/mcds_core.dir/greedy_connect.cpp.o"
+  "CMakeFiles/mcds_core.dir/greedy_connect.cpp.o.d"
+  "CMakeFiles/mcds_core.dir/mis.cpp.o"
+  "CMakeFiles/mcds_core.dir/mis.cpp.o.d"
+  "CMakeFiles/mcds_core.dir/repair.cpp.o"
+  "CMakeFiles/mcds_core.dir/repair.cpp.o.d"
+  "CMakeFiles/mcds_core.dir/validate.cpp.o"
+  "CMakeFiles/mcds_core.dir/validate.cpp.o.d"
+  "CMakeFiles/mcds_core.dir/waf.cpp.o"
+  "CMakeFiles/mcds_core.dir/waf.cpp.o.d"
+  "libmcds_core.a"
+  "libmcds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/alzoubi_protocol.cpp" "src/dist/CMakeFiles/mcds_dist.dir/alzoubi_protocol.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/alzoubi_protocol.cpp.o.d"
+  "/root/repo/src/dist/bfs_tree.cpp" "src/dist/CMakeFiles/mcds_dist.dir/bfs_tree.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/bfs_tree.cpp.o.d"
+  "/root/repo/src/dist/connector_selection.cpp" "src/dist/CMakeFiles/mcds_dist.dir/connector_selection.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/connector_selection.cpp.o.d"
+  "/root/repo/src/dist/distributed_cds.cpp" "src/dist/CMakeFiles/mcds_dist.dir/distributed_cds.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/distributed_cds.cpp.o.d"
+  "/root/repo/src/dist/greedy_protocol.cpp" "src/dist/CMakeFiles/mcds_dist.dir/greedy_protocol.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/greedy_protocol.cpp.o.d"
+  "/root/repo/src/dist/leader_election.cpp" "src/dist/CMakeFiles/mcds_dist.dir/leader_election.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/leader_election.cpp.o.d"
+  "/root/repo/src/dist/mis_election.cpp" "src/dist/CMakeFiles/mcds_dist.dir/mis_election.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/mis_election.cpp.o.d"
+  "/root/repo/src/dist/runtime.cpp" "src/dist/CMakeFiles/mcds_dist.dir/runtime.cpp.o" "gcc" "src/dist/CMakeFiles/mcds_dist.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcds_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_dist.dir/alzoubi_protocol.cpp.o"
+  "CMakeFiles/mcds_dist.dir/alzoubi_protocol.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/bfs_tree.cpp.o"
+  "CMakeFiles/mcds_dist.dir/bfs_tree.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/connector_selection.cpp.o"
+  "CMakeFiles/mcds_dist.dir/connector_selection.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/distributed_cds.cpp.o"
+  "CMakeFiles/mcds_dist.dir/distributed_cds.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/greedy_protocol.cpp.o"
+  "CMakeFiles/mcds_dist.dir/greedy_protocol.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/leader_election.cpp.o"
+  "CMakeFiles/mcds_dist.dir/leader_election.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/mis_election.cpp.o"
+  "CMakeFiles/mcds_dist.dir/mis_election.cpp.o.d"
+  "CMakeFiles/mcds_dist.dir/runtime.cpp.o"
+  "CMakeFiles/mcds_dist.dir/runtime.cpp.o.d"
+  "libmcds_dist.a"
+  "libmcds_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

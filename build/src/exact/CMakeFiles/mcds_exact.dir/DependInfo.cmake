@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/brute_force.cpp" "src/exact/CMakeFiles/mcds_exact.dir/brute_force.cpp.o" "gcc" "src/exact/CMakeFiles/mcds_exact.dir/brute_force.cpp.o.d"
+  "/root/repo/src/exact/exact_cds.cpp" "src/exact/CMakeFiles/mcds_exact.dir/exact_cds.cpp.o" "gcc" "src/exact/CMakeFiles/mcds_exact.dir/exact_cds.cpp.o.d"
+  "/root/repo/src/exact/exact_connectors.cpp" "src/exact/CMakeFiles/mcds_exact.dir/exact_connectors.cpp.o" "gcc" "src/exact/CMakeFiles/mcds_exact.dir/exact_connectors.cpp.o.d"
+  "/root/repo/src/exact/exact_ds.cpp" "src/exact/CMakeFiles/mcds_exact.dir/exact_ds.cpp.o" "gcc" "src/exact/CMakeFiles/mcds_exact.dir/exact_ds.cpp.o.d"
+  "/root/repo/src/exact/exact_mis.cpp" "src/exact/CMakeFiles/mcds_exact.dir/exact_mis.cpp.o" "gcc" "src/exact/CMakeFiles/mcds_exact.dir/exact_mis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_exact.dir/brute_force.cpp.o"
+  "CMakeFiles/mcds_exact.dir/brute_force.cpp.o.d"
+  "CMakeFiles/mcds_exact.dir/exact_cds.cpp.o"
+  "CMakeFiles/mcds_exact.dir/exact_cds.cpp.o.d"
+  "CMakeFiles/mcds_exact.dir/exact_connectors.cpp.o"
+  "CMakeFiles/mcds_exact.dir/exact_connectors.cpp.o.d"
+  "CMakeFiles/mcds_exact.dir/exact_ds.cpp.o"
+  "CMakeFiles/mcds_exact.dir/exact_ds.cpp.o.d"
+  "CMakeFiles/mcds_exact.dir/exact_mis.cpp.o"
+  "CMakeFiles/mcds_exact.dir/exact_mis.cpp.o.d"
+  "libmcds_exact.a"
+  "libmcds_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

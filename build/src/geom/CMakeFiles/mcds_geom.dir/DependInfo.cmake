@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/circle.cpp" "src/geom/CMakeFiles/mcds_geom.dir/circle.cpp.o" "gcc" "src/geom/CMakeFiles/mcds_geom.dir/circle.cpp.o.d"
+  "/root/repo/src/geom/closest.cpp" "src/geom/CMakeFiles/mcds_geom.dir/closest.cpp.o" "gcc" "src/geom/CMakeFiles/mcds_geom.dir/closest.cpp.o.d"
+  "/root/repo/src/geom/disk_union.cpp" "src/geom/CMakeFiles/mcds_geom.dir/disk_union.cpp.o" "gcc" "src/geom/CMakeFiles/mcds_geom.dir/disk_union.cpp.o.d"
+  "/root/repo/src/geom/hull.cpp" "src/geom/CMakeFiles/mcds_geom.dir/hull.cpp.o" "gcc" "src/geom/CMakeFiles/mcds_geom.dir/hull.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/geom/CMakeFiles/mcds_geom.dir/segment.cpp.o" "gcc" "src/geom/CMakeFiles/mcds_geom.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

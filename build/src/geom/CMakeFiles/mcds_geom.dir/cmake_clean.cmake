@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_geom.dir/circle.cpp.o"
+  "CMakeFiles/mcds_geom.dir/circle.cpp.o.d"
+  "CMakeFiles/mcds_geom.dir/closest.cpp.o"
+  "CMakeFiles/mcds_geom.dir/closest.cpp.o.d"
+  "CMakeFiles/mcds_geom.dir/disk_union.cpp.o"
+  "CMakeFiles/mcds_geom.dir/disk_union.cpp.o.d"
+  "CMakeFiles/mcds_geom.dir/hull.cpp.o"
+  "CMakeFiles/mcds_geom.dir/hull.cpp.o.d"
+  "CMakeFiles/mcds_geom.dir/segment.cpp.o"
+  "CMakeFiles/mcds_geom.dir/segment.cpp.o.d"
+  "libmcds_geom.a"
+  "libmcds_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcds_geom.a"
+)

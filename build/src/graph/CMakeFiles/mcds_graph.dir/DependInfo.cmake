@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/mcds_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/mcds_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/mcds_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/mcds_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/small_graph.cpp" "src/graph/CMakeFiles/mcds_graph.dir/small_graph.cpp.o" "gcc" "src/graph/CMakeFiles/mcds_graph.dir/small_graph.cpp.o.d"
+  "/root/repo/src/graph/steiner.cpp" "src/graph/CMakeFiles/mcds_graph.dir/steiner.cpp.o" "gcc" "src/graph/CMakeFiles/mcds_graph.dir/steiner.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/mcds_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/mcds_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/mcds_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/mcds_graph.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_graph.dir/graph.cpp.o"
+  "CMakeFiles/mcds_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mcds_graph.dir/metrics.cpp.o"
+  "CMakeFiles/mcds_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/mcds_graph.dir/small_graph.cpp.o"
+  "CMakeFiles/mcds_graph.dir/small_graph.cpp.o.d"
+  "CMakeFiles/mcds_graph.dir/steiner.cpp.o"
+  "CMakeFiles/mcds_graph.dir/steiner.cpp.o.d"
+  "CMakeFiles/mcds_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/mcds_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/mcds_graph.dir/traversal.cpp.o"
+  "CMakeFiles/mcds_graph.dir/traversal.cpp.o.d"
+  "libmcds_graph.a"
+  "libmcds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

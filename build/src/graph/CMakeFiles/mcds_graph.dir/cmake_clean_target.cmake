@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcds_graph.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packing/appendix.cpp" "src/packing/CMakeFiles/mcds_packing.dir/appendix.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/appendix.cpp.o.d"
+  "/root/repo/src/packing/arc_polygon.cpp" "src/packing/CMakeFiles/mcds_packing.dir/arc_polygon.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/arc_polygon.cpp.o.d"
+  "/root/repo/src/packing/fig1.cpp" "src/packing/CMakeFiles/mcds_packing.dir/fig1.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/fig1.cpp.o.d"
+  "/root/repo/src/packing/fig2.cpp" "src/packing/CMakeFiles/mcds_packing.dir/fig2.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/fig2.cpp.o.d"
+  "/root/repo/src/packing/packer.cpp" "src/packing/CMakeFiles/mcds_packing.dir/packer.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/packer.cpp.o.d"
+  "/root/repo/src/packing/star_decomposition.cpp" "src/packing/CMakeFiles/mcds_packing.dir/star_decomposition.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/star_decomposition.cpp.o.d"
+  "/root/repo/src/packing/wegner.cpp" "src/packing/CMakeFiles/mcds_packing.dir/wegner.cpp.o" "gcc" "src/packing/CMakeFiles/mcds_packing.dir/wegner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/mcds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/udg/CMakeFiles/mcds_udg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

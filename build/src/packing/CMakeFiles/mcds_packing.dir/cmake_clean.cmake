@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_packing.dir/appendix.cpp.o"
+  "CMakeFiles/mcds_packing.dir/appendix.cpp.o.d"
+  "CMakeFiles/mcds_packing.dir/arc_polygon.cpp.o"
+  "CMakeFiles/mcds_packing.dir/arc_polygon.cpp.o.d"
+  "CMakeFiles/mcds_packing.dir/fig1.cpp.o"
+  "CMakeFiles/mcds_packing.dir/fig1.cpp.o.d"
+  "CMakeFiles/mcds_packing.dir/fig2.cpp.o"
+  "CMakeFiles/mcds_packing.dir/fig2.cpp.o.d"
+  "CMakeFiles/mcds_packing.dir/packer.cpp.o"
+  "CMakeFiles/mcds_packing.dir/packer.cpp.o.d"
+  "CMakeFiles/mcds_packing.dir/star_decomposition.cpp.o"
+  "CMakeFiles/mcds_packing.dir/star_decomposition.cpp.o.d"
+  "CMakeFiles/mcds_packing.dir/wegner.cpp.o"
+  "CMakeFiles/mcds_packing.dir/wegner.cpp.o.d"
+  "libmcds_packing.a"
+  "libmcds_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

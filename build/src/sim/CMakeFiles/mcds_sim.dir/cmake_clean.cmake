@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_sim.dir/stats.cpp.o"
+  "CMakeFiles/mcds_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/mcds_sim.dir/table.cpp.o"
+  "CMakeFiles/mcds_sim.dir/table.cpp.o.d"
+  "libmcds_sim.a"
+  "libmcds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

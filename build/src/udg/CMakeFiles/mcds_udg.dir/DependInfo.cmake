@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udg/builder.cpp" "src/udg/CMakeFiles/mcds_udg.dir/builder.cpp.o" "gcc" "src/udg/CMakeFiles/mcds_udg.dir/builder.cpp.o.d"
+  "/root/repo/src/udg/deployment.cpp" "src/udg/CMakeFiles/mcds_udg.dir/deployment.cpp.o" "gcc" "src/udg/CMakeFiles/mcds_udg.dir/deployment.cpp.o.d"
+  "/root/repo/src/udg/instance.cpp" "src/udg/CMakeFiles/mcds_udg.dir/instance.cpp.o" "gcc" "src/udg/CMakeFiles/mcds_udg.dir/instance.cpp.o.d"
+  "/root/repo/src/udg/io.cpp" "src/udg/CMakeFiles/mcds_udg.dir/io.cpp.o" "gcc" "src/udg/CMakeFiles/mcds_udg.dir/io.cpp.o.d"
+  "/root/repo/src/udg/mobility.cpp" "src/udg/CMakeFiles/mcds_udg.dir/mobility.cpp.o" "gcc" "src/udg/CMakeFiles/mcds_udg.dir/mobility.cpp.o.d"
+  "/root/repo/src/udg/qudg.cpp" "src/udg/CMakeFiles/mcds_udg.dir/qudg.cpp.o" "gcc" "src/udg/CMakeFiles/mcds_udg.dir/qudg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/mcds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_udg.dir/builder.cpp.o"
+  "CMakeFiles/mcds_udg.dir/builder.cpp.o.d"
+  "CMakeFiles/mcds_udg.dir/deployment.cpp.o"
+  "CMakeFiles/mcds_udg.dir/deployment.cpp.o.d"
+  "CMakeFiles/mcds_udg.dir/instance.cpp.o"
+  "CMakeFiles/mcds_udg.dir/instance.cpp.o.d"
+  "CMakeFiles/mcds_udg.dir/io.cpp.o"
+  "CMakeFiles/mcds_udg.dir/io.cpp.o.d"
+  "CMakeFiles/mcds_udg.dir/mobility.cpp.o"
+  "CMakeFiles/mcds_udg.dir/mobility.cpp.o.d"
+  "CMakeFiles/mcds_udg.dir/qudg.cpp.o"
+  "CMakeFiles/mcds_udg.dir/qudg.cpp.o.d"
+  "libmcds_udg.a"
+  "libmcds_udg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_udg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcds_viz.dir/render.cpp.o"
+  "CMakeFiles/mcds_viz.dir/render.cpp.o.d"
+  "CMakeFiles/mcds_viz.dir/svg.cpp.o"
+  "CMakeFiles/mcds_viz.dir/svg.cpp.o.d"
+  "libmcds_viz.a"
+  "libmcds_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcds_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

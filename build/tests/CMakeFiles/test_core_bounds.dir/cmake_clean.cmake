@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bounds.dir/test_core_bounds.cpp.o"
+  "CMakeFiles/test_core_bounds.dir/test_core_bounds.cpp.o.d"
+  "test_core_bounds"
+  "test_core_bounds.pdb"
+  "test_core_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_general_graphs.dir/test_core_general_graphs.cpp.o"
+  "CMakeFiles/test_core_general_graphs.dir/test_core_general_graphs.cpp.o.d"
+  "test_core_general_graphs"
+  "test_core_general_graphs.pdb"
+  "test_core_general_graphs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_general_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

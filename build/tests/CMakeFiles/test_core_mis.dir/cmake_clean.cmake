@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mis.dir/test_core_mis.cpp.o"
+  "CMakeFiles/test_core_mis.dir/test_core_mis.cpp.o.d"
+  "test_core_mis"
+  "test_core_mis.pdb"
+  "test_core_mis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

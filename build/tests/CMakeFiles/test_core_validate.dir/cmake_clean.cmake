@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_validate.dir/test_core_validate.cpp.o"
+  "CMakeFiles/test_core_validate.dir/test_core_validate.cpp.o.d"
+  "test_core_validate"
+  "test_core_validate.pdb"
+  "test_core_validate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

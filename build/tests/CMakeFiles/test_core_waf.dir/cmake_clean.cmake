@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_waf.dir/test_core_waf.cpp.o"
+  "CMakeFiles/test_core_waf.dir/test_core_waf.cpp.o.d"
+  "test_core_waf"
+  "test_core_waf.pdb"
+  "test_core_waf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_waf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

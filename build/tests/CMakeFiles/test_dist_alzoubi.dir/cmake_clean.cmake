@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_alzoubi.dir/test_dist_alzoubi.cpp.o"
+  "CMakeFiles/test_dist_alzoubi.dir/test_dist_alzoubi.cpp.o.d"
+  "test_dist_alzoubi"
+  "test_dist_alzoubi.pdb"
+  "test_dist_alzoubi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_alzoubi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_protocols.dir/test_dist_protocols.cpp.o"
+  "CMakeFiles/test_dist_protocols.dir/test_dist_protocols.cpp.o.d"
+  "test_dist_protocols"
+  "test_dist_protocols.pdb"
+  "test_dist_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_runtime.dir/test_dist_runtime.cpp.o"
+  "CMakeFiles/test_dist_runtime.dir/test_dist_runtime.cpp.o.d"
+  "test_dist_runtime"
+  "test_dist_runtime.pdb"
+  "test_dist_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

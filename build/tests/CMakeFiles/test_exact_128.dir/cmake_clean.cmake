@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_128.dir/test_exact_128.cpp.o"
+  "CMakeFiles/test_exact_128.dir/test_exact_128.cpp.o.d"
+  "test_exact_128"
+  "test_exact_128.pdb"
+  "test_exact_128[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

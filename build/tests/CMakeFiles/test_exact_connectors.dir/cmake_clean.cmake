@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_connectors.dir/test_exact_connectors.cpp.o"
+  "CMakeFiles/test_exact_connectors.dir/test_exact_connectors.cpp.o.d"
+  "test_exact_connectors"
+  "test_exact_connectors.pdb"
+  "test_exact_connectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_connectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_closest.dir/test_geom_closest.cpp.o"
+  "CMakeFiles/test_geom_closest.dir/test_geom_closest.cpp.o.d"
+  "test_geom_closest"
+  "test_geom_closest.pdb"
+  "test_geom_closest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_closest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

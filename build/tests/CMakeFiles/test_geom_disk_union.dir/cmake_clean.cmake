@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_disk_union.dir/test_geom_disk_union.cpp.o"
+  "CMakeFiles/test_geom_disk_union.dir/test_geom_disk_union.cpp.o.d"
+  "test_geom_disk_union"
+  "test_geom_disk_union.pdb"
+  "test_geom_disk_union[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_disk_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

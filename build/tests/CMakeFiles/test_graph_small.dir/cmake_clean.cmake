@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_small.dir/test_graph_small.cpp.o"
+  "CMakeFiles/test_graph_small.dir/test_graph_small.cpp.o.d"
+  "test_graph_small"
+  "test_graph_small.pdb"
+  "test_graph_small[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

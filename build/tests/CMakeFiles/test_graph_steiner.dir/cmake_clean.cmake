@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_steiner.dir/test_graph_steiner.cpp.o"
+  "CMakeFiles/test_graph_steiner.dir/test_graph_steiner.cpp.o.d"
+  "test_graph_steiner"
+  "test_graph_steiner.pdb"
+  "test_graph_steiner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_subgraph.dir/test_graph_subgraph.cpp.o"
+  "CMakeFiles/test_graph_subgraph.dir/test_graph_subgraph.cpp.o.d"
+  "test_graph_subgraph"
+  "test_graph_subgraph.pdb"
+  "test_graph_subgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing_appendix.dir/test_packing_appendix.cpp.o"
+  "CMakeFiles/test_packing_appendix.dir/test_packing_appendix.cpp.o.d"
+  "test_packing_appendix"
+  "test_packing_appendix.pdb"
+  "test_packing_appendix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing_arc_polygon.dir/test_packing_arc_polygon.cpp.o"
+  "CMakeFiles/test_packing_arc_polygon.dir/test_packing_arc_polygon.cpp.o.d"
+  "test_packing_arc_polygon"
+  "test_packing_arc_polygon.pdb"
+  "test_packing_arc_polygon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing_arc_polygon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

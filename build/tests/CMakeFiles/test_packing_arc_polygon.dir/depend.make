@@ -1,0 +1,2 @@
+# Empty dependencies file for test_packing_arc_polygon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing_figs.dir/test_packing_figs.cpp.o"
+  "CMakeFiles/test_packing_figs.dir/test_packing_figs.cpp.o.d"
+  "test_packing_figs"
+  "test_packing_figs.pdb"
+  "test_packing_figs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing_figs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing_packer.dir/test_packing_packer.cpp.o"
+  "CMakeFiles/test_packing_packer.dir/test_packing_packer.cpp.o.d"
+  "test_packing_packer"
+  "test_packing_packer.pdb"
+  "test_packing_packer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing_packer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing_star_decomposition.dir/test_packing_star_decomposition.cpp.o"
+  "CMakeFiles/test_packing_star_decomposition.dir/test_packing_star_decomposition.cpp.o.d"
+  "test_packing_star_decomposition"
+  "test_packing_star_decomposition.pdb"
+  "test_packing_star_decomposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing_star_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

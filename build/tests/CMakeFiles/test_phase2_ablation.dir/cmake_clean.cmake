@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase2_ablation.dir/test_phase2_ablation.cpp.o"
+  "CMakeFiles/test_phase2_ablation.dir/test_phase2_ablation.cpp.o.d"
+  "test_phase2_ablation"
+  "test_phase2_ablation.pdb"
+  "test_phase2_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

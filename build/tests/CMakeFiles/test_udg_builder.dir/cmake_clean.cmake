@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udg_builder.dir/test_udg_builder.cpp.o"
+  "CMakeFiles/test_udg_builder.dir/test_udg_builder.cpp.o.d"
+  "test_udg_builder"
+  "test_udg_builder.pdb"
+  "test_udg_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udg_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

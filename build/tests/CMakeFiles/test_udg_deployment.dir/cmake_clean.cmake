@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udg_deployment.dir/test_udg_deployment.cpp.o"
+  "CMakeFiles/test_udg_deployment.dir/test_udg_deployment.cpp.o.d"
+  "test_udg_deployment"
+  "test_udg_deployment.pdb"
+  "test_udg_deployment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udg_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udg_instance.dir/test_udg_instance.cpp.o"
+  "CMakeFiles/test_udg_instance.dir/test_udg_instance.cpp.o.d"
+  "test_udg_instance"
+  "test_udg_instance.pdb"
+  "test_udg_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udg_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udg_io.dir/test_udg_io.cpp.o"
+  "CMakeFiles/test_udg_io.dir/test_udg_io.cpp.o.d"
+  "test_udg_io"
+  "test_udg_io.pdb"
+  "test_udg_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udg_mobility.dir/test_udg_mobility.cpp.o"
+  "CMakeFiles/test_udg_mobility.dir/test_udg_mobility.cpp.o.d"
+  "test_udg_mobility"
+  "test_udg_mobility.pdb"
+  "test_udg_mobility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udg_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_udg_qudg.cpp" "tests/CMakeFiles/test_udg_qudg.dir/test_udg_qudg.cpp.o" "gcc" "tests/CMakeFiles/test_udg_qudg.dir/test_udg_qudg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/udg/CMakeFiles/mcds_udg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mcds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

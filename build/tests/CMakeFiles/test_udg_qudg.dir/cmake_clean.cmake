@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udg_qudg.dir/test_udg_qudg.cpp.o"
+  "CMakeFiles/test_udg_qudg.dir/test_udg_qudg.cpp.o.d"
+  "test_udg_qudg"
+  "test_udg_qudg.pdb"
+  "test_udg_qudg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udg_qudg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
