@@ -51,7 +51,41 @@ void BM_GreedyCds(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_GreedyCds)->Range(64, 2048)->Complexity();
+BENCHMARK(BM_GreedyCds)->Range(64, 4096)->Complexity();
+
+// Phase 2 head-to-head: the incremental union-find + lazy-gain-queue
+// engine vs the per-round full-rescan reference, on identical MIS
+// inputs. These two must produce bit-identical traces (differential
+// tested); only the wall clock may differ. scripts/bench_snapshot.sh
+// records the trajectory into BENCH_phase2.json.
+void BM_GreedyConnectorsIncremental(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto phase1 = core::bfs_first_fit_mis(inst.graph, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_connectors(inst.graph, phase1.mis));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyConnectorsIncremental)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_GreedyConnectorsReference(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto phase1 = core::bfs_first_fit_mis(inst.graph, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::greedy_connectors_reference(inst.graph, phase1.mis));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyConnectorsReference)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Complexity(benchmark::oNSquared);
 
 void BM_GuhaKhuller(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Records the phase-2 performance trajectory into BENCH_phase2.json at
+# the repo root (google-benchmark JSON). Convention: BENCH_<topic>.json
+# snapshots are committed alongside the PR that moves the needle, so
+# future PRs have a baseline to compare against — see README.md.
+#
+# Usage: scripts/bench_snapshot.sh [extra perf_scaling args...]
+#   BUILD_DIR=...   build tree to use (default: build)
+#   BENCH_FILTER=...  benchmark regex (default: the phase-2 benches)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_FILTER="${BENCH_FILTER:-BM_GreedyCds|BM_GreedyConnectors|BM_BuildUdg}"
+OUT="BENCH_phase2.json"
+
+if [[ ! -x "$BUILD_DIR/bench/perf_scaling" ]]; then
+  if [[ ! -d "$BUILD_DIR" ]]; then
+    cmake -B "$BUILD_DIR" -S .
+  fi
+  cmake --build "$BUILD_DIR" --target perf_scaling -j "$(nproc)"
+fi
+
+"$BUILD_DIR/bench/perf_scaling" \
+  --benchmark_filter="$BENCH_FILTER" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $OUT"

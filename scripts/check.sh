@@ -2,12 +2,22 @@
 # Full verification: configure, build, run the test suite, then every
 # reproduction bench. Fails fast on any error; a bench exiting non-zero
 # means a *proven* inequality of the paper was violated on some instance.
+#
+# RUN_BENCH=1 additionally records a performance snapshot via
+# scripts/bench_snapshot.sh (opt-in: the google-benchmark run takes
+# minutes and is only meaningful on a quiet machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# Prefer Ninja when available, but match ROADMAP's tier-1 command (the
+# default generator) when it is not.
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+cmake -B build -S . "${generator[@]}"
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 status=0
 for bench in build/bench/*; do
@@ -16,4 +26,8 @@ for bench in build/bench/*; do
     "$bench" || status=1
   fi
 done
+
+if [[ "${RUN_BENCH:-0}" == "1" && "$status" == "0" ]]; then
+  scripts/bench_snapshot.sh
+fi
 exit "$status"

@@ -1,0 +1,88 @@
+#include "core/connector_engine.hpp"
+
+#include <stdexcept>
+
+namespace mcds::core {
+
+ConnectorEngine::ConnectorEngine(const Graph& g,
+                                 std::span<const NodeId> members)
+    : g_(g),
+      uf_(g.num_nodes()),
+      member_(g.num_nodes(), false),
+      mark_(g.num_nodes(), 0) {
+  const std::size_t n = g.num_nodes();
+  for (const NodeId u : members) {
+    if (u >= n) throw std::invalid_argument("ConnectorEngine: bad node");
+    if (member_[u]) {
+      throw std::invalid_argument("ConnectorEngine: duplicate member");
+    }
+    member_[u] = true;
+  }
+  q_ = members.size();
+  // Unite member-member edges. For an independent seed (the intended
+  // use) this is a no-op scan; for arbitrary seeds it reproduces the
+  // component structure subset_components would report.
+  for (const NodeId u : members) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (v < u && member_[v] && uf_.unite(u, v)) --q_;
+    }
+  }
+  if (q_ <= 1) return;
+  // Seed the lazy queue: per Lemma 9 a positive-gain node always exists
+  // while q > 1, and any node that becomes positive later is a neighbor
+  // of an added connector, which select_next() refreshes.
+  for (NodeId w = 0; w < n; ++w) {
+    if (!member_[w]) push_if_candidate(w);
+  }
+}
+
+std::size_t ConnectorEngine::distinct_adjacent(NodeId w) {
+  ++stamp_;
+  std::size_t distinct = 0;
+  for (const NodeId v : g_.neighbors(w)) {
+    if (!member_[v]) continue;
+    const std::uint32_t root = uf_.find(v);
+    if (mark_[root] != stamp_) {
+      mark_[root] = stamp_;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+void ConnectorEngine::push_if_candidate(NodeId w) {
+  const std::size_t distinct = distinct_adjacent(w);
+  if (distinct >= 2) {
+    heap_.push({static_cast<std::uint32_t>(distinct - 1), w});
+  }
+}
+
+GreedyStep ConnectorEngine::select_next() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (member_[top.node]) continue;  // joined since this entry was pushed
+    const std::size_t distinct = distinct_adjacent(top.node);
+    if (distinct < 2) continue;  // gain collapsed to zero: retire the node
+    const auto gain = static_cast<std::uint32_t>(distinct - 1);
+    if (gain != top.gain) {
+      heap_.push({gain, top.node});  // stale: re-score and keep popping
+      continue;
+    }
+    const GreedyStep step{top.node, q_, gain};
+    member_[top.node] = true;
+    for (const NodeId v : g_.neighbors(top.node)) {
+      if (member_[v]) uf_.unite(top.node, v);
+    }
+    q_ -= gain;  // `distinct` components and the new node merge into one
+    for (const NodeId v : g_.neighbors(top.node)) {
+      if (!member_[v]) push_if_candidate(v);
+    }
+    return step;
+  }
+  throw std::logic_error(
+      "ConnectorEngine: no positive-gain node although q > 1 "
+      "(input MIS is not maximal or graph is disconnected)");
+}
+
+}  // namespace mcds::core

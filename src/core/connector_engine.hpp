@@ -1,0 +1,79 @@
+#pragma once
+
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "core/greedy_connect.hpp"
+#include "graph/union_find.hpp"
+
+/// \file connector_engine.hpp
+/// Incremental engine behind phase 2 of the Section IV algorithm. The
+/// reference implementation re-labels the components of G[I ∪ C] and
+/// rescans every node's neighborhood on every round — O(rounds·(n+m)).
+/// This engine maintains the components in a union-find that only merges
+/// when a connector is added, and keeps candidates in a lazy max-gain
+/// priority queue, giving near-linear total work on UDG workloads.
+///
+/// Exactness of the lazy queue rests on two facts about the gain
+/// gain(w) = (#distinct components of G[members] adjacent to w) − 1:
+///  1. For a *fixed* member set, component merges never increase any
+///     candidate's gain (two adjacent components collapsing into one can
+///     only lower the distinct count), so stale queue entries are upper
+///     bounds and can be re-scored on pop.
+///  2. Adding a member c can raise gains, but only for neighbors of c
+///     (a node not adjacent to c sees only merges). The engine therefore
+///     re-scores and re-pushes every non-member neighbor of each added
+///     connector, restoring the upper-bound invariant.
+/// With the heap ordered by (gain desc, node id asc), the first popped
+/// entry whose stored gain matches its re-computed gain is exactly the
+/// node the reference picks: maximum gain, ties to the smallest id. The
+/// differential test suite pins trace-for-trace equality.
+
+namespace mcds::core {
+
+/// Incremental max-gain connector selection over a growing member set.
+class ConnectorEngine {
+ public:
+  /// Seeds the engine with \p members (phase-1 dominators; any duplicate
+  /// or out-of-range node throws std::invalid_argument). Member-member
+  /// edges are united immediately, so the seed need not be independent.
+  ConnectorEngine(const Graph& g, std::span<const NodeId> members);
+
+  /// Number of connected components of G[members] right now.
+  [[nodiscard]] std::size_t components() const noexcept { return q_; }
+
+  /// True once one component remains (phase 2 is finished).
+  [[nodiscard]] bool done() const noexcept { return q_ <= 1; }
+
+  /// Selects the maximum-gain connector (ties toward the smaller node
+  /// id), adds it to the member set and merges the components it touches.
+  /// Throws std::logic_error if no positive-gain node exists although
+  /// more than one component remains (the seed was not a maximal
+  /// independent set of a connected graph — cf. Lemma 9).
+  GreedyStep select_next();
+
+ private:
+  struct Entry {
+    std::uint32_t gain;
+    NodeId node;
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.gain != b.gain) return a.gain < b.gain;  // max-gain first
+      return a.node > b.node;                        // then smallest id
+    }
+  };
+
+  /// #distinct member components adjacent to \p w (stamp-marked roots).
+  [[nodiscard]] std::size_t distinct_adjacent(NodeId w);
+  void push_if_candidate(NodeId w);
+
+  const Graph& g_;
+  graph::UnionFind uf_;
+  std::vector<bool> member_;
+  std::priority_queue<Entry> heap_;
+  std::vector<std::uint64_t> mark_;  ///< per-root stamps for distinct counts
+  std::uint64_t stamp_ = 0;
+  std::size_t q_ = 0;  ///< current component count of G[members]
+};
+
+}  // namespace mcds::core

@@ -4,17 +4,33 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/connector_engine.hpp"
 #include "graph/subgraph.hpp"
 
 namespace mcds::core {
 
 std::pair<std::vector<NodeId>, std::vector<GreedyStep>> greedy_connectors(
     const Graph& g, const std::vector<NodeId>& mis) {
+  ConnectorEngine engine(g, mis);
+  std::vector<NodeId> connectors;
+  std::vector<GreedyStep> steps;
+  while (!engine.done()) {
+    const GreedyStep step = engine.select_next();
+    connectors.push_back(step.node);
+    steps.push_back(step);
+  }
+  return {std::move(connectors), std::move(steps)};
+}
+
+std::pair<std::vector<NodeId>, std::vector<GreedyStep>>
+greedy_connectors_reference(const Graph& g, const std::vector<NodeId>& mis) {
   const std::size_t n = g.num_nodes();
   std::vector<bool> in_set(n, false);
   std::vector<NodeId> members = mis;  // I ∪ C as it grows
   for (const NodeId u : mis) {
-    if (u >= n) throw std::invalid_argument("greedy_connectors: bad node");
+    if (u >= n) {
+      throw std::invalid_argument("greedy_connectors_reference: bad node");
+    }
     in_set[u] = true;
   }
 
@@ -55,8 +71,8 @@ std::pair<std::vector<NodeId>, std::vector<GreedyStep>> greedy_connectors(
     }
     if (best == graph::kNoNode) {
       throw std::logic_error(
-          "greedy_connectors: no positive-gain node although q > 1 "
-          "(input MIS is not maximal or graph is disconnected)");
+          "greedy_connectors_reference: no positive-gain node although "
+          "q > 1 (input MIS is not maximal or graph is disconnected)");
     }
     steps.push_back({best, q, best_gain});
     connectors.push_back(best);

@@ -36,7 +36,18 @@ struct GreedyConnectResult {
 /// \p mis of \p g (needed by the baseline variants and ablations).
 /// Preconditions: g connected, mis a maximal independent set.
 /// Returns the connectors in pick order, with step accounting.
+///
+/// Runs on the incremental union-find + lazy-gain-queue engine
+/// (connector_engine.hpp) — near-linear total work instead of the
+/// O(rounds·(n+m)) full rescan, with bit-identical output.
 [[nodiscard]] std::pair<std::vector<NodeId>, std::vector<GreedyStep>>
 greedy_connectors(const Graph& g, const std::vector<NodeId>& mis);
+
+/// The original per-round implementation: re-labels the components of
+/// G[I ∪ C] and rescans every node's neighborhood each round. Kept as
+/// the differential-testing oracle for the incremental engine; produces
+/// exactly the same connector sequence and GreedyStep trace.
+[[nodiscard]] std::pair<std::vector<NodeId>, std::vector<GreedyStep>>
+greedy_connectors_reference(const Graph& g, const std::vector<NodeId>& mis);
 
 }  // namespace mcds::core

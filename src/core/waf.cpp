@@ -3,20 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/union_find.hpp"
+
 namespace mcds::core {
 
-WafResult waf_cds(const Graph& g, NodeId root) {
-  WafResult r;
-  r.phase1 = bfs_first_fit_mis(g, root);
-  if (g.num_nodes() == 1) {
-    r.s = root;
-    r.cds = {root};
-    return r;
-  }
+namespace {
 
-  const auto& in_mis = r.phase1.in_mis;
-  // s := neighbor of the root adjacent to the largest number of
-  // dominators (ties broken toward the smaller id for determinism).
+// s := neighbor of the root adjacent to the largest number of
+// dominators (ties broken toward the smaller id for determinism).
+[[nodiscard]] NodeId pick_s(const Graph& g, NodeId root,
+                            const std::vector<bool>& in_mis) {
   NodeId best = graph::kNoNode;
   std::size_t best_count = 0;
   for (const NodeId v : g.neighbors(root)) {
@@ -30,7 +26,22 @@ WafResult waf_cds(const Graph& g, NodeId root) {
     }
   }
   // Connected graph with >= 2 nodes: the root has a neighbor.
-  r.s = best;
+  return best;
+}
+
+}  // namespace
+
+WafResult waf_cds(const Graph& g, NodeId root) {
+  WafResult r;
+  r.phase1 = bfs_first_fit_mis(g, root);
+  if (g.num_nodes() == 1) {
+    r.s = root;
+    r.cds = {root};
+    return r;
+  }
+
+  const auto& in_mis = r.phase1.in_mis;
+  r.s = pick_s(g, root, in_mis);
 
   std::vector<bool> in_cds = in_mis;  // start from the dominators
   std::vector<bool> adjacent_to_s(g.num_nodes(), false);
@@ -52,6 +63,59 @@ WafResult waf_cds(const Graph& g, NodeId root) {
       throw std::logic_error("waf_cds: non-root dominator without parent");
     }
     add_connector(p);
+  }
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_cds[v]) r.cds.push_back(v);
+  }
+  return r;
+}
+
+WafResult waf_cds_pruned(const Graph& g, NodeId root) {
+  WafResult r;
+  r.phase1 = bfs_first_fit_mis(g, root);
+  if (g.num_nodes() == 1) {
+    r.s = root;
+    r.cds = {root};
+    return r;
+  }
+
+  const auto& in_mis = r.phase1.in_mis;
+  r.s = pick_s(g, root, in_mis);
+
+  std::vector<bool> in_cds = in_mis;
+  graph::UnionFind uf(g.num_nodes());
+  // Joins x to the CDS and merges it with every CDS member it touches,
+  // so uf tracks the components of G[I ∪ C] as C grows.
+  const auto join = [&](NodeId x) {
+    if (!in_cds[x]) {
+      in_cds[x] = true;
+      if (!in_mis[x]) r.connectors.push_back(x);
+    }
+    for (const NodeId w : g.neighbors(x)) {
+      if (in_cds[w]) uf.unite(x, w);
+    }
+  };
+  join(r.s);  // s ∉ I (s neighbors the root, root ∈ I), so C starts at {s}
+
+  // Dominators in phase-1 selection order. Induction (BFS first-fit):
+  // each added parent is adjacent to an earlier-selected dominator,
+  // which is already in s's component, so by the time a dominator is
+  // inspected its connectivity status in uf is final — skipping the
+  // invitation when it already holds is sound.
+  for (const NodeId u : r.phase1.mis) {
+    if (uf.same(u, r.s)) continue;  // covered by I(s) or an earlier parent
+    const NodeId p = r.phase1.bfs.parent[u];
+    if (p == graph::kNoNode) {
+      // Only the root has no parent, and the root is adjacent to s.
+      throw std::logic_error(
+          "waf_cds_pruned: non-root dominator without parent");
+    }
+    join(p);
+    if (!uf.same(u, r.s)) {
+      throw std::logic_error(
+          "waf_cds_pruned: parent did not connect its dominator");
+    }
   }
 
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -28,4 +28,13 @@ struct WafResult {
 /// single-node graph the CDS is that node.
 [[nodiscard]] WafResult waf_cds(const Graph& g, NodeId root = 0);
 
+/// WAF with incremental connectivity pruning: maintains the components
+/// of I ∪ C in a union-find while connectors are added, and skips the
+/// parent invitation of any dominator that is already connected to s's
+/// component. Every parent it does add is adjacent to an
+/// earlier-selected dominator (BFS first-fit property), so processing
+/// dominators in selection order keeps the result a valid CDS; it is
+/// never larger than waf_cds's and shares the same s and phase 1.
+[[nodiscard]] WafResult waf_cds_pruned(const Graph& g, NodeId root = 0);
+
 }  // namespace mcds::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
 #include <stdexcept>
 
 #include "dist/bfs_tree.hpp"
@@ -12,6 +11,17 @@
 namespace mcds::dist {
 
 namespace {
+
+// Small-set insertion: the per-node label/bidder collections are bounded
+// by the local component count (≤ 5 adjacent MIS components in a UDG)
+// resp. the 2-hop candidate count, so a flat vector with a linear
+// membership probe beats the former std::set both in allocation count
+// and locality. Returns true if \p x was newly inserted.
+bool insert_unique(std::vector<NodeId>& xs, NodeId x) {
+  if (std::find(xs.begin(), xs.end(), x) != xs.end()) return false;
+  xs.push_back(x);
+  return true;
+}
 
 // Phase A of an epoch: members agree on component labels (min member id
 // in the component) by flooding along member-member edges.
@@ -88,13 +98,13 @@ class BidProtocol final : public Protocol {
       switch (m.type) {
         case kLabel:
           if (!member_[self]) {
-            adjacent_labels_[self].insert(static_cast<NodeId>(m.a));
+            insert_unique(adjacent_labels_[self], static_cast<NodeId>(m.a));
           }
           break;
         case kBid: {
           const auto gain = static_cast<std::size_t>(m.a);
           const auto bidder = static_cast<NodeId>(m.b);
-          if (bidder != self && seen_bidders_[self].insert(bidder).second) {
+          if (bidder != self && insert_unique(seen_bidders_[self], bidder)) {
             consider_rival(self, gain, bidder);
             // Relay only first-hand bids, so each bid travels exactly
             // two hops — the competition stays local.
@@ -153,11 +163,11 @@ class BidProtocol final : public Protocol {
   Runtime& rt_;
   const std::vector<bool>& member_;
   const std::vector<NodeId>& label_;
-  std::vector<std::set<NodeId>> adjacent_labels_;
+  std::vector<std::vector<NodeId>> adjacent_labels_;
   std::vector<std::size_t> best_rival_gain_;
   std::vector<NodeId> best_rival_id_;
   std::vector<std::size_t> my_gain_;
-  std::vector<std::set<NodeId>> seen_bidders_;
+  std::vector<std::vector<NodeId>> seen_bidders_;
   std::vector<NodeId> winners_;
   std::size_t round_ = 0;
 };
@@ -184,17 +194,26 @@ DistGreedyResult distributed_greedy_cds(const Graph& g) {
   out.total += out.mis.stats;
 
   std::vector<bool> member = out.mis.in_mis;
+  // Labels are node ids, so distinct-label counting is a stamped scan
+  // over one reusable array instead of a per-epoch std::set.
+  std::vector<std::size_t> label_stamp(g.num_nodes(), 0);
   const std::size_t max_epochs = out.mis.mis.size();  // q drops each epoch
   for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
     // Phase A: component labels.
     Runtime label_rt(g);
     LabelProtocol labels(label_rt, member);
     out.total += label_rt.run(labels);
-    std::set<NodeId> distinct;
+    std::size_t distinct = 0;
+    const std::size_t stamp = epoch + 1;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (member[v]) distinct.insert(labels.labels()[v]);
+      if (!member[v]) continue;
+      const NodeId lbl = labels.labels()[v];
+      if (label_stamp[lbl] != stamp) {
+        label_stamp[lbl] = stamp;
+        ++distinct;
+      }
     }
-    if (distinct.size() <= 1) break;
+    if (distinct <= 1) break;
 
     // Phase B: bidding.
     ++out.epochs;

@@ -32,19 +32,26 @@ Graph build_udg(std::span<const Vec2> points, double radius) {
   }
 
   std::unordered_map<std::uint64_t, std::vector<NodeId>> grid;
-  grid.reserve(points.size() * 2);
+  // There are at most n occupied cells, and unordered_map::reserve takes
+  // an *element* count — reserving 2n only inflated the bucket array
+  // (~-4% build time at n=4096 after right-sizing, see BENCH_phase2.json
+  // BM_BuildUdg trajectory).
+  grid.reserve(points.size());
   const auto cell_of = [radius](Vec2 p) {
     return std::pair{static_cast<long>(std::floor(p.x / radius)),
                      static_cast<long>(std::floor(p.y / radius))};
   };
+  // Each point's cell is needed twice (insert + neighborhood scan);
+  // compute it once and keep the indices hot.
+  std::vector<std::pair<long, long>> cells(points.size());
   for (NodeId i = 0; i < points.size(); ++i) {
-    const auto [cx, cy] = cell_of(points[i]);
-    grid[cell_key(cx, cy)].push_back(i);
+    cells[i] = cell_of(points[i]);
+    grid[cell_key(cells[i].first, cells[i].second)].push_back(i);
   }
 
   const double r2 = radius * radius;
   for (NodeId i = 0; i < points.size(); ++i) {
-    const auto [cx, cy] = cell_of(points[i]);
+    const auto [cx, cy] = cells[i];
     for (long dy = -1; dy <= 1; ++dy) {
       for (long dx = -1; dx <= 1; ++dx) {
         const auto it = grid.find(cell_key(cx + dx, cy + dy));

@@ -1,0 +1,137 @@
+// Differential suite for the incremental phase-2 connector engine:
+// the union-find + lazy-gain-queue implementation (greedy_connectors)
+// must produce the *same* connector sequence and GreedyStep trace —
+// node, q_before and gain at every step — as the per-round full-rescan
+// reference (greedy_connectors_reference), on the regression corpus
+// and on 200 random UDG instances.
+
+#include <gtest/gtest.h>
+
+#include "core/connector_engine.hpp"
+#include "core/greedy_connect.hpp"
+#include "core/validate.hpp"
+#include "test_util.hpp"
+#include "udg/instance.hpp"
+
+namespace mcds::core {
+namespace {
+
+void expect_identical_traces(const Graph& g, const std::vector<NodeId>& mis) {
+  const auto [inc_connectors, inc_steps] = greedy_connectors(g, mis);
+  const auto [ref_connectors, ref_steps] =
+      greedy_connectors_reference(g, mis);
+  ASSERT_EQ(inc_connectors, ref_connectors);
+  ASSERT_EQ(inc_steps.size(), ref_steps.size());
+  for (std::size_t i = 0; i < inc_steps.size(); ++i) {
+    EXPECT_EQ(inc_steps[i].node, ref_steps[i].node) << "step " << i;
+    EXPECT_EQ(inc_steps[i].q_before, ref_steps[i].q_before) << "step " << i;
+    EXPECT_EQ(inc_steps[i].gain, ref_steps[i].gain) << "step " << i;
+  }
+}
+
+TEST(GreedyIncrementalDifferential, PathAndStar) {
+  for (const std::size_t n : {2u, 3u, 5u, 9u, 17u}) {
+    const Graph path = test::make_path(n);
+    expect_identical_traces(path, bfs_first_fit_mis(path, 0).mis);
+  }
+  const Graph star = test::make_star(8);
+  expect_identical_traces(star, bfs_first_fit_mis(star, 1).mis);
+}
+
+TEST(GreedyIncrementalDifferential, AlreadyConnectedSeedYieldsNoSteps) {
+  // A single dominator (star center) leaves q = 1 from the start.
+  const Graph star = test::make_star(6);
+  const auto [connectors, steps] =
+      greedy_connectors(star, bfs_first_fit_mis(star, 0).mis);
+  EXPECT_TRUE(connectors.empty());
+  EXPECT_TRUE(steps.empty());
+}
+
+// The three fixed instances pinned by test_regression_corpus.cpp.
+TEST(GreedyIncrementalDifferential, RegressionCorpusInstances) {
+  struct CorpusEntry {
+    std::size_t nodes;
+    double side;
+    std::uint64_t seed;
+  };
+  constexpr CorpusEntry kCorpus[] = {
+      {80, 7.0, 101}, {150, 10.0, 202}, {300, 12.0, 303}};
+  for (const CorpusEntry& c : kCorpus) {
+    udg::InstanceParams params;
+    params.nodes = c.nodes;
+    params.side = c.side;
+    const auto inst = udg::generate_largest_component_instance(params, c.seed);
+    expect_identical_traces(inst.graph, bfs_first_fit_mis(inst.graph, 0).mis);
+  }
+}
+
+// 200 random instances across sizes and densities. Seeds are split into
+// parameterized shards to keep per-test runtime and failure locality.
+class GreedyIncrementalRandom : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GreedyIncrementalRandom, TraceMatchesReferenceOnTenInstances) {
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::uint64_t seed = GetParam() * 10 + i;  // seeds 10..209
+    udg::InstanceParams params;
+    params.nodes = 40 + (seed % 6) * 25;             // 40..165 nodes
+    params.side = 5.0 + static_cast<double>(seed % 4) * 2.0;  // 5..11
+    const auto inst =
+        udg::generate_largest_component_instance(params, seed * 7919);
+    const auto phase1 = bfs_first_fit_mis(inst.graph, 0);
+    expect_identical_traces(inst.graph, phase1.mis);
+    // Sanity: the engine-backed greedy_cds is still a valid CDS.
+    const auto r = greedy_cds(inst.graph, 0);
+    EXPECT_TRUE(is_cds(inst.graph, r.cds));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoHundredSeeds, GreedyIncrementalRandom,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(ConnectorEngine, RejectsBadAndDuplicateMembers) {
+  const Graph g = test::make_path(4);
+  const std::vector<NodeId> out_of_range{0, 7};
+  EXPECT_THROW(ConnectorEngine(g, out_of_range), std::invalid_argument);
+  const std::vector<NodeId> duplicated{0, 0};
+  EXPECT_THROW(ConnectorEngine(g, duplicated), std::invalid_argument);
+}
+
+TEST(ConnectorEngine, ThrowsLikeReferenceOnNonMaximalSeed) {
+  const Graph g = test::make_path(7);
+  const std::vector<NodeId> not_maximal{0, 6};
+  EXPECT_THROW((void)greedy_connectors(g, not_maximal), std::logic_error);
+  EXPECT_THROW((void)greedy_connectors_reference(g, not_maximal),
+               std::logic_error);
+}
+
+TEST(ConnectorEngine, ComponentCountTracksSteps) {
+  const Graph g = test::make_path(9);
+  const auto mis = bfs_first_fit_mis(g, 0).mis;  // {0,2,4,6,8}
+  ConnectorEngine engine(g, mis);
+  EXPECT_EQ(engine.components(), mis.size());
+  std::size_t q = mis.size();
+  while (!engine.done()) {
+    const GreedyStep step = engine.select_next();
+    EXPECT_EQ(step.q_before, q);
+    q -= step.gain;
+    EXPECT_EQ(engine.components(), q);
+  }
+  EXPECT_EQ(q, 1u);
+}
+
+// A non-independent member seed must match subset_components semantics:
+// the engine unites member-member edges at construction.
+TEST(ConnectorEngine, NonIndependentSeedCountsComponentsCorrectly) {
+  const Graph g = test::make_path(6);
+  const std::vector<NodeId> members{0, 1, 3, 4};  // {0,1} and {3,4}
+  ConnectorEngine engine(g, members);
+  EXPECT_EQ(engine.components(), 2u);
+  const GreedyStep step = engine.select_next();
+  EXPECT_EQ(step.node, 2u);
+  EXPECT_EQ(step.gain, 1u);
+  EXPECT_TRUE(engine.done());
+}
+
+}  // namespace
+}  // namespace mcds::core

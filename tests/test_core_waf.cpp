@@ -96,6 +96,54 @@ TEST_P(WafStructure, CdsValidAndSizeBounded) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WafStructure,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+TEST(WafPruned, SingleNodeAndTwoNodes) {
+  const graph::Graph one(1);
+  EXPECT_EQ(waf_cds_pruned(one, 0).cds, (std::vector<NodeId>{0}));
+  const Graph two = test::make_path(2);
+  const WafResult r = waf_cds_pruned(two, 0);
+  EXPECT_TRUE(is_cds(two, r.cds));
+  EXPECT_EQ(r.s, 1u);
+}
+
+TEST(WafPruned, PathNeedsEveryParent) {
+  // On a path no parent invitation is redundant, so pruning changes
+  // nothing: both variants coincide.
+  const Graph g = test::make_path(9);
+  const WafResult pruned = waf_cds_pruned(g, 0);
+  const WafResult full = waf_cds(g, 0);
+  EXPECT_EQ(pruned.cds, full.cds);
+  EXPECT_EQ(pruned.s, full.s);
+}
+
+// The union-find-pruned variant shares phase 1 and s with waf_cds, stays
+// a valid CDS, and never uses more connectors (it only *skips* parent
+// invitations whose dominator is already reachable from s).
+class WafPrunedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WafPrunedSweep, ValidSubsetOfReferenceAndNoLarger) {
+  udg::InstanceParams params;
+  params.nodes = 80 + (GetParam() % 4) * 40;
+  params.side = 7.0 + static_cast<double>(GetParam() % 3) * 2.0;
+  const auto inst =
+      udg::generate_largest_component_instance(params, GetParam() * 131);
+  const Graph& g = inst.graph;
+  const WafResult pruned = waf_cds_pruned(g, 0);
+  const WafResult full = waf_cds(g, 0);
+  EXPECT_TRUE(is_cds(g, pruned.cds));
+  EXPECT_EQ(pruned.s, full.s);
+  EXPECT_EQ(pruned.phase1.mis, full.phase1.mis);
+  EXPECT_LE(pruned.cds.size(), full.cds.size());
+  // Subset property: every pruned connector is a reference connector.
+  std::vector<bool> in_full(g.num_nodes(), false);
+  for (const NodeId c : full.connectors) in_full[c] = true;
+  for (const NodeId c : pruned.connectors) {
+    EXPECT_TRUE(in_full[c]) << "connector " << c << " not in reference set";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WafPrunedSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 // Theorem 8 validation: on small instances with exact gamma_c,
 // |I ∪ C| <= 7⅓ γ_c.
 class WafTheorem8 : public ::testing::TestWithParam<std::uint64_t> {};

@@ -2,8 +2,45 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.hpp"
+
 namespace mcds::graph {
 namespace {
+
+// Naive oracle: component labels with full relabeling on every merge.
+class NaiveDsu {
+ public:
+  explicit NaiveDsu(std::size_t n) : label_(n) {
+    std::iota(label_.begin(), label_.end(), 0u);
+  }
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t la = label_[a], lb = label_[b];
+    if (la == lb) return false;
+    for (auto& l : label_) {
+      if (l == lb) l = la;
+    }
+    return true;
+  }
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) const {
+    return label_[a] == label_[b];
+  }
+  [[nodiscard]] std::size_t set_size(std::uint32_t x) const {
+    return static_cast<std::size_t>(
+        std::count(label_.begin(), label_.end(), label_[x]));
+  }
+  [[nodiscard]] std::size_t num_sets() const {
+    std::vector<std::uint32_t> labels = label_;
+    std::sort(labels.begin(), labels.end());
+    return static_cast<std::size_t>(
+        std::unique(labels.begin(), labels.end()) - labels.begin());
+  }
+
+ private:
+  std::vector<std::uint32_t> label_;
+};
 
 TEST(UnionFind, InitialState) {
   UnionFind uf(5);
@@ -36,6 +73,58 @@ TEST(UnionFind, ChainCollapsesToOne) {
   EXPECT_EQ(uf.num_sets(), 1u);
   EXPECT_EQ(uf.set_size(0), n);
   EXPECT_TRUE(uf.same(0, n - 1));
+}
+
+// Stress for the merge-only (rollback-free) usage pattern of the
+// incremental connector engine: long random unite/query interleavings
+// must agree with the naive relabeling oracle at every step.
+TEST(UnionFindStress, RandomOpsMatchNaiveOracle) {
+  constexpr std::uint32_t kNodes = 257;
+  constexpr std::size_t kOps = 4000;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    sim::Rng rng(seed);
+    UnionFind uf(kNodes);
+    NaiveDsu oracle(kNodes);
+    for (std::size_t op = 0; op < kOps; ++op) {
+      const auto a = static_cast<std::uint32_t>(rng() % kNodes);
+      const auto b = static_cast<std::uint32_t>(rng() % kNodes);
+      switch (rng() % 4) {
+        case 0:
+        case 1:  // merge-heavy mix, as in phase 2
+          ASSERT_EQ(uf.unite(a, b), oracle.unite(a, b)) << "op " << op;
+          break;
+        case 2:
+          ASSERT_EQ(uf.same(a, b), oracle.same(a, b)) << "op " << op;
+          break;
+        default:
+          ASSERT_EQ(uf.set_size(a), oracle.set_size(a)) << "op " << op;
+          break;
+      }
+      if (op % 512 == 0) {
+        ASSERT_EQ(uf.num_sets(), oracle.num_sets()) << "op " << op;
+      }
+    }
+    EXPECT_EQ(uf.num_sets(), oracle.num_sets());
+  }
+}
+
+// Find is stable under repeated calls (path halving must not change the
+// set structure) and representatives stay within the set.
+TEST(UnionFindStress, FindIsIdempotentAndClosed) {
+  constexpr std::uint32_t kNodes = 500;
+  sim::Rng rng(7);
+  UnionFind uf(kNodes);
+  for (std::size_t i = 0; i < 300; ++i) {
+    uf.unite(static_cast<std::uint32_t>(rng() % kNodes),
+             static_cast<std::uint32_t>(rng() % kNodes));
+  }
+  for (std::uint32_t v = 0; v < kNodes; ++v) {
+    const std::uint32_t r1 = uf.find(v);
+    const std::uint32_t r2 = uf.find(v);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(uf.find(r1), r1);  // representatives are fixed points
+    EXPECT_TRUE(uf.same(v, r1));
+  }
 }
 
 TEST(UnionFind, TransitivityProperty) {
