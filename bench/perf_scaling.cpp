@@ -111,6 +111,43 @@ void BM_DistributedWaf(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedWaf)->Range(64, 512);
 
+// Fault-layer overhead microbenchmarks. BM_FaultFreeRuntime is the
+// unchanged ideal path; BM_FaultInjectedRuntime pays the channel-model
+// sampling on every send; BM_ReliableWaf adds the ack/retransmission
+// wrapper on a lossy network. scripts/bench_snapshot.sh records these
+// into BENCH_fault.json (BENCH_TOPIC=fault).
+void BM_FaultFreeRuntime(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::distributed_waf_cds(inst.graph, dist::RunConfig{}));
+  }
+}
+BENCHMARK(BM_FaultFreeRuntime)->Range(64, 512);
+
+void BM_FaultInjectedRuntime(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  dist::RunConfig cfg;
+  cfg.plan.link = {0.1, 0.05, 1};
+  cfg.plan.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::distributed_waf_cds(inst.graph, cfg));
+  }
+}
+BENCHMARK(BM_FaultInjectedRuntime)->Range(64, 512);
+
+void BM_ReliableWaf(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  dist::RunConfig cfg;
+  cfg.reliable = true;
+  cfg.plan.link.drop = 0.2;
+  cfg.plan.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::distributed_waf_cds(inst.graph, cfg));
+  }
+}
+BENCHMARK(BM_ReliableWaf)->Range(64, 256);
+
 void BM_ExactGammaC(benchmark::State& state) {
   // Exponential solver: small n only; shows why approximation matters.
   const auto n = static_cast<std::size_t>(state.range(0));

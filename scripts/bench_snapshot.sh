@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Records the phase-2 performance trajectory into BENCH_phase2.json at
-# the repo root (google-benchmark JSON). Convention: BENCH_<topic>.json
-# snapshots are committed alongside the PR that moves the needle, so
-# future PRs have a baseline to compare against — see README.md.
+# Records a performance snapshot into BENCH_<topic>.json at the repo
+# root (google-benchmark JSON). Convention: BENCH_<topic>.json snapshots
+# are committed alongside the PR that moves the needle, so future PRs
+# have a baseline to compare against — see README.md.
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_scaling args...]
-#   BUILD_DIR=...   build tree to use (default: build)
-#   BENCH_FILTER=...  benchmark regex (default: the phase-2 benches)
+#   BUILD_DIR=...     build tree to use (default: build)
+#   BENCH_TOPIC=...   snapshot topic: phase2 (default) or fault
+#   BENCH_FILTER=...  benchmark regex (default: per-topic selection)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-BENCH_FILTER="${BENCH_FILTER:-BM_GreedyCds|BM_GreedyConnectors|BM_BuildUdg}"
-OUT="BENCH_phase2.json"
+BENCH_TOPIC="${BENCH_TOPIC:-phase2}"
+case "$BENCH_TOPIC" in
+  phase2) default_filter="BM_GreedyCds|BM_GreedyConnectors|BM_BuildUdg" ;;
+  fault)  default_filter="BM_FaultFreeRuntime|BM_FaultInjectedRuntime|BM_ReliableWaf" ;;
+  *)      default_filter=".*" ;;
+esac
+BENCH_FILTER="${BENCH_FILTER:-$default_filter}"
+OUT="BENCH_${BENCH_TOPIC}.json"
 
 if [[ ! -x "$BUILD_DIR/bench/perf_scaling" ]]; then
   if [[ ! -d "$BUILD_DIR" ]]; then

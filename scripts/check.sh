@@ -3,11 +3,22 @@
 # reproduction bench. Fails fast on any error; a bench exiting non-zero
 # means a *proven* inequality of the paper was violated on some instance.
 #
+# SANITIZE=1 builds into build-asan with AddressSanitizer + UBSan
+# (-DMCDS_SANITIZE=ON) and runs the test suite only — the reproduction
+# benches take too long under instrumentation to be part of the gate.
+#
 # RUN_BENCH=1 additionally records a performance snapshot via
 # scripts/bench_snapshot.sh (opt-in: the google-benchmark run takes
 # minutes and is only meaningful on a quiet machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+cmake_extra=()
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  BUILD_DIR=build-asan
+  cmake_extra=(-DMCDS_SANITIZE=ON -DMCDS_BUILD_BENCH=OFF)
+fi
 
 # Prefer Ninja when available, but match ROADMAP's tier-1 command (the
 # default generator) when it is not.
@@ -15,12 +26,17 @@ generator=()
 if command -v ninja >/dev/null 2>&1; then
   generator=(-G Ninja)
 fi
-cmake -B build -S . "${generator[@]}"
-cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+cmake -B "$BUILD_DIR" -S . "${generator[@]}" "${cmake_extra[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  echo "sanitized test suite passed"
+  exit 0
+fi
 
 status=0
-for bench in build/bench/*; do
+for bench in "$BUILD_DIR"/bench/*; do
   if [[ -f "$bench" && -x "$bench" ]]; then
     echo
     "$bench" || status=1

@@ -10,16 +10,14 @@
 
 namespace mcds::core {
 
-RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
-  const std::size_t n = g.num_nodes();
-  if (n == 0) throw std::invalid_argument("repair_cds: empty graph");
-  if (!graph::is_connected(g)) {
-    throw std::invalid_argument("repair_cds: graph must be connected");
-  }
+namespace {
 
-  RepairResult out;
-  std::vector<bool> in_set(n, false);
-  std::vector<NodeId> members;
+// Shared by repair_cds / reconnect_cds: prune dead members (counting
+// them) and, if nothing survived, seed from the max-degree node.
+void prune_and_seed(const Graph& g, const std::vector<NodeId>& old_cds,
+                    std::vector<bool>& in_set, std::vector<NodeId>& members,
+                    RepairResult& out) {
+  const std::size_t n = g.num_nodes();
   for (const NodeId v : old_cds) {
     if (v >= n) {
       ++out.dropped;  // failed / departed node
@@ -32,7 +30,6 @@ RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
     }
   }
   if (members.empty()) {
-    // Everything failed: seed from the max-degree survivor.
     NodeId seed = 0;
     for (NodeId v = 1; v < n; ++v) {
       if (g.degree(v) > g.degree(seed)) seed = v;
@@ -41,44 +38,14 @@ RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
     members.push_back(seed);
     ++out.added;
   }
+}
 
-  // Step 1 — restore domination. For each uncovered node pick the
-  // member of its closed neighborhood covering the most uncovered
-  // nodes (a local decision, as a real deployment would make).
-  std::vector<bool> dominated(n, false);
-  const auto mark = [&](NodeId v) {
-    dominated[v] = true;
-    for (const NodeId w : g.neighbors(v)) dominated[w] = true;
-  };
-  for (const NodeId v : members) mark(v);
-  for (NodeId v = 0; v < n; ++v) {
-    if (dominated[v]) continue;
-    NodeId best = v;
-    std::size_t best_cover = 0;
-    const auto coverage = [&](NodeId w) {
-      std::size_t c = dominated[w] ? 0 : 1;
-      for (const NodeId x : g.neighbors(w)) {
-        if (!dominated[x]) ++c;
-      }
-      return c;
-    };
-    best_cover = coverage(v);
-    for (const NodeId w : g.neighbors(v)) {
-      const std::size_t c = coverage(w);
-      if (c > best_cover || (c == best_cover && w < best)) {
-        best = w;
-        best_cover = c;
-      }
-    }
-    in_set[best] = true;
-    members.push_back(best);
-    ++out.added;
-    mark(best);
-  }
-
-  // Step 2 — restore connectivity. Prefer positive-gain connectors
-  // (cheap local merges); when none exists, bridge the nearest pair of
-  // components along a shortest path.
+// Step 2 of repair — restore connectivity. Prefer positive-gain
+// connectors (cheap local merges); when none exists, bridge the nearest
+// pair of components along a shortest path.
+void restore_connectivity(const Graph& g, std::vector<bool>& in_set,
+                          std::vector<NodeId>& members, RepairResult& out) {
+  const std::size_t n = g.num_nodes();
   constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> comp(n), seen(n);
   while (true) {
@@ -123,6 +90,77 @@ RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
       ++out.added;
     }
   }
+}
+
+}  // namespace
+
+RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("repair_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("repair_cds: graph must be connected");
+  }
+
+  RepairResult out;
+  std::vector<bool> in_set(n, false);
+  std::vector<NodeId> members;
+  prune_and_seed(g, old_cds, in_set, members, out);
+
+  // Step 1 — restore domination. For each uncovered node pick the
+  // member of its closed neighborhood covering the most uncovered
+  // nodes (a local decision, as a real deployment would make).
+  std::vector<bool> dominated(n, false);
+  const auto mark = [&](NodeId v) {
+    dominated[v] = true;
+    for (const NodeId w : g.neighbors(v)) dominated[w] = true;
+  };
+  for (const NodeId v : members) mark(v);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dominated[v]) continue;
+    NodeId best = v;
+    std::size_t best_cover = 0;
+    const auto coverage = [&](NodeId w) {
+      std::size_t c = dominated[w] ? 0 : 1;
+      for (const NodeId x : g.neighbors(w)) {
+        if (!dominated[x]) ++c;
+      }
+      return c;
+    };
+    best_cover = coverage(v);
+    for (const NodeId w : g.neighbors(v)) {
+      const std::size_t c = coverage(w);
+      if (c > best_cover || (c == best_cover && w < best)) {
+        best = w;
+        best_cover = c;
+      }
+    }
+    in_set[best] = true;
+    members.push_back(best);
+    ++out.added;
+    mark(best);
+  }
+
+  // Step 2 — restore connectivity.
+  restore_connectivity(g, in_set, members, out);
+
+  out.cds = members;
+  std::sort(out.cds.begin(), out.cds.end());
+  return out;
+}
+
+RepairResult reconnect_cds(const Graph& g,
+                           const std::vector<NodeId>& old_cds) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("reconnect_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("reconnect_cds: graph must be connected");
+  }
+
+  RepairResult out;
+  std::vector<bool> in_set(n, false);
+  std::vector<NodeId> members;
+  prune_and_seed(g, old_cds, in_set, members, out);
+  restore_connectivity(g, in_set, members, out);
 
   out.cds = members;
   std::sort(out.cds.begin(), out.cds.end());

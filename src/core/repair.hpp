@@ -33,4 +33,13 @@ struct RepairResult {
 [[nodiscard]] RepairResult repair_cds(const Graph& g,
                                       const std::vector<NodeId>& old_cds);
 
+/// Connectivity-only repair: reglues the fragments of \p old_cds without
+/// re-checking domination — the right tool when a validity check already
+/// pinned the defect to a split backbone (core::check_cds reporting
+/// kDisconnected). Same pruning of out-of-range entries as repair_cds;
+/// the result is a valid CDS iff the pruned input was still dominating.
+/// Preconditions: g connected with >= 1 node.
+[[nodiscard]] RepairResult reconnect_cds(const Graph& g,
+                                         const std::vector<NodeId>& old_cds);
+
 }  // namespace mcds::core

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "graph/subgraph.hpp"
 
@@ -54,6 +55,67 @@ bool is_cds(const Graph& g, std::span<const NodeId> set) {
   if (g.num_nodes() == 0) return set.empty();
   if (set.empty()) return false;
   return is_dominating_set(g, set) && graph::is_connected_subset(g, set);
+}
+
+std::string CdsCheck::describe() const {
+  switch (defect) {
+    case CdsDefect::kNone:
+      return "valid CDS";
+    case CdsDefect::kEmpty:
+      return "empty set on a non-empty graph";
+    case CdsDefect::kUndominated:
+      return "node " + std::to_string(witness) +
+             " has no CDS member in its closed neighborhood";
+    case CdsDefect::kDisconnected:
+      return "backbone is disconnected: members " + std::to_string(witness) +
+             " and " + std::to_string(witness2) +
+             " lie in different components of G[set]";
+  }
+  return "unknown defect";
+}
+
+CdsCheck check_cds(const Graph& g, std::span<const NodeId> set) {
+  CdsCheck out;
+  if (g.num_nodes() == 0) {
+    if (!set.empty()) {
+      throw std::invalid_argument("validate: node out of range");
+    }
+    return out;
+  }
+  if (set.empty()) {
+    out.ok = false;
+    out.defect = CdsDefect::kEmpty;
+    return out;
+  }
+  const auto in = membership(g, set);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) continue;
+    bool dominated = false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (in[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      out.ok = false;
+      out.defect = CdsDefect::kUndominated;
+      out.witness = v;
+      return out;
+    }
+  }
+  const auto [labels, components] = graph::subset_components(g, set);
+  if (components > 1) {
+    out.ok = false;
+    out.defect = CdsDefect::kDisconnected;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (labels[i] == 0 && out.witness == graph::kNoNode) out.witness = set[i];
+      if (labels[i] == 1 && out.witness2 == graph::kNoNode) {
+        out.witness2 = set[i];
+      }
+    }
+  }
+  return out;
 }
 
 bool has_two_hop_separation(const Graph& g, std::span<const NodeId> mis,

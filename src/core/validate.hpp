@@ -1,9 +1,11 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/traversal.hpp"
 
 /// \file validate.hpp
 /// Correctness predicates for dominating-set constructions. Every
@@ -33,6 +35,36 @@ using graph::NodeId;
 /// True if \p set is a connected dominating set: dominating, non-empty
 /// (for non-empty graphs) and G[set] connected.
 [[nodiscard]] bool is_cds(const Graph& g, std::span<const NodeId> set);
+
+/// Why a set fails the CDS predicate.
+enum class CdsDefect {
+  kNone,          ///< the set is a valid CDS
+  kEmpty,         ///< empty set on a non-empty graph
+  kUndominated,   ///< witness = a node with no member in its closed
+                  ///< neighborhood
+  kDisconnected,  ///< witness/witness2 = members of two different
+                  ///< components of G[set]
+};
+
+/// Outcome of check_cds: the verdict plus a concrete witness, so a
+/// failing chaos assertion can say *which* node is uncovered or *which*
+/// backbone fragments drifted apart instead of a bare false.
+struct CdsCheck {
+  bool ok = true;
+  CdsDefect defect = CdsDefect::kNone;
+  NodeId witness = graph::kNoNode;   ///< undominated node, or a member of
+                                     ///< the first backbone component
+  NodeId witness2 = graph::kNoNode;  ///< member of a second component
+                                     ///< (kDisconnected only)
+
+  /// Human-readable verdict ("valid CDS", "node 7 is undominated", ...).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The witness-reporting version of is_cds. Domination is checked before
+/// connectivity, so a set broken in both ways reports the undominated
+/// node. Throws std::invalid_argument on out-of-range members.
+[[nodiscard]] CdsCheck check_cds(const Graph& g, std::span<const NodeId> set);
 
 /// The 2-hop separation property of the BFS first-fit MIS ([10], used by
 /// Lemma 9): every MIS node other than the BFS root has another MIS node

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "dist/reliable_link.hpp"
 #include "graph/traversal.hpp"
 
 namespace mcds::dist {
@@ -30,7 +31,7 @@ std::pair<std::uint32_t, std::uint32_t> unpack_relays(std::int64_t b) {
 
 class ConnectProtocol final : public Protocol {
  public:
-  ConnectProtocol(Runtime& rt, const std::vector<bool>& in_mis)
+  ConnectProtocol(Transport& rt, const std::vector<bool>& in_mis)
       : rt_(rt),
         in_mis_(in_mis),
         connector_(rt.topology().num_nodes(), false),
@@ -110,12 +111,22 @@ class ConnectProtocol final : public Protocol {
     }
   }
 
-  Runtime& rt_;
+  Transport& rt_;
   const std::vector<bool>& in_mis_;
   std::vector<bool> connector_;
   std::vector<std::unordered_set<NodeId>> handled_;
   std::vector<std::unordered_set<NodeId>> forwarded_;
 };
+
+void assemble(const Graph& g, const std::vector<bool>& conn,
+              AlzoubiResult& out) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (conn[v] && !out.mis.in_mis[v]) out.connectors.push_back(v);
+    if (conn[v] || out.mis.in_mis[v]) out.cds.push_back(v);
+  }
+  out.total = out.mis_stats;
+  out.total += out.connect_stats;
+}
 
 }  // namespace
 
@@ -145,13 +156,39 @@ AlzoubiResult distributed_alzoubi_cds(const Graph& g) {
   ConnectProtocol protocol(rt, out.mis.in_mis);
   out.connect_stats = rt.run(protocol);
 
-  const auto& conn = protocol.connectors();
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (conn[v] && !out.mis.in_mis[v]) out.connectors.push_back(v);
-    if (conn[v] || out.mis.in_mis[v]) out.cds.push_back(v);
+  assemble(g, protocol.connectors(), out);
+  return out;
+}
+
+AlzoubiResult distributed_alzoubi_cds(const Graph& g, const RunConfig& cfg,
+                                      std::size_t round_offset) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("distributed_alzoubi_cds: empty graph");
   }
-  out.total = out.mis_stats;
-  out.total += out.connect_stats;
+  AlzoubiResult out;
+  if (g.num_nodes() == 1) {
+    out.mis.in_mis = {true};
+    out.mis.mis = {0};
+    out.cds = {0};
+    return out;
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument(
+        "distributed_alzoubi_cds: graph must be connected");
+  }
+
+  // Phase 1: id-rank MIS on the shared fault timeline.
+  const std::vector<NodeId> flat_levels(g.num_nodes(), 0);
+  out.mis = elect_mis(g, flat_levels, cfg, round_offset);
+  out.mis_stats = out.mis.stats;
+  out.complete = out.mis.complete;
+
+  // Phase 2 picks the timeline up where phase 1 stopped.
+  FaultHarness h(g, cfg, round_offset + out.mis_stats.rounds);
+  ConnectProtocol protocol(h.net(), out.mis.in_mis);
+  out.connect_stats = h.run(protocol);
+
+  assemble(g, protocol.connectors(), out);
   return out;
 }
 

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dist/reliable_link.hpp"
+
 namespace mcds::dist {
 
 namespace {
 
 class BfsProtocol final : public Protocol {
  public:
-  BfsProtocol(Runtime& rt, NodeId root)
+  BfsProtocol(Transport& rt, NodeId root)
       : rt_(rt),
         root_(root),
         parent_(rt.topology().num_nodes(), graph::kNoNode),
@@ -44,7 +46,7 @@ class BfsProtocol final : public Protocol {
   [[nodiscard]] std::vector<NodeId> levels() const { return level_; }
 
  private:
-  Runtime& rt_;
+  Transport& rt_;
   NodeId root_;
   std::vector<NodeId> parent_;
   std::vector<NodeId> level_;
@@ -65,6 +67,26 @@ BfsTreeResult build_bfs_tree(const Graph& g, NodeId root) {
   out.level = protocol.levels();
   if (std::count(out.level.begin(), out.level.end(), graph::kNoNode) > 0) {
     throw std::invalid_argument("build_bfs_tree: topology is disconnected");
+  }
+  return out;
+}
+
+BfsTreeResult build_bfs_tree(const Graph& g, NodeId root, const RunConfig& cfg,
+                             std::size_t round_offset) {
+  if (root >= g.num_nodes()) {
+    throw std::invalid_argument("build_bfs_tree: root out of range");
+  }
+  FaultHarness h(g, cfg, round_offset);
+  BfsProtocol protocol(h.net(), root);
+  BfsTreeResult out;
+  out.root = root;
+  out.stats = h.run(protocol);
+  out.parent = protocol.parents();
+  out.level = protocol.levels();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out.level[v] == graph::kNoNode && h.runtime().is_up(v)) {
+      out.complete = false;
+    }
   }
   return out;
 }

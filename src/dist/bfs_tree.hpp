@@ -16,10 +16,19 @@ struct BfsTreeResult {
   std::vector<NodeId> parent;  ///< graph::kNoNode for the root
   std::vector<NodeId> level;   ///< hop distance from the root
   RunStats stats;
+  bool complete = true;  ///< every live node adopted a level
 };
 
 /// Builds the BFS tree of \p g rooted at \p root. Precondition:
 /// g connected, root valid.
 [[nodiscard]] BfsTreeResult build_bfs_tree(const Graph& g, NodeId root);
+
+/// Fault-aware overload: unreached live nodes (lost offers, crashed
+/// subtrees) keep level == graph::kNoNode and clear complete instead of
+/// throwing. Under drops the adopted levels form a spanning tree of the
+/// reached region but need not be shortest-path.
+[[nodiscard]] BfsTreeResult build_bfs_tree(const Graph& g, NodeId root,
+                                           const RunConfig& cfg,
+                                           std::size_t round_offset = 0);
 
 }  // namespace mcds::dist

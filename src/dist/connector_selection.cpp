@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dist/reliable_link.hpp"
 #include "graph/traversal.hpp"
 
 namespace mcds::dist {
@@ -17,15 +18,24 @@ constexpr std::int32_t kAccept = 5;  ///< connector -> neighbors
 
 class ConnectorProtocol final : public Protocol {
  public:
-  ConnectorProtocol(Runtime& rt, NodeId leader,
+  // The protocol is round-indexed: reports are in after one delivery
+  // window, s's announcement after three. phase_len is that window — 1
+  // in the synchronous model, reliable_delivery_bound() under a
+  // reliable link. strict preserves the fault-free contract (a leader
+  // hearing no reports is a logic error); non-strict runs fizzle
+  // instead, leaving s unelected.
+  ConnectorProtocol(Transport& rt, NodeId leader,
                     const std::vector<NodeId>& parent,
-                    const std::vector<bool>& in_mis)
+                    const std::vector<bool>& in_mis,
+                    std::size_t phase_len = 1, bool strict = true)
       : rt_(rt),
         leader_(leader),
         parent_(parent),
         in_mis_(in_mis),
         covered_by_s_(rt.topology().num_nodes(), false),
-        connector_(rt.topology().num_nodes(), false) {}
+        connector_(rt.topology().num_nodes(), false),
+        phase_len_(phase_len),
+        strict_(strict) {}
 
   void start(NodeId self) override {
     // Leader's neighbors report their dominator coverage.
@@ -72,19 +82,34 @@ class ConnectorProtocol final : public Protocol {
       }
     }
 
-    // Round 1: all reports are in; the leader elects s.
-    if (self == leader_ && round_ == 1) {
+    // Round phase_len: all reports are in; the leader elects s.
+    if (self == leader_ && round_ == phase_len_) {
       if (best_ == graph::kNoNode) {
-        throw std::logic_error("connector protocol: leader heard no reports");
+        if (strict_) {
+          throw std::logic_error(
+              "connector protocol: leader heard no reports");
+        }
+      } else {
+        rt_.send(self, best_, Message{0, kElect, 0, 0});
       }
-      rt_.send(self, best_, Message{0, kElect, 0, 0});
     }
-    // Round 3: IAmS announcements have been processed above; dominators
-    // not covered by s (and not the leader itself) invite their parents.
-    if (round_ == 3 && in_mis_[self] && self != leader_ &&
+    // Round 3 * phase_len: IAmS announcements have been processed above;
+    // dominators not covered by s (and not the leader itself) invite
+    // their parents.
+    if (round_ == 3 * phase_len_ && in_mis_[self] && self != leader_ &&
         !covered_by_s_[self]) {
-      rt_.send(self, parent_[self], Message{0, kInvite, 0, 0});
+      if (strict_ || (parent_[self] != graph::kNoNode &&
+                      rt_.topology().has_edge(self, parent_[self]))) {
+        rt_.send(self, parent_[self], Message{0, kInvite, 0, 0});
+      }
     }
+  }
+
+  /// Keeps the runtime ticking through the stretched phase gaps; with
+  /// phase_len == 1 the synchronous traffic pattern already spans every
+  /// round, so the original quiescence rule is preserved exactly.
+  [[nodiscard]] bool idle() const override {
+    return phase_len_ == 1 || round_ >= 3 * phase_len_;
   }
 
   [[nodiscard]] NodeId s() const { return s_; }
@@ -93,7 +118,7 @@ class ConnectorProtocol final : public Protocol {
   }
 
  private:
-  Runtime& rt_;
+  Transport& rt_;
   NodeId leader_;
   const std::vector<NodeId>& parent_;
   const std::vector<bool>& in_mis_;
@@ -103,7 +128,19 @@ class ConnectorProtocol final : public Protocol {
   std::int64_t best_count_ = -1;
   NodeId s_ = graph::kNoNode;
   std::size_t round_ = 0;
+  std::size_t phase_len_ = 1;
+  bool strict_ = true;
 };
+
+void assemble(const Graph& g, const ConnectorProtocol& protocol,
+              const std::vector<bool>& in_mis, ConnectorResult& out) {
+  out.s = protocol.s();
+  const auto& conn = protocol.connectors();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (conn[v] && !in_mis[v]) out.connectors.push_back(v);
+    if (conn[v] || in_mis[v]) out.cds.push_back(v);
+  }
+}
 
 }  // namespace
 
@@ -120,13 +157,30 @@ ConnectorResult select_connectors(const Graph& g, NodeId leader,
   ConnectorProtocol protocol(rt, leader, parent, in_mis);
   ConnectorResult out;
   out.stats = rt.run(protocol);
-  out.s = protocol.s();
+  assemble(g, protocol, in_mis, out);
+  return out;
+}
 
-  const auto& conn = protocol.connectors();
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (conn[v] && !in_mis[v]) out.connectors.push_back(v);
-    if (conn[v] || in_mis[v]) out.cds.push_back(v);
+ConnectorResult select_connectors(const Graph& g, NodeId leader,
+                                  const std::vector<NodeId>& parent,
+                                  const std::vector<bool>& in_mis,
+                                  const RunConfig& cfg,
+                                  std::size_t round_offset) {
+  if (g.num_nodes() < 2) {
+    throw std::invalid_argument("select_connectors: need >= 2 nodes");
   }
+  if (parent.size() != g.num_nodes() || in_mis.size() != g.num_nodes()) {
+    throw std::invalid_argument("select_connectors: input size mismatch");
+  }
+  FaultHarness h(g, cfg, round_offset);
+  const std::size_t phase_len =
+      cfg.reliable ? reliable_delivery_bound(cfg.link) : 1;
+  ConnectorProtocol protocol(h.net(), leader, parent, in_mis, phase_len,
+                             /*strict=*/false);
+  ConnectorResult out;
+  out.stats = h.run(protocol);
+  assemble(g, protocol, in_mis, out);
+  out.complete = protocol.s() != graph::kNoNode;
   return out;
 }
 

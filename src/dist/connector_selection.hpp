@@ -16,6 +16,7 @@ struct ConnectorResult {
   std::vector<NodeId> connectors;  ///< s plus the invited parents
   std::vector<NodeId> cds;         ///< dominators ∪ connectors, ascending
   RunStats stats;
+  bool complete = true;  ///< the election of s went through
 };
 
 /// Runs connector selection on \p g. Inputs come from the earlier
@@ -25,5 +26,14 @@ struct ConnectorResult {
 [[nodiscard]] ConnectorResult select_connectors(
     const Graph& g, NodeId leader, const std::vector<NodeId>& parent,
     const std::vector<bool>& in_mis);
+
+/// Fault-aware overload. The protocol is round-indexed, so under a
+/// reliable link its phase thresholds stretch by the link's worst-case
+/// delivery bound; a leader that hears no reports (all lost, or the
+/// leader crashed) fizzles with complete = false instead of throwing.
+[[nodiscard]] ConnectorResult select_connectors(
+    const Graph& g, NodeId leader, const std::vector<NodeId>& parent,
+    const std::vector<bool>& in_mis, const RunConfig& cfg,
+    std::size_t round_offset = 0);
 
 }  // namespace mcds::dist

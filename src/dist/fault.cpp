@@ -1,0 +1,80 @@
+#include "dist/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcds::dist {
+
+namespace {
+std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+void check_rate(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+void check_faults(const LinkFaults& f) {
+  check_rate(f.drop, "drop");
+  check_rate(f.duplicate, "duplicate");
+}
+}  // namespace
+
+std::vector<bool> FaultPlan::up_after(std::size_t n,
+                                      std::size_t through_round) const {
+  std::vector<bool> up(n, true);
+  // Events sharing a round apply in schedule order, so replay a
+  // round-sorted copy with the original order as tiebreak.
+  std::vector<std::size_t> idx(schedule.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return schedule[a].round < schedule[b].round;
+  });
+  for (const std::size_t i : idx) {
+    const CrashEvent& e = schedule[i];
+    if (e.round > through_round) break;
+    if (e.node < n) up[e.node] = e.up;
+  }
+  return up;
+}
+
+ChannelModel::ChannelModel(const FaultPlan& plan, std::uint64_t stream)
+    : default_(plan.link), rng_(sim::Rng::child(plan.seed, stream)) {
+  check_faults(default_);
+  overrides_.reserve(plan.overrides.size());
+  for (const LinkOverride& o : plan.overrides) {
+    check_faults(o.faults);
+    overrides_[link_key(o.from, o.to)] = o.faults;
+  }
+}
+
+const LinkFaults& ChannelModel::resolve(NodeId from, NodeId to) const {
+  if (!overrides_.empty()) {
+    const auto it = overrides_.find(link_key(from, to));
+    if (it != overrides_.end()) return it->second;
+  }
+  return default_;
+}
+
+void ChannelModel::sample(NodeId from, NodeId to,
+                          std::vector<std::size_t>& delays) {
+  const LinkFaults& f = resolve(from, to);
+  // Fixed draw order (drop, duplicate, per-copy delay); rates of exactly
+  // zero consume no randomness, so e.g. a crash-only plan with clean
+  // links never touches the RNG.
+  if (f.drop > 0.0 && rng_.uniform01() < f.drop) return;
+  std::size_t copies = 1;
+  if (f.duplicate > 0.0 && rng_.uniform01() < f.duplicate) ++copies;
+  for (std::size_t c = 0; c < copies; ++c) {
+    std::size_t d = 0;
+    if (f.max_delay > 0) {
+      d = static_cast<std::size_t>(rng_.uniform_int(f.max_delay + 1));
+    }
+    delays.push_back(d);
+  }
+}
+
+}  // namespace mcds::dist

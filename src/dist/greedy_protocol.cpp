@@ -6,6 +6,7 @@
 
 #include "dist/bfs_tree.hpp"
 #include "dist/leader_election.hpp"
+#include "dist/reliable_link.hpp"
 #include "graph/traversal.hpp"
 
 namespace mcds::dist {
@@ -27,7 +28,7 @@ bool insert_unique(std::vector<NodeId>& xs, NodeId x) {
 // in the component) by flooding along member-member edges.
 class LabelProtocol final : public Protocol {
  public:
-  LabelProtocol(Runtime& rt, const std::vector<bool>& member)
+  LabelProtocol(Transport& rt, const std::vector<bool>& member)
       : rt_(rt), member_(member), label_(rt.topology().num_nodes()) {
     for (NodeId v = 0; v < label_.size(); ++v) label_[v] = v;
   }
@@ -57,24 +58,26 @@ class LabelProtocol final : public Protocol {
   [[nodiscard]] const std::vector<NodeId>& labels() const { return label_; }
 
  private:
-  Runtime& rt_;
+  Transport& rt_;
   const std::vector<bool>& member_;
   std::vector<NodeId> label_;
 };
 
-// Phase B of an epoch: gain bidding over two hops.
-// round 1: members announce their component label;
-// round 2: candidates with gain >= 1 broadcast BID(gain, id);
-// round 3: every node forwards each distinct bid once (2-hop spread);
-// round 4: bidders that heard no better bid join and announce it.
+// Phase B of an epoch: gain bidding over two hops, round-indexed with a
+// configurable delivery window (phase_len = 1 in the synchronous model):
+// round 1·pl: labels are in; candidates with gain >= 1 broadcast
+//             BID(gain, id);
+// rounds in between: every node forwards each distinct bid once (2-hop
+//             spread);
+// round 3·pl: bidders that heard no better bid join and announce it.
 class BidProtocol final : public Protocol {
  public:
   static constexpr std::int32_t kLabel = 1;
   static constexpr std::int32_t kBid = 2;
   static constexpr std::int32_t kJoin = 3;
 
-  BidProtocol(Runtime& rt, const std::vector<bool>& member,
-              const std::vector<NodeId>& label)
+  BidProtocol(Transport& rt, const std::vector<bool>& member,
+              const std::vector<NodeId>& label, std::size_t phase_len = 1)
       : rt_(rt),
         member_(member),
         label_(label),
@@ -82,7 +85,8 @@ class BidProtocol final : public Protocol {
         best_rival_gain_(rt.topology().num_nodes(), 0),
         best_rival_id_(rt.topology().num_nodes(), graph::kNoNode),
         my_gain_(rt.topology().num_nodes(), 0),
-        seen_bidders_(rt.topology().num_nodes()) {}
+        seen_bidders_(rt.topology().num_nodes()),
+        phase_len_(phase_len) {}
 
   void start(NodeId self) override {
     if (member_[self]) {
@@ -119,7 +123,7 @@ class BidProtocol final : public Protocol {
       }
     }
 
-    if (round_ == 1 && !member_[self]) {
+    if (round_ == phase_len_ && !member_[self]) {
       // Labels are in; compute the gain and bid if positive.
       const std::size_t distinct = adjacent_labels_[self].size();
       if (distinct >= 2) {
@@ -130,9 +134,9 @@ class BidProtocol final : public Protocol {
                               static_cast<std::int64_t>(self)});
       }
     }
-    if (round_ == 3 && my_gain_[self] >= 1) {
-      // All bids within two hops have arrived (first-hand in round 2,
-      // relayed in round 3); decide.
+    if (round_ == 3 * phase_len_ && my_gain_[self] >= 1) {
+      // All bids within two hops have arrived (first-hand by 2·pl,
+      // relayed by 3·pl); decide.
       const bool beaten =
           best_rival_id_[self] != graph::kNoNode &&
           (best_rival_gain_[self] > my_gain_[self] ||
@@ -143,6 +147,13 @@ class BidProtocol final : public Protocol {
         rt_.broadcast(self, Message{0, kJoin, 0, 0});
       }
     }
+  }
+
+  /// Keeps the runtime ticking through the stretched phase gaps; with
+  /// phase_len == 1 the synchronous traffic pattern already spans every
+  /// round, so the original quiescence rule is preserved exactly.
+  [[nodiscard]] bool idle() const override {
+    return phase_len_ == 1 || round_ >= 3 * phase_len_;
   }
 
   [[nodiscard]] const std::vector<NodeId>& winners() const {
@@ -160,7 +171,7 @@ class BidProtocol final : public Protocol {
     }
   }
 
-  Runtime& rt_;
+  Transport& rt_;
   const std::vector<bool>& member_;
   const std::vector<NodeId>& label_;
   std::vector<std::vector<NodeId>> adjacent_labels_;
@@ -170,6 +181,7 @@ class BidProtocol final : public Protocol {
   std::vector<std::vector<NodeId>> seen_bidders_;
   std::vector<NodeId> winners_;
   std::size_t round_ = 0;
+  std::size_t phase_len_ = 1;
 };
 
 }  // namespace
@@ -224,6 +236,88 @@ DistGreedyResult distributed_greedy_cds(const Graph& g) {
       throw std::logic_error(
           "distributed_greedy_cds: no winner although q > 1 (Lemma 9 "
           "guarantees the global maximum bidder wins)");
+    }
+    for (const NodeId w : bids.winners()) {
+      member[w] = true;
+      out.connectors.push_back(w);
+    }
+  }
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (member[v]) out.cds.push_back(v);
+  }
+  std::sort(out.connectors.begin(), out.connectors.end());
+  return out;
+}
+
+DistGreedyResult distributed_greedy_cds(const Graph& g, const RunConfig& cfg,
+                                        std::size_t round_offset) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("distributed_greedy_cds: empty graph");
+  }
+  DistGreedyResult out;
+  if (g.num_nodes() == 1) {
+    out.mis.in_mis = {true};
+    out.mis.mis = {0};
+    out.cds = {0};
+    return out;
+  }
+
+  // One fault timeline threads through every phase: each runtime starts
+  // at the global round where the previous one stopped.
+  std::size_t offset = round_offset;
+  const LeaderResult leader = elect_leader(g, cfg, offset);
+  out.total = leader.stats;
+  out.complete = leader.complete;
+  offset += leader.stats.rounds;
+
+  const BfsTreeResult tree = build_bfs_tree(g, leader.leader, cfg, offset);
+  out.total += tree.stats;
+  out.complete = out.complete && tree.complete;
+  offset += tree.stats.rounds;
+
+  out.mis = elect_mis(g, tree.level, cfg, offset);
+  out.total += out.mis.stats;
+  out.complete = out.complete && out.mis.complete;
+  offset += out.mis.stats.rounds;
+
+  const std::size_t phase_len =
+      cfg.reliable ? reliable_delivery_bound(cfg.link) : 1;
+  std::vector<bool> member = out.mis.in_mis;
+  std::vector<std::size_t> label_stamp(g.num_nodes(), 0);
+  const std::size_t max_epochs = std::max<std::size_t>(out.mis.mis.size(), 1);
+  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+    // Phase A: component labels.
+    FaultHarness label_h(g, cfg, offset);
+    LabelProtocol labels(label_h.net(), member);
+    const RunStats label_stats = label_h.run(labels);
+    out.total += label_stats;
+    offset += label_stats.rounds;
+    std::size_t distinct = 0;
+    const std::size_t stamp = epoch + 1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!member[v]) continue;
+      const NodeId lbl = labels.labels()[v];
+      if (label_stamp[lbl] != stamp) {
+        label_stamp[lbl] = stamp;
+        ++distinct;
+      }
+    }
+    if (distinct <= 1) break;
+
+    // Phase B: bidding.
+    ++out.epochs;
+    FaultHarness bid_h(g, cfg, offset);
+    BidProtocol bids(bid_h.net(), member, labels.labels(), phase_len);
+    const RunStats bid_stats = bid_h.run(bids);
+    out.total += bid_stats;
+    offset += bid_stats.rounds;
+    if (bids.winners().empty()) {
+      // Lemma 9's guarantee needs every bid delivered; with losses the
+      // epoch can come up dry. The component count cannot increase, so
+      // stopping here is safe — the caller repairs what is missing.
+      out.complete = false;
+      break;
     }
     for (const NodeId w : bids.winners()) {
       member[w] = true;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dist/reliable_link.hpp"
 #include "graph/traversal.hpp"
 
 namespace mcds::dist {
@@ -10,7 +11,7 @@ namespace {
 
 class MinIdFlood final : public Protocol {
  public:
-  explicit MinIdFlood(Runtime& rt)
+  explicit MinIdFlood(Transport& rt)
       : rt_(rt), known_(rt.topology().num_nodes()) {
     for (NodeId v = 0; v < known_.size(); ++v) known_[v] = v;
   }
@@ -37,7 +38,7 @@ class MinIdFlood final : public Protocol {
   [[nodiscard]] NodeId known(NodeId v) const { return known_[v]; }
 
  private:
-  Runtime& rt_;
+  Transport& rt_;
   std::vector<NodeId> known_;
 };
 
@@ -58,6 +59,29 @@ LeaderResult elect_leader(const Graph& g) {
       throw std::invalid_argument("elect_leader: topology is disconnected");
     }
   }
+  return out;
+}
+
+LeaderResult elect_leader(const Graph& g, const RunConfig& cfg,
+                          std::size_t round_offset) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("elect_leader: empty graph");
+  }
+  FaultHarness h(g, cfg, round_offset);
+  MinIdFlood protocol(h.net());
+  LeaderResult out;
+  out.stats = h.run(protocol);
+  bool first = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!h.runtime().is_up(v)) continue;
+    if (first) {
+      out.leader = protocol.known(v);
+      first = false;
+    } else if (protocol.known(v) != out.leader) {
+      out.complete = false;
+    }
+  }
+  if (first) out.complete = false;  // nobody survived
   return out;
 }
 

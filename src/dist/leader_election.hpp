@@ -14,9 +14,16 @@ namespace mcds::dist {
 struct LeaderResult {
   NodeId leader = 0;  ///< the elected (minimum-id) node
   RunStats stats;
+  bool complete = true;  ///< all live nodes agree on the leader
 };
 
 /// Runs min-id flooding on \p g. Precondition: g connected, >= 1 node.
 [[nodiscard]] LeaderResult elect_leader(const Graph& g);
+
+/// Fault-aware overload: instead of throwing when the flood fails to
+/// reach agreement (drops, crashes, partition), sets complete = false;
+/// leader is then the view of the smallest-id live node.
+[[nodiscard]] LeaderResult elect_leader(const Graph& g, const RunConfig& cfg,
+                                        std::size_t round_offset = 0);
 
 }  // namespace mcds::dist

@@ -1,0 +1,131 @@
+#include "dist/maintenance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/repair.hpp"
+#include "dist/distributed_cds.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+
+namespace mcds::dist {
+
+SelfHealingCds::SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
+                               MaintenanceParams params)
+    : g_(g), cds_(std::move(cds)), params_(params) {
+  for (const NodeId v : cds_) {
+    if (v >= g_.num_nodes()) {
+      throw std::invalid_argument("SelfHealingCds: cds node out of range");
+    }
+  }
+  if (!(params_.rebuild_fraction >= 0.0 && params_.rebuild_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "SelfHealingCds: rebuild_fraction must be in [0, 1]");
+  }
+  std::sort(cds_.begin(), cds_.end());
+}
+
+HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
+  if (up.size() != g_.num_nodes()) {
+    throw std::invalid_argument("SelfHealingCds: liveness size mismatch");
+  }
+  HealReport report;
+
+  std::vector<NodeId> live;
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    if (up[v]) live.push_back(v);
+  }
+  report.survivors = live.size();
+
+  const std::size_t old_size = cds_.size();
+  std::vector<NodeId> survivors_of_backbone;
+  for (const NodeId v : cds_) {
+    if (up[v]) survivors_of_backbone.push_back(v);
+  }
+  report.kept = survivors_of_backbone.size();
+  report.dropped = old_size - survivors_of_backbone.size();
+
+  if (live.empty()) {
+    cds_.clear();
+    report.action = HealAction::kUnhealable;
+    report.kept = 0;
+    return report;
+  }
+
+  // Everything below happens on the survivor-induced subgraph; sub ids
+  // map back through sub.mapping.
+  const auto sub = graph::induced_subgraph(g_, live);
+  std::vector<NodeId> to_sub(g_.num_nodes(), graph::kNoNode);
+  for (NodeId i = 0; i < sub.mapping.size(); ++i) {
+    to_sub[sub.mapping[i]] = i;
+  }
+  std::vector<NodeId> backbone_sub;
+  for (const NodeId v : survivors_of_backbone) {
+    backbone_sub.push_back(to_sub[v]);
+  }
+
+  report.issue = core::check_cds(sub.graph, backbone_sub);
+  if (report.issue.ok) {
+    cds_ = std::move(survivors_of_backbone);
+    report.action = HealAction::kIntact;
+    return report;
+  }
+  // Translate the witness back to full-graph ids for the caller.
+  if (report.issue.witness != graph::kNoNode) {
+    report.issue.witness = sub.mapping[report.issue.witness];
+  }
+  if (report.issue.witness2 != graph::kNoNode) {
+    report.issue.witness2 = sub.mapping[report.issue.witness2];
+  }
+
+  if (!graph::is_connected(sub.graph)) {
+    // No CDS of the survivor graph exists; keep the live remnant so a
+    // later recovery has something to extend.
+    cds_ = std::move(survivors_of_backbone);
+    report.action = HealAction::kUnhealable;
+    return report;
+  }
+
+  std::vector<NodeId> healed_sub;
+  if (old_size > 0 && static_cast<double>(report.kept) <
+                          params_.rebuild_fraction *
+                              static_cast<double>(old_size)) {
+    // Too little survived: re-run the distributed construction on the
+    // survivor topology (phase re-run, not repair).
+    const DistributedCdsResult rebuilt = distributed_waf_cds(sub.graph);
+    healed_sub = rebuilt.cds;
+    report.stats = rebuilt.total;
+    report.action = HealAction::kRebuilt;
+  } else if (report.issue.defect == core::CdsDefect::kDisconnected) {
+    // Coverage held, only the backbone split: reglue it.
+    const core::RepairResult r = core::reconnect_cds(sub.graph, backbone_sub);
+    healed_sub = r.cds;
+    report.action = HealAction::kReconnected;
+  } else {
+    // Coverage lost (or the backbone died entirely): full repair.
+    const core::RepairResult r = core::repair_cds(sub.graph, backbone_sub);
+    healed_sub = r.cds;
+    report.action = HealAction::kRepaired;
+  }
+
+  std::vector<NodeId> healed;
+  healed.reserve(healed_sub.size());
+  for (const NodeId i : healed_sub) healed.push_back(sub.mapping[i]);
+  std::sort(healed.begin(), healed.end());
+
+  std::size_t still_kept = 0;
+  for (const NodeId v : healed) {
+    if (std::binary_search(survivors_of_backbone.begin(),
+                           survivors_of_backbone.end(), v)) {
+      ++still_kept;
+    }
+  }
+  report.added = healed.size() - still_kept;
+  report.dropped = old_size - still_kept;
+  report.kept = still_kept;
+
+  cds_ = std::move(healed);
+  return report;
+}
+
+}  // namespace mcds::dist

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "dist/runtime.hpp"
+
+/// \file maintenance.hpp
+/// Self-healing backbone maintenance. A SelfHealingCds owns the current
+/// CDS of a (full) topology and, on every churn event (crashes,
+/// recoveries, mobility), re-validates it on the survivor graph via
+/// core::check_cds. The witness decides the cheapest adequate response:
+/// a backbone that merely split is reglued (core::reconnect_cds); one
+/// that lost coverage is fully repaired (core::repair_cds); and when
+/// churn decimated the backbone below a configurable survival fraction,
+/// the distributed WAF construction is re-run from scratch on the
+/// survivor topology. Only the affected phase runs — an intact backbone
+/// costs one validity check.
+
+namespace mcds::dist {
+
+/// What a heal pass did.
+enum class HealAction {
+  kIntact,       ///< survivor CDS still valid — nothing done
+  kReconnected,  ///< backbone split; connectivity-only repair ran
+  kRepaired,     ///< coverage lost; full (domination + connectivity)
+                 ///< repair ran
+  kRebuilt,      ///< too little survived; distributed WAF re-ran
+  kUnhealable,   ///< survivor graph empty or disconnected — no CDS exists
+};
+
+struct MaintenanceParams {
+  /// Full rebuild when fewer than this fraction of the previous backbone
+  /// survives the churn event (repairing a near-empty skeleton costs
+  /// more nodes than rebuilding).
+  double rebuild_fraction = 0.34;
+};
+
+/// Report of one on_churn() pass.
+struct HealReport {
+  HealAction action = HealAction::kIntact;
+  core::CdsCheck issue;       ///< the witness that triggered healing
+  std::size_t survivors = 0;  ///< live nodes after the event
+  std::size_t kept = 0;       ///< backbone nodes retained
+  std::size_t added = 0;      ///< nodes newly recruited
+  std::size_t dropped = 0;    ///< backbone nodes lost or discarded
+  RunStats stats;             ///< distributed cost (kRebuilt only)
+};
+
+/// Maintains one backbone across a sequence of churn events.
+class SelfHealingCds {
+ public:
+  /// \p g is the full topology (it must outlive the driver); \p cds its
+  /// current CDS, in full-graph node ids.
+  SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
+                 MaintenanceParams params = {});
+
+  /// Applies a new liveness vector (size = full graph) and heals the
+  /// backbone on the graph induced by the live nodes. Idempotent: a
+  /// second call with the same vector reports kIntact.
+  HealReport on_churn(const std::vector<bool>& up);
+
+  /// The current backbone, full-graph ids, ascending. After a heal every
+  /// member is live; valid on the survivor graph unless the last report
+  /// said kUnhealable.
+  [[nodiscard]] const std::vector<NodeId>& cds() const noexcept {
+    return cds_;
+  }
+
+ private:
+  const Graph& g_;
+  std::vector<NodeId> cds_;
+  MaintenanceParams params_;
+};
+
+}  // namespace mcds::dist

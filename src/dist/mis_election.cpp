@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dist/reliable_link.hpp"
+
 namespace mcds::dist {
 
 namespace {
@@ -9,7 +11,7 @@ namespace {
 // Message type: a == 1 if the sender joined the MIS, 0 otherwise.
 class MisProtocol final : public Protocol {
  public:
-  MisProtocol(Runtime& rt, const std::vector<NodeId>& level)
+  MisProtocol(Transport& rt, const std::vector<NodeId>& level)
       : rt_(rt), level_(level) {
     const Graph& g = rt.topology();
     const std::size_t n = g.num_nodes();
@@ -43,6 +45,7 @@ class MisProtocol final : public Protocol {
     }
     return true;
   }
+  [[nodiscard]] bool decided(NodeId v) const { return decided_[v]; }
 
  private:
   [[nodiscard]] bool rank_less(NodeId a, NodeId b) const {
@@ -65,7 +68,7 @@ class MisProtocol final : public Protocol {
     rt_.broadcast(self, Message{0, 0, in_mis_[self] ? 1 : 0, 0});
   }
 
-  Runtime& rt_;
+  Transport& rt_;
   const std::vector<NodeId>& level_;
   std::vector<std::size_t> undecided_lower_;
   std::vector<bool> decided_;
@@ -89,6 +92,23 @@ MisElectionResult elect_mis(const Graph& g, const std::vector<NodeId>& level) {
   out.in_mis = protocol.in_mis();
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (out.in_mis[v]) out.mis.push_back(v);
+  }
+  return out;
+}
+
+MisElectionResult elect_mis(const Graph& g, const std::vector<NodeId>& level,
+                            const RunConfig& cfg, std::size_t round_offset) {
+  if (level.size() != g.num_nodes()) {
+    throw std::invalid_argument("elect_mis: level size mismatch");
+  }
+  FaultHarness h(g, cfg, round_offset);
+  MisProtocol protocol(h.net(), level);
+  MisElectionResult out;
+  out.stats = h.run(protocol);
+  out.in_mis = protocol.in_mis();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out.in_mis[v]) out.mis.push_back(v);
+    if (!protocol.decided(v) && h.runtime().is_up(v)) out.complete = false;
   }
   return out;
 }

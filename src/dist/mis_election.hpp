@@ -16,6 +16,8 @@ struct MisElectionResult {
   std::vector<bool> in_mis;       ///< per-node dominator flag
   std::vector<NodeId> mis;        ///< dominators, ascending id
   RunStats stats;
+  bool complete = true;  ///< every live node decided (always true for
+                         ///< the fault-free overload)
 };
 
 /// Runs the election on \p g given the BFS \p level of every node
@@ -23,5 +25,16 @@ struct MisElectionResult {
 /// connected topology.
 [[nodiscard]] MisElectionResult elect_mis(const Graph& g,
                                           const std::vector<NodeId>& level);
+
+/// Fault-aware overload: runs the election under \p cfg, with
+/// \p round_offset placing it on the plan's global timeline. Nodes that
+/// quiesce undecided (expected under message loss or crashes) no longer
+/// throw; instead complete is false and in_mis holds only the nodes
+/// that decided to join. The election is confluent, so with reliable
+/// links and no crashes the result equals the fault-free one.
+[[nodiscard]] MisElectionResult elect_mis(const Graph& g,
+                                          const std::vector<NodeId>& level,
+                                          const RunConfig& cfg,
+                                          std::size_t round_offset = 0);
 
 }  // namespace mcds::dist

@@ -1,0 +1,128 @@
+#include "dist/reliable_link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcds::dist {
+
+namespace {
+std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+std::size_t reliable_delivery_bound(const ReliableLinkParams& params) noexcept {
+  std::size_t total = 1;  // the successful copy's delivery round
+  std::size_t rto = params.rto;
+  for (std::size_t i = 0; i < params.max_retries; ++i) {
+    total += rto;
+    rto = std::min(rto * 2, params.max_rto);
+  }
+  return total;
+}
+
+ReliableLink::ReliableLink(Runtime& rt, const ReliableLinkParams& params)
+    : rt_(rt), params_(params) {
+  if (params_.rto == 0 || params_.max_rto < params_.rto) {
+    throw std::invalid_argument(
+        "ReliableLink: need 1 <= rto <= max_rto");
+  }
+}
+
+void ReliableLink::post(NodeId from, NodeId to, const Message& payload) {
+  const std::uint32_t seq = ++next_seq_[link_key(from, to)];
+  Message wire = payload;
+  wire.link = kLinkData;
+  wire.seq = seq;
+  rt_.send(from, to, wire);
+  pending_.push_back(Pending{from, to, payload, seq, params_.rto, params_.rto,
+                             params_.max_retries});
+}
+
+void ReliableLink::send(NodeId from, NodeId to, Message m) {
+  if (!rt_.topology().has_edge(from, to)) {
+    throw std::invalid_argument(
+        "ReliableLink::send: nodes are not one-hop neighbors");
+  }
+  m.from = from;
+  post(from, to, m);
+}
+
+void ReliableLink::broadcast(NodeId from, Message m) {
+  // Reliable broadcast = per-neighbor reliable unicast (each copy is
+  // acked independently, exactly like the lossless runtime's fan-out).
+  m.from = from;
+  for (const NodeId to : rt_.topology().neighbors(from)) {
+    post(from, to, m);
+  }
+}
+
+void ReliableLink::start(NodeId self) {
+  if (inner_) inner_->start(self);
+}
+
+void ReliableLink::on_round_begin() {
+  if (inner_) inner_->on_round_begin();
+  // Tick retransmission timers. Sends from here land in next round's
+  // inboxes, exactly like sends from step(). Crashed senders keep their
+  // queue but the clock stops (fail-stop with stable storage).
+  std::size_t expired_now = 0;
+  for (Pending& p : pending_) {
+    if (!rt_.is_up(p.from)) continue;
+    if (--p.timer > 0) continue;
+    if (p.retries_left == 0) {
+      p.seq = 0;  // tombstone, collected below (seq 0 is never assigned)
+      ++expired_now;
+      continue;
+    }
+    Message wire = p.payload;
+    wire.link = kLinkData;
+    wire.seq = p.seq;
+    rt_.send(p.from, p.to, wire);
+    ++retransmissions_;
+    --p.retries_left;
+    p.rto = std::min(p.rto * 2, params_.max_rto);
+    p.timer = p.rto;
+  }
+  if (expired_now > 0) {
+    expired_ += expired_now;
+    std::erase_if(pending_, [](const Pending& p) { return p.seq == 0; });
+  }
+}
+
+void ReliableLink::step(NodeId self, const std::vector<Message>& inbox) {
+  std::vector<Message> payloads;
+  for (const Message& m : inbox) {
+    if (m.link == kLinkAck) {
+      // Ack for our link self -> m.from; duplicates find nothing.
+      const NodeId peer = m.from;
+      const std::uint32_t seq = m.seq;
+      std::erase_if(pending_, [&](const Pending& p) {
+        return p.from == self && p.to == peer && p.seq == seq;
+      });
+    } else if (m.link == kLinkData) {
+      // Always re-ack (the previous ack may have been lost); deliver
+      // each sequence number once.
+      rt_.send(self, m.from, Message{0, 0, 0, 0, kLinkAck, m.seq});
+      if (delivered_[link_key(m.from, self)].insert(m.seq).second) {
+        Message p = m;
+        p.link = 0;
+        p.seq = 0;
+        payloads.push_back(p);
+      }
+    } else {
+      payloads.push_back(m);  // raw traffic passes through
+    }
+  }
+  if (inner_) inner_->step(self, payloads);
+}
+
+bool ReliableLink::idle() const {
+  if (inner_ && !inner_->idle()) return false;
+  for (const Pending& p : pending_) {
+    if (rt_.is_up(p.from)) return false;
+  }
+  return true;
+}
+
+}  // namespace mcds::dist

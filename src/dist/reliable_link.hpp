@@ -1,0 +1,129 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dist/runtime.hpp"
+
+/// \file reliable_link.hpp
+/// Stop-and-wait reliability over the lossy runtime. ReliableLink sits
+/// between a protocol and the Runtime, implementing both interfaces: to
+/// the protocol it is the Transport (sends get a per-directed-link
+/// sequence number and are retransmitted with exponential backoff until
+/// acked or the retry budget runs out); to the Runtime it is the
+/// Protocol (acks incoming data, suppresses duplicate deliveries, and
+/// hands deduplicated payloads to the wrapped protocol). Event-driven
+/// protocols — MIS election, min-id flooding, the probe/join connector
+/// phase — become loss-tolerant this way without any code change.
+/// Round-indexed protocols additionally stretch their phase thresholds
+/// by reliable_delivery_bound().
+
+namespace mcds::dist {
+
+/// Message::link tags used by the wrapper. Raw protocol traffic keeps
+/// link == 0 and passes through untouched.
+inline constexpr std::int32_t kLinkData = 1;
+inline constexpr std::int32_t kLinkAck = 2;
+
+/// Worst-case rounds from handing a message to ReliableLink until the
+/// wrapped protocol processes it, assuming the retry budget is not
+/// exhausted: the full backoff schedule plus the final delivery round.
+[[nodiscard]] std::size_t reliable_delivery_bound(
+    const ReliableLinkParams& params) noexcept;
+
+/// The ack/retransmission wrapper. Construct against a Runtime, build
+/// the protocol against *this* as its Transport, then attach() it and
+/// run the link (not the protocol) on the runtime.
+class ReliableLink final : public Transport, public Protocol {
+ public:
+  /// Throws std::invalid_argument unless rto >= 1 and max_rto >= rto.
+  ReliableLink(Runtime& rt, const ReliableLinkParams& params);
+
+  /// Sets the protocol whose traffic this link carries.
+  void attach(Protocol& inner) noexcept { inner_ = &inner; }
+
+  // Transport surface (called by the wrapped protocol).
+  void send(NodeId from, NodeId to, Message m) override;
+  void broadcast(NodeId from, Message m) override;
+  [[nodiscard]] const Graph& topology() const noexcept override {
+    return rt_.topology();
+  }
+
+  // Protocol surface (driven by the runtime).
+  void start(NodeId self) override;
+  void on_round_begin() override;
+  void step(NodeId self, const std::vector<Message>& inbox) override;
+  /// Not idle while any live sender still waits for an ack — keeps the
+  /// runtime ticking through empty rounds so backoff timers can fire.
+  /// Packets owned by crashed senders are frozen (stable storage) and do
+  /// not hold the execution open.
+  [[nodiscard]] bool idle() const override;
+
+  /// Retransmitted data packets (excluding first transmissions).
+  [[nodiscard]] std::size_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  /// Payloads abandoned after max_retries unacked retransmissions.
+  [[nodiscard]] std::size_t expired() const noexcept { return expired_; }
+
+ private:
+  struct Pending {
+    NodeId from = 0;
+    NodeId to = 0;
+    Message payload;  ///< original message, link/seq fields clear
+    std::uint32_t seq = 0;
+    std::size_t timer = 0;  ///< rounds until the next retransmission
+    std::size_t rto = 0;    ///< current backoff interval
+    std::size_t retries_left = 0;
+  };
+
+  void post(NodeId from, NodeId to, const Message& payload);
+
+  Runtime& rt_;
+  ReliableLinkParams params_;
+  Protocol* inner_ = nullptr;
+  std::vector<Pending> pending_;
+  std::unordered_map<std::uint64_t, std::uint32_t> next_seq_;
+  /// Receiver-side dedup: seqs already delivered, per directed link.
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+      delivered_;
+  std::size_t retransmissions_ = 0;
+  std::size_t expired_ = 0;
+};
+
+/// Plumbing shared by the fault-aware protocol entry points: one
+/// Runtime placed at \p round_offset on the plan's timeline, plus the
+/// optional ReliableLink in front of it, built from one RunConfig.
+class FaultHarness {
+ public:
+  FaultHarness(const Graph& g, const RunConfig& cfg, std::size_t round_offset)
+      : rt_(g, cfg.plan, round_offset), max_rounds_(cfg.max_rounds) {
+    rt_.record_trace(cfg.trace);
+    if (cfg.reliable) link_.emplace(rt_, cfg.link);
+  }
+
+  /// The transport to build the protocol against.
+  [[nodiscard]] Transport& net() noexcept {
+    return link_ ? static_cast<Transport&>(*link_) : rt_;
+  }
+
+  /// Runs \p p to quiescence (through the link when configured).
+  RunStats run(Protocol& p) {
+    if (!link_) return rt_.run(p, max_rounds_);
+    link_->attach(p);
+    return rt_.run(*link_, max_rounds_);
+  }
+
+  [[nodiscard]] Runtime& runtime() noexcept { return rt_; }
+  [[nodiscard]] const ReliableLink* link() const noexcept {
+    return link_ ? &*link_ : nullptr;
+  }
+
+ private:
+  Runtime rt_;
+  std::optional<ReliableLink> link_;
+  std::size_t max_rounds_;
+};
+
+}  // namespace mcds::dist

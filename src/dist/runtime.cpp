@@ -1,11 +1,58 @@
 #include "dist/runtime.hpp"
 
-#include <stdexcept>
+#include <algorithm>
+#include <sstream>
 #include <utility>
 
 namespace mcds::dist {
 
-Runtime::Runtime(const Graph& g) : g_(g), pending_(g.num_nodes()) {}
+namespace {
+std::string format_round_limit(std::size_t rounds_run, std::size_t in_flight,
+                               const std::vector<NodeId>& pending) {
+  std::ostringstream os;
+  os << "Runtime::run: round limit exceeded after " << rounds_run
+     << " rounds; " << in_flight << " message(s) in flight; non-quiescent "
+     << "nodes: [";
+  constexpr std::size_t kShow = 16;
+  for (std::size_t i = 0; i < pending.size() && i < kShow; ++i) {
+    if (i > 0) os << ", ";
+    os << pending[i];
+  }
+  if (pending.size() > kShow) {
+    os << ", ... (+" << pending.size() - kShow << " more)";
+  }
+  os << "]";
+  return os.str();
+}
+}  // namespace
+
+RoundLimitError::RoundLimitError(std::size_t rounds_run, std::size_t in_flight,
+                                 std::vector<NodeId> pending_nodes)
+    : std::runtime_error(
+          format_round_limit(rounds_run, in_flight, pending_nodes)),
+      rounds_(rounds_run),
+      in_flight_(in_flight),
+      pending_(std::move(pending_nodes)) {}
+
+Runtime::Runtime(const Graph& g) : g_(g) {
+  queue_.emplace_back(g.num_nodes());
+}
+
+Runtime::Runtime(const Graph& g, const FaultPlan& plan,
+                 std::size_t round_offset)
+    : g_(g), plan_(plan), round_offset_(round_offset) {
+  queue_.emplace_back(g.num_nodes());
+  faulty_ = !plan_.trivial();
+  if (!faulty_) return;
+  std::stable_sort(
+      plan_.schedule.begin(), plan_.schedule.end(),
+      [](const CrashEvent& a, const CrashEvent& b) { return a.round < b.round; });
+  if (!plan_.link.clean() || !plan_.overrides.empty()) {
+    model_.emplace(plan_, round_offset_);
+  }
+  up_.assign(g.num_nodes(), true);
+  apply_events_through(round_offset_);
+}
 
 void Runtime::send(NodeId from, NodeId to, Message m) {
   if (!g_.has_edge(from, to)) {
@@ -13,34 +60,113 @@ void Runtime::send(NodeId from, NodeId to, Message m) {
         "Runtime::send: nodes are not one-hop neighbors");
   }
   m.from = from;
-  pending_[to].push_back(m);
-  ++in_flight_;
+  route(from, to, m);
 }
 
 void Runtime::broadcast(NodeId from, Message m) {
+  m.from = from;
   for (const NodeId to : g_.neighbors(from)) {
-    m.from = from;
-    pending_[to].push_back(m);
-    ++in_flight_;
+    route(from, to, m);
   }
+}
+
+void Runtime::route(NodeId from, NodeId to, const Message& m) {
+  if (faulty_) {
+    if (!up_[from] || !up_[to]) {
+      ++fstats_.suppressed;
+      return;
+    }
+    if (model_) {
+      delays_scratch_.clear();
+      model_->sample(from, to, delays_scratch_);
+      if (delays_scratch_.empty()) {
+        ++fstats_.dropped;
+        return;
+      }
+      if (delays_scratch_.size() > 1) {
+        fstats_.duplicated += delays_scratch_.size() - 1;
+      }
+      for (const std::size_t d : delays_scratch_) {
+        if (d > 0) ++fstats_.delayed;
+        enqueue(to, m, d);
+      }
+      return;
+    }
+  }
+  enqueue(to, m, 0);
+}
+
+void Runtime::enqueue(NodeId to, const Message& m, std::size_t delay) {
+  while (queue_.size() <= delay) queue_.emplace_back(g_.num_nodes());
+  queue_[delay][to].push_back(m);
+  ++in_flight_;
+}
+
+void Runtime::apply_events_through(std::size_t global_round) {
+  while (next_event_ < plan_.schedule.size() &&
+         plan_.schedule[next_event_].round <= global_round) {
+    const CrashEvent& e = plan_.schedule[next_event_++];
+    if (e.node >= g_.num_nodes()) continue;
+    up_[e.node] = e.up;
+    if (e.up) continue;
+    // Fail-stop: everything queued for the crashed node is lost.
+    for (auto& bucket : queue_) {
+      const std::size_t k = bucket[e.node].size();
+      if (k == 0) continue;
+      bucket[e.node].clear();
+      in_flight_ -= k;
+      fstats_.crash_discarded += k;
+    }
+  }
+}
+
+std::vector<NodeId> Runtime::nodes_with_pending() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    for (const auto& bucket : queue_) {
+      if (!bucket[v].empty()) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
   RunStats stats;
-  for (NodeId v = 0; v < g_.num_nodes(); ++v) p.start(v);
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    if (is_up(v)) p.start(v);
+  }
 
-  while (in_flight_ > 0) {
+  while (in_flight_ > 0 || !p.idle()) {
     if (stats.rounds >= max_rounds) {
-      throw std::runtime_error("Runtime::run: round limit exceeded");
+      throw RoundLimitError(stats.rounds, in_flight_, nodes_with_pending());
     }
-    // Swap in this round's inboxes; sends during step() land next round.
-    std::vector<std::vector<Message>> inboxes(g_.num_nodes());
-    inboxes.swap(pending_);
-    stats.messages += in_flight_;
-    in_flight_ = 0;
     ++stats.rounds;
+    ++rounds_run_;
+    if (faulty_) apply_events_through(round_offset_ + rounds_run_);
+    // Swap in this round's inboxes (the head delay bucket); sends during
+    // step() land next round or later.
+    std::vector<std::vector<Message>> inboxes(g_.num_nodes());
+    if (!queue_.empty()) {
+      inboxes.swap(queue_.front());
+      queue_.pop_front();
+    }
+    if (queue_.empty()) queue_.emplace_back(g_.num_nodes());
+    std::size_t delivered = 0;
+    for (const auto& inbox : inboxes) delivered += inbox.size();
+    in_flight_ -= delivered;
+    stats.messages += delivered;
     p.on_round_begin();
     for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (faulty_ && !up_[v]) continue;
+      if (trace_) {
+        for (const Message& m : inboxes[v]) {
+          trace_->push_back(TraceEvent{round_offset_ + rounds_run_, m.from, v,
+                                       m.type, m.a, m.b, m.link, m.seq});
+        }
+      }
       p.step(v, inboxes[v]);
     }
   }

@@ -1,8 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "dist/fault.hpp"
 #include "graph/graph.hpp"
 
 /// \file runtime.hpp
@@ -12,6 +17,12 @@
 /// one-hop neighbors; a round delivers everything sent in the previous
 /// round). The runtime counts rounds and messages so the cost benches
 /// (experiment E11) can report protocol overheads.
+///
+/// Beyond the ideal model, the runtime can execute under a declarative
+/// FaultPlan (fault.hpp): per-link message drop/duplication/delay and a
+/// fail-stop crash schedule, all consulted at delivery time. With the
+/// default (trivial) plan the execution is bit-identical to the ideal
+/// fault-free model.
 
 namespace mcds::dist {
 
@@ -19,12 +30,16 @@ using graph::Graph;
 using graph::NodeId;
 
 /// A protocol message. Protocols define their own meaning for `type`,
-/// `a` and `b`; `from` is stamped by the runtime.
+/// `a` and `b`; `from` is stamped by the runtime. `link` and `seq` are
+/// reserved for link-layer wrappers (ReliableLink) and stay zero on raw
+/// traffic.
 struct Message {
   NodeId from = 0;
   std::int32_t type = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
+  std::int32_t link = 0;   ///< link-layer tag (0 = raw payload)
+  std::uint32_t seq = 0;   ///< link-layer sequence number
 };
 
 /// Cost accounting for one protocol execution.
@@ -37,6 +52,48 @@ struct RunStats {
     messages += o.messages;
     return *this;
   }
+};
+
+/// Thrown by Runtime::run when the round guard trips. Carries the
+/// diagnostic state — rounds executed, messages still in flight, and
+/// the non-quiescent nodes (those with queued traffic) — all of which
+/// is also formatted into what().
+class RoundLimitError : public std::runtime_error {
+ public:
+  RoundLimitError(std::size_t rounds_run, std::size_t in_flight,
+                  std::vector<NodeId> pending_nodes);
+
+  [[nodiscard]] std::size_t rounds_run() const noexcept { return rounds_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+  /// Nodes with undelivered queued messages, ascending.
+  [[nodiscard]] const std::vector<NodeId>& pending_nodes() const noexcept {
+    return pending_;
+  }
+
+ private:
+  std::size_t rounds_ = 0;
+  std::size_t in_flight_ = 0;
+  std::vector<NodeId> pending_;
+};
+
+/// The message-passing surface protocols send through. Runtime is the
+/// raw (best-effort) transport; ReliableLink wraps one with
+/// ack/retransmission. Protocols written against Transport can opt into
+/// reliability without code changes.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends \p m from \p from to the one-hop neighbor \p to (delivered
+  /// next round). Throws std::invalid_argument if {from,to} is not an
+  /// edge of the topology.
+  virtual void send(NodeId from, NodeId to, Message m) = 0;
+
+  /// Sends \p m from \p from to all of its neighbors.
+  virtual void broadcast(NodeId from, Message m) = 0;
+
+  /// The topology.
+  [[nodiscard]] virtual const Graph& topology() const noexcept = 0;
 };
 
 /// A node-local protocol. The runtime calls start() once for every node,
@@ -57,34 +114,72 @@ class Protocol {
   /// Called once per node per round with the messages delivered this
   /// round (possibly empty once the protocol is winding down).
   virtual void step(NodeId self, const std::vector<Message>& inbox) = 0;
+
+  /// Quiescence hook: the runtime keeps executing rounds while messages
+  /// are in flight *or* this returns false. Link layers with pending
+  /// retransmission timers override it; plain protocols never need to.
+  [[nodiscard]] virtual bool idle() const { return true; }
 };
 
-/// The synchronous runtime: owns the outboxes and runs a Protocol to
-/// quiescence over a topology.
-class Runtime {
+/// The synchronous runtime: owns the delivery queues and runs a Protocol
+/// to quiescence over a topology, optionally injecting faults from a
+/// FaultPlan.
+class Runtime final : public Transport {
  public:
-  /// \p g must outlive the runtime.
+  /// Ideal fault-free runtime. \p g must outlive the runtime.
   explicit Runtime(const Graph& g);
 
-  /// Sends \p m from \p from to the one-hop neighbor \p to (delivered
-  /// next round). Throws std::invalid_argument if {from,to} is not an
-  /// edge of the topology.
-  void send(NodeId from, NodeId to, Message m);
+  /// Fault-injecting runtime. \p round_offset places this execution on
+  /// the plan's global timeline: events with round <= round_offset are
+  /// applied before start() (supporting multi-phase constructions that
+  /// thread one plan through consecutive runtimes), and the channel
+  /// draw stream is decorrelated per offset.
+  Runtime(const Graph& g, const FaultPlan& plan, std::size_t round_offset = 0);
 
-  /// Sends \p m from \p from to all of its neighbors.
-  void broadcast(NodeId from, Message m);
+  void send(NodeId from, NodeId to, Message m) override;
+  void broadcast(NodeId from, Message m) override;
 
-  /// Runs \p p until no messages are in flight. \p max_rounds guards
-  /// against livelock; exceeding it throws std::runtime_error.
+  /// Runs \p p until no messages are in flight and p.idle(). \p
+  /// max_rounds guards against livelock; exceeding it throws
+  /// RoundLimitError (a std::runtime_error).
   RunStats run(Protocol& p, std::size_t max_rounds = 1u << 20);
 
   /// The topology.
-  [[nodiscard]] const Graph& topology() const noexcept { return g_; }
+  [[nodiscard]] const Graph& topology() const noexcept override { return g_; }
+
+  /// Liveness of \p v on the plan's schedule (always true fault-free).
+  [[nodiscard]] bool is_up(NodeId v) const {
+    return up_.empty() || up_[v];
+  }
+
+  /// Fault-side accounting (all zero for the fault-free runtime).
+  [[nodiscard]] const FaultStats& faults() const noexcept { return fstats_; }
+
+  /// Streams every delivered message into \p sink (nullptr disables).
+  /// The sink must outlive the run.
+  void record_trace(std::vector<TraceEvent>* sink) noexcept { trace_ = sink; }
 
  private:
+  void route(NodeId from, NodeId to, const Message& m);
+  void enqueue(NodeId to, const Message& m, std::size_t delay);
+  void apply_events_through(std::size_t global_round);
+  [[nodiscard]] std::vector<NodeId> nodes_with_pending() const;
+
   const Graph& g_;
-  std::vector<std::vector<Message>> pending_;  ///< next-round inboxes
+  FaultPlan plan_;  ///< empty for the fault-free constructor
+  bool faulty_ = false;
+  std::optional<ChannelModel> model_;
+  std::vector<bool> up_;  ///< empty on the fault-free fast path
+  /// queue_[d][v]: messages reaching v after d more round boundaries
+  /// (queue_[0] is the next round's inbox set).
+  std::deque<std::vector<std::vector<Message>>> queue_;
   std::size_t in_flight_ = 0;
+  std::size_t round_offset_ = 0;
+  std::size_t rounds_run_ = 0;
+  std::size_t next_event_ = 0;  ///< cursor into the sorted schedule
+  FaultStats fstats_;
+  std::vector<TraceEvent>* trace_ = nullptr;
+  std::vector<std::size_t> delays_scratch_;
 };
 
 }  // namespace mcds::dist

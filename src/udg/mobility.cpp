@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "udg/builder.hpp"
+
 namespace mcds::udg {
 
 using geom::Vec2;
@@ -55,6 +57,40 @@ void RandomWaypoint::step() {
     }
     positions_[i] += to_target * (s.speed / remaining);
   }
+}
+
+std::vector<ChurnEpoch> churn_schedule(RandomWaypoint& motion, double radius,
+                                       std::size_t epochs,
+                                       std::size_t ticks_per_epoch,
+                                       const ChurnParams& churn,
+                                       std::uint64_t seed) {
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("churn_schedule: radius must be positive");
+  }
+  if (!(churn.crash_prob >= 0.0 && churn.crash_prob <= 1.0) ||
+      !(churn.recover_prob >= 0.0 && churn.recover_prob <= 1.0)) {
+    throw std::invalid_argument(
+        "churn_schedule: probabilities must be in [0, 1]");
+  }
+  sim::Rng rng(seed);
+  std::vector<ChurnEpoch> out;
+  out.reserve(epochs);
+  std::vector<bool> up(motion.positions().size(), true);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t t = 0; t < ticks_per_epoch; ++t) motion.step();
+    ChurnEpoch epoch;
+    epoch.topology = build_udg(motion.positions(), radius);
+    for (std::size_t i = 0; i < up.size(); ++i) {
+      const double p = up[i] ? churn.crash_prob : churn.recover_prob;
+      // One draw per node per epoch, flipped or not — keeps the trace a
+      // pure function of (motion state, seed).
+      const bool flip = rng.uniform01() < p;
+      if (flip) up[i] = !up[i];
+    }
+    epoch.up = up;
+    out.push_back(std::move(epoch));
+  }
+  return out;
 }
 
 }  // namespace mcds::udg

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "geom/vec2.hpp"
+#include "graph/graph.hpp"
 #include "sim/rng.hpp"
 
 /// \file mobility.hpp
@@ -58,5 +59,30 @@ class RandomWaypoint {
   std::vector<NodeState> state_;
   std::size_t ticks_ = 0;
 };
+
+/// One epoch of a churn trace: the unit-disk topology over *all* nodes
+/// at the epoch's positions, plus which nodes are alive after the
+/// epoch's crashes and recoveries. Mobility moves everyone (a crashed
+/// radio still rides its vehicle); consumers induce the survivor graph
+/// from `up` as needed.
+struct ChurnEpoch {
+  graph::Graph topology;
+  std::vector<bool> up;
+};
+
+/// Parameters of the fail-stop churn process layered over mobility.
+struct ChurnParams {
+  double crash_prob = 0.1;    ///< per-epoch chance a live node crashes
+  double recover_prob = 0.3;  ///< per-epoch chance a crashed node returns
+};
+
+/// Drives \p motion for \p epochs × \p ticks_per_epoch ticks, rebuilding
+/// the UDG (radius \p radius) after each epoch's motion and then
+/// crash/recovering nodes independently per \p churn, seeded by \p seed
+/// (deterministic, independent of the motion's own stream). Epoch e's
+/// liveness evolves from epoch e-1's; all nodes start alive.
+[[nodiscard]] std::vector<ChurnEpoch> churn_schedule(
+    RandomWaypoint& motion, double radius, std::size_t epochs,
+    std::size_t ticks_per_epoch, const ChurnParams& churn, std::uint64_t seed);
 
 }  // namespace mcds::udg

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/subgraph.hpp"
 #include "test_util.hpp"
 
 namespace mcds::core {
@@ -82,6 +83,72 @@ TEST(TwoHopSeparation, RankSizeMismatchThrows) {
   std::vector<std::size_t> rank{0, 1};
   EXPECT_THROW((void)has_two_hop_separation(g, mis, rank, 0),
                std::invalid_argument);
+}
+
+TEST(CheckCds, ValidSetReportsNoDefect) {
+  const Graph g = test::make_path(5);
+  const auto c = check_cds(g, std::vector<NodeId>{1, 2, 3});
+  EXPECT_TRUE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kNone);
+  EXPECT_EQ(c.witness, graph::kNoNode);
+  EXPECT_EQ(c.describe(), "valid CDS");
+}
+
+TEST(CheckCds, EmptySetOnNonEmptyGraph) {
+  const Graph g = test::make_path(3);
+  const auto c = check_cds(g, std::vector<NodeId>{});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kEmpty);
+}
+
+TEST(CheckCds, UndominatedWitnessIsAConcreteNode) {
+  // {0, 1} leaves nodes 3 and 4 of the path uncovered; the witness is
+  // the first such node.
+  const Graph g = test::make_path(5);
+  const auto c = check_cds(g, std::vector<NodeId>{0, 1});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kUndominated);
+  EXPECT_EQ(c.witness, 3u);
+  EXPECT_NE(c.describe().find("node 3"), std::string::npos);
+}
+
+TEST(CheckCds, DisconnectedWitnessesComeFromDistinctComponents) {
+  const Graph g = test::make_path(5);
+  const auto c = check_cds(g, std::vector<NodeId>{1, 3});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kDisconnected);
+  EXPECT_NE(c.witness, c.witness2);
+  EXPECT_NE(c.witness, graph::kNoNode);
+  EXPECT_NE(c.witness2, graph::kNoNode);
+  // The two witnesses really are in different components of G[set].
+  EXPECT_FALSE(graph::is_connected_subset(
+      g, std::vector<NodeId>{c.witness, c.witness2}));
+  EXPECT_NE(c.describe().find("different components"), std::string::npos);
+}
+
+TEST(CheckCds, DominationCheckedBeforeConnectivity) {
+  // {0, 4} on a path of 7 is both undominating and disconnected; the
+  // report must pin the undominated node (the more fundamental defect).
+  const Graph g = test::make_path(7);
+  const auto c = check_cds(g, std::vector<NodeId>{0, 4});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kUndominated);
+  EXPECT_EQ(c.witness, 2u);
+}
+
+TEST(CheckCds, OutOfRangeMemberThrows) {
+  const Graph g = test::make_path(3);
+  EXPECT_THROW((void)check_cds(g, std::vector<NodeId>{0, 9}),
+               std::invalid_argument);
+}
+
+TEST(CheckCds, AgreesWithIsCds) {
+  const Graph g = test::make_cycle(8);
+  const std::vector<std::vector<NodeId>> candidates = {
+      {0, 1, 2, 3, 4, 5}, {0, 2, 4, 6}, {}, {1, 2, 3}, {0, 1, 4, 5}};
+  for (const auto& set : candidates) {
+    EXPECT_EQ(is_cds(g, set), check_cds(g, set).ok);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "dist/alzoubi_protocol.hpp"
+#include "dist/fault.hpp"
+#include "dist/greedy_protocol.hpp"
+#include "dist/maintenance.hpp"
+#include "dist/mis_election.hpp"
+#include "dist/runtime.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "sim/rng.hpp"
+#include "udg/instance.hpp"
+
+/// \file test_dist_chaos.cpp
+/// The randomized chaos harness of the fault-injection layer: every
+/// distributed construction is executed across a grid of drop rates,
+/// duplication, delay, crash schedules and random connected UDGs. Each
+/// run asserts (1) bounded termination, (2) a valid CDS on the survivor
+/// graph after self-healing whenever that graph is connected, and
+/// (3) round/message overhead within the declared envelope. Failures
+/// print the (graph seed, fault case) pair, which reproduces the run
+/// exactly — the whole execution is a function of those seeds.
+
+namespace {
+
+using mcds::graph::Graph;
+using mcds::graph::NodeId;
+using namespace mcds::dist;
+
+constexpr std::size_t kGraphSeeds = 25;
+constexpr std::size_t kNodes = 22;
+constexpr std::size_t kMaxRounds = 100000;
+
+// Declared overhead envelope, relative to the fault-free execution of
+// the same (graph, protocol). Raw legs can only drop/duplicate/delay
+// traffic; reliable legs additionally pay acks, retransmissions and the
+// stretched phase thresholds of the round-indexed protocols.
+constexpr std::size_t kRawRoundFactor = 12;
+constexpr std::size_t kRawRoundSlack = 256;
+constexpr std::size_t kRawMsgFactor = 12;
+constexpr std::size_t kRawMsgSlack = 512;
+constexpr std::size_t kRelRoundFactor = 80;
+constexpr std::size_t kRelRoundSlack = 512;
+constexpr std::size_t kRelMsgFactor = 40;
+constexpr std::size_t kRelMsgSlack = 4096;
+
+struct FaultCase {
+  const char* name;
+  bool reliable = false;
+  LinkFaults link;
+  std::size_t crashes = 0;
+};
+
+const FaultCase kCases[] = {
+    {"raw-drop-low", false, {0.05, 0.0, 0}, 0},
+    {"raw-drop-high", false, {0.15, 0.0, 0}, 0},
+    {"raw-drop-delay", false, {0.10, 0.0, 2}, 0},
+    {"crash-only", false, {}, 4},
+    {"raw-drop-crash", false, {0.10, 0.0, 0}, 3},
+    {"rel-drop-dup", true, {0.15, 0.15, 0}, 0},
+    {"rel-heavy", true, {0.30, 0.20, 1}, 0},
+    {"rel-drop-crash", true, {0.20, 0.0, 0}, 3},
+    {"rel-dup-delay", true, {0.0, 0.5, 2}, 0},
+};
+
+enum class Algo { kMis, kAlzoubi, kGreedy };
+
+FaultPlan make_plan(const FaultCase& fc, std::size_t n, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.link = fc.link;
+  plan.seed = seed;
+  mcds::sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < fc.crashes; ++i) {
+    plan.schedule.push_back(
+        {1 + static_cast<std::size_t>(rng.uniform_int(40)),
+         static_cast<NodeId>(rng.uniform_int(n)), false});
+  }
+  return plan;
+}
+
+Graph chaos_udg(std::uint64_t seed) {
+  mcds::udg::InstanceParams params;
+  params.nodes = kNodes;
+  params.side = 5.0;
+  params.radius = 1.6;
+  auto inst = mcds::udg::generate_connected_instance(params, seed);
+  EXPECT_TRUE(inst.has_value()) << "graph seed " << seed;
+  return inst->graph;
+}
+
+struct Baseline {
+  RunStats stats;
+  std::vector<NodeId> mis;
+};
+
+// Fault-free reference execution (cached per graph seed x algorithm).
+const Baseline& baseline(std::uint64_t gseed, Algo algo, const Graph& g) {
+  static std::map<std::pair<std::uint64_t, int>, Baseline> cache;
+  auto& slot = cache[{gseed, static_cast<int>(algo)}];
+  if (slot.stats.rounds == 0 && slot.stats.messages == 0) {
+    switch (algo) {
+      case Algo::kMis: {
+        const auto r = elect_mis(g, std::vector<NodeId>(g.num_nodes(), 0));
+        slot.stats = r.stats;
+        slot.mis = r.mis;
+        break;
+      }
+      case Algo::kAlzoubi:
+        slot.stats = distributed_alzoubi_cds(g).total;
+        break;
+      case Algo::kGreedy:
+        slot.stats = distributed_greedy_cds(g).total;
+        break;
+    }
+  }
+  return slot;
+}
+
+void check_envelope(const std::string& tag, bool reliable,
+                    const RunStats& faulty, const RunStats& ideal) {
+  const std::size_t rf = reliable ? kRelRoundFactor : kRawRoundFactor;
+  const std::size_t rs = reliable ? kRelRoundSlack : kRawRoundSlack;
+  const std::size_t mf = reliable ? kRelMsgFactor : kRawMsgFactor;
+  const std::size_t ms = reliable ? kRelMsgSlack : kRawMsgSlack;
+  EXPECT_LE(faulty.rounds, rf * std::max<std::size_t>(ideal.rounds, 1) + rs)
+      << tag << " blew the round envelope (ideal " << ideal.rounds << ")";
+  EXPECT_LE(faulty.messages, mf * std::max<std::size_t>(ideal.messages, 1) + ms)
+      << tag << " blew the message envelope (ideal " << ideal.messages << ")";
+}
+
+// Heals the (possibly damaged) backbone a run produced and checks the
+// healed set against the survivor topology — the end-to-end property the
+// fault layer plus maintenance driver must deliver together.
+void check_healing(const std::string& tag, const Graph& g,
+                   const FaultPlan& plan, const std::vector<NodeId>& cds) {
+  const auto up = plan.up_after(g.num_nodes(), SIZE_MAX);
+  std::vector<NodeId> live;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (up[v]) live.push_back(v);
+  }
+  if (live.empty()) return;
+  const auto sub = mcds::graph::induced_subgraph(g, live);
+  if (!mcds::graph::is_connected(sub.graph)) return;  // no CDS exists
+
+  SelfHealingCds healer(g, cds);
+  const HealReport report = healer.on_churn(up);
+  EXPECT_NE(report.action, HealAction::kUnhealable)
+      << tag << ": survivor graph is connected but healing gave up ("
+      << report.issue.describe() << ")";
+
+  // Re-validate independently of the driver's own bookkeeping.
+  std::vector<NodeId> to_sub(g.num_nodes(), mcds::graph::kNoNode);
+  for (NodeId i = 0; i < sub.mapping.size(); ++i) to_sub[sub.mapping[i]] = i;
+  std::vector<NodeId> healed_sub;
+  for (const NodeId v : healer.cds()) {
+    ASSERT_NE(to_sub[v], mcds::graph::kNoNode) << tag << ": dead node kept";
+    healed_sub.push_back(to_sub[v]);
+  }
+  const auto check = mcds::core::check_cds(sub.graph, healed_sub);
+  EXPECT_TRUE(check.ok) << tag << ": healed backbone invalid — "
+                        << check.describe();
+}
+
+TEST(Chaos, RandomizedFaultGrid) {
+  std::size_t pairs = 0;
+  for (std::uint64_t gseed = 0; gseed < kGraphSeeds; ++gseed) {
+    const Graph g = chaos_udg(gseed);
+    for (std::size_t ci = 0; ci < std::size(kCases); ++ci) {
+      const FaultCase& fc = kCases[ci];
+      const Algo algo = static_cast<Algo>((gseed + ci) % 3);
+      const FaultPlan plan =
+          make_plan(fc, g.num_nodes(), gseed * 1000 + ci);
+
+      std::ostringstream tag_os;
+      tag_os << "[graph seed " << gseed << ", case " << fc.name
+             << ", algo " << static_cast<int>(algo) << "]";
+      const std::string tag = tag_os.str();
+      SCOPED_TRACE(tag);
+
+      RunConfig cfg;
+      cfg.plan = plan;
+      cfg.reliable = fc.reliable;
+      if (fc.reliable) {
+        // A smaller budget than the default keeps the grid fast; the
+        // default-parameter convergence claim is covered by the
+        // reliable-link suite and the fault_tolerance bench.
+        cfg.link = {5, 2, 8};
+      }
+      cfg.max_rounds = kMaxRounds;
+
+      const Baseline& ideal = baseline(gseed, algo, g);
+      ++pairs;
+      try {
+        switch (algo) {
+          case Algo::kMis: {
+            const auto r =
+                elect_mis(g, std::vector<NodeId>(g.num_nodes(), 0), cfg);
+            check_envelope(tag, fc.reliable, r.stats, ideal.stats);
+            // MIS election is confluent: a complete reliable crash-free
+            // run must reproduce the fault-free outcome exactly.
+            if (fc.reliable && fc.crashes == 0 && r.complete) {
+              EXPECT_EQ(r.mis, ideal.mis) << tag;
+            }
+            break;
+          }
+          case Algo::kAlzoubi: {
+            const auto r = distributed_alzoubi_cds(g, cfg);
+            check_envelope(tag, fc.reliable, r.total, ideal.stats);
+            check_healing(tag, g, plan, r.cds);
+            break;
+          }
+          case Algo::kGreedy: {
+            const auto r = distributed_greedy_cds(g, cfg);
+            check_envelope(tag, fc.reliable, r.total, ideal.stats);
+            check_healing(tag, g, plan, r.cds);
+            break;
+          }
+        }
+      } catch (const RoundLimitError& e) {
+        ADD_FAILURE() << tag << " failed to terminate: " << e.what();
+      }
+    }
+  }
+  EXPECT_GE(pairs, 200u);  // the acceptance floor for the grid size
+}
+
+// A reliable, crash-free execution at the grid's heaviest fault mix must
+// not merely terminate but finish the construction: completeness is the
+// difference between "did not crash" and "did its job".
+TEST(Chaos, ReliableLegsComplete) {
+  std::size_t complete = 0;
+  std::size_t runs = 0;
+  for (std::uint64_t gseed = 0; gseed < 10; ++gseed) {
+    const Graph g = chaos_udg(100 + gseed);
+    RunConfig cfg;
+    cfg.reliable = true;
+    cfg.plan.link = {0.3, 0.2, 1};
+    cfg.plan.seed = gseed;
+    cfg.max_rounds = kMaxRounds;
+    ++runs;
+    const auto r = elect_mis(g, std::vector<NodeId>(g.num_nodes(), 0), cfg);
+    if (r.complete) ++complete;
+  }
+  // Default link parameters retry enough that every run completes.
+  EXPECT_EQ(complete, runs);
+}
+
+}  // namespace
