@@ -1,0 +1,108 @@
+// Experiment E23: per-phase round/message breakdown of the distributed
+// constructions, read back from the observability layer. Each run
+// executes with a live MetricsRegistry; the per-protocol counters
+// (`<phase>.rounds`, `<phase>.messages`) the runtime flushes are exactly
+// the numbers the RunStats API reports, so the table doubles as a
+// cross-check of the instrumentation.
+//
+// Usage: obs_breakdown [n...]   (default: 200 400 1000)
+// EXPERIMENTS.md commits the full-scale table (1000 4000 16000).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/validate.hpp"
+#include "dist/distributed_cds.hpp"
+#include "dist/greedy_protocol.hpp"
+#include "obs/obs.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using namespace mcds;
+
+udg::UdgInstance make_instance(std::size_t n) {
+  udg::InstanceParams params;
+  params.nodes = n;
+  params.side = std::sqrt(static_cast<double>(n)) * 0.85;
+  return udg::generate_largest_component_instance(params, 42 + n);
+}
+
+std::uint64_t counter_of(const obs::MetricsRegistry& reg,
+                         const std::string& name) {
+  const auto& counters = reg.counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E23 / per-phase cost breakdown",
+                "rounds and messages per protocol phase, from the "
+                "metrics registry");
+  bench::Falsifier falsifier;
+
+  std::vector<std::size_t> sizes;
+  for (int i = 1; i < argc; ++i) {
+    sizes.push_back(std::strtoull(argv[i], nullptr, 10));
+  }
+  if (sizes.empty()) sizes = {200, 400, 1000};
+
+  sim::Table table({"n", "algo", "phase", "rounds", "messages", "|CDS|"});
+  for (const std::size_t n : sizes) {
+    const auto inst = make_instance(n);
+
+    {
+      obs::MetricsRegistry reg;
+      dist::RunConfig cfg;
+      cfg.obs.metrics = &reg;
+      const auto r = dist::distributed_waf_cds(inst.graph, cfg);
+      falsifier.check(core::is_cds(inst.graph, r.cds),
+                      "distributed WAF CDS must be valid");
+      std::uint64_t sum_rounds = 0, sum_msgs = 0;
+      for (const char* phase :
+           {"leader_election", "bfs_tree", "mis_election",
+            "connector_selection"}) {
+        const auto rounds = counter_of(reg, std::string(phase) + ".rounds");
+        const auto msgs = counter_of(reg, std::string(phase) + ".messages");
+        sum_rounds += rounds;
+        sum_msgs += msgs;
+        table.row().add(n).add("waf").add(phase).add(rounds).add(msgs).add(
+            r.cds.size());
+      }
+      // The registry's flushed counters must agree with RunStats.
+      falsifier.check(sum_rounds == r.total.rounds,
+                      "registry round counters must sum to RunStats");
+      falsifier.check(sum_msgs == r.total.messages,
+                      "registry message counters must sum to RunStats");
+    }
+
+    {
+      obs::MetricsRegistry reg;
+      dist::RunConfig cfg;
+      cfg.obs.metrics = &reg;
+      const auto r = dist::distributed_greedy_cds(inst.graph, cfg);
+      falsifier.check(core::is_cds(inst.graph, r.cds),
+                      "distributed greedy CDS must be valid");
+      for (const char* phase :
+           {"leader_election", "bfs_tree", "mis_election", "greedy_label",
+            "greedy_bid"}) {
+        const auto rounds = counter_of(reg, std::string(phase) + ".rounds");
+        const auto msgs = counter_of(reg, std::string(phase) + ".messages");
+        table.row().add(n).add("greedy").add(phase).add(rounds).add(msgs).add(
+            r.cds.size());
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(Greedy re-floods component labels every epoch, so "
+               "greedy_label dominates its message bill; WAF pays once "
+               "for leader election instead.)\n";
+  falsifier.report("obs_breakdown");
+  return falsifier.exit_code();
+}

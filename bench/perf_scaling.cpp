@@ -9,6 +9,7 @@
 #include "core/greedy_connect.hpp"
 #include "core/waf.hpp"
 #include "dist/distributed_cds.hpp"
+#include "obs/obs.hpp"
 #include "exact/exact_cds.hpp"
 #include "graph/small_graph.hpp"
 #include "udg/builder.hpp"
@@ -86,6 +87,30 @@ BENCHMARK(BM_GreedyConnectorsReference)
     ->Arg(4096)
     ->Arg(16384)
     ->Complexity(benchmark::oNSquared);
+
+// Observability overhead head-to-head (BENCH_TOPIC=obs): the phase-2
+// workload above runs with instrumentation compiled in but disabled
+// (null sinks — the BM_GreedyConnectorsIncremental numbers must stay
+// within noise of the BENCH_phase2.json baseline), while this variant
+// pays for live metric counters plus trace spans. The gap between the
+// two is the price of turning observability on.
+void BM_GreedyConnectorsObserved(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto phase1 = core::bfs_first_fit_mis(inst.graph, 0);
+  for (auto _ : state) {
+    obs::MetricsRegistry registry;
+    obs::TraceRecorder recorder(1u << 12);
+    const obs::Obs o{&registry, &recorder};
+    benchmark::DoNotOptimize(
+        core::greedy_connectors(inst.graph, phase1.mis, o));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyConnectorsObserved)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Complexity(benchmark::oNLogN);
 
 void BM_GuhaKhuller(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));

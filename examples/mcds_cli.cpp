@@ -8,9 +8,19 @@
 //       backbone and stats, optionally renders an SVG
 //   mcds_cli stats --in F
 //       prints topology metrics of the instance
+//   mcds_cli dist --in F [--algo waf|greedy|alzoubi] [--reliable]
+//                 [--drop P] [--dup P] [--delay D] [--seed K]
+//       runs the distributed construction, optionally under faults
+//
+// solve and dist accept observability sinks:
+//   --trace F        Chrome trace-event JSON (chrome://tracing, Perfetto)
+//   --trace-jsonl F  one JSON record per line (diff-friendly; the
+//                    logical clock makes identical runs byte-identical)
+//   --metrics F      counter/gauge/histogram registry as one JSON object
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -28,7 +38,11 @@
 #include "core/greedy_connect.hpp"
 #include "core/validate.hpp"
 #include "core/waf.hpp"
+#include "dist/alzoubi_protocol.hpp"
+#include "dist/distributed_cds.hpp"
+#include "dist/greedy_protocol.hpp"
 #include "graph/metrics.hpp"
+#include "obs/obs.hpp"
 #include "udg/builder.hpp"
 #include "udg/instance.hpp"
 #include "udg/io.hpp"
@@ -73,9 +87,74 @@ int usage() {
                "uniform|disk|grid|cluster|corridor] [--seed K] --out F\n"
             << "  mcds_cli solve --in F [--algo waf|greedy|gk|stojmenovic|"
                "li-thai|wu-li|alzoubi] [--prune] [--svg F.svg] [--quiet]\n"
-            << "  mcds_cli stats --in F\n";
+            << "  mcds_cli stats --in F\n"
+            << "  mcds_cli dist --in F [--algo waf|greedy|alzoubi] "
+               "[--reliable] [--drop P] [--dup P] [--delay D] [--seed K]\n"
+            << "solve/dist observability: [--trace F.json] "
+               "[--trace-jsonl F.jsonl] [--metrics F.json]\n";
   return 1;
 }
+
+/// Observability sinks requested on the command line. The sinks live for
+/// the whole command and are flushed to disk by write().
+struct ObsSinks {
+  std::optional<std::string> chrome_path;
+  std::optional<std::string> jsonl_path;
+  std::optional<std::string> metrics_path;
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+
+  explicit ObsSinks(const Args& args)
+      : chrome_path(args.get("trace")),
+        jsonl_path(args.get("trace-jsonl")),
+        metrics_path(args.get("metrics")) {}
+
+  [[nodiscard]] obs::Obs handle() {
+    obs::Obs o;
+    if (metrics_path) o.metrics = &metrics;
+    if (chrome_path || jsonl_path) o.trace = &trace;
+    return o;
+  }
+
+  /// Writes every requested sink; returns 2 on an unwritable path.
+  int write() const {
+    const auto dump = [](const std::string& path, const auto& emit) {
+      std::ofstream os(path);
+      if (!os) {
+        std::cerr << "mcds_cli: cannot write " << path << "\n";
+        return 2;
+      }
+      emit(os);
+      std::cout << "wrote " << path << "\n";
+      return 0;
+    };
+    if (chrome_path) {
+      if (const int rc = dump(
+              *chrome_path,
+              [&](std::ostream& os) { obs::write_chrome_trace(trace, os); });
+          rc != 0) {
+        return rc;
+      }
+    }
+    if (jsonl_path) {
+      if (const int rc =
+              dump(*jsonl_path,
+                   [&](std::ostream& os) { obs::write_jsonl(trace, os); });
+          rc != 0) {
+        return rc;
+      }
+    }
+    if (metrics_path) {
+      if (const int rc =
+              dump(*metrics_path,
+                   [&](std::ostream& os) { metrics.write_json(os); });
+          rc != 0) {
+        return rc;
+      }
+    }
+    return 0;
+  }
+};
 
 udg::DeploymentModel parse_model(const std::string& name) {
   if (name == "uniform") return udg::DeploymentModel::kUniformSquare;
@@ -118,14 +197,15 @@ int cmd_solve(const Args& args) {
     return 2;
   }
 
+  ObsSinks sinks(args);
   const std::string algo = args.get("algo").value_or("greedy");
   std::vector<graph::NodeId> cds, dominators;
   if (algo == "waf") {
-    auto r = core::waf_cds(g);
+    auto r = core::waf_cds(g, 0, sinks.handle());
     cds = r.cds;
     dominators = r.phase1.mis;
   } else if (algo == "greedy") {
-    auto r = core::greedy_cds(g);
+    auto r = core::greedy_cds(g, 0, sinks.handle());
     cds = r.cds;
     dominators = r.phase1.mis;
   } else if (algo == "gk") {
@@ -172,7 +252,77 @@ int cmd_solve(const Args& args) {
     viz::render_network(points, g, cds, dominators).save(*svg);
     std::cout << "wrote " << *svg << "\n";
   }
-  return 0;
+  return sinks.write();
+}
+
+int cmd_dist(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::cerr << "dist: --in is required\n";
+    return 1;
+  }
+  const auto points = udg::load_points_file(*in);
+  const graph::Graph g = udg::build_udg(points);
+  if (!graph::is_connected(g)) {
+    std::cerr << "dist: instance topology is disconnected\n";
+    return 2;
+  }
+
+  ObsSinks sinks(args);
+  dist::RunConfig cfg;
+  cfg.plan.link.drop = std::stod(args.get("drop").value_or("0"));
+  cfg.plan.link.duplicate = std::stod(args.get("dup").value_or("0"));
+  cfg.plan.link.max_delay = std::stoul(args.get("delay").value_or("0"));
+  cfg.plan.seed = std::stoull(args.get("seed").value_or("1"));
+  cfg.reliable = args.has_flag("reliable");
+  cfg.obs = sinks.handle();
+
+  const std::string algo = args.get("algo").value_or("waf");
+  std::vector<graph::NodeId> cds;
+  dist::RunStats total;
+  bool complete = true;
+  if (algo == "waf") {
+    const auto r = dist::distributed_waf_cds(g, cfg);
+    cds = r.cds;
+    total = r.total;
+    complete = r.complete;
+  } else if (algo == "greedy") {
+    const auto r = dist::distributed_greedy_cds(g, cfg);
+    cds = r.cds;
+    total = r.total;
+    complete = r.complete;
+  } else if (algo == "alzoubi") {
+    const auto r = dist::distributed_alzoubi_cds(g, cfg);
+    cds = r.cds;
+    total = r.total;
+    complete = r.complete;
+  } else {
+    std::cerr << "dist: unknown --algo " << algo << "\n";
+    return 1;
+  }
+
+  std::cout << "algorithm: distributed " << algo
+            << (cfg.reliable ? " (reliable links)" : "") << "\n"
+            << "nodes: " << g.num_nodes() << ", links: " << g.num_edges()
+            << "\n"
+            << "backbone size: " << cds.size() << "\n"
+            << "rounds: " << total.rounds << ", messages: " << total.messages
+            << "\n";
+  if (!total.by_type.empty()) {
+    std::cout << "messages by type:";
+    for (const auto& [t, c] : total.by_type) {
+      std::cout << " type" << t << "=" << c;
+    }
+    std::cout << "\n";
+  }
+  if (!complete) {
+    std::cout << "note: construction incomplete under faults (validate "
+                 "against the survivor graph)\n";
+  }
+  const bool valid = core::is_cds(g, cds);
+  std::cout << "valid CDS on full topology: " << (valid ? "yes" : "no")
+            << "\n";
+  return sinks.write();
 }
 
 int cmd_stats(const Args& args) {
@@ -204,6 +354,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "dist") return cmd_dist(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "mcds_cli: " << e.what() << "\n";

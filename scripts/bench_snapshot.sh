@@ -6,7 +6,7 @@
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_scaling args...]
 #   BUILD_DIR=...     build tree to use (default: build)
-#   BENCH_TOPIC=...   snapshot topic: phase2 (default) or fault
+#   BENCH_TOPIC=...   snapshot topic: phase2 (default), fault or obs
 #   BENCH_FILTER=...  benchmark regex (default: per-topic selection)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,21 +14,30 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_TOPIC="${BENCH_TOPIC:-phase2}"
 case "$BENCH_TOPIC" in
-  phase2) default_filter="BM_GreedyCds|BM_GreedyConnectors|BM_BuildUdg" ;;
+  phase2) default_filter="BM_GreedyCds|BM_GreedyConnectorsIncremental|BM_GreedyConnectorsReference|BM_BuildUdg" ;;
   fault)  default_filter="BM_FaultFreeRuntime|BM_FaultInjectedRuntime|BM_ReliableWaf" ;;
+  obs)    default_filter="BM_GreedyConnectorsIncremental|BM_GreedyConnectorsObserved" ;;
   *)      default_filter=".*" ;;
 esac
 BENCH_FILTER="${BENCH_FILTER:-$default_filter}"
 OUT="BENCH_${BENCH_TOPIC}.json"
+BIN="$BUILD_DIR/bench/perf_scaling"
 
-if [[ ! -x "$BUILD_DIR/bench/perf_scaling" ]]; then
+if [[ ! -x "$BIN" ]]; then
   if [[ ! -d "$BUILD_DIR" ]]; then
     cmake -B "$BUILD_DIR" -S .
   fi
   cmake --build "$BUILD_DIR" --target perf_scaling -j "$(nproc)"
 fi
+# Fail loudly rather than writing a partial/empty snapshot: a missing
+# binary here means the build above was skipped or failed.
+if [[ ! -x "$BIN" ]]; then
+  echo "bench_snapshot.sh: benchmark binary not built: $BIN" >&2
+  echo "bench_snapshot.sh: refusing to write $OUT" >&2
+  exit 1
+fi
 
-"$BUILD_DIR/bench/perf_scaling" \
+"$BIN" \
   --benchmark_filter="$BENCH_FILTER" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \

@@ -35,6 +35,31 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
   exit 0
 fi
 
+# Observability smoke check: a traced CLI run must emit parseable JSON
+# (Chrome trace-event format) and a parseable metrics registry.
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+"$BUILD_DIR"/examples/mcds_cli generate --nodes 80 --side 7 --seed 3 \
+  --out "$obs_dir/smoke.pts" >/dev/null
+"$BUILD_DIR"/examples/mcds_cli dist --in "$obs_dir/smoke.pts" --algo greedy \
+  --drop 0.05 --seed 7 --trace "$obs_dir/smoke_trace.json" \
+  --metrics "$obs_dir/smoke_metrics.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$obs_dir/smoke_trace.json" "$obs_dir/smoke_metrics.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert trace["traceEvents"], "trace must contain events"
+assert any(e["ph"] == "B" for e in trace["traceEvents"]), "no spans in trace"
+json.load(open(sys.argv[2]))
+print("observability smoke check passed:",
+      len(trace["traceEvents"]), "trace events")
+EOF
+else
+  # No python3: at least require non-empty output with the expected key.
+  grep -q '"traceEvents"' "$obs_dir/smoke_trace.json"
+  echo "observability smoke check passed (python3 unavailable; key check)"
+fi
+
 status=0
 for bench in "$BUILD_DIR"/bench/*; do
   if [[ -f "$bench" && -x "$bench" ]]; then

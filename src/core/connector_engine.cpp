@@ -5,11 +5,17 @@
 namespace mcds::core {
 
 ConnectorEngine::ConnectorEngine(const Graph& g,
-                                 std::span<const NodeId> members)
+                                 std::span<const NodeId> members,
+                                 const obs::Obs& obs)
     : g_(g),
       uf_(g.num_nodes()),
       member_(g.num_nodes(), false),
-      mark_(g.num_nodes(), 0) {
+      mark_(g.num_nodes(), 0),
+      c_uf_finds_(obs.counter("connector_engine.uf_finds")),
+      c_uf_merges_(obs.counter("connector_engine.uf_merges")),
+      c_pops_(obs.counter("connector_engine.pops")),
+      c_stale_(obs.counter("connector_engine.stale_rescores")),
+      c_retired_(obs.counter("connector_engine.retired")) {
   const std::size_t n = g.num_nodes();
   for (const NodeId u : members) {
     if (u >= n) throw std::invalid_argument("ConnectorEngine: bad node");
@@ -24,7 +30,10 @@ ConnectorEngine::ConnectorEngine(const Graph& g,
   // component structure subset_components would report.
   for (const NodeId u : members) {
     for (const NodeId v : g.neighbors(u)) {
-      if (v < u && member_[v] && uf_.unite(u, v)) --q_;
+      if (v < u && member_[v] && uf_.unite(u, v)) {
+        --q_;
+        if (c_uf_merges_) c_uf_merges_->add();
+      }
     }
   }
   if (q_ <= 1) return;
@@ -39,14 +48,17 @@ ConnectorEngine::ConnectorEngine(const Graph& g,
 std::size_t ConnectorEngine::distinct_adjacent(NodeId w) {
   ++stamp_;
   std::size_t distinct = 0;
+  std::size_t finds = 0;
   for (const NodeId v : g_.neighbors(w)) {
     if (!member_[v]) continue;
     const std::uint32_t root = uf_.find(v);
+    ++finds;
     if (mark_[root] != stamp_) {
       mark_[root] = stamp_;
       ++distinct;
     }
   }
+  if (c_uf_finds_) c_uf_finds_->add(finds);
   return distinct;
 }
 
@@ -61,18 +73,25 @@ GreedyStep ConnectorEngine::select_next() {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
     heap_.pop();
+    if (c_pops_) c_pops_->add();
     if (member_[top.node]) continue;  // joined since this entry was pushed
     const std::size_t distinct = distinct_adjacent(top.node);
-    if (distinct < 2) continue;  // gain collapsed to zero: retire the node
+    if (distinct < 2) {
+      if (c_retired_) c_retired_->add();
+      continue;  // gain collapsed to zero: retire the node
+    }
     const auto gain = static_cast<std::uint32_t>(distinct - 1);
     if (gain != top.gain) {
       heap_.push({gain, top.node});  // stale: re-score and keep popping
+      if (c_stale_) c_stale_->add();
       continue;
     }
     const GreedyStep step{top.node, q_, gain};
     member_[top.node] = true;
     for (const NodeId v : g_.neighbors(top.node)) {
-      if (member_[v]) uf_.unite(top.node, v);
+      if (member_[v] && uf_.unite(top.node, v) && c_uf_merges_) {
+        c_uf_merges_->add();
+      }
     }
     q_ -= gain;  // `distinct` components and the new node merge into one
     for (const NodeId v : g_.neighbors(top.node)) {

@@ -6,6 +6,7 @@
 
 #include "core/greedy_connect.hpp"
 #include "graph/union_find.hpp"
+#include "obs/obs.hpp"
 
 /// \file connector_engine.hpp
 /// Incremental engine behind phase 2 of the Section IV algorithm. The
@@ -38,7 +39,10 @@ class ConnectorEngine {
   /// Seeds the engine with \p members (phase-1 dominators; any duplicate
   /// or out-of-range node throws std::invalid_argument). Member-member
   /// edges are united immediately, so the seed need not be independent.
-  ConnectorEngine(const Graph& g, std::span<const NodeId> members);
+  /// \p obs (null sinks by default) counts union-find finds/merges and
+  /// lazy-queue pops/stale re-scores under "connector_engine.*".
+  ConnectorEngine(const Graph& g, std::span<const NodeId> members,
+                  const obs::Obs& obs = {});
 
   /// Number of connected components of G[members] right now.
   [[nodiscard]] std::size_t components() const noexcept { return q_; }
@@ -74,6 +78,12 @@ class ConnectorEngine {
   std::vector<std::uint64_t> mark_;  ///< per-root stamps for distinct counts
   std::uint64_t stamp_ = 0;
   std::size_t q_ = 0;  ///< current component count of G[members]
+  /// Pre-resolved metric sinks (nullptr when observability is off).
+  obs::Counter* c_uf_finds_ = nullptr;
+  obs::Counter* c_uf_merges_ = nullptr;
+  obs::Counter* c_pops_ = nullptr;
+  obs::Counter* c_stale_ = nullptr;
+  obs::Counter* c_retired_ = nullptr;
 };
 
 }  // namespace mcds::core

@@ -6,18 +6,23 @@
 
 #include "core/connector_engine.hpp"
 #include "graph/subgraph.hpp"
+#include "obs/timer.hpp"
 
 namespace mcds::core {
 
 std::pair<std::vector<NodeId>, std::vector<GreedyStep>> greedy_connectors(
-    const Graph& g, const std::vector<NodeId>& mis) {
-  ConnectorEngine engine(g, mis);
+    const Graph& g, const std::vector<NodeId>& mis, const obs::Obs& obs) {
+  obs::ScopedTimer timer(obs, "greedy.phase2_gain_loop");
+  ConnectorEngine engine(g, mis, obs);
   std::vector<NodeId> connectors;
   std::vector<GreedyStep> steps;
   while (!engine.done()) {
     const GreedyStep step = engine.select_next();
     connectors.push_back(step.node);
     steps.push_back(step);
+  }
+  if (obs.metrics) {
+    obs.metrics->counter("greedy.connectors").add(connectors.size());
   }
   return {std::move(connectors), std::move(steps)};
 }
@@ -82,10 +87,17 @@ greedy_connectors_reference(const Graph& g, const std::vector<NodeId>& mis) {
   return {std::move(connectors), std::move(steps)};
 }
 
-GreedyConnectResult greedy_cds(const Graph& g, NodeId root) {
+GreedyConnectResult greedy_cds(const Graph& g, NodeId root,
+                               const obs::Obs& obs) {
   GreedyConnectResult r;
-  r.phase1 = bfs_first_fit_mis(g, root);
-  auto [connectors, steps] = greedy_connectors(g, r.phase1.mis);
+  {
+    obs::ScopedTimer timer(obs, "greedy.phase1_mis");
+    r.phase1 = bfs_first_fit_mis(g, root);
+  }
+  if (obs.metrics) {
+    obs.metrics->counter("greedy.mis_size").add(r.phase1.mis.size());
+  }
+  auto [connectors, steps] = greedy_connectors(g, r.phase1.mis, obs);
   r.connectors = std::move(connectors);
   r.steps = std::move(steps);
 

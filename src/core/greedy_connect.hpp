@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/mis.hpp"
+#include "obs/obs.hpp"
 
 /// \file greedy_connect.hpp
 /// The paper's new two-phased algorithm (Section IV): phase 1 is the
@@ -29,8 +30,10 @@ struct GreedyConnectResult {
 
 /// Runs the Section IV algorithm from \p root. Requires a connected
 /// graph with at least one node. Ties in gain are broken toward the
-/// smaller node id, making the output deterministic.
-[[nodiscard]] GreedyConnectResult greedy_cds(const Graph& g, NodeId root = 0);
+/// smaller node id, making the output deterministic. \p obs (null sinks
+/// by default) times the two phases and counts engine work.
+[[nodiscard]] GreedyConnectResult greedy_cds(const Graph& g, NodeId root = 0,
+                                             const obs::Obs& obs = {});
 
 /// Phase 2 alone: greedily connects an arbitrary maximal independent set
 /// \p mis of \p g (needed by the baseline variants and ablations).
@@ -41,7 +44,8 @@ struct GreedyConnectResult {
 /// (connector_engine.hpp) — near-linear total work instead of the
 /// O(rounds·(n+m)) full rescan, with bit-identical output.
 [[nodiscard]] std::pair<std::vector<NodeId>, std::vector<GreedyStep>>
-greedy_connectors(const Graph& g, const std::vector<NodeId>& mis);
+greedy_connectors(const Graph& g, const std::vector<NodeId>& mis,
+                  const obs::Obs& obs = {});
 
 /// The original per-round implementation: re-labels the components of
 /// G[I ∪ C] and rescans every node's neighborhood each round. Kept as

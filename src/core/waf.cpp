@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/union_find.hpp"
+#include "obs/timer.hpp"
 
 namespace mcds::core {
 
@@ -31,14 +32,18 @@ namespace {
 
 }  // namespace
 
-WafResult waf_cds(const Graph& g, NodeId root) {
+WafResult waf_cds(const Graph& g, NodeId root, const obs::Obs& obs) {
   WafResult r;
-  r.phase1 = bfs_first_fit_mis(g, root);
+  {
+    obs::ScopedTimer timer(obs, "waf.phase1_mis");
+    r.phase1 = bfs_first_fit_mis(g, root);
+  }
   if (g.num_nodes() == 1) {
     r.s = root;
     r.cds = {root};
     return r;
   }
+  obs::ScopedTimer timer(obs, "waf.phase2_connect");
 
   const auto& in_mis = r.phase1.in_mis;
   r.s = pick_s(g, root, in_mis);
@@ -67,6 +72,10 @@ WafResult waf_cds(const Graph& g, NodeId root) {
 
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (in_cds[v]) r.cds.push_back(v);
+  }
+  if (obs.metrics) {
+    obs.metrics->counter("waf.mis_size").add(r.phase1.mis.size());
+    obs.metrics->counter("waf.connectors").add(r.connectors.size());
   }
   return r;
 }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/mis.hpp"
+#include "obs/obs.hpp"
 
 /// \file waf.hpp
 /// The two-phased CDS algorithm of Wan–Alzoubi–Frieder [10], whose
@@ -26,7 +27,10 @@ struct WafResult {
 /// Runs the WAF algorithm from \p root. Requires a connected graph with
 /// at least one node; throws std::invalid_argument otherwise. For a
 /// single-node graph the CDS is that node.
-[[nodiscard]] WafResult waf_cds(const Graph& g, NodeId root = 0);
+/// \p obs (null sinks by default) times the two phases and counts the
+/// phase-1 MIS and phase-2 connector sizes under "waf.*".
+[[nodiscard]] WafResult waf_cds(const Graph& g, NodeId root = 0,
+                                const obs::Obs& obs = {});
 
 /// WAF with incremental connectivity pruning: maintains the components
 /// of I ∪ C in a union-find while connectors are added, and skips the

@@ -184,7 +184,7 @@ AlzoubiResult distributed_alzoubi_cds(const Graph& g, const RunConfig& cfg,
   out.complete = out.mis.complete;
 
   // Phase 2 picks the timeline up where phase 1 stopped.
-  FaultHarness h(g, cfg, round_offset + out.mis_stats.rounds);
+  FaultHarness h(g, cfg, round_offset + out.mis_stats.rounds, "alzoubi_connect");
   ConnectProtocol protocol(h.net(), out.mis.in_mis);
   out.connect_stats = h.run(protocol);
 

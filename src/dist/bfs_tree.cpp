@@ -76,7 +76,7 @@ BfsTreeResult build_bfs_tree(const Graph& g, NodeId root, const RunConfig& cfg,
   if (root >= g.num_nodes()) {
     throw std::invalid_argument("build_bfs_tree: root out of range");
   }
-  FaultHarness h(g, cfg, round_offset);
+  FaultHarness h(g, cfg, round_offset, "bfs_tree");
   BfsProtocol protocol(h.net(), root);
   BfsTreeResult out;
   out.root = root;

@@ -172,7 +172,7 @@ ConnectorResult select_connectors(const Graph& g, NodeId leader,
   if (parent.size() != g.num_nodes() || in_mis.size() != g.num_nodes()) {
     throw std::invalid_argument("select_connectors: input size mismatch");
   }
-  FaultHarness h(g, cfg, round_offset);
+  FaultHarness h(g, cfg, round_offset, "connector_selection");
   const std::size_t phase_len =
       cfg.reliable ? reliable_delivery_bound(cfg.link) : 1;
   ConnectorProtocol protocol(h.net(), leader, parent, in_mis, phase_len,

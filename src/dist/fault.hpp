@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/obs.hpp"
 #include "sim/rng.hpp"
 
 /// \file fault.hpp
@@ -149,6 +150,10 @@ struct RunConfig {
   /// When non-null, every delivered message of every phase is appended
   /// here (global round numbers). Must outlive the run.
   std::vector<TraceEvent>* trace = nullptr;
+  /// Observability sinks (metrics registry and/or structured trace
+  /// recorder) threaded through every phase's runtime and link layer.
+  /// Default: null sinks — zero-overhead disabled instrumentation.
+  obs::Obs obs;
 };
 
 }  // namespace mcds::dist

@@ -288,7 +288,7 @@ DistGreedyResult distributed_greedy_cds(const Graph& g, const RunConfig& cfg,
   const std::size_t max_epochs = std::max<std::size_t>(out.mis.mis.size(), 1);
   for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
     // Phase A: component labels.
-    FaultHarness label_h(g, cfg, offset);
+    FaultHarness label_h(g, cfg, offset, "greedy_label");
     LabelProtocol labels(label_h.net(), member);
     const RunStats label_stats = label_h.run(labels);
     out.total += label_stats;
@@ -307,7 +307,7 @@ DistGreedyResult distributed_greedy_cds(const Graph& g, const RunConfig& cfg,
 
     // Phase B: bidding.
     ++out.epochs;
-    FaultHarness bid_h(g, cfg, offset);
+    FaultHarness bid_h(g, cfg, offset, "greedy_bid");
     BidProtocol bids(bid_h.net(), member, labels.labels(), phase_len);
     const RunStats bid_stats = bid_h.run(bids);
     out.total += bid_stats;

@@ -67,7 +67,7 @@ LeaderResult elect_leader(const Graph& g, const RunConfig& cfg,
   if (g.num_nodes() == 0) {
     throw std::invalid_argument("elect_leader: empty graph");
   }
-  FaultHarness h(g, cfg, round_offset);
+  FaultHarness h(g, cfg, round_offset, "leader_election");
   MinIdFlood protocol(h.net());
   LeaderResult out;
   out.stats = h.run(protocol);

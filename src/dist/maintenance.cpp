@@ -7,12 +7,22 @@
 #include "dist/distributed_cds.hpp"
 #include "graph/subgraph.hpp"
 #include "graph/traversal.hpp"
+#include "obs/timer.hpp"
 
 namespace mcds::dist {
 
+namespace {
+constexpr const char* kActionName[5] = {
+    "maintenance.intact", "maintenance.reconnected", "maintenance.repaired",
+    "maintenance.rebuilt", "maintenance.unhealable"};
+}  // namespace
+
 SelfHealingCds::SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
-                               MaintenanceParams params)
-    : g_(g), cds_(std::move(cds)), params_(params) {
+                               MaintenanceParams params, const obs::Obs& obs)
+    : g_(g), cds_(std::move(cds)), params_(params), obs_(obs) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    c_action_[i] = obs_.counter(kActionName[i]);
+  }
   for (const NodeId v : cds_) {
     if (v >= g_.num_nodes()) {
       throw std::invalid_argument("SelfHealingCds: cds node out of range");
@@ -29,6 +39,19 @@ HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
   if (up.size() != g_.num_nodes()) {
     throw std::invalid_argument("SelfHealingCds: liveness size mismatch");
   }
+  obs::ScopedTimer timer(obs_, "heal.on_churn");
+  HealReport report = heal(up);
+  if (auto* c = c_action_[static_cast<std::size_t>(report.action)]) c->add();
+  if (obs_.metrics) {
+    obs_.metrics->histogram("maintenance.added").record(
+        static_cast<double>(report.added));
+    obs_.metrics->histogram("maintenance.dropped")
+        .record(static_cast<double>(report.dropped));
+  }
+  return report;
+}
+
+HealReport SelfHealingCds::heal(const std::vector<bool>& up) {
   HealReport report;
 
   std::vector<NodeId> live;
@@ -64,7 +87,10 @@ HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
     backbone_sub.push_back(to_sub[v]);
   }
 
-  report.issue = core::check_cds(sub.graph, backbone_sub);
+  {
+    obs::ScopedTimer t(obs_, "heal.validate");
+    report.issue = core::check_cds(sub.graph, backbone_sub);
+  }
   if (report.issue.ok) {
     cds_ = std::move(survivors_of_backbone);
     report.action = HealAction::kIntact;
@@ -91,18 +117,25 @@ HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
                           params_.rebuild_fraction *
                               static_cast<double>(old_size)) {
     // Too little survived: re-run the distributed construction on the
-    // survivor topology (phase re-run, not repair).
-    const DistributedCdsResult rebuilt = distributed_waf_cds(sub.graph);
+    // survivor topology (phase re-run, not repair). The rebuild's own
+    // phases inherit the observability sinks.
+    obs::ScopedTimer t(obs_, "heal.rebuild");
+    RunConfig rebuild_cfg;
+    rebuild_cfg.obs = obs_;
+    const DistributedCdsResult rebuilt =
+        distributed_waf_cds(sub.graph, rebuild_cfg);
     healed_sub = rebuilt.cds;
     report.stats = rebuilt.total;
     report.action = HealAction::kRebuilt;
   } else if (report.issue.defect == core::CdsDefect::kDisconnected) {
     // Coverage held, only the backbone split: reglue it.
+    obs::ScopedTimer t(obs_, "heal.reconnect");
     const core::RepairResult r = core::reconnect_cds(sub.graph, backbone_sub);
     healed_sub = r.cds;
     report.action = HealAction::kReconnected;
   } else {
     // Coverage lost (or the backbone died entirely): full repair.
+    obs::ScopedTimer t(obs_, "heal.repair");
     const core::RepairResult r = core::repair_cds(sub.graph, backbone_sub);
     healed_sub = r.cds;
     report.action = HealAction::kRepaired;

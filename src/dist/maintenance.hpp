@@ -51,9 +51,10 @@ struct HealReport {
 class SelfHealingCds {
  public:
   /// \p g is the full topology (it must outlive the driver); \p cds its
-  /// current CDS, in full-graph node ids.
+  /// current CDS, in full-graph node ids. \p obs (null sinks by default)
+  /// traces each heal pass and counts actions under "maintenance.*".
   SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
-                 MaintenanceParams params = {});
+                 MaintenanceParams params = {}, const obs::Obs& obs = {});
 
   /// Applies a new liveness vector (size = full graph) and heals the
   /// backbone on the graph induced by the live nodes. Idempotent: a
@@ -68,9 +69,15 @@ class SelfHealingCds {
   }
 
  private:
+  [[nodiscard]] HealReport heal(const std::vector<bool>& up);
+
   const Graph& g_;
   std::vector<NodeId> cds_;
   MaintenanceParams params_;
+  obs::Obs obs_;
+  /// Pre-resolved per-action counters, indexed by HealAction; nullptr
+  /// when metrics are off.
+  obs::Counter* c_action_[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
 };
 
 }  // namespace mcds::dist

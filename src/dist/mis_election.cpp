@@ -101,7 +101,7 @@ MisElectionResult elect_mis(const Graph& g, const std::vector<NodeId>& level,
   if (level.size() != g.num_nodes()) {
     throw std::invalid_argument("elect_mis: level size mismatch");
   }
-  FaultHarness h(g, cfg, round_offset);
+  FaultHarness h(g, cfg, round_offset, "mis_election");
   MisProtocol protocol(h.net(), level);
   MisElectionResult out;
   out.stats = h.run(protocol);

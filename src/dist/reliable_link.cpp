@@ -21,12 +21,16 @@ std::size_t reliable_delivery_bound(const ReliableLinkParams& params) noexcept {
   return total;
 }
 
-ReliableLink::ReliableLink(Runtime& rt, const ReliableLinkParams& params)
+ReliableLink::ReliableLink(Runtime& rt, const ReliableLinkParams& params,
+                           const obs::Obs& obs)
     : rt_(rt), params_(params) {
   if (params_.rto == 0 || params_.max_rto < params_.rto) {
     throw std::invalid_argument(
         "ReliableLink: need 1 <= rto <= max_rto");
   }
+  c_retx_ = obs.counter("reliable_link.retransmissions");
+  c_expired_ = obs.counter("reliable_link.expired");
+  c_dedup_ = obs.counter("reliable_link.dedup_hits");
 }
 
 void ReliableLink::post(NodeId from, NodeId to, const Message& payload) {
@@ -80,12 +84,14 @@ void ReliableLink::on_round_begin() {
     wire.seq = p.seq;
     rt_.send(p.from, p.to, wire);
     ++retransmissions_;
+    if (c_retx_) c_retx_->add();
     --p.retries_left;
     p.rto = std::min(p.rto * 2, params_.max_rto);
     p.timer = p.rto;
   }
   if (expired_now > 0) {
     expired_ += expired_now;
+    if (c_expired_) c_expired_->add(expired_now);
     std::erase_if(pending_, [](const Pending& p) { return p.seq == 0; });
   }
 }
@@ -109,6 +115,9 @@ void ReliableLink::step(NodeId self, const std::vector<Message>& inbox) {
         p.link = 0;
         p.seq = 0;
         payloads.push_back(p);
+      } else {
+        ++dedup_hits_;
+        if (c_dedup_) c_dedup_->add();
       }
     } else {
       payloads.push_back(m);  // raw traffic passes through

@@ -38,7 +38,10 @@ inline constexpr std::int32_t kLinkAck = 2;
 class ReliableLink final : public Transport, public Protocol {
  public:
   /// Throws std::invalid_argument unless rto >= 1 and max_rto >= rto.
-  ReliableLink(Runtime& rt, const ReliableLinkParams& params);
+  /// \p obs (null sinks by default) counts retransmissions, expiries and
+  /// receiver-side dedup hits under "reliable_link.*".
+  ReliableLink(Runtime& rt, const ReliableLinkParams& params,
+               const obs::Obs& obs = {});
 
   /// Sets the protocol whose traffic this link carries.
   void attach(Protocol& inner) noexcept { inner_ = &inner; }
@@ -66,6 +69,10 @@ class ReliableLink final : public Transport, public Protocol {
   }
   /// Payloads abandoned after max_retries unacked retransmissions.
   [[nodiscard]] std::size_t expired() const noexcept { return expired_; }
+  /// Duplicate data frames suppressed by receiver-side dedup.
+  [[nodiscard]] std::size_t dedup_hits() const noexcept {
+    return dedup_hits_;
+  }
 
  private:
   struct Pending {
@@ -90,6 +97,12 @@ class ReliableLink final : public Transport, public Protocol {
       delivered_;
   std::size_t retransmissions_ = 0;
   std::size_t expired_ = 0;
+  std::size_t dedup_hits_ = 0;
+  /// Pre-resolved metric sinks (nullptr when observability is off, so
+  /// the hot paths pay one pointer test each).
+  obs::Counter* c_retx_ = nullptr;
+  obs::Counter* c_expired_ = nullptr;
+  obs::Counter* c_dedup_ = nullptr;
 };
 
 /// Plumbing shared by the fault-aware protocol entry points: one
@@ -97,10 +110,14 @@ class ReliableLink final : public Transport, public Protocol {
 /// optional ReliableLink in front of it, built from one RunConfig.
 class FaultHarness {
  public:
-  FaultHarness(const Graph& g, const RunConfig& cfg, std::size_t round_offset)
+  /// \p label names the protocol in spans, metric prefixes and
+  /// round-limit diagnostics (empty = unlabeled).
+  FaultHarness(const Graph& g, const RunConfig& cfg, std::size_t round_offset,
+               std::string label = {})
       : rt_(g, cfg.plan, round_offset), max_rounds_(cfg.max_rounds) {
     rt_.record_trace(cfg.trace);
-    if (cfg.reliable) link_.emplace(rt_, cfg.link);
+    rt_.observe(cfg.obs, std::move(label));
+    if (cfg.reliable) link_.emplace(rt_, cfg.link, cfg.obs);
   }
 
   /// The transport to build the protocol against.

@@ -1,18 +1,43 @@
 #include "dist/runtime.hpp"
 
+#include "dist/reliable_link.hpp"
+
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <utility>
 
 namespace mcds::dist {
 
 namespace {
-std::string format_round_limit(std::size_t rounds_run, std::size_t in_flight,
-                               const std::vector<NodeId>& pending) {
+
+/// Sentinel type used to aggregate link-layer ack frames in the
+/// in-flight breakdown (their Message::type is meaningless).
+constexpr std::int32_t kAckType = -1;
+
+std::string format_round_limit(
+    const std::string& protocol, std::size_t rounds_run, std::size_t in_flight,
+    const std::vector<NodeId>& pending,
+    const std::vector<std::pair<std::int32_t, std::size_t>>& by_type) {
   std::ostringstream os;
-  os << "Runtime::run: round limit exceeded after " << rounds_run
-     << " rounds; " << in_flight << " message(s) in flight; non-quiescent "
-     << "nodes: [";
+  os << "Runtime::run";
+  if (!protocol.empty()) os << " [" << protocol << "]";
+  os << ": round limit exceeded after " << rounds_run << " rounds; "
+     << in_flight << " message(s) in flight";
+  if (!by_type.empty()) {
+    os << " (";
+    for (std::size_t i = 0; i < by_type.size(); ++i) {
+      if (i > 0) os << ", ";
+      if (by_type[i].first == kAckType) {
+        os << "link-ack";
+      } else {
+        os << "type " << by_type[i].first;
+      }
+      os << " x" << by_type[i].second;
+    }
+    os << ")";
+  }
+  os << "; non-quiescent nodes: [";
   constexpr std::size_t kShow = 16;
   for (std::size_t i = 0; i < pending.size() && i < kShow; ++i) {
     if (i > 0) os << ", ";
@@ -24,15 +49,47 @@ std::string format_round_limit(std::size_t rounds_run, std::size_t in_flight,
   os << "]";
   return os.str();
 }
+
 }  // namespace
 
-RoundLimitError::RoundLimitError(std::size_t rounds_run, std::size_t in_flight,
-                                 std::vector<NodeId> pending_nodes)
-    : std::runtime_error(
-          format_round_limit(rounds_run, in_flight, pending_nodes)),
+std::size_t RunStats::of_type(std::int32_t type) const noexcept {
+  for (const auto& [t, c] : by_type) {
+    if (t == type) return c;
+  }
+  return 0;
+}
+
+RunStats& RunStats::operator+=(const RunStats& o) {
+  rounds += o.rounds;
+  messages += o.messages;
+  if (!o.by_type.empty()) {
+    for (const auto& [t, c] : o.by_type) {
+      const auto it = std::lower_bound(
+          by_type.begin(), by_type.end(), t,
+          [](const auto& p, std::int32_t key) { return p.first < key; });
+      if (it != by_type.end() && it->first == t) {
+        it->second += c;
+      } else {
+        by_type.insert(it, {t, c});
+      }
+    }
+  }
+  per_round.insert(per_round.end(), o.per_round.begin(), o.per_round.end());
+  return *this;
+}
+
+RoundLimitError::RoundLimitError(
+    std::string protocol, std::size_t rounds_run, std::size_t in_flight,
+    std::vector<NodeId> pending_nodes,
+    std::vector<std::pair<std::int32_t, std::size_t>> in_flight_by_type)
+    : std::runtime_error(format_round_limit(protocol, rounds_run, in_flight,
+                                            pending_nodes,
+                                            in_flight_by_type)),
+      protocol_(std::move(protocol)),
       rounds_(rounds_run),
       in_flight_(in_flight),
-      pending_(std::move(pending_nodes)) {}
+      pending_(std::move(pending_nodes)),
+      by_type_(std::move(in_flight_by_type)) {}
 
 Runtime::Runtime(const Graph& g) : g_(g) {
   queue_.emplace_back(g.num_nodes());
@@ -52,6 +109,11 @@ Runtime::Runtime(const Graph& g, const FaultPlan& plan,
   }
   up_.assign(g.num_nodes(), true);
   apply_events_through(round_offset_);
+}
+
+void Runtime::observe(const obs::Obs& obs, std::string label) {
+  obs_ = obs;
+  label_ = std::move(label);
 }
 
 void Runtime::send(NodeId from, NodeId to, Message m) {
@@ -133,15 +195,53 @@ std::vector<NodeId> Runtime::nodes_with_pending() const {
   return out;
 }
 
+std::vector<std::pair<std::int32_t, std::size_t>> Runtime::in_flight_by_type()
+    const {
+  std::map<std::int32_t, std::size_t> counts;
+  for (const auto& bucket : queue_) {
+    for (const auto& inbox : bucket) {
+      for (const Message& m : inbox) {
+        ++counts[m.link == kLinkAck ? kAckType : m.type];
+      }
+    }
+  }
+  return {counts.begin(), counts.end()};
+}
+
 RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
   RunStats stats;
+  // Observability setup (all of it skipped on the null-sink path).
+  obs::TraceRecorder* rec = obs_.trace;
+  const bool metrics_on = obs_.metrics != nullptr;
+  std::uint32_t span_name = 0;
+  std::uint32_t inflight_name = 0;
+  std::uint32_t delivered_name = 0;
+  std::map<std::int32_t, std::size_t> by_type;       // delivered, cumulative
+  std::map<std::int32_t, std::uint32_t> type_names;  // interned counter names
+  obs::Histogram* h_inflight = nullptr;
+  FaultStats fstats_before;
+  const std::string prefix = label_.empty() ? "runtime" : label_;
+  if (rec) {
+    span_name = rec->intern(prefix);
+    inflight_name = rec->intern(prefix + ".in_flight");
+    delivered_name = rec->intern(prefix + ".delivered");
+    rec->span_begin(span_name);
+  }
+  if (metrics_on) {
+    h_inflight = &obs_.metrics->histogram(prefix + ".in_flight_per_round");
+    fstats_before = fstats_;
+  }
+
   for (NodeId v = 0; v < g_.num_nodes(); ++v) {
     if (is_up(v)) p.start(v);
   }
 
   while (in_flight_ > 0 || !p.idle()) {
     if (stats.rounds >= max_rounds) {
-      throw RoundLimitError(stats.rounds, in_flight_, nodes_with_pending());
+      auto breakdown = in_flight_by_type();
+      if (rec) rec->span_end(span_name);
+      throw RoundLimitError(label_, stats.rounds, in_flight_,
+                            nodes_with_pending(), std::move(breakdown));
     }
     ++stats.rounds;
     ++rounds_run_;
@@ -158,6 +258,32 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
     for (const auto& inbox : inboxes) delivered += inbox.size();
     in_flight_ -= delivered;
     stats.messages += delivered;
+    if (metrics_on || rec) {
+      // Per-type delivered counts; under the ring-buffer trace each
+      // active type becomes a Perfetto counter track.
+      for (const auto& inbox : inboxes) {
+        for (const Message& m : inbox) ++by_type[m.type];
+      }
+      if (metrics_on) {
+        stats.per_round.push_back(delivered);
+        h_inflight->record(static_cast<double>(in_flight_));
+      }
+      if (rec) {
+        rec->counter(delivered_name,
+                     static_cast<std::int64_t>(delivered));
+        rec->counter(inflight_name, static_cast<std::int64_t>(in_flight_));
+        for (const auto& [t, c] : by_type) {
+          auto it = type_names.find(t);
+          if (it == type_names.end()) {
+            it = type_names
+                     .emplace(t, rec->intern(prefix + ".msg.type" +
+                                             std::to_string(t)))
+                     .first;
+          }
+          rec->counter(it->second, static_cast<std::int64_t>(c));
+        }
+      }
+    }
     p.on_round_begin();
     for (NodeId v = 0; v < g_.num_nodes(); ++v) {
       if (faulty_ && !up_[v]) continue;
@@ -170,6 +296,26 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
       p.step(v, inboxes[v]);
     }
   }
+
+  if (metrics_on) {
+    auto& reg = *obs_.metrics;
+    reg.counter(prefix + ".rounds").add(stats.rounds);
+    reg.counter(prefix + ".messages").add(stats.messages);
+    stats.by_type.reserve(by_type.size());
+    for (const auto& [t, c] : by_type) {
+      reg.counter(prefix + ".msg.type" + std::to_string(t)).add(c);
+      stats.by_type.emplace_back(t, c);
+    }
+    reg.counter("fault.dropped").add(fstats_.dropped - fstats_before.dropped);
+    reg.counter("fault.duplicated")
+        .add(fstats_.duplicated - fstats_before.duplicated);
+    reg.counter("fault.delayed").add(fstats_.delayed - fstats_before.delayed);
+    reg.counter("fault.crash_discarded")
+        .add(fstats_.crash_discarded - fstats_before.crash_discarded);
+    reg.counter("fault.suppressed")
+        .add(fstats_.suppressed - fstats_before.suppressed);
+  }
+  if (rec) rec->span_end(span_name);
   return stats;
 }
 

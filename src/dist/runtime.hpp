@@ -9,6 +9,7 @@
 
 #include "dist/fault.hpp"
 #include "graph/graph.hpp"
+#include "obs/obs.hpp"
 
 /// \file runtime.hpp
 /// A synchronous round-based message-passing runtime over a fixed
@@ -42,16 +43,26 @@ struct Message {
   std::uint32_t seq = 0;   ///< link-layer sequence number
 };
 
-/// Cost accounting for one protocol execution.
+/// Cost accounting for one protocol execution. Beyond the paper's
+/// two-field round/message model, a run executed with metrics enabled
+/// (RunConfig::obs) also aggregates a per-Message::type and a per-round
+/// breakdown from the registry; both stay empty — at zero cost — on the
+/// uninstrumented path.
 struct RunStats {
   std::size_t rounds = 0;    ///< synchronous rounds executed
   std::size_t messages = 0;  ///< point-to-point messages delivered
+  /// Delivered messages by Message::type, ascending type. Populated only
+  /// when the runtime ran with metrics enabled; += merges by type.
+  std::vector<std::pair<std::int32_t, std::size_t>> by_type;
+  /// Messages delivered in each executed round. Populated only with
+  /// metrics enabled; += concatenates (phases execute consecutively on
+  /// one timeline).
+  std::vector<std::size_t> per_round;
 
-  RunStats& operator+=(const RunStats& o) noexcept {
-    rounds += o.rounds;
-    messages += o.messages;
-    return *this;
-  }
+  /// Delivered count of \p type (0 when absent or not recorded).
+  [[nodiscard]] std::size_t of_type(std::int32_t type) const noexcept;
+
+  RunStats& operator+=(const RunStats& o);
 };
 
 /// Thrown by Runtime::run when the round guard trips. Carries the
@@ -60,8 +71,10 @@ struct RunStats {
 /// is also formatted into what().
 class RoundLimitError : public std::runtime_error {
  public:
-  RoundLimitError(std::size_t rounds_run, std::size_t in_flight,
-                  std::vector<NodeId> pending_nodes);
+  RoundLimitError(std::string protocol, std::size_t rounds_run,
+                  std::size_t in_flight, std::vector<NodeId> pending_nodes,
+                  std::vector<std::pair<std::int32_t, std::size_t>>
+                      in_flight_by_type);
 
   [[nodiscard]] std::size_t rounds_run() const noexcept { return rounds_; }
   [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
@@ -69,11 +82,24 @@ class RoundLimitError : public std::runtime_error {
   [[nodiscard]] const std::vector<NodeId>& pending_nodes() const noexcept {
     return pending_;
   }
+  /// The protocol label the runtime ran under ("" when unlabeled).
+  [[nodiscard]] const std::string& protocol() const noexcept {
+    return protocol_;
+  }
+  /// Undelivered messages by Message::type, ascending type — names the
+  /// traffic that kept the execution alive (link-layer data/ack frames
+  /// are tagged as such in what()).
+  [[nodiscard]] const std::vector<std::pair<std::int32_t, std::size_t>>&
+  in_flight_by_type() const noexcept {
+    return by_type_;
+  }
 
  private:
+  std::string protocol_;
   std::size_t rounds_ = 0;
   std::size_t in_flight_ = 0;
   std::vector<NodeId> pending_;
+  std::vector<std::pair<std::int32_t, std::size_t>> by_type_;
 };
 
 /// The message-passing surface protocols send through. Runtime is the
@@ -159,11 +185,18 @@ class Runtime final : public Transport {
   /// The sink must outlive the run.
   void record_trace(std::vector<TraceEvent>* sink) noexcept { trace_ = sink; }
 
+  /// Attaches observability sinks (null sinks by default) and the
+  /// protocol label used for span names, metric prefixes and round-limit
+  /// diagnostics. Both sinks must outlive the runtime.
+  void observe(const obs::Obs& obs, std::string label = {});
+
  private:
   void route(NodeId from, NodeId to, const Message& m);
   void enqueue(NodeId to, const Message& m, std::size_t delay);
   void apply_events_through(std::size_t global_round);
   [[nodiscard]] std::vector<NodeId> nodes_with_pending() const;
+  [[nodiscard]] std::vector<std::pair<std::int32_t, std::size_t>>
+  in_flight_by_type() const;
 
   const Graph& g_;
   FaultPlan plan_;  ///< empty for the fault-free constructor
@@ -180,6 +213,8 @@ class Runtime final : public Transport {
   FaultStats fstats_;
   std::vector<TraceEvent>* trace_ = nullptr;
   std::vector<std::size_t> delays_scratch_;
+  obs::Obs obs_;        ///< null sinks unless observe() was called
+  std::string label_;   ///< protocol label for spans/metrics/diagnostics
 };
 
 }  // namespace mcds::dist

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+/// \file obs.hpp
+/// The handle instrumented components carry: two optional sinks. The
+/// default-constructed handle is the null sink — every instrumentation
+/// site is an ordinary `if (ptr)` branch (no macros), so a disabled
+/// build path costs one predictable-not-taken branch and performs no
+/// allocation whatsoever.
+
+namespace mcds::obs {
+
+/// Observability sinks for one execution. Copyable, two pointers wide;
+/// both sinks (when set) must outlive every component holding the
+/// handle.
+struct Obs {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || trace != nullptr;
+  }
+
+  /// Resolves a counter, or nullptr when metrics are disabled — the
+  /// setup-time half of the null-sink pattern.
+  [[nodiscard]] Counter* counter(std::string_view name) const {
+    return metrics ? &metrics->counter(name) : nullptr;
+  }
+  [[nodiscard]] Gauge* gauge(std::string_view name) const {
+    return metrics ? &metrics->gauge(name) : nullptr;
+  }
+  [[nodiscard]] Histogram* histogram(std::string_view name) const {
+    return metrics ? &metrics->histogram(name) : nullptr;
+  }
+};
+
+}  // namespace mcds::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+/// \file timer.hpp
+/// RAII profiling hook for the hot paths (MIS election, the phase-2
+/// gain loop, validate/repair). Construction opens a span on the trace
+/// and/or samples a start time; destruction closes the span and records
+/// the duration into a histogram. With null sinks the constructor and
+/// destructor are empty branches — no clock read, no allocation.
+///
+/// Units follow the sink: when a trace recorder is attached the span and
+/// the histogram use its clock (deterministic ticks in kLogical mode,
+/// nanoseconds in kWall); with only a histogram attached the duration is
+/// wall nanoseconds.
+
+namespace mcds::obs {
+
+class ScopedTimer {
+ public:
+  /// Opens span \p name on \p obs.trace and, when metrics are enabled,
+  /// targets the histogram of the same name.
+  ScopedTimer(const Obs& obs, std::string_view name, std::uint32_t tid = 0)
+      : ScopedTimer(obs.trace, name,
+                    obs.metrics ? &obs.metrics->histogram(name) : nullptr,
+                    tid) {}
+
+  ScopedTimer(TraceRecorder* trace, std::string_view name,
+              Histogram* hist = nullptr, std::uint32_t tid = 0)
+      : trace_(trace), hist_(hist), tid_(tid) {
+    if (trace_) {
+      name_ = trace_->intern(name);
+      begin_ = trace_->now();
+      trace_->span_begin(name_, tid_);
+    } else if (hist_) {
+      begin_ = wall_now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (trace_) {
+      trace_->span_end(name_, tid_);
+      if (hist_) hist_->record(static_cast<double>(trace_->now() - begin_));
+    } else if (hist_) {
+      hist_->record(static_cast<double>(wall_now() - begin_));
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t wall_now() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  TraceRecorder* trace_;
+  Histogram* hist_;
+  std::uint32_t name_ = 0;
+  std::uint32_t tid_;
+  std::uint64_t begin_ = 0;
+};
+
+}  // namespace mcds::obs

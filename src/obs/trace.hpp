@@ -1,0 +1,114 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file trace.hpp
+/// Structured execution tracing: a bounded ring buffer of spans, instant
+/// events and counter samples, with sinks for JSONL (one record per
+/// line, byte-stable for determinism tests) and the Chrome trace-event
+/// format (open the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// The recorder never touches the wall clock unless asked: in the
+/// default kLogical mode every record is stamped with a monotone event
+/// sequence number, so two behaviorally identical executions serialize
+/// to byte-identical traces. kWall stamps nanoseconds since recorder
+/// construction for real profiling.
+///
+/// Recording is allocation-free after construction (the ring and the
+/// name table are the only owners of memory; interning a name the first
+/// time allocates, which instrumented components do at setup time).
+
+namespace mcds::obs {
+
+/// Timestamp source of a TraceRecorder.
+enum class ClockMode : std::uint8_t {
+  kLogical,  ///< ts = monotone per-recorder event sequence (deterministic)
+  kWall,     ///< ts = nanoseconds since recorder construction
+};
+
+/// What one ring slot describes.
+enum class RecordKind : std::uint8_t {
+  kSpanBegin,  ///< start of a nested span (Chrome "B")
+  kSpanEnd,    ///< end of the innermost open span on the track ("E")
+  kInstant,    ///< point event ("i"); value is a free argument
+  kCounter,    ///< counter sample ("C"); value is the counter reading
+};
+
+/// One recorded event. `name` indexes the recorder's interned name
+/// table; `tid` selects the track (protocols use 0; concurrent layers
+/// can fan out).
+struct TraceRecord {
+  RecordKind kind = RecordKind::kInstant;
+  std::uint32_t name = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t ts = 0;
+  std::int64_t value = 0;
+};
+
+/// Bounded ring buffer of TraceRecords. When full, the oldest records
+/// are overwritten (dropped() reports how many) — tracing never grows
+/// without bound and never aborts a run.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity,
+                         ClockMode clock = ClockMode::kLogical);
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+  /// Returns the stable id of \p name, interning it on first use. Hot
+  /// call sites intern once up front and reuse the id.
+  std::uint32_t intern(std::string_view name);
+
+  /// The current timestamp in this recorder's clock units.
+  [[nodiscard]] std::uint64_t now() noexcept;
+
+  void span_begin(std::uint32_t name, std::uint32_t tid = 0) noexcept;
+  void span_end(std::uint32_t name, std::uint32_t tid = 0) noexcept;
+  void instant(std::uint32_t name, std::int64_t value = 0,
+               std::uint32_t tid = 0) noexcept;
+  void counter(std::uint32_t name, std::int64_t value,
+               std::uint32_t tid = 0) noexcept;
+
+  [[nodiscard]] ClockMode clock() const noexcept { return clock_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] const std::string& name(std::uint32_t id) const {
+    return names_[id];
+  }
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+ private:
+  void push(const TraceRecord& r) noexcept;
+
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;   ///< next write slot
+  std::size_t count_ = 0;  ///< records retained (<= capacity)
+  std::size_t dropped_ = 0;
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+  ClockMode clock_;
+  std::uint64_t seq_ = 0;  ///< kLogical tick source
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Writes one JSON object per record, one per line. With a kLogical
+/// recorder the output is byte-identical across behaviorally identical
+/// executions — the determinism guard compares these strings.
+void write_jsonl(const TraceRecorder& tr, std::ostream& os);
+
+/// Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
+/// Loads directly in chrome://tracing and Perfetto; counter records
+/// become counter tracks, spans become nested slices.
+void write_chrome_trace(const TraceRecorder& tr, std::ostream& os);
+
+}  // namespace mcds::obs

@@ -7,6 +7,86 @@
 
 namespace mcds::sim {
 
+P2Quantile::P2Quantile(double q) noexcept
+    : q_(std::min(1.0, std::max(0.0, q))) {
+  // Desired positions after n observations: 1, 1+2q(n-1)/4... — the
+  // canonical P² marker spacing for {min, q/2, q, (1+q)/2, max}.
+  inc_[0] = 0.0;
+  inc_[1] = q_ / 2.0;
+  inc_[2] = q_;
+  inc_[3] = (1.0 + q_) / 2.0;
+  inc_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (n_ < 5) {
+    height_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(height_, height_ + 5);
+      for (std::size_t i = 0; i < 5; ++i) {
+        want_[i] = 1.0 + 4.0 * inc_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing x and update the extremes.
+  std::size_t k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) want_[i] += inc_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) height update, falling back to linear
+  // interpolation when the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double hp = height_[i + 1] - height_[i];
+      const double hm = height_[i] - height_[i - 1];
+      const double dp = pos_[i + 1] - pos_[i];
+      const double dm = pos_[i] - pos_[i - 1];
+      const double parabolic =
+          height_[i] + s / (dp + dm) *
+                           ((dm + s) * hp / dp + (dp - s) * hm / dm);
+      if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+        height_[i] = parabolic;
+      } else {
+        height_[i] += s * (s > 0 ? hp / dp : hm / dm);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample quantile by linear interpolation.
+    double sorted[5];
+    std::copy(height_, height_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const double p = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(p);
+    const std::size_t hi = std::min(lo + 1, n_ - 1);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) *
+                            (p - static_cast<double>(lo));
+  }
+  return height_[2];
+}
+
 void Accumulator::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -18,6 +98,9 @@ void Accumulator::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  p50_.add(x);
+  p95_.add(x);
+  p99_.add(x);
 }
 
 double Accumulator::variance() const noexcept {
@@ -43,6 +126,9 @@ Summary summarize(std::span<const double> xs) {
   s.max = acc.max();
   s.ci95 = acc.ci95_halfwidth();
   s.median = percentile(xs, 0.5);
+  s.p50 = s.median;
+  s.p95 = percentile(xs, 0.95);
+  s.p99 = percentile(xs, 0.99);
   return s;
 }
 

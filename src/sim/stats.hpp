@@ -9,7 +9,35 @@
 
 namespace mcds::sim {
 
-/// Streaming accumulator for min/max/mean/stdev (Welford).
+/// Streaming quantile estimator (Jain–Chlamtac P² algorithm): tracks one
+/// quantile of an unbounded stream in O(1) space by adjusting five
+/// markers with piecewise-parabolic interpolation. Exact for the first
+/// five observations; a few-percent estimate afterwards — good enough
+/// for the latency tails (p95/p99) the observability layer reports.
+class P2Quantile {
+ public:
+  /// \p q in [0, 1]; out-of-range values are clamped.
+  explicit P2Quantile(double q) noexcept;
+
+  void add(double x) noexcept;
+
+  /// Current estimate of the q-quantile (0 while empty; exact for
+  /// fewer than 5 observations).
+  [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+ private:
+  double q_;
+  double height_[5] = {0, 0, 0, 0, 0};   ///< marker heights
+  double pos_[5] = {1, 2, 3, 4, 5};      ///< actual marker positions
+  double want_[5] = {1, 1, 1, 1, 1};     ///< desired marker positions
+  double inc_[5] = {0, 0, 0, 0, 0};      ///< desired-position increments
+  std::size_t n_ = 0;
+};
+
+/// Streaming accumulator for min/max/mean/stdev (Welford) plus P² tail
+/// quantiles (p50/p95/p99).
 class Accumulator {
  public:
   /// Adds one observation.
@@ -29,12 +57,20 @@ class Accumulator {
   /// Half-width of a ~95% normal confidence interval for the mean.
   [[nodiscard]] double ci95_halfwidth() const noexcept;
 
+  /// Streaming quantile estimates (P²; exact below 5 observations).
+  [[nodiscard]] double p50() const noexcept { return p50_.value(); }
+  [[nodiscard]] double p95() const noexcept { return p95_.value(); }
+  [[nodiscard]] double p99() const noexcept { return p99_.value(); }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  P2Quantile p50_{0.50};
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
 };
 
 /// One-shot summary of a finished sample.
@@ -46,6 +82,9 @@ struct Summary {
   double max = 0.0;
   double median = 0.0;
   double ci95 = 0.0;  ///< half-width of the ~95% CI for the mean
+  double p50 = 0.0;   ///< exact quantiles (the sample is fully in hand,
+  double p95 = 0.0;   ///< so summarize() sorts instead of estimating)
+  double p99 = 0.0;
 };
 
 /// Computes a Summary over \p xs (copies for the median sort).

@@ -1,0 +1,25 @@
+// Global allocation counter used by the null-sink guard in test_obs.cpp.
+// Lives in its own translation unit so the compiler cannot see the
+// malloc-backed operator new definition at container call sites (which
+// would trip -Wmismatched-new-delete false positives under -Werror).
+// Replacing the global operator new is legal exactly once per program;
+// this test binary owns it.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace mcds_test {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace mcds_test
+
+void* operator new(std::size_t n) {
+  mcds_test::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

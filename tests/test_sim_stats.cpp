@@ -66,6 +66,72 @@ TEST(Percentile, UnsortedInputHandled) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
 }
 
+TEST(P2Quantile, ExactBelowFiveObservations) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);  // empty
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);
+  EXPECT_EQ(q.count(), 1u);
+  q.add(3.0);
+  q.add(5.0);
+  // Exact median of {3, 5, 7}.
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+}
+
+TEST(P2Quantile, ClampsOutOfRangeQuantile) {
+  // Out-of-range q is clamped at construction: the estimator must track
+  // exactly what an explicit q=0 / q=1 estimator computes.
+  P2Quantile lo(-0.5), lo_ref(0.0);
+  P2Quantile hi(1.5), hi_ref(1.0);
+  for (double x = 1.0; x <= 100.0; x += 1.0) {
+    lo.add(x);
+    lo_ref.add(x);
+    hi.add(x);
+    hi_ref.add(x);
+  }
+  EXPECT_DOUBLE_EQ(lo.value(), lo_ref.value());
+  EXPECT_DOUBLE_EQ(hi.value(), hi_ref.value());
+}
+
+TEST(P2Quantile, TracksUniformRampWithinTolerance) {
+  // A deterministic pseudo-shuffled ramp over [0, 1000): the estimates
+  // must land within a few percent of the true quantiles.
+  P2Quantile p50(0.50), p95(0.95), p99(0.99);
+  const std::size_t n = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>((i * 617) % n);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_EQ(p50.count(), n);
+  EXPECT_NEAR(p50.value(), 500.0, 30.0);
+  EXPECT_NEAR(p95.value(), 950.0, 30.0);
+  EXPECT_NEAR(p99.value(), 990.0, 15.0);
+}
+
+TEST(Accumulator, QuantilesMatchP2OnStream) {
+  Accumulator acc;
+  for (int i = 1; i <= 500; ++i) {
+    acc.add(static_cast<double>((i * 211) % 500));
+  }
+  EXPECT_NEAR(acc.p50(), 250.0, 25.0);
+  EXPECT_NEAR(acc.p95(), 475.0, 20.0);
+  EXPECT_NEAR(acc.p99(), 495.0, 10.0);
+}
+
+TEST(Summarize, QuantileFieldsAreExact) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(xs, 0.50));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(xs, 0.99));
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
 TEST(Percentile, Preconditions) {
   EXPECT_THROW((void)percentile(std::vector<double>{}, 0.5),
                std::invalid_argument);
