@@ -9,6 +9,8 @@
 #include "core/greedy_connect.hpp"
 #include "core/waf.hpp"
 #include "dist/distributed_cds.hpp"
+#include "dist/failure_detector.hpp"
+#include "dist/fault.hpp"
 #include "obs/obs.hpp"
 #include "exact/exact_cds.hpp"
 #include "graph/small_graph.hpp"
@@ -160,6 +162,41 @@ void BM_FaultInjectedRuntime(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultInjectedRuntime)->Range(64, 512);
+
+// Partition enforcement happens on every send (a group-label compare
+// before the channel model runs), so its cost shows up as the gap to
+// BM_FaultFreeRuntime on the same heartbeat workload. The schedule cuts
+// the network in half at round 3 and heals it at round 20; the detector
+// runs a fixed 48-round horizon, so the workload is size-deterministic.
+// scripts/bench_snapshot.sh records this into BENCH_partition.json
+// (BENCH_TOPIC=partition).
+void BM_PartitionedRuntime(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = inst.graph.num_nodes();
+  dist::RunConfig cfg;
+  dist::PartitionEvent split;
+  split.round = 3;
+  split.groups.resize(2);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    split.groups[v < n / 2 ? 0 : 1].push_back(v);
+  }
+  cfg.plan.partitions.push_back(split);
+  cfg.plan.partitions.push_back({20, {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::detect_failures(inst.graph, cfg));
+  }
+}
+BENCHMARK(BM_PartitionedRuntime)->Range(64, 512);
+
+void BM_HeartbeatRuntime(benchmark::State& state) {
+  // The same detector workload with no partition: the baseline the
+  // per-send group check is measured against.
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::detect_failures(inst.graph));
+  }
+}
+BENCHMARK(BM_HeartbeatRuntime)->Range(64, 512);
 
 void BM_ReliableWaf(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));

@@ -9,8 +9,11 @@
 //   mcds_cli stats --in F
 //       prints topology metrics of the instance
 //   mcds_cli dist --in F [--algo waf|greedy|alzoubi] [--reliable]
-//                 [--drop P] [--dup P] [--delay D] [--seed K]
-//       runs the distributed construction, optionally under faults
+//                 [--fault-plan plan.json] [--drop P] [--dup P]
+//                 [--delay D] [--seed K]
+//       runs the distributed construction, optionally under faults;
+//       --fault-plan replays a serialized FaultPlan (e.g. a minimized
+//       chaos-fuzzer repro) and the scalar flags refine it
 //
 // solve and dist accept observability sinks:
 //   --trace F        Chrome trace-event JSON (chrome://tracing, Perfetto)
@@ -40,6 +43,7 @@
 #include "core/waf.hpp"
 #include "dist/alzoubi_protocol.hpp"
 #include "dist/distributed_cds.hpp"
+#include "dist/fault_json.hpp"
 #include "dist/greedy_protocol.hpp"
 #include "graph/metrics.hpp"
 #include "obs/obs.hpp"
@@ -89,7 +93,8 @@ int usage() {
                "li-thai|wu-li|alzoubi] [--prune] [--svg F.svg] [--quiet]\n"
             << "  mcds_cli stats --in F\n"
             << "  mcds_cli dist --in F [--algo waf|greedy|alzoubi] "
-               "[--reliable] [--drop P] [--dup P] [--delay D] [--seed K]\n"
+               "[--reliable] [--fault-plan plan.json] [--drop P] [--dup P] "
+               "[--delay D] [--seed K]\n"
             << "solve/dist observability: [--trace F.json] "
                "[--trace-jsonl F.jsonl] [--metrics F.json]\n";
   return 1;
@@ -270,12 +275,34 @@ int cmd_dist(const Args& args) {
 
   ObsSinks sinks(args);
   dist::RunConfig cfg;
-  cfg.plan.link.drop = std::stod(args.get("drop").value_or("0"));
-  cfg.plan.link.duplicate = std::stod(args.get("dup").value_or("0"));
-  cfg.plan.link.max_delay = std::stoul(args.get("delay").value_or("0"));
-  cfg.plan.seed = std::stoull(args.get("seed").value_or("1"));
+  if (const auto plan_path = args.get("fault-plan")) {
+    // A full serialized plan (typically a fuzzer-minimized repro);
+    // the scalar fault flags then refine it.
+    try {
+      cfg.plan = dist::load_fault_plan(*plan_path);
+    } catch (const std::exception& e) {
+      std::cerr << "dist: --fault-plan: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (const auto v = args.get("drop")) cfg.plan.link.drop = std::stod(*v);
+  if (const auto v = args.get("dup")) cfg.plan.link.duplicate = std::stod(*v);
+  if (const auto v = args.get("delay")) {
+    cfg.plan.link.max_delay = std::stoul(*v);
+  }
+  if (const auto v = args.get("seed")) {
+    cfg.plan.seed = std::stoull(*v);
+  } else if (!args.get("fault-plan")) {
+    cfg.plan.seed = 1;
+  }
   cfg.reliable = args.has_flag("reliable");
   cfg.obs = sinks.handle();
+  try {
+    cfg.plan.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "dist: " << e.what() << "\n";
+    return 1;
+  }
 
   const std::string algo = args.get("algo").value_or("waf");
   std::vector<graph::NodeId> cds;

@@ -6,7 +6,8 @@
 #
 # Usage: scripts/bench_snapshot.sh [extra perf_scaling args...]
 #   BUILD_DIR=...     build tree to use (default: build)
-#   BENCH_TOPIC=...   snapshot topic: phase2 (default), fault or obs
+#   BENCH_TOPIC=...   snapshot topic: phase2 (default), fault, obs or
+#                     partition
 #   BENCH_FILTER=...  benchmark regex (default: per-topic selection)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +18,7 @@ case "$BENCH_TOPIC" in
   phase2) default_filter="BM_GreedyCds|BM_GreedyConnectorsIncremental|BM_GreedyConnectorsReference|BM_BuildUdg" ;;
   fault)  default_filter="BM_FaultFreeRuntime|BM_FaultInjectedRuntime|BM_ReliableWaf" ;;
   obs)    default_filter="BM_GreedyConnectorsIncremental|BM_GreedyConnectorsObserved" ;;
+  partition) default_filter="BM_HeartbeatRuntime|BM_PartitionedRuntime" ;;
   *)      default_filter=".*" ;;
 esac
 BENCH_FILTER="${BENCH_FILTER:-$default_filter}"

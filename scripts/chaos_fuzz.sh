@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Open-ended partition-chaos fuzzing: re-runs the randomized scenario
+# suite in tests/test_dist_partition_chaos.cpp with a fresh base seed
+# per iteration until a time budget runs out. Each iteration covers 240
+# randomized partition/crash/link schedules; a failing scenario is
+# delta-debugged down to a minimal FaultPlan by the test itself and the
+# minimized plan JSON is archived (CHAOS_FUZZ_OUT) for replay.
+#
+# Usage: scripts/chaos_fuzz.sh [budget_seconds]
+#   BUILD_DIR=...        build tree to use (default: build)
+#   CHAOS_BUDGET=...     time budget in seconds (default: 300; the
+#                        positional argument wins when both are given)
+#   CHAOS_FUZZ_SEED=...  starting base seed (default: derived from date,
+#                        printed so any run can be reproduced exactly)
+#   CHAOS_FUZZ_OUT=...   directory for minimized repro plans
+#                        (default: chaos-artifacts)
+#
+# Exit status: 0 if every iteration passed, 1 on the first failure (the
+# failing seed and any minimized plan files are reported).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BUDGET="${1:-${CHAOS_BUDGET:-300}}"
+SEED="${CHAOS_FUZZ_SEED:-$(date +%s)}"
+OUT="${CHAOS_FUZZ_OUT:-chaos-artifacts}"
+BIN="$BUILD_DIR/tests/test_dist_partition_chaos"
+
+if [[ ! -x "$BIN" ]]; then
+  if [[ ! -d "$BUILD_DIR" ]]; then
+    cmake -B "$BUILD_DIR" -S .
+  fi
+  cmake --build "$BUILD_DIR" --target test_dist_partition_chaos -j "$(nproc)"
+fi
+if [[ ! -x "$BIN" ]]; then
+  echo "chaos_fuzz.sh: test binary not built: $BIN" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT"
+echo "chaos_fuzz: budget ${BUDGET}s, base seed $SEED, artifacts in $OUT/"
+
+deadline=$((SECONDS + BUDGET))
+iteration=0
+while (( SECONDS < deadline )); do
+  iteration=$((iteration + 1))
+  seed=$((SEED + iteration))
+  echo "chaos_fuzz: iteration $iteration (CHAOS_FUZZ_SEED=$seed)"
+  if ! CHAOS_FUZZ_SEED="$seed" CHAOS_FUZZ_OUT="$OUT" "$BIN" \
+      --gtest_filter='PartitionChaos.RandomizedPartitionSchedules' \
+      --gtest_brief=1; then
+    echo "chaos_fuzz: FAILURE at iteration $iteration" >&2
+    echo "chaos_fuzz: replay with CHAOS_FUZZ_SEED=$seed $BIN" >&2
+    if compgen -G "$OUT/*.json" >/dev/null; then
+      echo "chaos_fuzz: minimized plans:" >&2
+      ls -l "$OUT"/*.json >&2
+    fi
+    exit 1
+  fi
+done
+echo "chaos_fuzz: $iteration iteration(s) passed inside the ${BUDGET}s budget"

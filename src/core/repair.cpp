@@ -148,6 +148,62 @@ RepairResult repair_cds(const Graph& g, const std::vector<NodeId>& old_cds) {
   return out;
 }
 
+namespace {
+
+// Shared frame of the *_components variants: fast-path a connected
+// topology straight to `fix`, otherwise run `fix` on every component's
+// induced subgraph and merge the per-component results.
+template <typename Fix>
+RepairResult per_component(const char* what, const Graph& g,
+                           const std::vector<NodeId>& old_cds, Fix fix) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument(std::string(what) + ": empty graph");
+
+  const auto [comp, num_comps] = graph::connected_components(g);
+  if (num_comps <= 1) return fix(g, old_cds);
+
+  RepairResult out;
+  std::vector<std::vector<NodeId>> nodes_of(num_comps);
+  for (NodeId v = 0; v < n; ++v) nodes_of[comp[v]].push_back(v);
+  std::vector<std::vector<NodeId>> members_of(num_comps);
+  for (const NodeId v : old_cds) {
+    if (v >= n) {
+      ++out.dropped;  // failed / departed node
+      continue;
+    }
+    members_of[comp[v]].push_back(v);
+  }
+
+  for (std::size_t c = 0; c < num_comps; ++c) {
+    const auto sub = graph::induced_subgraph(g, nodes_of[c]);
+    std::vector<NodeId> to_sub(n, graph::kNoNode);
+    for (NodeId i = 0; i < sub.mapping.size(); ++i) to_sub[sub.mapping[i]] = i;
+    std::vector<NodeId> members_sub;
+    members_sub.reserve(members_of[c].size());
+    for (const NodeId v : members_of[c]) members_sub.push_back(to_sub[v]);
+
+    const RepairResult r = fix(sub.graph, members_sub);
+    for (const NodeId i : r.cds) out.cds.push_back(sub.mapping[i]);
+    out.kept += r.kept;
+    out.added += r.added;
+    out.dropped += r.dropped;
+  }
+  std::sort(out.cds.begin(), out.cds.end());
+  return out;
+}
+
+}  // namespace
+
+RepairResult repair_cds_components(const Graph& g,
+                                   const std::vector<NodeId>& old_cds) {
+  return per_component("repair_cds_components", g, old_cds, repair_cds);
+}
+
+RepairResult reconnect_cds_components(const Graph& g,
+                                      const std::vector<NodeId>& old_cds) {
+  return per_component("reconnect_cds_components", g, old_cds, reconnect_cds);
+}
+
 RepairResult reconnect_cds(const Graph& g,
                            const std::vector<NodeId>& old_cds) {
   const std::size_t n = g.num_nodes();

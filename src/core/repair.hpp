@@ -42,4 +42,22 @@ struct RepairResult {
 [[nodiscard]] RepairResult reconnect_cds(const Graph& g,
                                          const std::vector<NodeId>& old_cds);
 
+/// repair_cds lifted to possibly-disconnected topologies (a partitioned
+/// or crash-fragmented survivor graph): every connected component of
+/// \p g is repaired independently against the members of \p old_cds
+/// that fall in it, and the union is returned — a valid CDS of each
+/// component (the "CDS forest" check_cds_components validates). The
+/// kept/added/dropped counters aggregate across components. On a
+/// connected graph this is exactly repair_cds. Preconditions: g with
+/// >= 1 node.
+[[nodiscard]] RepairResult repair_cds_components(
+    const Graph& g, const std::vector<NodeId>& old_cds);
+
+/// reconnect_cds lifted the same way: each component's members are
+/// reglued within their component only (the cut itself is not bridged —
+/// it cannot be). The result is a valid CDS forest iff the pruned input
+/// dominated every component.
+[[nodiscard]] RepairResult reconnect_cds_components(
+    const Graph& g, const std::vector<NodeId>& old_cds);
+
 }  // namespace mcds::core

@@ -118,6 +118,58 @@ CdsCheck check_cds(const Graph& g, std::span<const NodeId> set) {
   return out;
 }
 
+CdsCheck check_cds_components(const Graph& g, std::span<const NodeId> set) {
+  CdsCheck out;
+  if (g.num_nodes() == 0) {
+    if (!set.empty()) {
+      throw std::invalid_argument("validate: node out of range");
+    }
+    return out;
+  }
+  const auto in = membership(g, set);
+  // Domination is component-local by construction (closed neighborhoods
+  // never cross components), so one global scan covers every component —
+  // including memberless ones, whose every node is undominated.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) continue;
+    bool dominated = false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (in[u]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      out.ok = false;
+      out.defect = CdsDefect::kUndominated;
+      out.witness = v;
+      return out;
+    }
+  }
+  // Connectivity per topology component: the members of each component
+  // must form a single fragment of G[set].
+  const auto [comp, num_comps] = graph::connected_components(g);
+  std::vector<std::vector<NodeId>> by_comp(num_comps);
+  for (const NodeId v : set) by_comp[comp[v]].push_back(v);
+  for (const auto& members : by_comp) {
+    if (members.size() < 2) continue;
+    const auto [labels, fragments] = graph::subset_components(g, members);
+    if (fragments <= 1) continue;
+    out.ok = false;
+    out.defect = CdsDefect::kDisconnected;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (labels[i] == 0 && out.witness == graph::kNoNode) {
+        out.witness = members[i];
+      }
+      if (labels[i] == 1 && out.witness2 == graph::kNoNode) {
+        out.witness2 = members[i];
+      }
+    }
+    return out;
+  }
+  return out;
+}
+
 bool has_two_hop_separation(const Graph& g, std::span<const NodeId> mis,
                             std::span<const std::size_t> order_rank,
                             NodeId root) {

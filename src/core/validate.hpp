@@ -66,6 +66,17 @@ struct CdsCheck {
 /// node. Throws std::invalid_argument on out-of-range members.
 [[nodiscard]] CdsCheck check_cds(const Graph& g, std::span<const NodeId> set);
 
+/// check_cds relaxed to possibly-disconnected graphs (a partitioned or
+/// crash-fragmented survivor topology): ok iff, within every connected
+/// component of \p g, the members falling in that component form a CDS
+/// of it — a "CDS forest". A component without any member reports its
+/// smallest node as kUndominated; members of one topology component
+/// split across two backbone fragments report kDisconnected with a
+/// witness in each fragment. On a connected graph this is exactly
+/// check_cds. Throws std::invalid_argument on out-of-range members.
+[[nodiscard]] CdsCheck check_cds_components(const Graph& g,
+                                            std::span<const NodeId> set);
+
 /// The 2-hop separation property of the BFS first-fit MIS ([10], used by
 /// Lemma 9): every MIS node other than the BFS root has another MIS node
 /// at hop distance exactly 2 that was selected earlier. \p order_rank

@@ -10,18 +10,45 @@ std::uint64_t link_key(NodeId from, NodeId to) noexcept {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
-void check_rate(double p, const char* what) {
+void check_rate(double p, const std::string& what) {
   if (!(p >= 0.0 && p <= 1.0)) {
-    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+    throw std::invalid_argument("FaultPlan: " + what +
                                 " must be a probability in [0, 1]");
   }
 }
-
-void check_faults(const LinkFaults& f) {
-  check_rate(f.drop, "drop");
-  check_rate(f.duplicate, "duplicate");
-}
 }  // namespace
+
+void LinkFaults::validate(const char* what) const {
+  const std::string where(what);
+  check_rate(drop, where + ".drop");
+  check_rate(duplicate, where + ".duplicate");
+  if (max_delay > kMaxLinkDelay) {
+    throw std::invalid_argument(
+        "FaultPlan: " + where + ".max_delay = " + std::to_string(max_delay) +
+        " exceeds kMaxLinkDelay (" + std::to_string(kMaxLinkDelay) +
+        ") — each round of delay costs one delivery bucket per node");
+  }
+}
+
+void FaultPlan::validate() const {
+  link.validate("link");
+  for (std::size_t i = 0; i < overrides.size(); ++i) {
+    overrides[i].faults.validate(
+        ("override " + std::to_string(i)).c_str());
+  }
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    std::vector<NodeId> seen;
+    for (const auto& group : partitions[i].groups) {
+      seen.insert(seen.end(), group.begin(), group.end());
+    }
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+      throw std::invalid_argument(
+          "FaultPlan: partition " + std::to_string(i) +
+          " lists a node in two groups");
+    }
+  }
+}
 
 std::vector<bool> FaultPlan::up_after(std::size_t n,
                                       std::size_t through_round) const {
@@ -41,12 +68,39 @@ std::vector<bool> FaultPlan::up_after(std::size_t n,
   return up;
 }
 
+std::vector<std::uint32_t> FaultPlan::groups_at(
+    std::size_t n, std::size_t through_round) const {
+  // The latest applicable event wins; same-round events apply in plan
+  // order (mirroring up_after), so replay a round-sorted copy.
+  const PartitionEvent* active = nullptr;
+  std::vector<std::size_t> idx(partitions.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return partitions[a].round < partitions[b].round;
+  });
+  for (const std::size_t i : idx) {
+    if (partitions[i].round > through_round) break;
+    active = &partitions[i];
+  }
+  std::vector<std::uint32_t> group(n, 0);
+  if (active == nullptr || active->heals()) return group;
+  std::fill(group.begin(), group.end(),
+            static_cast<std::uint32_t>(active->groups.size()));
+  for (std::size_t gi = 0; gi < active->groups.size(); ++gi) {
+    for (const NodeId v : active->groups[gi]) {
+      if (v < n) group[v] = static_cast<std::uint32_t>(gi);
+    }
+  }
+  return group;
+}
+
 ChannelModel::ChannelModel(const FaultPlan& plan, std::uint64_t stream)
     : default_(plan.link), rng_(sim::Rng::child(plan.seed, stream)) {
-  check_faults(default_);
+  default_.validate("link");
   overrides_.reserve(plan.overrides.size());
-  for (const LinkOverride& o : plan.overrides) {
-    check_faults(o.faults);
+  for (std::size_t i = 0; i < plan.overrides.size(); ++i) {
+    const LinkOverride& o = plan.overrides[i];
+    o.faults.validate(("override " + std::to_string(i)).c_str());
     overrides_[link_key(o.from, o.to)] = o.faults;
   }
 }

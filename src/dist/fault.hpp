@@ -11,18 +11,27 @@
 /// \file fault.hpp
 /// Fault model for the distributed runtime. A FaultPlan describes, ahead
 /// of an execution, everything that will go wrong: per-link message
-/// drop/duplication/delay rates and a fail-stop crash/recovery schedule.
+/// drop/duplication/delay rates, a fail-stop crash/recovery schedule,
+/// and scheduled network partitions (the node set splits into groups;
+/// cross-group messages are dropped until a later event heals the cut).
 /// The plan is purely declarative and seeded — identical (plan, protocol)
 /// pairs replay identical executions, so any chaos-test failure is
 /// reproducible from the seed printed with it. The Runtime consults a
 /// ChannelModel built from the plan at send time; with the default
 /// (trivial) plan the runtime behaves exactly as the ideal synchronous
-/// model the paper assumes.
+/// model the paper assumes. Plans serialize to JSON (fault_json.hpp) so
+/// fuzzer-minimized repros replay from the command line.
 
 namespace mcds::dist {
 
 using graph::Graph;
 using graph::NodeId;
+
+/// Upper bound on LinkFaults::max_delay. Each extra round of delay costs
+/// one queue bucket per node in the runtime, so an absurd delay (a typo,
+/// an overflowing subtraction in a generator) would silently allocate
+/// gigabytes at delivery time; plans reject it at construction instead.
+inline constexpr std::size_t kMaxLinkDelay = 1u << 20;
 
 /// Fault rates of one directed link (or of every link, when used as the
 /// plan default). All zero = a perfect link.
@@ -36,6 +45,11 @@ struct LinkFaults {
   [[nodiscard]] bool clean() const noexcept {
     return drop == 0.0 && duplicate == 0.0 && max_delay == 0;
   }
+
+  /// Throws std::invalid_argument unless drop and duplicate are
+  /// probabilities in [0, 1] and max_delay <= kMaxLinkDelay. \p what
+  /// names the link in the error ("link", "override 3", ...).
+  void validate(const char* what = "link") const;
 };
 
 /// Per-link exception to the plan's default fault rates.
@@ -56,6 +70,25 @@ struct CrashEvent {
   bool up = false;  ///< false = crash, true = recovery
 };
 
+/// One scheduled partition transition, applied at the beginning of round
+/// `round` alongside that round's crash events. The node set splits into
+/// the listed groups; nodes absent from every group share one implicit
+/// extra group (so `{{a, b}}` isolates a and b from everyone else).
+/// While a partition is active, messages whose endpoints are in
+/// different groups are dropped at send time (before any channel
+/// randomness is consumed, so partitions compose deterministically with
+/// drop/dup/delay). An event with an empty group list heals the network:
+/// later traffic flows everywhere again, but messages already lost to
+/// the cut stay lost. The latest event with round <= r defines the
+/// grouping of round r.
+struct PartitionEvent {
+  std::size_t round = 0;
+  std::vector<std::vector<NodeId>> groups;
+
+  /// True if this event restores full connectivity.
+  [[nodiscard]] bool heals() const noexcept { return groups.empty(); }
+};
+
 /// A complete, deterministic fault schedule for one execution (possibly
 /// spanning several protocol phases — each phase's Runtime picks up the
 /// timeline at its round offset). The default-constructed plan is
@@ -65,18 +98,34 @@ struct FaultPlan {
   LinkFaults link;                      ///< default for every directed link
   std::vector<LinkOverride> overrides;  ///< per-link exceptions
   std::vector<CrashEvent> schedule;     ///< crash/recovery events
+  std::vector<PartitionEvent> partitions;  ///< scheduled splits/heals
   std::uint64_t seed = 0;               ///< drives all drop/dup/delay draws
 
   /// True if the plan injects no fault at all.
   [[nodiscard]] bool trivial() const noexcept {
-    return link.clean() && overrides.empty() && schedule.empty();
+    return link.clean() && overrides.empty() && schedule.empty() &&
+           partitions.empty();
   }
+
+  /// Full structural validation: every fault rate must be a probability,
+  /// every delay below kMaxLinkDelay, and no partition event may list
+  /// one node in two groups. Throws std::invalid_argument with a message
+  /// naming the offending field. The Runtime and ChannelModel validate
+  /// at construction so a malformed plan fails before the first
+  /// delivery, not during it.
+  void validate() const;
 
   /// Node liveness after every event with round <= \p through_round has
   /// been applied (pass SIZE_MAX for the final state — the chaos
   /// harness's survivor set).
   [[nodiscard]] std::vector<bool> up_after(std::size_t n,
                                            std::size_t through_round) const;
+
+  /// Partition-group label of every node after the last partition event
+  /// with round <= \p through_round (all zero = no cut active). Nodes
+  /// absent from that event's groups share label groups.size().
+  [[nodiscard]] std::vector<std::uint32_t> groups_at(
+      std::size_t n, std::size_t through_round) const;
 };
 
 /// The seeded per-link fate sampler the Runtime consults on every send.
@@ -111,6 +160,8 @@ struct FaultStats {
   std::size_t delayed = 0;          ///< copies delivered >= 1 round late
   std::size_t crash_discarded = 0;  ///< queued messages lost to a crash
   std::size_t suppressed = 0;       ///< sends while an endpoint was down
+  std::size_t partition_dropped = 0;  ///< messages lost across a cut
+                                      ///< (sends plus in-flight at split)
 };
 
 /// One delivered message, as recorded by Runtime::record_trace. Two

@@ -1,0 +1,352 @@
+#include "dist/fault_json.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcds::dist {
+
+namespace {
+
+// ---------------------------------------------------------------- writer
+
+void write_rate(std::ostringstream& out, double v) {
+  // max_digits10 round-trips every double; trim the noise for the
+  // common exact cases so hand-reading a repro stays pleasant.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  out << tmp.str();
+}
+
+void write_link(std::ostringstream& out, const LinkFaults& f) {
+  out << "\"drop\": ";
+  write_rate(out, f.drop);
+  out << ", \"duplicate\": ";
+  write_rate(out, f.duplicate);
+  out << ", \"max_delay\": " << f.max_delay;
+}
+
+// ---------------------------------------------------------------- parser
+//
+// A strict recursive-descent reader for exactly the subset to_json
+// emits: objects, arrays, unsigned integers, non-negative decimals and
+// booleans. Strings only appear as keys. Errors carry the byte offset.
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  FaultPlan parse() {
+    FaultPlan plan;
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_key();
+      if (key == "seed") {
+        plan.seed = parse_u64("seed");
+      } else if (key == "link") {
+        plan.link = parse_link();
+      } else if (key == "overrides") {
+        parse_array("overrides", [&] {
+          plan.overrides.push_back(parse_override());
+        });
+      } else if (key == "schedule") {
+        parse_array("schedule", [&] {
+          plan.schedule.push_back(parse_crash());
+        });
+      } else if (key == "partitions") {
+        parse_array("partitions", [&] {
+          plan.partitions.push_back(parse_partition());
+        });
+      } else {
+        fail("unknown key \"" + key + "\"");
+      }
+    }
+    expect('}');
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after plan object");
+    return plan;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("FaultPlan JSON, byte " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  std::string parse_key() {
+    expect('"');
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') fail("escapes are not supported in keys");
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated key");
+    std::string key(text_.substr(begin, pos_ - begin));
+    ++pos_;
+    expect(':');
+    return key;
+  }
+
+  std::uint64_t parse_u64(const char* what) {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == begin) fail(std::string(what) + " must be an unsigned integer");
+    std::uint64_t v = 0;
+    for (std::size_t i = begin; i < pos_; ++i) {
+      const auto digit = static_cast<std::uint64_t>(text_[i] - '0');
+      if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+        fail(std::string(what) + " overflows 64 bits");
+      }
+      v = v * 10 + digit;
+    }
+    return v;
+  }
+
+  double parse_rate(const char* what) {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+          c != 'e' && c != 'E' && c != '+' && c != '-') {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == begin) fail(std::string(what) + " must be a number");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(token, &used);
+    } catch (const std::exception&) {
+      fail(std::string(what) + " is not a valid number");
+    }
+    if (used != token.size()) fail(std::string(what) + " is not a valid number");
+    return v;
+  }
+
+  bool parse_bool(const char* what) {
+    skip_ws();
+    if (text_.substr(pos_).starts_with("true")) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_).starts_with("false")) {
+      pos_ += 5;
+      return false;
+    }
+    fail(std::string(what) + " must be true or false");
+  }
+
+  template <typename Fn>
+  void parse_array(const char* what, Fn element) {
+    expect('[');
+    bool first = true;
+    while (!peek_is(']')) {
+      if (!first) expect(',');
+      first = false;
+      element();
+    }
+    expect(']');
+    (void)what;
+  }
+
+  /// Parses an object whose keys are dispatched through \p field;
+  /// field() must consume the value and return false on unknown keys.
+  template <typename Fn>
+  void parse_object(const char* what, Fn field) {
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_key();
+      if (!field(key)) {
+        fail("unknown key \"" + key + "\" in " + what);
+      }
+    }
+    expect('}');
+  }
+
+  bool link_field(LinkFaults& f, const std::string& key) {
+    if (key == "drop") {
+      f.drop = parse_rate("drop");
+    } else if (key == "duplicate") {
+      f.duplicate = parse_rate("duplicate");
+    } else if (key == "max_delay") {
+      f.max_delay = static_cast<std::size_t>(parse_u64("max_delay"));
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  LinkFaults parse_link() {
+    LinkFaults f;
+    parse_object("link", [&](const std::string& key) {
+      return link_field(f, key);
+    });
+    return f;
+  }
+
+  LinkOverride parse_override() {
+    LinkOverride o;
+    parse_object("override", [&](const std::string& key) {
+      if (key == "from") {
+        o.from = static_cast<NodeId>(parse_u64("from"));
+      } else if (key == "to") {
+        o.to = static_cast<NodeId>(parse_u64("to"));
+      } else {
+        return link_field(o.faults, key);
+      }
+      return true;
+    });
+    return o;
+  }
+
+  CrashEvent parse_crash() {
+    CrashEvent e;
+    parse_object("schedule event", [&](const std::string& key) {
+      if (key == "round") {
+        e.round = static_cast<std::size_t>(parse_u64("round"));
+      } else if (key == "node") {
+        e.node = static_cast<NodeId>(parse_u64("node"));
+      } else if (key == "up") {
+        e.up = parse_bool("up");
+      } else {
+        return false;
+      }
+      return true;
+    });
+    return e;
+  }
+
+  PartitionEvent parse_partition() {
+    PartitionEvent e;
+    parse_object("partition event", [&](const std::string& key) {
+      if (key == "round") {
+        e.round = static_cast<std::size_t>(parse_u64("round"));
+      } else if (key == "groups") {
+        parse_array("groups", [&] {
+          std::vector<NodeId> group;
+          parse_array("group", [&] {
+            group.push_back(static_cast<NodeId>(parse_u64("node")));
+          });
+          e.groups.push_back(std::move(group));
+        });
+      } else {
+        return false;
+      }
+      return true;
+    });
+    return e;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "{\"seed\": " << plan.seed << ", \"link\": {";
+  write_link(out, plan.link);
+  out << "}, \"overrides\": [";
+  for (std::size_t i = 0; i < plan.overrides.size(); ++i) {
+    const LinkOverride& o = plan.overrides[i];
+    if (i > 0) out << ", ";
+    out << "{\"from\": " << o.from << ", \"to\": " << o.to << ", ";
+    write_link(out, o.faults);
+    out << "}";
+  }
+  out << "], \"schedule\": [";
+  for (std::size_t i = 0; i < plan.schedule.size(); ++i) {
+    const CrashEvent& e = plan.schedule[i];
+    if (i > 0) out << ", ";
+    out << "{\"round\": " << e.round << ", \"node\": " << e.node
+        << ", \"up\": " << (e.up ? "true" : "false") << "}";
+  }
+  out << "], \"partitions\": [";
+  for (std::size_t i = 0; i < plan.partitions.size(); ++i) {
+    const PartitionEvent& e = plan.partitions[i];
+    if (i > 0) out << ", ";
+    out << "{\"round\": " << e.round << ", \"groups\": [";
+    for (std::size_t gi = 0; gi < e.groups.size(); ++gi) {
+      if (gi > 0) out << ", ";
+      out << "[";
+      for (std::size_t vi = 0; vi < e.groups[gi].size(); ++vi) {
+        if (vi > 0) out << ", ";
+        out << e.groups[gi][vi];
+      }
+      out << "]";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+FaultPlan fault_plan_from_json(std::string_view json) {
+  FaultPlan plan = Parser(json).parse();
+  plan.validate();
+  return plan;
+}
+
+void save_fault_plan(const FaultPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_fault_plan: cannot open " + path);
+  }
+  out << to_json(plan) << "\n";
+  if (!out.flush()) {
+    throw std::runtime_error("save_fault_plan: write to " + path + " failed");
+  }
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_fault_plan: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fault_plan_from_json(buf.str());
+}
+
+}  // namespace mcds::dist

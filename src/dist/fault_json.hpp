@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dist/fault.hpp"
+
+/// \file fault_json.hpp
+/// JSON serialization for FaultPlan, so a fuzzer-minimized failing plan
+/// is a file: the chaos harness prints it next to the seed, `mcds_cli
+/// dist --fault-plan plan.json` replays it, and save/load round-trips
+/// exactly (integers verbatim; rates at max_digits10). The format is a
+/// single object with optional fields
+///
+///   {"seed": 42,
+///    "link": {"drop": 0.1, "duplicate": 0, "max_delay": 2},
+///    "overrides": [{"from": 0, "to": 1, "drop": 0.5, ...}],
+///    "schedule": [{"round": 3, "node": 7, "up": false}],
+///    "partitions": [{"round": 5, "groups": [[0, 1], [2, 3]]}]}
+///
+/// parsed by a strict hand-rolled reader (no third-party dependency);
+/// unknown keys are rejected so a typo'd field fails loudly instead of
+/// silently running the trivial plan.
+
+namespace mcds::dist {
+
+/// Serializes \p plan to a self-contained JSON object (no trailing
+/// newline). Fields whose value equals the default are still written —
+/// repro files should be explicit.
+[[nodiscard]] std::string to_json(const FaultPlan& plan);
+
+/// Parses a plan serialized by to_json (or written by hand). Throws
+/// std::invalid_argument naming the offending construct on malformed
+/// JSON, unknown keys, wrong types, or a plan failing
+/// FaultPlan::validate().
+[[nodiscard]] FaultPlan fault_plan_from_json(std::string_view json);
+
+/// Writes to_json(plan) (plus a trailing newline) to \p path. Throws
+/// std::runtime_error when the file cannot be written.
+void save_fault_plan(const FaultPlan& plan, const std::string& path);
+
+/// Reads and parses \p path. Throws std::runtime_error when the file
+/// cannot be read, std::invalid_argument when it does not parse.
+[[nodiscard]] FaultPlan load_fault_plan(const std::string& path);
+
+}  // namespace mcds::dist

@@ -35,12 +35,44 @@ SelfHealingCds::SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
   std::sort(cds_.begin(), cds_.end());
 }
 
+void SelfHealingCds::set_island(std::vector<NodeId> island) {
+  for (const NodeId v : island) {
+    if (v >= g_.num_nodes()) {
+      throw std::invalid_argument("SelfHealingCds: island node out of range");
+    }
+  }
+  std::sort(island.begin(), island.end());
+  island.erase(std::unique(island.begin(), island.end()), island.end());
+  island_ = std::move(island);
+}
+
+BackboneView SelfHealingCds::view() const {
+  BackboneView out;
+  out.epoch = epoch_;
+  if (island_.empty()) {
+    out.island.resize(g_.num_nodes());
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) out.island[v] = v;
+    out.cds = cds_;
+    return out;
+  }
+  out.island = island_;
+  for (const NodeId v : cds_) {
+    if (std::binary_search(island_.begin(), island_.end(), v)) {
+      out.cds.push_back(v);
+    }
+  }
+  return out;
+}
+
 HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
   if (up.size() != g_.num_nodes()) {
     throw std::invalid_argument("SelfHealingCds: liveness size mismatch");
   }
   obs::ScopedTimer timer(obs_, "heal.on_churn");
+  const std::vector<NodeId> before = cds_;
   HealReport report = heal(up);
+  if (cds_ != before) ++epoch_;
+  report.epoch = epoch_;
   if (auto* c = c_action_[static_cast<std::size_t>(report.action)]) c->add();
   if (obs_.metrics) {
     obs_.metrics->histogram("maintenance.added").record(
@@ -51,32 +83,102 @@ HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
   return report;
 }
 
+HealReport SelfHealingCds::reconcile(const std::vector<BackboneView>& views,
+                                     const std::vector<bool>& up) {
+  if (up.size() != g_.num_nodes()) {
+    throw std::invalid_argument("SelfHealingCds: liveness size mismatch");
+  }
+  obs::ScopedTimer timer(obs_, "heal.reconcile");
+
+  // Per-node merge, highest epoch wins: apply the views in ascending
+  // epoch order (stable, so equal epochs resolve towards the later view
+  // in argument order) on top of the current membership.
+  std::vector<bool> member(g_.num_nodes(), false);
+  for (const NodeId v : cds_) member[v] = true;
+  std::vector<std::size_t> order(views.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return views[a].epoch < views[b].epoch;
+                   });
+  std::size_t max_epoch = epoch_;
+  for (const std::size_t i : order) {
+    const BackboneView& v = views[i];
+    max_epoch = std::max(max_epoch, v.epoch);
+    for (const NodeId u : v.island) {
+      if (u >= g_.num_nodes()) {
+        throw std::invalid_argument(
+            "SelfHealingCds: view island node out of range");
+      }
+      member[u] = std::binary_search(v.cds.begin(), v.cds.end(), u);
+    }
+  }
+
+  island_.clear();
+  cds_.clear();
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    if (member[v]) cds_.push_back(v);
+  }
+  // The merged union keeps every island's maintained fragment, so the
+  // kept fraction stays near 1 and heal() reglues instead of rebuilding.
+  epoch_ = max_epoch;
+  if (auto* c = obs_.counter("maintenance.reconciled")) c->add();
+  return on_churn(up);
+}
+
 HealReport SelfHealingCds::heal(const std::vector<bool>& up) {
   HealReport report;
 
+  // The pass's scope: the island when one is set, the whole graph
+  // otherwise. Backbone members outside the scope are frozen — carried
+  // through untouched and invisible to the counters.
+  const bool scoped = !island_.empty();
   std::vector<NodeId> live;
-  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-    if (up[v]) live.push_back(v);
+  if (scoped) {
+    for (const NodeId v : island_) {
+      if (up[v]) live.push_back(v);
+    }
+  } else {
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (up[v]) live.push_back(v);
+    }
   }
   report.survivors = live.size();
 
-  const std::size_t old_size = cds_.size();
-  std::vector<NodeId> survivors_of_backbone;
+  std::vector<NodeId> frozen;  // members outside the scope
+  std::vector<NodeId> scope_members;
   for (const NodeId v : cds_) {
+    if (scoped && !std::binary_search(island_.begin(), island_.end(), v)) {
+      frozen.push_back(v);
+    } else {
+      scope_members.push_back(v);
+    }
+  }
+  const std::size_t old_size = scope_members.size();
+
+  std::vector<NodeId> survivors_of_backbone;
+  for (const NodeId v : scope_members) {
     if (up[v]) survivors_of_backbone.push_back(v);
   }
   report.kept = survivors_of_backbone.size();
   report.dropped = old_size - survivors_of_backbone.size();
 
+  const auto reassemble = [&](std::vector<NodeId> healed) {
+    healed.insert(healed.end(), frozen.begin(), frozen.end());
+    std::sort(healed.begin(), healed.end());
+    cds_ = std::move(healed);
+  };
+
   if (live.empty()) {
-    cds_.clear();
+    reassemble({});
     report.action = HealAction::kUnhealable;
     report.kept = 0;
     return report;
   }
 
-  // Everything below happens on the survivor-induced subgraph; sub ids
-  // map back through sub.mapping.
+  // Everything below happens on the scope's survivor-induced subgraph
+  // (possibly fragmented — crashes, or the far side of a partition cut);
+  // sub ids map back through sub.mapping.
   const auto sub = graph::induced_subgraph(g_, live);
   std::vector<NodeId> to_sub(g_.num_nodes(), graph::kNoNode);
   for (NodeId i = 0; i < sub.mapping.size(); ++i) {
@@ -86,13 +188,15 @@ HealReport SelfHealingCds::heal(const std::vector<bool>& up) {
   for (const NodeId v : survivors_of_backbone) {
     backbone_sub.push_back(to_sub[v]);
   }
+  const auto [comp, num_comps] = graph::connected_components(sub.graph);
+  report.islands = num_comps;
 
   {
     obs::ScopedTimer t(obs_, "heal.validate");
-    report.issue = core::check_cds(sub.graph, backbone_sub);
+    report.issue = core::check_cds_components(sub.graph, backbone_sub);
   }
   if (report.issue.ok) {
-    cds_ = std::move(survivors_of_backbone);
+    reassemble(std::move(survivors_of_backbone));
     report.action = HealAction::kIntact;
     return report;
   }
@@ -104,39 +208,50 @@ HealReport SelfHealingCds::heal(const std::vector<bool>& up) {
     report.issue.witness2 = sub.mapping[report.issue.witness2];
   }
 
-  if (!graph::is_connected(sub.graph)) {
-    // No CDS of the survivor graph exists; keep the live remnant so a
-    // later recovery has something to extend.
-    cds_ = std::move(survivors_of_backbone);
-    report.action = HealAction::kUnhealable;
-    return report;
-  }
-
   std::vector<NodeId> healed_sub;
   if (old_size > 0 && static_cast<double>(report.kept) <
                           params_.rebuild_fraction *
                               static_cast<double>(old_size)) {
     // Too little survived: re-run the distributed construction on the
-    // survivor topology (phase re-run, not repair). The rebuild's own
-    // phases inherit the observability sinks.
+    // survivor topology, component by component (phase re-run, not
+    // repair). The rebuild's own phases inherit the observability sinks.
     obs::ScopedTimer t(obs_, "heal.rebuild");
     RunConfig rebuild_cfg;
     rebuild_cfg.obs = obs_;
-    const DistributedCdsResult rebuilt =
-        distributed_waf_cds(sub.graph, rebuild_cfg);
-    healed_sub = rebuilt.cds;
-    report.stats = rebuilt.total;
+    if (num_comps <= 1) {
+      const DistributedCdsResult rebuilt =
+          distributed_waf_cds(sub.graph, rebuild_cfg);
+      healed_sub = rebuilt.cds;
+      report.stats = rebuilt.total;
+    } else {
+      std::vector<std::vector<NodeId>> nodes_of(num_comps);
+      for (NodeId i = 0; i < sub.graph.num_nodes(); ++i) {
+        nodes_of[comp[i]].push_back(i);
+      }
+      for (const auto& nodes : nodes_of) {
+        const auto island = graph::induced_subgraph(sub.graph, nodes);
+        const DistributedCdsResult rebuilt =
+            distributed_waf_cds(island.graph, rebuild_cfg);
+        for (const NodeId i : rebuilt.cds) {
+          healed_sub.push_back(island.mapping[i]);
+        }
+        report.stats += rebuilt.total;
+      }
+    }
     report.action = HealAction::kRebuilt;
   } else if (report.issue.defect == core::CdsDefect::kDisconnected) {
-    // Coverage held, only the backbone split: reglue it.
+    // Coverage held, only the backbone split within its components:
+    // reglue each fragment (the cut itself cannot be bridged).
     obs::ScopedTimer t(obs_, "heal.reconnect");
-    const core::RepairResult r = core::reconnect_cds(sub.graph, backbone_sub);
+    const core::RepairResult r =
+        core::reconnect_cds_components(sub.graph, backbone_sub);
     healed_sub = r.cds;
     report.action = HealAction::kReconnected;
   } else {
     // Coverage lost (or the backbone died entirely): full repair.
     obs::ScopedTimer t(obs_, "heal.repair");
-    const core::RepairResult r = core::repair_cds(sub.graph, backbone_sub);
+    const core::RepairResult r =
+        core::repair_cds_components(sub.graph, backbone_sub);
     healed_sub = r.cds;
     report.action = HealAction::kRepaired;
   }
@@ -157,7 +272,7 @@ HealReport SelfHealingCds::heal(const std::vector<bool>& up) {
   report.dropped = old_size - still_kept;
   report.kept = still_kept;
 
-  cds_ = std::move(healed);
+  reassemble(std::move(healed));
   return report;
 }
 

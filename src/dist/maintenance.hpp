@@ -9,13 +9,23 @@
 /// Self-healing backbone maintenance. A SelfHealingCds owns the current
 /// CDS of a (full) topology and, on every churn event (crashes,
 /// recoveries, mobility), re-validates it on the survivor graph via
-/// core::check_cds. The witness decides the cheapest adequate response:
-/// a backbone that merely split is reglued (core::reconnect_cds); one
-/// that lost coverage is fully repaired (core::repair_cds); and when
-/// churn decimated the backbone below a configurable survival fraction,
-/// the distributed WAF construction is re-run from scratch on the
-/// survivor topology. Only the affected phase runs — an intact backbone
-/// costs one validity check.
+/// core::check_cds_components. The witness decides the cheapest
+/// adequate response: a backbone that merely split is reglued
+/// (core::reconnect_cds_components); one that lost coverage is fully
+/// repaired (core::repair_cds_components); and when churn decimated the
+/// backbone below a configurable survival fraction, the distributed WAF
+/// construction is re-run from scratch on the survivor topology. Only
+/// the affected phase runs — an intact backbone costs one validity
+/// check. A fragmented survivor graph (crashes, or a network partition)
+/// is healed per connected component into a CDS forest.
+///
+/// Under a partition the driver is replicated: each island runs its own
+/// SelfHealingCds restricted via set_island() to the nodes it can reach
+/// (its failure-detector view), and every heal pass that changes the
+/// backbone bumps the replica's epoch. When the partition heals,
+/// reconcile() merges the islands' epoch-stamped views — where two
+/// views disagree about a node, the higher epoch wins — and reglues the
+/// union instead of rebuilding from scratch.
 
 namespace mcds::dist {
 
@@ -26,7 +36,7 @@ enum class HealAction {
   kRepaired,     ///< coverage lost; full (domination + connectivity)
                  ///< repair ran
   kRebuilt,      ///< too little survived; distributed WAF re-ran
-  kUnhealable,   ///< survivor graph empty or disconnected — no CDS exists
+  kUnhealable,   ///< no survivor in scope — nothing to maintain
 };
 
 struct MaintenanceParams {
@@ -36,15 +46,29 @@ struct MaintenanceParams {
   double rebuild_fraction = 0.34;
 };
 
-/// Report of one on_churn() pass.
+/// Report of one on_churn() / reconcile() pass.
 struct HealReport {
   HealAction action = HealAction::kIntact;
   core::CdsCheck issue;       ///< the witness that triggered healing
-  std::size_t survivors = 0;  ///< live nodes after the event
+  std::size_t survivors = 0;  ///< live nodes in scope after the event
   std::size_t kept = 0;       ///< backbone nodes retained
   std::size_t added = 0;      ///< nodes newly recruited
   std::size_t dropped = 0;    ///< backbone nodes lost or discarded
+  std::size_t islands = 0;    ///< connected components healed over
+  std::size_t epoch = 0;      ///< replica epoch after this pass
   RunStats stats;             ///< distributed cost (kRebuilt only)
+};
+
+/// One replica's epoch-stamped claim about the backbone: which nodes it
+/// speaks for (its island) and which of them it currently keeps in the
+/// CDS. The merge rule of reconcile() is per node: among all views whose
+/// island contains the node, the one with the highest epoch decides its
+/// membership (ties resolved towards the later view in the argument
+/// order, matching "last writer wins" of equal clocks).
+struct BackboneView {
+  std::vector<NodeId> island;  ///< nodes this view speaks for, ascending
+  std::vector<NodeId> cds;     ///< backbone members among them, ascending
+  std::size_t epoch = 0;
 };
 
 /// Maintains one backbone across a sequence of churn events.
@@ -57,13 +81,40 @@ class SelfHealingCds {
                  MaintenanceParams params = {}, const obs::Obs& obs = {});
 
   /// Applies a new liveness vector (size = full graph) and heals the
-  /// backbone on the graph induced by the live nodes. Idempotent: a
-  /// second call with the same vector reports kIntact.
+  /// backbone on the graph induced by the live nodes — per connected
+  /// component when the survivor graph is fragmented. With an island
+  /// set, only island nodes are touched (the rest of the backbone is
+  /// frozen until reconcile()). Idempotent: a second call with the same
+  /// vector reports kIntact. Bumps the epoch iff the backbone changed.
   HealReport on_churn(const std::vector<bool>& up);
 
+  /// Restricts this replica to one partition island: subsequent
+  /// on_churn() passes treat \p island (the nodes this replica can
+  /// reach, per its failure-detector view) as the whole world and leave
+  /// the backbone outside it untouched. An empty vector lifts the
+  /// restriction. Throws std::invalid_argument on out-of-range ids.
+  void set_island(std::vector<NodeId> island);
+
+  /// This replica's epoch-stamped view of its island (of the whole
+  /// graph when no island is set).
+  [[nodiscard]] BackboneView view() const;
+
+  /// Cross-island reconciliation after a partition heal: merges the
+  /// replicas' views under the highest-epoch-wins rule (nodes no view
+  /// speaks for keep their current membership), lifts the island
+  /// restriction, adopts the merged backbone and heals it on \p up —
+  /// regluing the union, never rebuilding, since every island
+  /// contributes its full maintained fragment. The replica's epoch
+  /// advances past every merged view's.
+  HealReport reconcile(const std::vector<BackboneView>& views,
+                       const std::vector<bool>& up);
+
+  /// Heal passes that changed this replica's backbone.
+  [[nodiscard]] std::size_t epoch() const noexcept { return epoch_; }
+
   /// The current backbone, full-graph ids, ascending. After a heal every
-  /// member is live; valid on the survivor graph unless the last report
-  /// said kUnhealable.
+  /// in-scope member is live; a valid CDS forest of the survivor graph
+  /// unless the last report said kUnhealable.
   [[nodiscard]] const std::vector<NodeId>& cds() const noexcept {
     return cds_;
   }
@@ -74,6 +125,9 @@ class SelfHealingCds {
   const Graph& g_;
   std::vector<NodeId> cds_;
   MaintenanceParams params_;
+  /// Island restriction (ascending; empty = whole graph in scope).
+  std::vector<NodeId> island_;
+  std::size_t epoch_ = 0;
   obs::Obs obs_;
   /// Pre-resolved per-action counters, indexed by HealAction; nullptr
   /// when metrics are off.

@@ -101,9 +101,14 @@ Runtime::Runtime(const Graph& g, const FaultPlan& plan,
   queue_.emplace_back(g.num_nodes());
   faulty_ = !plan_.trivial();
   if (!faulty_) return;
+  plan_.validate();
   std::stable_sort(
       plan_.schedule.begin(), plan_.schedule.end(),
       [](const CrashEvent& a, const CrashEvent& b) { return a.round < b.round; });
+  std::stable_sort(plan_.partitions.begin(), plan_.partitions.end(),
+                   [](const PartitionEvent& a, const PartitionEvent& b) {
+                     return a.round < b.round;
+                   });
   if (!plan_.link.clean() || !plan_.overrides.empty()) {
     model_.emplace(plan_, round_offset_);
   }
@@ -136,6 +141,13 @@ void Runtime::route(NodeId from, NodeId to, const Message& m) {
   if (faulty_) {
     if (!up_[from] || !up_[to]) {
       ++fstats_.suppressed;
+      return;
+    }
+    // Partition check precedes channel sampling and consumes no RNG
+    // draws, so adding a partition to a plan leaves the fate sequence of
+    // same-group traffic unchanged.
+    if (!group_.empty() && group_[from] != group_[to]) {
+      ++fstats_.partition_dropped;
       return;
     }
     if (model_) {
@@ -178,6 +190,53 @@ void Runtime::apply_events_through(std::size_t global_round) {
       bucket[e.node].clear();
       in_flight_ -= k;
       fstats_.crash_discarded += k;
+    }
+  }
+  while (next_partition_ < plan_.partitions.size() &&
+         plan_.partitions[next_partition_].round <= global_round) {
+    apply_partition(plan_.partitions[next_partition_++]);
+  }
+}
+
+void Runtime::apply_partition(const PartitionEvent& e) {
+  // Partition transitions are rare, so interning per event is fine.
+  if (auto* c = obs_.counter(e.heals() ? "fault.partition_heals"
+                                       : "fault.partition_splits")) {
+    c->add();
+  }
+  if (obs_.trace) {
+    const std::string prefix = label_.empty() ? "runtime" : label_;
+    obs_.trace->instant(
+        obs_.trace->intern(prefix + (e.heals() ? ".partition_heal"
+                                               : ".partition_split")),
+        static_cast<std::int64_t>(e.groups.size()));
+  }
+  if (e.heals()) {
+    group_.clear();
+    return;
+  }
+  group_.assign(g_.num_nodes(),
+                static_cast<std::uint32_t>(e.groups.size()));
+  for (std::size_t gi = 0; gi < e.groups.size(); ++gi) {
+    for (const NodeId v : e.groups[gi]) {
+      if (v < g_.num_nodes()) group_[v] = static_cast<std::uint32_t>(gi);
+    }
+  }
+  // Messages already in the air across the new cut go down with the
+  // link, exactly as crash discard loses a dead node's queue.
+  for (auto& bucket : queue_) {
+    for (NodeId to = 0; to < g_.num_nodes(); ++to) {
+      auto& inbox = bucket[to];
+      const auto cut = [&](const Message& m) {
+        return group_[m.from] != group_[to];
+      };
+      const std::size_t k = static_cast<std::size_t>(
+          std::count_if(inbox.begin(), inbox.end(), cut));
+      if (k == 0) continue;
+      inbox.erase(std::remove_if(inbox.begin(), inbox.end(), cut),
+                  inbox.end());
+      in_flight_ -= k;
+      fstats_.partition_dropped += k;
     }
   }
 }
@@ -314,6 +373,8 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
         .add(fstats_.crash_discarded - fstats_before.crash_discarded);
     reg.counter("fault.suppressed")
         .add(fstats_.suppressed - fstats_before.suppressed);
+    reg.counter("fault.partition_dropped")
+        .add(fstats_.partition_dropped - fstats_before.partition_dropped);
   }
   if (rec) rec->span_end(span_name);
   return stats;

@@ -20,10 +20,10 @@
 /// (experiment E11) can report protocol overheads.
 ///
 /// Beyond the ideal model, the runtime can execute under a declarative
-/// FaultPlan (fault.hpp): per-link message drop/duplication/delay and a
-/// fail-stop crash schedule, all consulted at delivery time. With the
-/// default (trivial) plan the execution is bit-identical to the ideal
-/// fault-free model.
+/// FaultPlan (fault.hpp): per-link message drop/duplication/delay, a
+/// fail-stop crash schedule and scheduled network partitions, all
+/// consulted at delivery time. With the default (trivial) plan the
+/// execution is bit-identical to the ideal fault-free model.
 
 namespace mcds::dist {
 
@@ -178,6 +178,17 @@ class Runtime final : public Transport {
     return up_.empty() || up_[v];
   }
 
+  /// Partition-group label of \p v under the currently active cut
+  /// (0 for every node when no partition is active).
+  [[nodiscard]] std::uint32_t group_of(NodeId v) const {
+    return group_.empty() ? 0 : group_[v];
+  }
+
+  /// True if a cut currently separates \p from and \p to.
+  [[nodiscard]] bool partitioned(NodeId from, NodeId to) const {
+    return !group_.empty() && group_[from] != group_[to];
+  }
+
   /// Fault-side accounting (all zero for the fault-free runtime).
   [[nodiscard]] const FaultStats& faults() const noexcept { return fstats_; }
 
@@ -194,6 +205,7 @@ class Runtime final : public Transport {
   void route(NodeId from, NodeId to, const Message& m);
   void enqueue(NodeId to, const Message& m, std::size_t delay);
   void apply_events_through(std::size_t global_round);
+  void apply_partition(const PartitionEvent& e);
   [[nodiscard]] std::vector<NodeId> nodes_with_pending() const;
   [[nodiscard]] std::vector<std::pair<std::int32_t, std::size_t>>
   in_flight_by_type() const;
@@ -203,6 +215,9 @@ class Runtime final : public Transport {
   bool faulty_ = false;
   std::optional<ChannelModel> model_;
   std::vector<bool> up_;  ///< empty on the fault-free fast path
+  /// Active partition grouping (empty = no partition scheduled or the
+  /// network healed back into one group).
+  std::vector<std::uint32_t> group_;
   /// queue_[d][v]: messages reaching v after d more round boundaries
   /// (queue_[0] is the next round's inbox set).
   std::deque<std::vector<std::vector<Message>>> queue_;
@@ -210,6 +225,7 @@ class Runtime final : public Transport {
   std::size_t round_offset_ = 0;
   std::size_t rounds_run_ = 0;
   std::size_t next_event_ = 0;  ///< cursor into the sorted schedule
+  std::size_t next_partition_ = 0;  ///< cursor into sorted partitions
   FaultStats fstats_;
   std::vector<TraceEvent>* trace_ = nullptr;
   std::vector<std::size_t> delays_scratch_;

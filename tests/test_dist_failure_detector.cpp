@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/failure_detector.hpp"
+#include "dist/fault.hpp"
+#include "obs/metrics.hpp"
+#include "udg/instance.hpp"
+
+/// \file test_dist_failure_detector.cpp
+/// The accrual failure detector: suspicion of crashed and partitioned
+/// neighbors, recovery and heal clearing it, and — the detector's
+/// defining property — no false positives when ReliableLink stretches
+/// heartbeat arrivals with retransmission backoff.
+
+namespace {
+
+using mcds::graph::Graph;
+using mcds::graph::NodeId;
+using namespace mcds::dist;
+
+Graph detector_udg(std::uint64_t seed) {
+  mcds::udg::InstanceParams params;
+  params.nodes = 20;
+  params.side = 5.0;
+  params.radius = 1.8;
+  auto inst = mcds::udg::generate_connected_instance(params, seed);
+  EXPECT_TRUE(inst.has_value());
+  return inst->graph;
+}
+
+std::vector<std::uint32_t> one_group(std::size_t n) {
+  return std::vector<std::uint32_t>(n, 0);
+}
+
+}  // namespace
+
+TEST(FailureDetector, CleanNetworkHasNoSuspects) {
+  const Graph g = detector_udg(1);
+  const auto r = detect_failures(g, {}, {}, std::vector<bool>(g.num_nodes(), true),
+                                 one_group(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(r.suspects[v].empty()) << "node " << v;
+  }
+  ASSERT_TRUE(r.converged_round.has_value());
+  EXPECT_LE(*r.converged_round, 2u);  // nothing to detect
+}
+
+TEST(FailureDetector, CrashedNeighborIsSuspectedByAllNeighbors) {
+  const Graph g = detector_udg(2);
+  const NodeId victim = 0;
+  RunConfig cfg;
+  cfg.plan.schedule.push_back({5, victim, false});
+  auto up = std::vector<bool>(g.num_nodes(), true);
+  up[victim] = false;
+  const auto r =
+      detect_failures(g, cfg, {}, up, one_group(g.num_nodes()));
+  ASSERT_TRUE(r.converged_round.has_value());
+  // Detection latency: roughly threshold rounds past the last heartbeat.
+  EXPECT_LE(*r.converged_round, 5 + 3 * 4u);
+  for (const NodeId w : g.neighbors(victim)) {
+    EXPECT_EQ(r.suspects[w], std::vector<NodeId>{victim}) << "observer " << w;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == victim || g.has_edge(v, victim)) continue;
+    EXPECT_TRUE(r.suspects[v].empty()) << "non-neighbor " << v;
+  }
+}
+
+TEST(FailureDetector, RecoveryClearsSuspicion) {
+  const Graph g = detector_udg(3);
+  RunConfig cfg;
+  cfg.plan.schedule.push_back({4, 1, false});
+  cfg.plan.schedule.push_back({20, 1, true});
+  FailureDetectorParams params;
+  params.rounds = 60;
+  const auto r = detect_failures(g, cfg, params,
+                                 std::vector<bool>(g.num_nodes(), true),
+                                 one_group(g.num_nodes()));
+  ASSERT_TRUE(r.converged_round.has_value());
+  EXPECT_GT(*r.converged_round, 20u);  // had to wait for the recovery
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(r.suspects[v].empty()) << "observer " << v;
+  }
+}
+
+TEST(FailureDetector, PartitionIsSuspectedAndHealCleans) {
+  const Graph g = detector_udg(4);
+  const std::size_t n = g.num_nodes();
+
+  // Split low ids from high ids; while the cut is active, cross-cut
+  // neighbors must become suspects.
+  PartitionEvent split;
+  split.round = 3;
+  split.groups.resize(2);
+  for (NodeId v = 0; v < n; ++v) split.groups[v < n / 2 ? 0 : 1].push_back(v);
+
+  {
+    RunConfig cfg;
+    cfg.plan.partitions.push_back(split);
+    const auto truth_groups = cfg.plan.groups_at(n, SIZE_MAX);
+    const auto r = detect_failures(g, cfg, {}, std::vector<bool>(n, true),
+                                   truth_groups);
+    ASSERT_TRUE(r.converged_round.has_value())
+        << "suspect sets never matched the cut";
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<NodeId> expected;
+      for (const NodeId w : g.neighbors(v)) {
+        if (truth_groups[v] != truth_groups[w]) expected.push_back(w);
+      }
+      EXPECT_EQ(r.suspects[v], expected) << "observer " << v;
+    }
+  }
+  {
+    RunConfig cfg;
+    cfg.plan.partitions.push_back(split);
+    cfg.plan.partitions.push_back({18, {}});  // heal
+    FailureDetectorParams params;
+    params.rounds = 64;
+    const auto r = detect_failures(g, cfg, params, std::vector<bool>(n, true),
+                                   one_group(n));
+    ASSERT_TRUE(r.converged_round.has_value());
+    EXPECT_GT(*r.converged_round, 18u);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_TRUE(r.suspects[v].empty()) << "observer " << v;
+    }
+  }
+}
+
+// The retransmission-aware property: a lossy link under ReliableLink
+// stretches and bunches heartbeat arrivals, but the windowed mean
+// absorbs the jitter — nobody may end up suspecting a live neighbor.
+TEST(FailureDetector, ReliableLinkJitterDoesNotFalsePositive) {
+  const Graph g = detector_udg(5);
+  RunConfig cfg;
+  cfg.plan.link.drop = 0.15;
+  cfg.plan.link.duplicate = 0.25;
+  cfg.plan.link.max_delay = 2;
+  cfg.plan.seed = 99;
+  cfg.reliable = true;
+  FailureDetectorParams params;
+  params.threshold = 4.0;
+  params.rounds = 60;
+  const auto r = detect_failures(g, cfg, params);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(r.suspects[v].empty()) << "observer " << v;
+  }
+}
+
+// Duplicate + delayed copies of one heartbeat carry the same sequence
+// number; the payload-freshness dedup must discard them instead of
+// folding phantom zero-gaps into the window.
+TEST(FailureDetector, StaleCopiesAreDeduplicated) {
+  const Graph g = detector_udg(6);
+  Runtime rt(g);
+  FaultPlan plan;
+  plan.link.duplicate = 0.8;
+  plan.link.max_delay = 2;
+  plan.seed = 7;
+  Runtime faulty(g, plan);
+  FailureDetectorParams params;
+  params.rounds = 30;
+  FailureDetector d(faulty, params);
+  faulty.run(d);
+  EXPECT_GT(d.dedup_hits(), 0u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(d.suspects_of(v).empty()) << "observer " << v;
+  }
+}
+
+TEST(FailureDetector, ParamValidationAndMetrics) {
+  const Graph g = detector_udg(7);
+  Runtime rt(g);
+  EXPECT_THROW((FailureDetector(rt, FailureDetectorParams{0, 8, 3.0, 10})),
+               std::invalid_argument);
+  EXPECT_THROW((FailureDetector(rt, FailureDetectorParams{1, 0, 3.0, 10})),
+               std::invalid_argument);
+  EXPECT_THROW((FailureDetector(rt, FailureDetectorParams{1, 8, 0.0, 10})),
+               std::invalid_argument);
+
+  mcds::obs::MetricsRegistry reg;
+  RunConfig cfg;
+  cfg.plan.schedule.push_back({4, 0, false});
+  cfg.obs.metrics = &reg;
+  const auto r = detect_failures(g, cfg);
+  EXPECT_GT(r.stats.messages, 0u);
+  EXPECT_GT(reg.counter("failure_detector.heartbeats").value(), 0u);
+  EXPECT_GT(reg.counter("failure_detector.suspicions").value(), 0u);
+}
+
+TEST(FailureDetector, PhiGrowsWhileSilent) {
+  // Two nodes, one edge: after the peer crashes, phi rises monotonically
+  // with silence and crosses any threshold.
+  const std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}};
+  const Graph g(2, edges);
+  FaultPlan plan;
+  plan.schedule.push_back({3, 1, false});
+  Runtime rt(g, plan);
+  FailureDetectorParams params;
+  params.rounds = 20;
+  FailureDetector d(rt, params);
+  rt.run(d);
+  EXPECT_GE(d.phi(0, 1), params.threshold);
+  EXPECT_EQ(d.suspects_of(0), std::vector<NodeId>{1});
+  EXPECT_EQ(d.phi(0, 0), 0.0);  // non-neighbor (self)
+}

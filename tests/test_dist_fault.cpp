@@ -10,6 +10,7 @@
 #include "dist/greedy_protocol.hpp"
 #include "dist/leader_election.hpp"
 #include "dist/mis_election.hpp"
+#include "dist/reliable_link.hpp"
 #include "dist/runtime.hpp"
 #include "test_util.hpp"
 #include "udg/instance.hpp"
@@ -442,6 +443,184 @@ TEST(RoundLimit, IsStillARuntimeError) {
   Runtime rt(g);
   PingPong p(rt);
   EXPECT_THROW(rt.run(p, 3), std::runtime_error);
+}
+
+// Like Ticker's receiver side, but remembers which payloads arrived at
+// node 1 — enough to see exactly which rounds' sends crossed a cut.
+class PayloadRecorder final : public Protocol {
+ public:
+  PayloadRecorder(Transport& net, std::size_t limit)
+      : net_(net), limit_(limit) {}
+
+  void start(NodeId self) override {
+    if (self == 0) net_.send(0, 1, Message{0, 1, 0, 0});
+  }
+  void on_round_begin() override { ++round_; }
+  void step(NodeId self, const std::vector<Message>& inbox) override {
+    if (self == 1) {
+      for (const Message& m : inbox) payloads_.push_back(m.a);
+    }
+    if (self == 0 && round_ < limit_) {
+      net_.send(0, 1, Message{0, 1, static_cast<std::int64_t>(round_), 0});
+    }
+  }
+  [[nodiscard]] bool idle() const override { return round_ >= limit_; }
+
+  [[nodiscard]] const std::vector<std::int64_t>& payloads() const {
+    return payloads_;
+  }
+
+ private:
+  Transport& net_;
+  std::size_t limit_;
+  std::size_t round_ = 0;
+  std::vector<std::int64_t> payloads_;
+};
+
+TEST(Partition, CrossCutSendsDroppedAndCounted) {
+  const Graph g = mcds::test::make_path(4);
+  FaultPlan plan;
+  PartitionEvent split;
+  split.round = 0;  // applied before start(): the flood never crosses
+  split.groups = {{0, 1}, {2, 3}};
+  plan.partitions.push_back(split);
+  Runtime rt(g, plan);
+  FloodProbe p(rt);
+  rt.run(p);
+  EXPECT_EQ(p.seen(), (std::vector<bool>{true, true, false, false}));
+  EXPECT_GT(rt.faults().partition_dropped, 0u);
+  EXPECT_EQ(rt.group_of(0), rt.group_of(1));
+  EXPECT_NE(rt.group_of(1), rt.group_of(2));
+  EXPECT_TRUE(rt.partitioned(1, 2));
+  EXPECT_FALSE(rt.partitioned(0, 1));
+  EXPECT_FALSE(rt.partitioned(2, 3));
+}
+
+TEST(Partition, UnlistedNodesShareTheImplicitExtraGroup) {
+  // Isolating {3} from a star must leave every other leaf reachable.
+  const Graph g = mcds::test::make_star(6);
+  FaultPlan plan;
+  plan.partitions.push_back({0, {{3}}});
+  Runtime rt(g, plan);
+  FloodProbe p(rt);
+  rt.run(p);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(p.seen()[v], v != 3) << "node " << v;
+  }
+  EXPECT_EQ(rt.group_of(1), rt.group_of(2));
+  EXPECT_NE(rt.group_of(3), rt.group_of(0));
+}
+
+TEST(Partition, HealRestoresDeliveryAndInFlightCutMessagesAreLost) {
+  const Graph g = mcds::test::make_path(2);
+  FaultPlan plan;
+  plan.partitions.push_back({3, {{0}, {1}}});
+  plan.partitions.push_back({6, {}});  // heal
+  Runtime rt(g, plan);
+  Ticker t(rt, 10);
+  rt.run(t);
+  // Payload r is sent in round r (r = 0..9). The round-2 send is in
+  // flight when the split applies at the head of round 3 and is
+  // discarded; sends in rounds 3..5 are dropped at the sender. Rounds
+  // 0, 1 and 6..9 get through: four cut losses, six deliveries.
+  EXPECT_EQ(rt.faults().partition_dropped, 4u);
+  EXPECT_EQ(t.received(), 6u);
+  EXPECT_FALSE(rt.partitioned(0, 1));  // healed by the end
+}
+
+// Edge case from the issue: a node that recovers in the very round the
+// partition heals must start receiving again immediately — neither
+// event may shadow the other.
+TEST(Partition, RecoverySameRoundAsHealRestoresTraffic) {
+  const Graph g = mcds::test::make_path(2);
+  FaultPlan plan;
+  plan.schedule.push_back({2, 1, false});
+  plan.schedule.push_back({6, 1, true});
+  plan.partitions.push_back({2, {{0}, {1}}});
+  plan.partitions.push_back({6, {}});
+  Runtime rt(g, plan);
+  PayloadRecorder r(rt, 12);
+  rt.run(r);
+  // Payload 0 lands before the outage. Payload 1 is in flight when the
+  // crash+split hit round 2 and is discarded; rounds 2..5 are blocked at
+  // the sender. From round 6 — recovery and heal applied in the same
+  // round, before deliveries — traffic flows again.
+  EXPECT_EQ(r.payloads(),
+            (std::vector<std::int64_t>{0, 6, 7, 8, 9, 10, 11}));
+  EXPECT_TRUE(rt.is_up(1));
+  EXPECT_FALSE(rt.partitioned(0, 1));
+}
+
+// Edge case from the issue: a crash scheduled at round 0 is applied in
+// the runtime constructor, so the node never even start()s; the flood
+// dies at the dead relay without throwing.
+TEST(Partition, CrashAtRoundZeroNodeNeverParticipates) {
+  const Graph g = mcds::test::make_path(3);
+  FaultPlan plan;
+  plan.schedule.push_back({0, 1, false});
+  plan.schedule.push_back({5, 1, true});
+  Runtime rt(g, plan);
+  FloodProbe p(rt);
+  const RunStats stats = rt.run(p);
+  EXPECT_EQ(p.seen(), (std::vector<bool>{true, false, false}));
+  EXPECT_EQ(rt.faults().suppressed, 1u);  // 0 -> 1 at start
+  EXPECT_EQ(stats.messages, 0u);          // nothing was ever delivered
+  // The flood is event-driven, so the run quiesces long before the
+  // scheduled recovery — the node stays down.
+  EXPECT_FALSE(rt.is_up(1));
+}
+
+// Edge case from the issue: duplication plus delay under ReliableLink.
+// Duplicated and delayed copies of a data frame share one sequence
+// number, so receiver-side dedup hands the protocol each payload exactly
+// once, in spite of the channel manufacturing extra copies.
+TEST(FaultInjection, DuplicateAndDelayUnderReliableLinkDedup) {
+  const Graph g = mcds::test::make_path(2);
+  RunConfig cfg;
+  cfg.plan.link.duplicate = 0.9;
+  cfg.plan.link.max_delay = 2;
+  cfg.plan.seed = 13;
+  cfg.reliable = true;
+  FaultHarness h(g, cfg, 0, "dedup_probe");
+  Ticker t(h.net(), 8);
+  h.run(t);
+  EXPECT_EQ(t.received(), 8u);  // exactly once per payload
+  ASSERT_NE(h.link(), nullptr);
+  EXPECT_GT(h.link()->dedup_hits(), 0u);
+  EXPECT_GT(h.runtime().faults().duplicated, 0u);
+}
+
+TEST(FaultPlan, GroupsAtReportsTheLatestEvent) {
+  FaultPlan plan;
+  plan.partitions.push_back({2, {{0, 1}, {3}}});
+  plan.partitions.push_back({7, {}});
+  const auto before = plan.groups_at(4, 1);
+  EXPECT_EQ(before, (std::vector<std::uint32_t>{0, 0, 0, 0}));
+  const auto during = plan.groups_at(4, 5);
+  EXPECT_EQ(during[0], during[1]);
+  EXPECT_NE(during[0], during[3]);
+  EXPECT_EQ(during[2], 2u);  // unlisted node: implicit extra group
+  const auto after = plan.groups_at(4, SIZE_MAX);
+  EXPECT_EQ(after, (std::vector<std::uint32_t>{0, 0, 0, 0}));
+}
+
+TEST(FaultPlan, ValidateRejectsOversizedDelayAndOverlappingGroups) {
+  const Graph g = mcds::test::make_path(3);
+  {
+    FaultPlan plan;
+    plan.link.max_delay = kMaxLinkDelay + 1;
+    EXPECT_THROW(Runtime(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.overrides.push_back({0, 1, {0.0, 0.0, kMaxLinkDelay + 1}});
+    EXPECT_THROW(Runtime(g, plan), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.partitions.push_back({1, {{0, 1}, {1, 2}}});  // 1 in two groups
+    EXPECT_THROW(Runtime(g, plan), std::invalid_argument);
+  }
 }
 
 }  // namespace

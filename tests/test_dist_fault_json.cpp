@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "dist/fault_json.hpp"
+
+/// \file test_dist_fault_json.cpp
+/// FaultPlan JSON serialization: exact save/load round-trips (the
+/// contract a fuzzer-minimized repro depends on), strict rejection of
+/// malformed input and unknown keys, and validation of the parsed plan.
+
+namespace {
+
+using namespace mcds::dist;
+using mcds::graph::NodeId;
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  plan.seed = 0xDEADBEEFCAFEBABEull;
+  plan.link = {0.125, 0.0625, 3};
+  plan.overrides.push_back({2, 5, {0.5, 0.0, 1}});
+  plan.overrides.push_back({5, 2, {0.0, 1.0, 0}});
+  plan.schedule.push_back({0, 7, false});
+  plan.schedule.push_back({12, 7, true});
+  PartitionEvent split;
+  split.round = 4;
+  split.groups = {{0, 1, 2}, {3, 4}};
+  plan.partitions.push_back(split);
+  plan.partitions.push_back({9, {}});
+  return plan;
+}
+
+bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
+  // The JSON form is canonical, so textual equality is plan equality.
+  return to_json(a) == to_json(b);
+}
+
+}  // namespace
+
+TEST(FaultJson, RoundTripsEveryField) {
+  const FaultPlan plan = sample_plan();
+  const FaultPlan parsed = fault_plan_from_json(to_json(plan));
+  EXPECT_TRUE(plans_equal(plan, parsed)) << to_json(parsed);
+  EXPECT_EQ(parsed.seed, plan.seed);
+  ASSERT_EQ(parsed.overrides.size(), 2u);
+  EXPECT_EQ(parsed.overrides[0].from, 2u);
+  EXPECT_EQ(parsed.overrides[0].faults.drop, 0.5);
+  ASSERT_EQ(parsed.schedule.size(), 2u);
+  EXPECT_FALSE(parsed.schedule[0].up);
+  EXPECT_TRUE(parsed.schedule[1].up);
+  ASSERT_EQ(parsed.partitions.size(), 2u);
+  ASSERT_EQ(parsed.partitions[0].groups.size(), 2u);
+  EXPECT_EQ(parsed.partitions[0].groups[1], (std::vector<NodeId>{3, 4}));
+  EXPECT_TRUE(parsed.partitions[1].heals());
+}
+
+TEST(FaultJson, TrivialPlanRoundTrips) {
+  const FaultPlan parsed = fault_plan_from_json(to_json(FaultPlan{}));
+  EXPECT_TRUE(parsed.trivial());
+  EXPECT_EQ(parsed.seed, 0u);
+}
+
+TEST(FaultJson, IrrationalRatesSurviveExactly) {
+  FaultPlan plan;
+  plan.link.drop = 1.0 / 3.0;
+  plan.link.duplicate = 0.1;  // not exactly representable
+  const FaultPlan parsed = fault_plan_from_json(to_json(plan));
+  EXPECT_EQ(parsed.link.drop, plan.link.drop);
+  EXPECT_EQ(parsed.link.duplicate, plan.link.duplicate);
+}
+
+TEST(FaultJson, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "fault_json_roundtrip.json";
+  const FaultPlan plan = sample_plan();
+  save_fault_plan(plan, path);
+  const FaultPlan loaded = load_fault_plan(path);
+  EXPECT_TRUE(plans_equal(plan, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(FaultJson, RejectsMalformedInput) {
+  EXPECT_THROW((void)fault_plan_from_json(""), std::invalid_argument);
+  EXPECT_THROW((void)fault_plan_from_json("[]"), std::invalid_argument);
+  EXPECT_THROW((void)fault_plan_from_json("{\"seed\": }"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault_plan_from_json("{\"seed\": 1} trailing"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault_plan_from_json("{\"sede\": 1}"),
+               std::invalid_argument);  // unknown key, loud not silent
+  EXPECT_THROW((void)fault_plan_from_json("{\"link\": {\"dorp\": 0.1}}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)fault_plan_from_json("{\"seed\": 99999999999999999999999999}"),
+      std::invalid_argument);  // u64 overflow
+}
+
+TEST(FaultJson, ParsedPlansAreValidated) {
+  // Structurally valid JSON, semantically invalid plan: out-of-range
+  // rate and one node in two partition groups.
+  EXPECT_THROW((void)fault_plan_from_json("{\"link\": {\"drop\": 1.5}}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault_plan_from_json(
+                   "{\"partitions\": [{\"round\": 1, "
+                   "\"groups\": [[0, 1], [1, 2]]}]}"),
+               std::invalid_argument);
+}
+
+TEST(FaultJson, LoadOfMissingFileThrows) {
+  EXPECT_THROW((void)load_fault_plan("/nonexistent/dir/plan.json"),
+               std::runtime_error);
+}
