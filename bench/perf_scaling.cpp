@@ -6,8 +6,11 @@
 
 #include "baselines/guha_khuller.hpp"
 #include "baselines/stojmenovic.hpp"
+#include "core/connector_engine.hpp"
 #include "core/greedy_connect.hpp"
 #include "core/waf.hpp"
+#include "par/batch_solver.hpp"
+#include "par/thread_pool.hpp"
 #include "dist/distributed_cds.hpp"
 #include "dist/failure_detector.hpp"
 #include "dist/fault.hpp"
@@ -113,6 +116,97 @@ BENCHMARK(BM_GreedyConnectorsObserved)
     ->Arg(4096)
     ->Arg(16384)
     ->Complexity(benchmark::oNLogN);
+
+// CSR-vs-nested locality head-to-head (BENCH_TOPIC=par): the *same*
+// templated selection code (BasicConnectorEngine) instantiated over the
+// flat CSR view and over the retained vector-of-vectors layout, whose
+// constructor replays the interleaved push_back growth the CSR
+// conversion removed. The delta between the two is pure storage-layout
+// effect — no algorithmic difference (the engines are differential-
+// tested to be trace-identical).
+template <class View>
+std::size_t drain_connector_engine(View view,
+                                   std::span<const graph::NodeId> mis) {
+  core::BasicConnectorEngine<View> engine(view, mis);
+  std::size_t added = 0;
+  while (!engine.done()) {
+    benchmark::DoNotOptimize(engine.select_next());
+    ++added;
+  }
+  return added;
+}
+
+void BM_GreedyConnectorsCsr(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto phase1 = core::bfs_first_fit_mis(inst.graph, 0);
+  const graph::FrozenGraph fg(inst.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drain_connector_engine(fg, phase1.mis));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyConnectorsCsr)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_GreedyConnectorsNested(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto phase1 = core::bfs_first_fit_mis(inst.graph, 0);
+  const graph::NestedGraph nested(inst.graph);
+  const graph::NestedView view(nested);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drain_connector_engine(view, phase1.mis));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyConnectorsNested)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Complexity(benchmark::oNLogN);
+
+// Parallel UDG construction: grid sweep fanned over the pool (the
+// builder's serial prologue — cell hashing — is part of the measured
+// cost, as in BM_BuildUdg). Worker count is the auto default, so on a
+// multi-core host this shows the build-side speedup and on a single-core
+// host it measures the parallel path's overhead honestly.
+void BM_BuildUdgParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(n);
+  par::ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(udg::build_udg(inst.points, 1.0, pool));
+  }
+  state.counters["threads"] = static_cast<double>(pool.size());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildUdgParallel)->Arg(4096)->Arg(16384)->Complexity();
+
+// Batch throughput vs worker count (BENCH_TOPIC=par, EXPERIMENTS E25):
+// a fixed 64-instance corpus solved with the Section IV greedy at 1, 2,
+// 4 and 8 workers. items_per_second is the figure of merit; scaling is
+// bounded by the host's core count (the "threads" counter records the
+// requested workers, not the cores present).
+void BM_BatchSolve(benchmark::State& state) {
+  static const auto corpus = [] {
+    udg::InstanceParams params;
+    params.nodes = 256;
+    params.side = std::sqrt(256.0) * 0.85;
+    return par::make_corpus(params, 64, 42);
+  }();
+  par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const par::BatchSolver solver(pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(corpus, par::solve_greedy));
+  }
+  state.counters["threads"] = static_cast<double>(pool.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_BatchSolve)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GuhaKhuller(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
@@ -226,4 +320,20 @@ BENCHMARK(BM_ExactGammaC)->DenseRange(10, 18, 4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The distro's libbenchmark is compiled without NDEBUG and therefore
+  // self-reports library_build_type "debug" no matter how *this* repo
+  // is compiled. Record the harness's own build type under a separate
+  // context key so scripts/bench_snapshot.sh can gate snapshots on an
+  // optimized build.
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("mcds_build_type", "release");
+#else
+  benchmark::AddCustomContext("mcds_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

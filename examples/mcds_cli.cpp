@@ -47,6 +47,7 @@
 #include "dist/greedy_protocol.hpp"
 #include "graph/metrics.hpp"
 #include "obs/obs.hpp"
+#include "par/thread_pool.hpp"
 #include "udg/builder.hpp"
 #include "udg/instance.hpp"
 #include "udg/io.hpp"
@@ -96,7 +97,9 @@ int usage() {
                "[--reliable] [--fault-plan plan.json] [--drop P] [--dup P] "
                "[--delay D] [--seed K]\n"
             << "solve/dist observability: [--trace F.json] "
-               "[--trace-jsonl F.jsonl] [--metrics F.json]\n";
+               "[--trace-jsonl F.jsonl] [--metrics F.json]\n"
+            << "solve/dist parallelism: [--threads N] (default: "
+               "MCDS_THREADS env, else hardware concurrency)\n";
   return 1;
 }
 
@@ -161,6 +164,19 @@ struct ObsSinks {
   }
 };
 
+
+/// Worker count for --threads: the flag wins, then the MCDS_THREADS
+/// environment variable, then hardware concurrency (ThreadPool's own
+/// default chain).
+std::size_t parse_threads(const Args& args) {
+  if (const auto v = args.get("threads")) {
+    const unsigned long t = std::stoul(*v);
+    if (t == 0) throw std::invalid_argument("--threads must be >= 1");
+    return t;
+  }
+  return par::ThreadPool::default_threads();
+}
+
 udg::DeploymentModel parse_model(const std::string& name) {
   if (name == "uniform") return udg::DeploymentModel::kUniformSquare;
   if (name == "disk") return udg::DeploymentModel::kUniformDisk;
@@ -196,7 +212,8 @@ int cmd_solve(const Args& args) {
     return 1;
   }
   const auto points = udg::load_points_file(*in);
-  const graph::Graph g = udg::build_udg(points);
+  par::ThreadPool pool(parse_threads(args));
+  const graph::Graph g = udg::build_udg(points, 1.0, pool);
   if (!graph::is_connected(g)) {
     std::cerr << "solve: instance topology is disconnected\n";
     return 2;
@@ -229,7 +246,7 @@ int cmd_solve(const Args& args) {
   }
   if (args.has_flag("prune")) cds = baselines::prune_cds(g, cds);
 
-  if (!core::is_cds(g, cds)) {
+  if (!core::is_cds(g, cds, pool)) {
     std::cerr << "solve: INTERNAL ERROR - produced set is not a CDS\n";
     return 2;
   }
@@ -267,7 +284,8 @@ int cmd_dist(const Args& args) {
     return 1;
   }
   const auto points = udg::load_points_file(*in);
-  const graph::Graph g = udg::build_udg(points);
+  par::ThreadPool pool(parse_threads(args));
+  const graph::Graph g = udg::build_udg(points, 1.0, pool);
   if (!graph::is_connected(g)) {
     std::cerr << "dist: instance topology is disconnected\n";
     return 2;
@@ -346,7 +364,7 @@ int cmd_dist(const Args& args) {
     std::cout << "note: construction incomplete under faults (validate "
                  "against the survivor graph)\n";
   }
-  const bool valid = core::is_cds(g, cds);
+  const bool valid = core::is_cds(g, cds, pool);
   std::cout << "valid CDS on full topology: " << (valid ? "yes" : "no")
             << "\n";
   return sinks.write();

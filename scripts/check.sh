@@ -7,6 +7,12 @@
 # (-DMCDS_SANITIZE=ON) and runs the test suite only — the reproduction
 # benches take too long under instrumentation to be part of the gate.
 #
+# SANITIZE=tsan builds into build-tsan with ThreadSanitizer
+# (-DMCDS_SANITIZE_THREAD=ON) and runs only the threaded suites (the
+# Par* tests drive the pool, the batch engine and the parallel builder/
+# validator overloads); the serial suites learn nothing from TSan and
+# would multiply the runtime ~10x.
+#
 # RUN_BENCH=1 additionally records a performance snapshot via
 # scripts/bench_snapshot.sh (opt-in: the google-benchmark run takes
 # minutes and is only meaningful on a quiet machine).
@@ -15,9 +21,14 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 cmake_extra=()
+ctest_extra=()
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   BUILD_DIR=build-asan
   cmake_extra=(-DMCDS_SANITIZE=ON -DMCDS_BUILD_BENCH=OFF)
+elif [[ "${SANITIZE:-0}" == "tsan" ]]; then
+  BUILD_DIR=build-tsan
+  cmake_extra=(-DMCDS_SANITIZE_THREAD=ON -DMCDS_BUILD_BENCH=OFF)
+  ctest_extra=(-R '^Par')
 fi
 
 # Prefer Ninja when available, but match ROADMAP's tier-1 command (the
@@ -28,10 +39,11 @@ if command -v ninja >/dev/null 2>&1; then
 fi
 cmake -B "$BUILD_DIR" -S . "${generator[@]}" "${cmake_extra[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  "${ctest_extra[@]}"
 
-if [[ "${SANITIZE:-0}" == "1" ]]; then
-  echo "sanitized test suite passed"
+if [[ "${SANITIZE:-0}" != "0" ]]; then
+  echo "sanitized test suite passed (SANITIZE=${SANITIZE})"
   exit 0
 fi
 

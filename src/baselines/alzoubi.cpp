@@ -16,6 +16,7 @@ std::vector<NodeId> alzoubi_cds(const Graph& g) {
     throw std::invalid_argument("alzoubi_cds: graph must be connected");
   }
   const auto mis = core::lowest_id_mis(g);
+  const graph::FrozenGraph fg(g);
   std::vector<bool> in_cds(n, false);
   for (const NodeId u : mis.mis) in_cds[u] = true;
 
@@ -32,7 +33,7 @@ std::vector<NodeId> alzoubi_cds(const Graph& g) {
       const NodeId x = q.front();
       q.pop();
       if (depth[x] >= 3) continue;
-      for (const NodeId y : g.neighbors(x)) {
+      for (const NodeId y : fg.neighbors(x)) {
         if (depth[y] != graph::kNoNode) continue;
         depth[y] = depth[x] + 1;
         parent[y] = x;

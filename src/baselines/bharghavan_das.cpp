@@ -9,6 +9,7 @@ namespace mcds::baselines {
 
 std::vector<NodeId> greedy_dominating_set(const Graph& g) {
   const std::size_t n = g.num_nodes();
+  const graph::FrozenGraph fg(g);
   std::vector<bool> covered(n, false);
   std::size_t uncovered = n;
   std::vector<NodeId> ds;
@@ -17,7 +18,7 @@ std::vector<NodeId> greedy_dominating_set(const Graph& g) {
     std::size_t best_gain = 0;
     for (NodeId v = 0; v < n; ++v) {
       std::size_t gain = covered[v] ? 0 : 1;
-      for (const NodeId w : g.neighbors(v)) {
+      for (const NodeId w : fg.neighbors(v)) {
         if (!covered[w]) ++gain;
       }
       if (gain > best_gain) {
@@ -31,7 +32,7 @@ std::vector<NodeId> greedy_dominating_set(const Graph& g) {
       covered[best] = true;
       --uncovered;
     }
-    for (const NodeId w : g.neighbors(best)) {
+    for (const NodeId w : fg.neighbors(best)) {
       if (!covered[w]) {
         covered[w] = true;
         --uncovered;

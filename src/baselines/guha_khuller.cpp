@@ -17,13 +17,14 @@ std::vector<NodeId> guha_khuller_cds(const Graph& g) {
     throw std::invalid_argument("guha_khuller_cds: graph must be connected");
   }
   if (n == 1) return {0};
+  const graph::FrozenGraph fg(g);
 
   std::vector<Color> color(n, Color::kWhite);
   std::size_t white = n;
 
   const auto white_degree = [&](NodeId u) {
     std::size_t count = 0;
-    for (const NodeId v : g.neighbors(u)) {
+    for (const NodeId v : fg.neighbors(u)) {
       if (color[v] == Color::kWhite) ++count;
     }
     return count;
@@ -31,7 +32,7 @@ std::vector<NodeId> guha_khuller_cds(const Graph& g) {
   const auto blacken = [&](NodeId u) {
     if (color[u] == Color::kWhite) --white;
     color[u] = Color::kBlack;
-    for (const NodeId v : g.neighbors(u)) {
+    for (const NodeId v : fg.neighbors(u)) {
       if (color[v] == Color::kWhite) {
         color[v] = Color::kGray;
         --white;
@@ -42,7 +43,7 @@ std::vector<NodeId> guha_khuller_cds(const Graph& g) {
   // Seed: the maximum-degree node.
   NodeId seed = 0;
   for (NodeId v = 1; v < n; ++v) {
-    if (g.degree(v) > g.degree(seed)) seed = v;
+    if (fg.degree(v) > fg.degree(seed)) seed = v;
   }
   blacken(seed);
 
@@ -60,7 +61,7 @@ std::vector<NodeId> guha_khuller_cds(const Graph& g) {
         best_single_gain = gain_u;
         best_single = u;
       }
-      for (const NodeId v : g.neighbors(u)) {
+      for (const NodeId v : fg.neighbors(u)) {
         if (color[v] != Color::kWhite) continue;
         // Pair yield: u whitens gain_u (v among them), then v whitens its
         // own white neighbors (v no longer white after u).

@@ -33,6 +33,7 @@ std::vector<NodeId> gain_policy_connectors(const Graph& g,
                                            bool pick_max, bool random,
                                            std::uint64_t seed) {
   const std::size_t n = g.num_nodes();
+  const graph::FrozenGraph fg(g);
   std::vector<bool> in_set(n, false);
   std::vector<NodeId> members = mis;
   for (const NodeId u : mis) in_set[u] = true;
@@ -55,7 +56,7 @@ std::vector<NodeId> gain_policy_connectors(const Graph& g,
     for (NodeId w = 0; w < n; ++w) {
       if (in_set[w]) continue;
       std::size_t distinct = 0;
-      for (const NodeId v : g.neighbors(w)) {
+      for (const NodeId v : fg.neighbors(w)) {
         const std::uint32_t c = comp[v];
         if (c != kUnset && mark[c] != w) {
           mark[c] = w;

@@ -10,7 +10,7 @@ namespace {
 
 // N[v] ⊆ N[u], assuming v and u are adjacent (so v ∈ N[u]): every
 // neighbor of v other than u must also be adjacent to u.
-bool closed_subset(const Graph& g, NodeId v, NodeId u) {
+bool closed_subset(const graph::FrozenGraph& g, NodeId v, NodeId u) {
   for (const NodeId x : g.neighbors(v)) {
     if (x != u && !g.has_edge(u, x)) return false;
   }
@@ -18,7 +18,8 @@ bool closed_subset(const Graph& g, NodeId v, NodeId u) {
 }
 
 // N(v) ⊆ N(u) ∪ N(w) ∪ {u, w}.
-bool open_subset_pair(const Graph& g, NodeId v, NodeId u, NodeId w) {
+bool open_subset_pair(const graph::FrozenGraph& g, NodeId v, NodeId u,
+                      NodeId w) {
   for (const NodeId x : g.neighbors(v)) {
     if (x == u || x == w) continue;
     if (!g.has_edge(u, x) && !g.has_edge(w, x)) return false;
@@ -34,16 +35,17 @@ std::vector<NodeId> wu_li_cds(const Graph& g) {
   if (!graph::is_connected(g)) {
     throw std::invalid_argument("wu_li_cds: graph must be connected");
   }
+  const graph::FrozenGraph fg(g);
 
   // Marking process: v is marked iff two of its neighbors are not
   // adjacent to each other.
   std::vector<bool> marked(n, false);
   for (NodeId v = 0; v < n; ++v) {
-    const auto nb = g.neighbors(v);
+    const auto nb = fg.neighbors(v);
     bool mark = false;
     for (std::size_t i = 0; i < nb.size() && !mark; ++i) {
       for (std::size_t j = i + 1; j < nb.size(); ++j) {
-        if (!g.has_edge(nb[i], nb[j])) {
+        if (!fg.has_edge(nb[i], nb[j])) {
           mark = true;
           break;
         }
@@ -55,7 +57,7 @@ std::vector<NodeId> wu_li_cds(const Graph& g) {
   // Rule 1: unmark v if a marked neighbor u with higher id covers N[v].
   for (NodeId v = 0; v < n; ++v) {
     if (!marked[v]) continue;
-    for (const NodeId u : g.neighbors(v)) {
+    for (const NodeId u : fg.neighbors(v)) {
       if (marked[u] && u > v && closed_subset(g, v, u)) {
         marked[v] = false;
         break;
@@ -67,14 +69,14 @@ std::vector<NodeId> wu_li_cds(const Graph& g) {
   // ids jointly cover N(v).
   for (NodeId v = 0; v < n; ++v) {
     if (!marked[v]) continue;
-    const auto nb = g.neighbors(v);
+    const auto nb = fg.neighbors(v);
     bool unmark = false;
     for (std::size_t i = 0; i < nb.size() && !unmark; ++i) {
       const NodeId u = nb[i];
       if (!marked[u] || u <= v) continue;
       for (std::size_t j = i + 1; j < nb.size(); ++j) {
         const NodeId w = nb[j];
-        if (!marked[w] || w <= v || !g.has_edge(u, w)) continue;
+        if (!marked[w] || w <= v || !fg.has_edge(u, w)) continue;
         if (open_subset_pair(g, v, u, w)) {
           unmark = true;
           break;

@@ -1,107 +1,11 @@
 #include "core/connector_engine.hpp"
 
-#include <stdexcept>
-
 namespace mcds::core {
 
-ConnectorEngine::ConnectorEngine(const Graph& g,
-                                 std::span<const NodeId> members,
-                                 const obs::Obs& obs)
-    : g_(g),
-      uf_(g.num_nodes()),
-      member_(g.num_nodes(), false),
-      mark_(g.num_nodes(), 0),
-      c_uf_finds_(obs.counter("connector_engine.uf_finds")),
-      c_uf_merges_(obs.counter("connector_engine.uf_merges")),
-      c_pops_(obs.counter("connector_engine.pops")),
-      c_stale_(obs.counter("connector_engine.stale_rescores")),
-      c_retired_(obs.counter("connector_engine.retired")) {
-  const std::size_t n = g.num_nodes();
-  for (const NodeId u : members) {
-    if (u >= n) throw std::invalid_argument("ConnectorEngine: bad node");
-    if (member_[u]) {
-      throw std::invalid_argument("ConnectorEngine: duplicate member");
-    }
-    member_[u] = true;
-  }
-  q_ = members.size();
-  // Unite member-member edges. For an independent seed (the intended
-  // use) this is a no-op scan; for arbitrary seeds it reproduces the
-  // component structure subset_components would report.
-  for (const NodeId u : members) {
-    for (const NodeId v : g.neighbors(u)) {
-      if (v < u && member_[v] && uf_.unite(u, v)) {
-        --q_;
-        if (c_uf_merges_) c_uf_merges_->add();
-      }
-    }
-  }
-  if (q_ <= 1) return;
-  // Seed the lazy queue: per Lemma 9 a positive-gain node always exists
-  // while q > 1, and any node that becomes positive later is a neighbor
-  // of an added connector, which select_next() refreshes.
-  for (NodeId w = 0; w < n; ++w) {
-    if (!member_[w]) push_if_candidate(w);
-  }
-}
-
-std::size_t ConnectorEngine::distinct_adjacent(NodeId w) {
-  ++stamp_;
-  std::size_t distinct = 0;
-  std::size_t finds = 0;
-  for (const NodeId v : g_.neighbors(w)) {
-    if (!member_[v]) continue;
-    const std::uint32_t root = uf_.find(v);
-    ++finds;
-    if (mark_[root] != stamp_) {
-      mark_[root] = stamp_;
-      ++distinct;
-    }
-  }
-  if (c_uf_finds_) c_uf_finds_->add(finds);
-  return distinct;
-}
-
-void ConnectorEngine::push_if_candidate(NodeId w) {
-  const std::size_t distinct = distinct_adjacent(w);
-  if (distinct >= 2) {
-    heap_.push({static_cast<std::uint32_t>(distinct - 1), w});
-  }
-}
-
-GreedyStep ConnectorEngine::select_next() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    if (c_pops_) c_pops_->add();
-    if (member_[top.node]) continue;  // joined since this entry was pushed
-    const std::size_t distinct = distinct_adjacent(top.node);
-    if (distinct < 2) {
-      if (c_retired_) c_retired_->add();
-      continue;  // gain collapsed to zero: retire the node
-    }
-    const auto gain = static_cast<std::uint32_t>(distinct - 1);
-    if (gain != top.gain) {
-      heap_.push({gain, top.node});  // stale: re-score and keep popping
-      if (c_stale_) c_stale_->add();
-      continue;
-    }
-    const GreedyStep step{top.node, q_, gain};
-    member_[top.node] = true;
-    for (const NodeId v : g_.neighbors(top.node)) {
-      if (member_[v] && uf_.unite(top.node, v) && c_uf_merges_) {
-        c_uf_merges_->add();
-      }
-    }
-    q_ -= gain;  // `distinct` components and the new node merge into one
-    for (const NodeId v : g_.neighbors(top.node)) {
-      if (!member_[v]) push_if_candidate(v);
-    }
-    return step;
-  }
-  throw std::logic_error(
-      "ConnectorEngine: no positive-gain node although q > 1 "
-      "(input MIS is not maximal or graph is disconnected)");
-}
+// The two supported storage layouts are instantiated here once: the CSR
+// hot path (ConnectorEngine) and the nested-vector baseline the
+// locality benchmarks compare against.
+template class BasicConnectorEngine<graph::FrozenGraph>;
+template class BasicConnectorEngine<graph::NestedView>;
 
 }  // namespace mcds::core

@@ -2,6 +2,7 @@
 
 #include <queue>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/greedy_connect.hpp"
@@ -30,19 +31,64 @@
 /// entry whose stored gain matches its re-computed gain is exactly the
 /// node the reference picks: maximum gain, ties to the smallest id. The
 /// differential test suite pins trace-for-trace equality.
+///
+/// The engine is a template over the adjacency view (graph::FrozenGraph
+/// for the CSR hot path, graph::NestedView for the retained
+/// vector-of-vectors layout) so the locality benchmarks can run the
+/// *same* selection code over both storage schemes; ConnectorEngine is
+/// the CSR instantiation every production caller uses.
 
 namespace mcds::core {
 
 /// Incremental max-gain connector selection over a growing member set.
-class ConnectorEngine {
+/// \tparam View a by-value adjacency view: num_nodes(), neighbors(u).
+template <class View>
+class BasicConnectorEngine {
  public:
   /// Seeds the engine with \p members (phase-1 dominators; any duplicate
   /// or out-of-range node throws std::invalid_argument). Member-member
   /// edges are united immediately, so the seed need not be independent.
   /// \p obs (null sinks by default) counts union-find finds/merges and
   /// lazy-queue pops/stale re-scores under "connector_engine.*".
-  ConnectorEngine(const Graph& g, std::span<const NodeId> members,
-                  const obs::Obs& obs = {});
+  BasicConnectorEngine(View g, std::span<const NodeId> members,
+                       const obs::Obs& obs = {})
+      : g_(g),
+        uf_(g.num_nodes()),
+        member_(g.num_nodes(), false),
+        mark_(g.num_nodes(), 0),
+        c_uf_finds_(obs.counter("connector_engine.uf_finds")),
+        c_uf_merges_(obs.counter("connector_engine.uf_merges")),
+        c_pops_(obs.counter("connector_engine.pops")),
+        c_stale_(obs.counter("connector_engine.stale_rescores")),
+        c_retired_(obs.counter("connector_engine.retired")) {
+    const std::size_t n = g_.num_nodes();
+    for (const NodeId u : members) {
+      if (u >= n) throw std::invalid_argument("ConnectorEngine: bad node");
+      if (member_[u]) {
+        throw std::invalid_argument("ConnectorEngine: duplicate member");
+      }
+      member_[u] = true;
+    }
+    q_ = members.size();
+    // Unite member-member edges. For an independent seed (the intended
+    // use) this is a no-op scan; for arbitrary seeds it reproduces the
+    // component structure subset_components would report.
+    for (const NodeId u : members) {
+      for (const NodeId v : g_.neighbors(u)) {
+        if (v < u && member_[v] && uf_.unite(u, v)) {
+          --q_;
+          if (c_uf_merges_) c_uf_merges_->add();
+        }
+      }
+    }
+    if (q_ <= 1) return;
+    // Seed the lazy queue: per Lemma 9 a positive-gain node always exists
+    // while q > 1, and any node that becomes positive later is a neighbor
+    // of an added connector, which select_next() refreshes.
+    for (NodeId w = 0; w < n; ++w) {
+      if (!member_[w]) push_if_candidate(w);
+    }
+  }
 
   /// Number of connected components of G[members] right now.
   [[nodiscard]] std::size_t components() const noexcept { return q_; }
@@ -55,7 +101,40 @@ class ConnectorEngine {
   /// Throws std::logic_error if no positive-gain node exists although
   /// more than one component remains (the seed was not a maximal
   /// independent set of a connected graph — cf. Lemma 9).
-  GreedyStep select_next();
+  GreedyStep select_next() {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      if (c_pops_) c_pops_->add();
+      if (member_[top.node]) continue;  // joined since this entry was pushed
+      const std::size_t distinct = distinct_adjacent(top.node);
+      if (distinct < 2) {
+        if (c_retired_) c_retired_->add();
+        continue;  // gain collapsed to zero: retire the node
+      }
+      const auto gain = static_cast<std::uint32_t>(distinct - 1);
+      if (gain != top.gain) {
+        heap_.push({gain, top.node});  // stale: re-score and keep popping
+        if (c_stale_) c_stale_->add();
+        continue;
+      }
+      const GreedyStep step{top.node, q_, gain};
+      member_[top.node] = true;
+      for (const NodeId v : g_.neighbors(top.node)) {
+        if (member_[v] && uf_.unite(top.node, v) && c_uf_merges_) {
+          c_uf_merges_->add();
+        }
+      }
+      q_ -= gain;  // `distinct` components and the new node merge into one
+      for (const NodeId v : g_.neighbors(top.node)) {
+        if (!member_[v]) push_if_candidate(v);
+      }
+      return step;
+    }
+    throw std::logic_error(
+        "ConnectorEngine: no positive-gain node although q > 1 "
+        "(input MIS is not maximal or graph is disconnected)");
+  }
 
  private:
   struct Entry {
@@ -68,10 +147,31 @@ class ConnectorEngine {
   };
 
   /// #distinct member components adjacent to \p w (stamp-marked roots).
-  [[nodiscard]] std::size_t distinct_adjacent(NodeId w);
-  void push_if_candidate(NodeId w);
+  [[nodiscard]] std::size_t distinct_adjacent(NodeId w) {
+    ++stamp_;
+    std::size_t distinct = 0;
+    std::size_t finds = 0;
+    for (const NodeId v : g_.neighbors(w)) {
+      if (!member_[v]) continue;
+      const std::uint32_t root = uf_.find(v);
+      ++finds;
+      if (mark_[root] != stamp_) {
+        mark_[root] = stamp_;
+        ++distinct;
+      }
+    }
+    if (c_uf_finds_) c_uf_finds_->add(finds);
+    return distinct;
+  }
 
-  const Graph& g_;
+  void push_if_candidate(NodeId w) {
+    const std::size_t distinct = distinct_adjacent(w);
+    if (distinct >= 2) {
+      heap_.push({static_cast<std::uint32_t>(distinct - 1), w});
+    }
+  }
+
+  View g_;
   graph::UnionFind uf_;
   std::vector<bool> member_;
   std::priority_queue<Entry> heap_;
@@ -84,6 +184,18 @@ class ConnectorEngine {
   obs::Counter* c_pops_ = nullptr;
   obs::Counter* c_stale_ = nullptr;
   obs::Counter* c_retired_ = nullptr;
+};
+
+extern template class BasicConnectorEngine<graph::FrozenGraph>;
+extern template class BasicConnectorEngine<graph::NestedView>;
+
+/// The production engine: the CSR-view instantiation, constructible
+/// straight from a finalized Graph.
+class ConnectorEngine : public BasicConnectorEngine<graph::FrozenGraph> {
+ public:
+  ConnectorEngine(const Graph& g, std::span<const NodeId> members,
+                  const obs::Obs& obs = {})
+      : BasicConnectorEngine(graph::FrozenGraph(g), members, obs) {}
 };
 
 }  // namespace mcds::core

@@ -29,7 +29,8 @@ std::pair<std::vector<NodeId>, std::vector<GreedyStep>> greedy_connectors(
 
 std::pair<std::vector<NodeId>, std::vector<GreedyStep>>
 greedy_connectors_reference(const Graph& g, const std::vector<NodeId>& mis) {
-  const std::size_t n = g.num_nodes();
+  const graph::FrozenGraph fg(g);
+  const std::size_t n = fg.num_nodes();
   std::vector<bool> in_set(n, false);
   std::vector<NodeId> members = mis;  // I ∪ C as it grows
   for (const NodeId u : mis) {
@@ -62,7 +63,7 @@ greedy_connectors_reference(const Graph& g, const std::vector<NodeId>& mis) {
     for (NodeId w = 0; w < n; ++w) {
       if (in_set[w]) continue;
       std::size_t distinct = 0;
-      for (const NodeId v : g.neighbors(w)) {
+      for (const NodeId v : fg.neighbors(w)) {
         const std::uint32_t c = comp[v];
         if (c != kUnset && mark[c] != w) {
           mark[c] = w;

@@ -7,11 +7,12 @@
 namespace mcds::core {
 
 MisResult first_fit_mis(const Graph& g, std::span<const NodeId> order) {
+  const graph::FrozenGraph fg(g);
   MisResult r;
-  r.in_mis.assign(g.num_nodes(), false);
-  std::vector<bool> seen(g.num_nodes(), false);
+  r.in_mis.assign(fg.num_nodes(), false);
+  std::vector<bool> seen(fg.num_nodes(), false);
   for (const NodeId u : order) {
-    if (u >= g.num_nodes()) {
+    if (u >= fg.num_nodes()) {
       throw std::invalid_argument("first_fit_mis: node out of range");
     }
     if (seen[u]) {
@@ -19,7 +20,7 @@ MisResult first_fit_mis(const Graph& g, std::span<const NodeId> order) {
     }
     seen[u] = true;
     bool blocked = false;
-    for (const NodeId v : g.neighbors(u)) {
+    for (const NodeId v : fg.neighbors(u)) {
       if (r.in_mis[v]) {
         blocked = true;
         break;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "graph/subgraph.hpp"
+#include "par/thread_pool.hpp"
 
 namespace mcds::core {
 
@@ -19,12 +20,53 @@ std::vector<bool> membership(const Graph& g, std::span<const NodeId> set) {
   }
   return in;
 }
+
+/// Smallest undominated node given the membership mask, or kNoNode.
+/// The serial path is the pool==nullptr instantiation of the chunked
+/// sweep, so both paths share one scan and one witness rule.
+NodeId first_undominated(const graph::FrozenGraph& fg,
+                         const std::vector<bool>& in, par::ThreadPool* pool) {
+  const std::size_t n = fg.num_nodes();
+  // Chunks are a pure function of n, and the merged witness is the
+  // minimum over per-chunk minima, so the answer is identical at any
+  // worker count. ~8 chunks per worker keeps the stealer fed on skewed
+  // degree distributions without drowning in task overhead.
+  const std::size_t workers = pool ? pool->size() : 1;
+  const std::size_t grain =
+      std::max<std::size_t>(256, n / std::max<std::size_t>(workers * 8, 1));
+  const std::size_t chunks = n == 0 ? 0 : (n - 1) / grain + 1;
+  std::vector<NodeId> chunk_witness(chunks, graph::kNoNode);
+  par::parallel_for(
+      pool, n, grain,
+      [&fg, &in, &chunk_witness](std::size_t begin, std::size_t end,
+                                 std::size_t chunk) {
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          if (in[v]) continue;
+          bool dominated = false;
+          for (const NodeId u : fg.neighbors(v)) {
+            if (in[u]) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) {
+            chunk_witness[chunk] = v;
+            return;  // first failure in this chunk is the chunk minimum
+          }
+        }
+      });
+  for (const NodeId w : chunk_witness) {
+    if (w != graph::kNoNode) return w;
+  }
+  return graph::kNoNode;
+}
 }  // namespace
 
 bool is_independent_set(const Graph& g, std::span<const NodeId> set) {
   const auto in = membership(g, set);
+  const graph::FrozenGraph fg(g);
   for (const NodeId u : set) {
-    for (const NodeId v : g.neighbors(u)) {
+    for (const NodeId v : fg.neighbors(u)) {
       if (in[v]) return false;
     }
   }
@@ -33,18 +75,15 @@ bool is_independent_set(const Graph& g, std::span<const NodeId> set) {
 
 bool is_dominating_set(const Graph& g, std::span<const NodeId> set) {
   const auto in = membership(g, set);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (in[v]) continue;
-    bool dominated = false;
-    for (const NodeId u : g.neighbors(v)) {
-      if (in[u]) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) return false;
-  }
-  return true;
+  return first_undominated(graph::FrozenGraph(g), in, nullptr) ==
+         graph::kNoNode;
+}
+
+bool is_dominating_set(const Graph& g, std::span<const NodeId> set,
+                       par::ThreadPool& pool) {
+  const auto in = membership(g, set);
+  return first_undominated(graph::FrozenGraph(g), in, &pool) ==
+         graph::kNoNode;
 }
 
 bool is_maximal_independent_set(const Graph& g, std::span<const NodeId> set) {
@@ -55,6 +94,14 @@ bool is_cds(const Graph& g, std::span<const NodeId> set) {
   if (g.num_nodes() == 0) return set.empty();
   if (set.empty()) return false;
   return is_dominating_set(g, set) && graph::is_connected_subset(g, set);
+}
+
+bool is_cds(const Graph& g, std::span<const NodeId> set,
+            par::ThreadPool& pool) {
+  if (g.num_nodes() == 0) return set.empty();
+  if (set.empty()) return false;
+  return is_dominating_set(g, set, pool) &&
+         graph::is_connected_subset(g, set);
 }
 
 std::string CdsCheck::describe() const {
@@ -74,7 +121,9 @@ std::string CdsCheck::describe() const {
   return "unknown defect";
 }
 
-CdsCheck check_cds(const Graph& g, std::span<const NodeId> set) {
+namespace {
+CdsCheck check_cds_impl(const Graph& g, std::span<const NodeId> set,
+                        par::ThreadPool* pool) {
   CdsCheck out;
   if (g.num_nodes() == 0) {
     if (!set.empty()) {
@@ -88,21 +137,13 @@ CdsCheck check_cds(const Graph& g, std::span<const NodeId> set) {
     return out;
   }
   const auto in = membership(g, set);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (in[v]) continue;
-    bool dominated = false;
-    for (const NodeId u : g.neighbors(v)) {
-      if (in[u]) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) {
-      out.ok = false;
-      out.defect = CdsDefect::kUndominated;
-      out.witness = v;
-      return out;
-    }
+  const NodeId undominated =
+      first_undominated(graph::FrozenGraph(g), in, pool);
+  if (undominated != graph::kNoNode) {
+    out.ok = false;
+    out.defect = CdsDefect::kUndominated;
+    out.witness = undominated;
+    return out;
   }
   const auto [labels, components] = graph::subset_components(g, set);
   if (components > 1) {
@@ -117,6 +158,16 @@ CdsCheck check_cds(const Graph& g, std::span<const NodeId> set) {
   }
   return out;
 }
+}  // namespace
+
+CdsCheck check_cds(const Graph& g, std::span<const NodeId> set) {
+  return check_cds_impl(g, set, nullptr);
+}
+
+CdsCheck check_cds(const Graph& g, std::span<const NodeId> set,
+                   par::ThreadPool& pool) {
+  return check_cds_impl(g, set, &pool);
+}
 
 CdsCheck check_cds_components(const Graph& g, std::span<const NodeId> set) {
   CdsCheck out;
@@ -130,21 +181,13 @@ CdsCheck check_cds_components(const Graph& g, std::span<const NodeId> set) {
   // Domination is component-local by construction (closed neighborhoods
   // never cross components), so one global scan covers every component —
   // including memberless ones, whose every node is undominated.
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (in[v]) continue;
-    bool dominated = false;
-    for (const NodeId u : g.neighbors(v)) {
-      if (in[u]) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) {
-      out.ok = false;
-      out.defect = CdsDefect::kUndominated;
-      out.witness = v;
-      return out;
-    }
+  const NodeId undominated =
+      first_undominated(graph::FrozenGraph(g), in, nullptr);
+  if (undominated != graph::kNoNode) {
+    out.ok = false;
+    out.defect = CdsDefect::kUndominated;
+    out.witness = undominated;
+    return out;
   }
   // Connectivity per topology component: the members of each component
   // must form a single fragment of G[set].
@@ -174,6 +217,7 @@ bool has_two_hop_separation(const Graph& g, std::span<const NodeId> mis,
                             std::span<const std::size_t> order_rank,
                             NodeId root) {
   const auto in = membership(g, mis);
+  const graph::FrozenGraph fg(g);
   if (order_rank.size() != g.num_nodes()) {
     throw std::invalid_argument(
         "has_two_hop_separation: rank size mismatch");
@@ -181,8 +225,8 @@ bool has_two_hop_separation(const Graph& g, std::span<const NodeId> mis,
   for (const NodeId u : mis) {
     if (u == root) continue;
     bool ok = false;
-    for (const NodeId v : g.neighbors(u)) {
-      for (const NodeId w : g.neighbors(v)) {
+    for (const NodeId v : fg.neighbors(u)) {
+      for (const NodeId w : fg.neighbors(v)) {
         if (w != u && in[w] && order_rank[w] < order_rank[u]) {
           ok = true;
           break;

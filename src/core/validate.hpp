@@ -12,6 +12,10 @@
 /// algorithm in this library is checked against these in tests, and the
 /// bench harness re-checks each produced CDS before reporting it.
 
+namespace mcds::par {
+class ThreadPool;
+}  // namespace mcds::par
+
 namespace mcds::core {
 
 using graph::Graph;
@@ -32,9 +36,23 @@ using graph::NodeId;
 [[nodiscard]] bool is_dominating_set(const Graph& g,
                                      std::span<const NodeId> set);
 
+/// Parallel domination sweep over \p pool. The node range is split into
+/// chunks whose boundaries depend only on n and the pool size, and the
+/// verdict is an AND-reduction, so the result is identical to the serial
+/// overload at every thread count.
+[[nodiscard]] bool is_dominating_set(const Graph& g,
+                                     std::span<const NodeId> set,
+                                     par::ThreadPool& pool);
+
 /// True if \p set is a connected dominating set: dominating, non-empty
 /// (for non-empty graphs) and G[set] connected.
 [[nodiscard]] bool is_cds(const Graph& g, std::span<const NodeId> set);
+
+/// is_cds with the domination sweep fanned over \p pool (the
+/// connectivity BFS stays serial: it is O(|set| + edges-within-set),
+/// already tiny next to the full-graph domination scan).
+[[nodiscard]] bool is_cds(const Graph& g, std::span<const NodeId> set,
+                          par::ThreadPool& pool);
 
 /// Why a set fails the CDS predicate.
 enum class CdsDefect {
@@ -65,6 +83,13 @@ struct CdsCheck {
 /// connectivity, so a set broken in both ways reports the undominated
 /// node. Throws std::invalid_argument on out-of-range members.
 [[nodiscard]] CdsCheck check_cds(const Graph& g, std::span<const NodeId> set);
+
+/// check_cds with the domination sweep parallelized over \p pool. The
+/// witness is the minimum over per-chunk first failures, which equals
+/// the serial scan's first failure — same verdict, same witness, at any
+/// thread count.
+[[nodiscard]] CdsCheck check_cds(const Graph& g, std::span<const NodeId> set,
+                                 par::ThreadPool& pool);
 
 /// check_cds relaxed to possibly-disconnected graphs (a partitioned or
 /// crash-fragmented survivor topology): ok iff, within every connected

@@ -12,7 +12,7 @@ namespace {
 
 // s := neighbor of the root adjacent to the largest number of
 // dominators (ties broken toward the smaller id for determinism).
-[[nodiscard]] NodeId pick_s(const Graph& g, NodeId root,
+[[nodiscard]] NodeId pick_s(const graph::FrozenGraph& g, NodeId root,
                             const std::vector<bool>& in_mis) {
   NodeId best = graph::kNoNode;
   std::size_t best_count = 0;
@@ -45,13 +45,14 @@ WafResult waf_cds(const Graph& g, NodeId root, const obs::Obs& obs) {
   }
   obs::ScopedTimer timer(obs, "waf.phase2_connect");
 
+  const graph::FrozenGraph fg(g);
   const auto& in_mis = r.phase1.in_mis;
-  r.s = pick_s(g, root, in_mis);
+  r.s = pick_s(fg, root, in_mis);
 
   std::vector<bool> in_cds = in_mis;  // start from the dominators
-  std::vector<bool> adjacent_to_s(g.num_nodes(), false);
+  std::vector<bool> adjacent_to_s(fg.num_nodes(), false);
   adjacent_to_s[r.s] = true;  // covers the (impossible) s ∈ I case cleanly
-  for (const NodeId w : g.neighbors(r.s)) adjacent_to_s[w] = true;
+  for (const NodeId w : fg.neighbors(r.s)) adjacent_to_s[w] = true;
 
   const auto add_connector = [&](NodeId c) {
     if (!in_cds[c]) {
@@ -89,8 +90,9 @@ WafResult waf_cds_pruned(const Graph& g, NodeId root) {
     return r;
   }
 
+  const graph::FrozenGraph fg(g);
   const auto& in_mis = r.phase1.in_mis;
-  r.s = pick_s(g, root, in_mis);
+  r.s = pick_s(fg, root, in_mis);
 
   std::vector<bool> in_cds = in_mis;
   graph::UnionFind uf(g.num_nodes());
@@ -101,7 +103,7 @@ WafResult waf_cds_pruned(const Graph& g, NodeId root) {
       in_cds[x] = true;
       if (!in_mis[x]) r.connectors.push_back(x);
     }
-    for (const NodeId w : g.neighbors(x)) {
+    for (const NodeId w : fg.neighbors(x)) {
       if (in_cds[w]) uf.unite(x, w);
     }
   };

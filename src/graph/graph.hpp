@@ -5,8 +5,18 @@
 #include <vector>
 
 /// \file graph.hpp
-/// Simple undirected graph with adjacency lists. This is the communication
-/// topology G = (V, E) on which every CDS algorithm in the library runs.
+/// Undirected graph storage. This is the communication topology
+/// G = (V, E) on which every CDS algorithm in the library runs.
+///
+/// Storage model: Graph is built through add_edge() into per-node build
+/// lists, then finalize() compacts it into a CSR (compressed sparse row)
+/// layout — one flat `offsets_` array of n+1 list boundaries and one
+/// flat `neighbors_` array holding every adjacency consecutively. All
+/// queries after finalize() read the flat arrays, so a neighborhood scan
+/// is a single contiguous range with no per-node heap indirection.
+/// FrozenGraph is the zero-cost view of that layout the hot paths
+/// consume; NestedGraph retains the historical vector-of-vectors
+/// representation for differential tests and locality benchmarks.
 
 namespace mcds::graph {
 
@@ -15,22 +25,24 @@ using NodeId = std::uint32_t;
 
 /// An undirected simple graph over nodes 0..n-1.
 ///
-/// Edges are stored in per-node adjacency lists. Call finalize() (or use
-/// the edge-list constructor) before running queries that require sorted
-/// adjacency (has_edge); the algorithms in this library all operate on
-/// finalized graphs.
+/// Edges are staged by add_edge() and compacted by finalize() (the
+/// edge-list constructor finalizes for you). Queries that require sorted
+/// adjacency (has_edge) demand a finalized graph; the algorithms in this
+/// library all operate on finalized graphs. Mutating a finalized graph
+/// thaws it back into build lists transparently; call finalize() again
+/// before handing it to an algorithm.
 class Graph {
  public:
   Graph() = default;
 
   /// Creates an edgeless graph with \p n nodes.
-  explicit Graph(std::size_t n) : adj_(n) {}
+  explicit Graph(std::size_t n) : n_(n), offsets_(n + 1, 0) {}
 
   /// Creates a graph from an explicit edge list.
   Graph(std::size_t n, std::span<const std::pair<NodeId, NodeId>> edges);
 
   /// Number of nodes.
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
 
   /// Number of undirected edges.
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
@@ -40,16 +52,24 @@ class Graph {
   /// finalize() time and removed (counted once).
   void add_edge(NodeId u, NodeId v);
 
-  /// Sorts adjacency lists and removes duplicate edges. Idempotent.
+  /// Sorts adjacency, removes duplicate edges and compacts the graph
+  /// into the flat CSR arrays. Idempotent.
   void finalize();
 
-  /// Neighbors of \p u in increasing order (after finalize()).
+  /// Neighbors of \p u in increasing order (after finalize()). Before
+  /// finalize() the staged, unsorted build list is returned.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
-    return adj_.at(u);
+    if (finalized_) {
+      check_node(u);
+      return {neighbors_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    }
+    return build_adj_.at(u);
   }
 
   /// Degree of \p u.
-  [[nodiscard]] std::size_t degree(NodeId u) const { return adj_.at(u).size(); }
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return neighbors(u).size();
+  }
 
   /// True if the edge {u, v} exists. O(log deg) after finalize().
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
@@ -60,12 +80,109 @@ class Graph {
   /// All edges as (u, v) with u < v, lexicographic order.
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
 
- private:
-  void check_node(NodeId u) const;
+  /// The CSR row-boundary array (size n+1, after finalize()).
+  [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept {
+    return offsets_;
+  }
 
-  std::vector<std::vector<NodeId>> adj_;
+  /// The flat CSR adjacency array (size 2m, after finalize()).
+  [[nodiscard]] std::span<const NodeId> flat_neighbors() const noexcept {
+    return neighbors_;
+  }
+
+ private:
+  friend class FrozenGraph;
+
+  void check_node(NodeId u) const;
+  /// Re-expands the CSR arrays into build lists so add_edge can mutate a
+  /// finalized graph.
+  void thaw();
+
+  std::size_t n_ = 0;
+  /// Staging adjacency, only populated between add_edge and finalize.
+  std::vector<std::vector<NodeId>> build_adj_;
+  /// CSR layout: neighbors of u are neighbors_[offsets_[u] .. offsets_[u+1]).
+  std::vector<std::uint32_t> offsets_ = {0};
+  std::vector<NodeId> neighbors_;
   std::size_t num_edges_ = 0;
   bool finalized_ = true;  // an edgeless graph is trivially finalized
+};
+
+/// A non-owning, bounds-check-free view of a finalized Graph's CSR
+/// arrays — three words, passed by value. This is what the hot loops
+/// (MIS selection, connector gain scans, BFS, validation sweeps)
+/// iterate: `for (NodeId v : fg.neighbors(u))` compiles to a scan over
+/// one contiguous range. The viewed Graph must outlive the view.
+class FrozenGraph {
+ public:
+  /// Implicit on purpose: algorithms take `const Graph&` at the API
+  /// boundary and drop to the frozen view internally. Throws
+  /// std::logic_error if \p g is not finalized.
+  FrozenGraph(const Graph& g);  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return {neighbors_ + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// True if the edge {u, v} exists. O(log deg).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+ private:
+  const std::uint32_t* offsets_ = nullptr;
+  const NodeId* neighbors_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+/// The pre-CSR adjacency representation: one separately allocated
+/// std::vector per node. Retained as the differential-testing oracle for
+/// the CSR layout and as the baseline side of the locality benchmarks
+/// (BM_GreedyConnectorsNested). The constructor replays the edge
+/// insertions push_back-by-push_back, reproducing the interleaved growth
+/// allocations a Graph used to hold after build + finalize — i.e. the
+/// pointer-chasing layout the CSR conversion removes.
+class NestedGraph {
+ public:
+  explicit NestedGraph(const Graph& g);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adj_.size(); }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return adj_[u];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
+    return adj_[u].size();
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+/// Three-word by-value view of a NestedGraph, mirroring FrozenGraph's
+/// interface so templated engines can be instantiated over either
+/// storage layout. The viewed NestedGraph must outlive the view.
+class NestedView {
+ public:
+  explicit NestedView(const NestedGraph& g) noexcept : g_(&g) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return g_->num_nodes();
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return g_->neighbors(u);
+  }
+  [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
+    return g_->degree(u);
+  }
+
+ private:
+  const NestedGraph* g_;
 };
 
 }  // namespace mcds::graph

@@ -29,11 +29,12 @@ std::vector<std::uint32_t> position_map(const Graph& g,
 InducedSubgraph induced_subgraph(const Graph& g,
                                  std::span<const NodeId> nodes) {
   const auto pos = position_map(g, nodes);
+  const FrozenGraph fg(g);
   InducedSubgraph out;
   out.mapping.assign(nodes.begin(), nodes.end());
   out.graph = Graph(nodes.size());
   for (std::uint32_t i = 0; i < nodes.size(); ++i) {
-    for (const NodeId v : g.neighbors(nodes[i])) {
+    for (const NodeId v : fg.neighbors(nodes[i])) {
       const std::uint32_t j = pos[v];
       if (j != kUnset && i < j) out.graph.add_edge(i, j);
     }
@@ -45,6 +46,7 @@ InducedSubgraph induced_subgraph(const Graph& g,
 std::pair<std::vector<std::uint32_t>, std::size_t> subset_components(
     const Graph& g, std::span<const NodeId> subset) {
   const auto pos = position_map(g, subset);
+  const FrozenGraph fg(g);
   std::vector<std::uint32_t> label(subset.size(), kUnset);
   std::size_t count = 0;
   std::vector<std::uint32_t> stack;
@@ -56,7 +58,7 @@ std::pair<std::vector<std::uint32_t>, std::size_t> subset_components(
     while (!stack.empty()) {
       const std::uint32_t cur = stack.back();
       stack.pop_back();
-      for (const NodeId v : g.neighbors(subset[cur])) {
+      for (const NodeId v : fg.neighbors(subset[cur])) {
         const std::uint32_t j = pos[v];
         if (j != kUnset && label[j] == kUnset) {
           label[j] = lbl;

@@ -10,11 +10,12 @@ BfsResult bfs(const Graph& g, NodeId root) {
   if (root >= g.num_nodes()) {
     throw std::invalid_argument("bfs: root out of range");
   }
+  const FrozenGraph fg(g);
   BfsResult r;
   r.root = root;
-  r.parent.assign(g.num_nodes(), kNoNode);
-  r.level.assign(g.num_nodes(), kNoNode);
-  r.order.reserve(g.num_nodes());
+  r.parent.assign(fg.num_nodes(), kNoNode);
+  r.level.assign(fg.num_nodes(), kNoNode);
+  r.order.reserve(fg.num_nodes());
 
   std::queue<NodeId> q;
   q.push(root);
@@ -23,7 +24,7 @@ BfsResult bfs(const Graph& g, NodeId root) {
     const NodeId u = q.front();
     q.pop();
     r.order.push_back(u);
-    for (const NodeId v : g.neighbors(u)) {
+    for (const NodeId v : fg.neighbors(u)) {
       if (r.level[v] == kNoNode) {
         r.level[v] = r.level[u] + 1;
         r.parent[v] = u;
@@ -36,7 +37,8 @@ BfsResult bfs(const Graph& g, NodeId root) {
 
 std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
     const Graph& g) {
-  const std::size_t n = g.num_nodes();
+  const FrozenGraph fg(g);
+  const std::size_t n = fg.num_nodes();
   std::vector<std::uint32_t> label(n, std::numeric_limits<std::uint32_t>::max());
   std::size_t count = 0;
   std::vector<NodeId> stack;
@@ -48,7 +50,7 @@ std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
     while (!stack.empty()) {
       const NodeId u = stack.back();
       stack.pop_back();
-      for (const NodeId v : g.neighbors(u)) {
+      for (const NodeId v : fg.neighbors(u)) {
         if (label[v] == std::numeric_limits<std::uint32_t>::max()) {
           label[v] = lbl;
           stack.push_back(v);

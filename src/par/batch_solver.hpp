@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "obs/obs.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/stats.hpp"
+#include "udg/instance.hpp"
+
+/// \file batch_solver.hpp
+/// Batch-throughput engine: fans a corpus of UDG instances across the
+/// thread pool, one task per instance, and aggregates the outcomes into
+/// sim::Summary statistics. Every sweep-style experiment in the repo
+/// (ratio tables, ablations, scaling curves) has this shape — solve
+/// many independent instances, summarize — so the engine is shared
+/// rather than re-grown per bench.
+///
+/// Determinism contract: outcomes are written to index-aligned slots
+/// and summarized in index order, and each per-instance solve is itself
+/// deterministic, so the full BatchResult (outcomes and every Summary
+/// field) is bit-identical at any worker count. Only wall_seconds and
+/// the pool gauges vary run to run; the determinism regression test
+/// pins everything else across 1/2/8 threads.
+
+namespace mcds::par {
+
+/// Per-instance output of a batch solve.
+struct BatchOutcome {
+  std::vector<graph::NodeId> cds;  ///< the backbone, ascending node id
+  std::size_t dominators = 0;      ///< phase-1 MIS size (0 if not phased)
+  std::size_t nodes = 0;           ///< instance size, for ratios
+};
+
+/// The per-instance solver. Must be deterministic and thread-safe for
+/// concurrent calls on distinct instances.
+using BatchSolveFn =
+    std::function<BatchOutcome(const udg::UdgInstance&)>;
+
+/// Aggregated result of one batch run.
+struct BatchResult {
+  std::vector<BatchOutcome> outcomes;  ///< index-aligned with the corpus
+  sim::Summary cds_size;               ///< over |cds|
+  sim::Summary dominators;             ///< over phase-1 MIS sizes
+  sim::Summary backbone_fraction;      ///< over |cds| / nodes
+  double wall_seconds = 0.0;  ///< measured, NOT part of the determinism
+                              ///< contract
+};
+
+/// Fans instance solves across a ThreadPool and aggregates summaries.
+class BatchSolver {
+ public:
+  /// The pool is borrowed and may be reused across batches. \p obs
+  /// (null sinks by default) receives the pool gauges ("par.pool.*")
+  /// plus "par.batch.instances" after each solve().
+  explicit BatchSolver(ThreadPool& pool, const obs::Obs& obs = {})
+      : pool_(&pool), obs_(obs) {}
+
+  /// Solves every instance of \p corpus with \p solver. Instances are
+  /// independent tasks; an exception from a solve is rethrown for the
+  /// lowest failing corpus index regardless of scheduling.
+  [[nodiscard]] BatchResult solve(std::span<const udg::UdgInstance> corpus,
+                                  const BatchSolveFn& solver) const;
+
+ private:
+  ThreadPool* pool_;
+  obs::Obs obs_;
+};
+
+/// Built-in solver: the paper's Section IV greedy (BFS first-fit MIS +
+/// max-gain connectors), rooted at node 0.
+[[nodiscard]] BatchOutcome solve_greedy(const udg::UdgInstance& inst);
+
+/// Built-in solver: the WAF two-phased algorithm, rooted at node 0.
+[[nodiscard]] BatchOutcome solve_waf(const udg::UdgInstance& inst);
+
+/// Generates \p count connected random-UDG instances with seeds
+/// seed0, seed0+1, ... (largest-component fallback), the corpus shape
+/// used by the determinism regression and the batch benchmarks.
+[[nodiscard]] std::vector<udg::UdgInstance> make_corpus(
+    const udg::InstanceParams& params, std::size_t count,
+    std::uint64_t seed0);
+
+}  // namespace mcds::par

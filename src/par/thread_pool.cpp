@@ -1,0 +1,142 @@
+#include "par/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace mcds::par {
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("MCDS_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;  // hardware_concurrency() may report 0
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_[next_queue_]->queue.push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % workers_.size();
+    ++pending_;
+    if (pending_ > peak_pending_) peak_pending_ = pending_;
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Caller holds mu_. Own queue first (FIFO keeps early-submitted work
+  // early), then scan siblings from self+1 and steal from their backs.
+  auto& own = workers_[self]->queue;
+  if (!own.empty()) {
+    out = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  const std::size_t k = workers_.size();
+  for (std::size_t d = 1; d < k; ++d) {
+    auto& victim = workers_[(self + d) % k]->queue;
+    if (!victim.empty()) {
+      out = std::move(victim.back());
+      victim.pop_back();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      lock.unlock();
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> guard(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      workers_[self]->busy_ns.fetch_add(static_cast<std::uint64_t>(ns),
+                                        std::memory_order_relaxed);
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      if (--pending_ == 0) cv_idle_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    cv_work_.wait(lock);
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.pending = pending_;
+    s.peak_pending = peak_pending_;
+  }
+  s.busy_ns.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    s.busy_ns.push_back(w->busy_ns.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void ThreadPool::publish(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.gauge("par.pool.workers").set(static_cast<double>(size()));
+  registry.gauge("par.pool.queue_depth").set(static_cast<double>(s.pending));
+  registry.gauge("par.pool.peak_queue_depth")
+      .set(static_cast<double>(s.peak_pending));
+  registry.gauge("par.pool.steals").set(static_cast<double>(s.stolen));
+  registry.gauge("par.pool.executed").set(static_cast<double>(s.executed));
+  for (std::size_t i = 0; i < s.busy_ns.size(); ++i) {
+    registry.gauge("par.pool.worker" + std::to_string(i) + ".busy_ns")
+        .set(static_cast<double>(s.busy_ns[i]));
+  }
+}
+
+}  // namespace mcds::par

@@ -10,6 +10,10 @@
 /// |uv| <= radius. A uniform grid makes construction O(n) expected for
 /// bounded densities (vs the naive O(n^2)).
 
+namespace mcds::par {
+class ThreadPool;
+}  // namespace mcds::par
+
 namespace mcds::udg {
 
 /// Builds the unit-disk graph over \p points with communication radius
@@ -18,6 +22,15 @@ namespace mcds::udg {
 /// paper's "distance at most one").
 [[nodiscard]] graph::Graph build_udg(std::span<const geom::Vec2> points,
                                      double radius = 1.0);
+
+/// build_udg with the grid neighborhood sweep fanned over \p pool. The
+/// occupied-cell index is built serially (hash insertion is inherently
+/// ordered); the O(n · density) distance tests — the dominant cost — run
+/// as per-chunk tasks whose edge lists are merged in chunk order, and
+/// Graph::finalize() canonicalizes adjacency, so the result is
+/// bit-identical to the serial builder at every thread count.
+[[nodiscard]] graph::Graph build_udg(std::span<const geom::Vec2> points,
+                                     double radius, par::ThreadPool& pool);
 
 /// Reference quadratic implementation, used to cross-check build_udg in
 /// tests.

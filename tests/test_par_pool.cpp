@@ -1,0 +1,159 @@
+// ThreadPool and parallel_for contract tests: every submitted task runs
+// exactly once, stats account for all of them, exceptions surface
+// deterministically (lowest chunk index), and the auto-sizing chain
+// (MCDS_THREADS > hardware_concurrency > 1) never yields zero workers.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using mcds::par::parallel_for;
+using mcds::par::ThreadPool;
+
+TEST(ParPool, RunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.executed, 200u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_GE(stats.peak_pending, 1u);
+  EXPECT_EQ(stats.busy_ns.size(), 4u);
+}
+
+TEST(ParPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted: must not block
+  EXPECT_EQ(pool.stats().executed, 0u);
+}
+
+TEST(ParPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an error.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(&pool, n, 7,
+               [&hits](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   hits[i].fetch_add(1, std::memory_order_relaxed);
+                 }
+               });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParPool, ParallelForChunkIndicesAreDeterministic) {
+  // Chunk boundaries must be a pure function of (n, grain), independent
+  // of the pool: record them through a pool and inline, compare.
+  const auto boundaries = [](ThreadPool* pool) {
+    std::vector<std::array<std::size_t, 3>> out(8);
+    parallel_for(pool, 100, 13,
+                 [&out](std::size_t begin, std::size_t end,
+                        std::size_t chunk) {
+                   out[chunk] = {begin, end, chunk};
+                 });
+    return out;
+  };
+  ThreadPool pool(4);
+  EXPECT_EQ(boundaries(&pool), boundaries(nullptr));
+}
+
+TEST(ParPool, ParallelForRethrowsLowestChunkError) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      parallel_for(&pool, 64, 8,
+                   [](std::size_t, std::size_t, std::size_t chunk) {
+                     if (chunk == 2 || chunk == 5) {
+                       throw std::runtime_error("chunk " +
+                                                std::to_string(chunk));
+                     }
+                   });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 2");
+    }
+  }
+}
+
+TEST(ParPool, ParallelForHandlesEmptyAndZeroGrain) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(&pool, 0, 4,
+               [&calls](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // grain 0 is clamped to 1.
+  std::vector<int> hits(5, 0);
+  parallel_for(nullptr, hits.size(), 0,
+               [&hits](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) ++hits[i];
+               });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 5);
+}
+
+TEST(ParPool, DefaultThreadsIsPositiveAndHonorsEnv) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::setenv("MCDS_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ThreadPool pool;  // auto-sized: must pick up the override
+  EXPECT_EQ(pool.size(), 3u);
+  ::setenv("MCDS_THREADS", "0", 1);  // invalid: falls through to hardware
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::setenv("MCDS_THREADS", "junk", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::unsetenv("MCDS_THREADS");
+}
+
+TEST(ParPool, PublishExportsGauges) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  mcds::obs::MetricsRegistry registry;
+  pool.publish(registry);
+  EXPECT_EQ(registry.gauge("par.pool.workers").value(), 2.0);
+  EXPECT_EQ(registry.gauge("par.pool.executed").value(), 32.0);
+  EXPECT_EQ(registry.gauge("par.pool.queue_depth").value(), 0.0);
+  EXPECT_GE(registry.gauge("par.pool.peak_queue_depth").value(), 1.0);
+}
+
+TEST(ParPool, SingleWorkerPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_EQ(pool.stats().stolen, 0u);
+}
+
+}  // namespace
