@@ -14,9 +14,11 @@
 #include "dist/distributed_cds.hpp"
 #include "dist/failure_detector.hpp"
 #include "dist/fault.hpp"
+#include "dyn/dynamic_cds.hpp"
 #include "obs/obs.hpp"
 #include "exact/exact_cds.hpp"
 #include "graph/small_graph.hpp"
+#include "sim/rng.hpp"
 #include "udg/builder.hpp"
 #include "udg/instance.hpp"
 
@@ -317,6 +319,98 @@ void BM_ExactGammaC(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactGammaC)->DenseRange(10, 18, 4);
+
+// Experiment E26: streaming churn throughput of the incremental engine
+// (events/s at constant density) against per-event solve-from-scratch.
+// scripts/bench_snapshot.sh BENCH_TOPIC=dynamic records both into
+// BENCH_dynamic.json; the README quotes the crossover.
+
+std::vector<geom::Vec2> uniform_points(std::size_t n, double side,
+                                       std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<geom::Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return pts;
+}
+
+// One churn event against the engine: mostly small jittered moves with a
+// sprinkling of fail-stop crashes and recoveries (the same mix the
+// differential suite validates).
+void churn_event(dyn::DynamicCds& engine, sim::Rng& rng, double side) {
+  const auto v =
+      static_cast<graph::NodeId>(rng.uniform_int(engine.num_nodes()));
+  if (!engine.alive(v)) {
+    engine.revive(v, {rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    return;
+  }
+  if (rng.uniform01() < 0.1) {
+    engine.erase(v);
+    return;
+  }
+  const geom::Vec2 p = engine.position(v);
+  const auto clamp = [side](double x) {
+    return x < 0.0 ? 0.0 : (x > side ? side : x);
+  };
+  engine.move(v, {clamp(p.x + rng.uniform(-0.5, 0.5)),
+                  clamp(p.y + rng.uniform(-0.5, 0.5))});
+}
+
+void BM_DynamicChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double side = std::sqrt(static_cast<double>(n)) * 0.85;
+  dyn::DynamicCds engine(uniform_points(n, side, 42 + n));
+  sim::Rng rng(7 * n + 1);
+  for (auto _ : state) {
+    churn_event(engine, rng, side);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicChurn)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Complexity(benchmark::o1);
+
+void BM_DynamicRebuild(benchmark::State& state) {
+  // The baseline the engine replaces: apply the same event stream to a
+  // plain position/liveness array and re-solve from scratch every event.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double side = std::sqrt(static_cast<double>(n)) * 0.85;
+  auto pts = uniform_points(n, side, 42 + n);
+  std::vector<std::uint8_t> alive(n, 1);
+  sim::Rng rng(7 * n + 1);
+  const auto clamp = [side](double x) {
+    return x < 0.0 ? 0.0 : (x > side ? side : x);
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto v = static_cast<std::size_t>(rng.uniform_int(n));
+    if (!alive[v]) {
+      alive[v] = 1;
+      pts[v] = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    } else if (rng.uniform01() < 0.1) {
+      alive[v] = 0;
+    } else {
+      pts[v] = {clamp(pts[v].x + rng.uniform(-0.5, 0.5)),
+                clamp(pts[v].y + rng.uniform(-0.5, 0.5))};
+    }
+    std::vector<geom::Vec2> alive_pts;
+    alive_pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alive[i]) alive_pts.push_back(pts[i]);
+    }
+    state.ResumeTiming();
+    dyn::DynamicCds scratch(alive_pts);
+    benchmark::DoNotOptimize(scratch.cds_size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicRebuild)->Arg(10000)->Arg(100000)->Complexity();
 
 }  // namespace
 

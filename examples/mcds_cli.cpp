@@ -14,8 +14,13 @@
 //       runs the distributed construction, optionally under faults;
 //       --fault-plan replays a serialized FaultPlan (e.g. a minimized
 //       chaos-fuzzer repro) and the scalar flags refine it
+//   mcds_cli dynamic --in F [--events N] [--crash P] [--speed S]
+//                    [--seed K] [--check-every M]
+//       streams synthetic churn (jittered moves, fail-stop crashes,
+//       recoveries) through the incremental dyn::DynamicCds engine and
+//       reports per-event latency percentiles and throughput
 //
-// solve and dist accept observability sinks:
+// solve, dist and dynamic accept observability sinks:
 //   --trace F        Chrome trace-event JSON (chrome://tracing, Perfetto)
 //   --trace-jsonl F  one JSON record per line (diff-friendly; the
 //                    logical clock makes identical runs byte-identical)
@@ -23,6 +28,8 @@
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -45,6 +52,9 @@
 #include "dist/distributed_cds.hpp"
 #include "dist/fault_json.hpp"
 #include "dist/greedy_protocol.hpp"
+#include "dyn/dynamic_cds.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
 #include "graph/metrics.hpp"
 #include "obs/obs.hpp"
 #include "par/thread_pool.hpp"
@@ -96,7 +106,9 @@ int usage() {
             << "  mcds_cli dist --in F [--algo waf|greedy|alzoubi] "
                "[--reliable] [--fault-plan plan.json] [--drop P] [--dup P] "
                "[--delay D] [--seed K]\n"
-            << "solve/dist observability: [--trace F.json] "
+            << "  mcds_cli dynamic --in F [--events N] [--crash P] "
+               "[--speed S] [--seed K] [--check-every M]\n"
+            << "solve/dist/dynamic observability: [--trace F.json] "
                "[--trace-jsonl F.jsonl] [--metrics F.json]\n"
             << "solve/dist parallelism: [--threads N] (default: "
                "MCDS_THREADS env, else hardware concurrency)\n";
@@ -370,6 +382,102 @@ int cmd_dist(const Args& args) {
   return sinks.write();
 }
 
+int cmd_dynamic(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::cerr << "dynamic: --in is required\n";
+    return 1;
+  }
+  const auto points = udg::load_points_file(*in);
+  const auto events = std::stoul(args.get("events").value_or("10000"));
+  const double crash = std::stod(args.get("crash").value_or("0.1"));
+  const double speed = std::stod(args.get("speed").value_or("0.5"));
+  const auto seed = std::stoull(args.get("seed").value_or("1"));
+  const auto check_every =
+      std::stoul(args.get("check-every").value_or("0"));
+  if (crash < 0.0 || crash >= 1.0) {
+    std::cerr << "dynamic: --crash must be in [0, 1)\n";
+    return 1;
+  }
+
+  // The churn field is the input's bounding box: revivals respawn
+  // uniformly inside it, moves jitter by at most --speed and clamp.
+  double side = 1.0;
+  for (const auto& p : points) side = std::max({side, p.x, p.y});
+
+  ObsSinks sinks(args);
+  dyn::DynamicCds engine(points, {}, sinks.handle());
+  sim::Rng rng(seed);
+  sim::Accumulator latency_us;
+  const auto clamp = [side](double x) {
+    return x < 0.0 ? 0.0 : (x > side ? side : x);
+  };
+  auto* h_latency = sinks.handle().histogram("cli.dyn.event_us");
+  for (std::size_t e = 0; e < events; ++e) {
+    const auto v =
+        static_cast<graph::NodeId>(rng.uniform_int(engine.num_nodes()));
+    const bool was_alive = engine.alive(v);
+    const bool crashes = was_alive && rng.uniform01() < crash;
+    const geom::Vec2 target =
+        was_alive ? geom::Vec2{clamp(engine.position(v).x +
+                                     rng.uniform(-speed, speed)),
+                               clamp(engine.position(v).y +
+                                     rng.uniform(-speed, speed))}
+                  : geom::Vec2{rng.uniform(0.0, side),
+                               rng.uniform(0.0, side)};
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!was_alive) {
+      engine.revive(v, target);
+    } else if (crashes) {
+      engine.erase(v);
+    } else {
+      engine.move(v, target);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    latency_us.add(us);
+    if (h_latency) h_latency->record(us);
+    if (check_every != 0 && (e + 1) % check_every == 0) {
+      const auto check = engine.check();
+      if (!check.ok) {
+        std::cerr << "dynamic: INTERNAL ERROR after event " << (e + 1)
+                  << ": " << check.describe() << "\n";
+        return 2;
+      }
+    }
+  }
+  const auto final_check = engine.check();
+  if (!final_check.ok) {
+    std::cerr << "dynamic: INTERNAL ERROR - final backbone invalid: "
+              << final_check.describe() << "\n";
+    return 2;
+  }
+
+  const double total_s = latency_us.count()
+                             ? latency_us.mean() * 1e-6 *
+                                   static_cast<double>(latency_us.count())
+                             : 0.0;
+  std::cout << "nodes: " << engine.num_nodes()
+            << " (alive: " << engine.alive_count() << ")\n"
+            << "events: " << latency_us.count() << ", throughput: "
+            << (total_s > 0.0
+                    ? static_cast<double>(latency_us.count()) / total_s
+                    : 0.0)
+            << " events/s\n"
+            << "latency (us): p50 " << latency_us.p50() << ", p95 "
+            << latency_us.p95() << ", p99 " << latency_us.p99() << ", max "
+            << latency_us.max() << "\n"
+            << "backbone: " << engine.cds_size() << " (MIS "
+            << engine.mis_size() << ", envelope "
+            << 4 * engine.mis_size() + 12 << ")\n"
+            << "rebuilds: " << engine.rebuilds()
+            << ", compactions: " << engine.compactions()
+            << ", epoch: " << engine.epoch() << "\n"
+            << "final backbone valid: yes\n";
+  return sinks.write();
+}
+
 int cmd_stats(const Args& args) {
   const auto in = args.get("in");
   if (!in) {
@@ -400,6 +508,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "dist") return cmd_dist(args);
+    if (command == "dynamic") return cmd_dynamic(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "mcds_cli: " << e.what() << "\n";

@@ -10,8 +10,9 @@
 # SANITIZE=tsan builds into build-tsan with ThreadSanitizer
 # (-DMCDS_SANITIZE_THREAD=ON) and runs only the threaded suites (the
 # Par* tests drive the pool, the batch engine and the parallel builder/
-# validator overloads); the serial suites learn nothing from TSan and
-# would multiply the runtime ~10x.
+# validator overloads; the Dyn* suites drive the incremental engine,
+# including concurrent independent engines); the remaining serial suites
+# learn nothing from TSan and would multiply the runtime ~10x.
 #
 # RUN_BENCH=1 additionally records a performance snapshot via
 # scripts/bench_snapshot.sh (opt-in: the google-benchmark run takes
@@ -28,7 +29,7 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
 elif [[ "${SANITIZE:-0}" == "tsan" ]]; then
   BUILD_DIR=build-tsan
   cmake_extra=(-DMCDS_SANITIZE_THREAD=ON -DMCDS_BUILD_BENCH=OFF)
-  ctest_extra=(-R '^Par')
+  ctest_extra=(-R '^(Par|Dyn|Streams/Dyn)')
 fi
 
 # Prefer Ninja when available, but match ROADMAP's tier-1 command (the

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <queue>
 #include <span>
 #include <stdexcept>
@@ -102,6 +103,19 @@ class BasicConnectorEngine {
   /// more than one component remains (the seed was not a maximal
   /// independent set of a connected graph — cf. Lemma 9).
   GreedyStep select_next() {
+    if (auto step = poll()) return *step;
+    throw std::logic_error(
+        "ConnectorEngine: no positive-gain node although q > 1 "
+        "(input MIS is not maximal or graph is disconnected)");
+  }
+
+  /// select_next() without the Lemma-9 precondition: std::nullopt when no
+  /// positive-gain node remains although q > 1. A BFS-ordered phase-1 MIS
+  /// never stalls, but an *arbitrary* maximal independent set can leave
+  /// member components exactly 3 hops apart, which no single node can
+  /// merge; callers that feed such seeds (the dynamic engine's connector
+  /// rebuild) poll and patch the 3-hop gap themselves.
+  std::optional<GreedyStep> poll() {
     while (!heap_.empty()) {
       const Entry top = heap_.top();
       heap_.pop();
@@ -131,9 +145,7 @@ class BasicConnectorEngine {
       }
       return step;
     }
-    throw std::logic_error(
-        "ConnectorEngine: no positive-gain node although q > 1 "
-        "(input MIS is not maximal or graph is disconnected)");
+    return std::nullopt;
   }
 
  private:

@@ -1,0 +1,518 @@
+#include "core/local_repair.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/connector_engine.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "graph/union_find.hpp"
+
+namespace mcds::core {
+
+using graph::DeltaGraph;
+using graph::EdgeDelta;
+using graph::NodeId;
+
+namespace {
+
+void sort_unique(std::vector<NodeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void fill_neighbors(const DeltaGraph& g, NodeId u, std::vector<NodeId>& out) {
+  out.clear();
+  g.for_each_neighbor(u, [&](NodeId v) { out.push_back(v); });
+}
+
+/// Patches one 3-hop gap between member fragments of the connected graph
+/// \p g: labels the fragments, then scans (m asc, x asc, y asc, z asc)
+/// for a member—x—y—member path crossing two of them and promotes the
+/// pair {x, y}. The scan order makes the patch deterministic. Returns
+/// false when the members already form one fragment (or no such path
+/// exists, which a maximal seed rules out).
+bool bridge_three_hop_gap(const graph::Graph& g, std::vector<NodeId>& mem,
+                          std::vector<std::uint8_t>& is_mem) {
+  const auto [labels, q] = graph::subset_components(g, mem);
+  if (q <= 1) return false;
+  constexpr auto kNoComp = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> comp(g.num_nodes(), kNoComp);
+  for (std::size_t i = 0; i < mem.size(); ++i) comp[mem[i]] = labels[i];
+  for (NodeId m = 0; m < g.num_nodes(); ++m) {
+    if (!is_mem[m]) continue;
+    for (const NodeId x : g.neighbors(m)) {
+      if (is_mem[x]) continue;
+      for (const NodeId y : g.neighbors(x)) {
+        if (is_mem[y] || y == x) continue;
+        for (const NodeId z : g.neighbors(y)) {
+          if (!is_mem[z] || comp[z] == comp[m]) continue;
+          is_mem[x] = 1;
+          mem.push_back(x);
+          is_mem[y] = 1;
+          mem.push_back(y);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LocalBackbone::LocalBackbone(const DeltaGraph& g,
+                             std::span<const std::uint8_t> alive) {
+  rebuild(g, alive);
+}
+
+void LocalBackbone::grow(std::size_t n) {
+  if (in_mis_.size() >= n) return;
+  in_mis_.resize(n, 0);
+  in_cds_.resize(n, 0);
+  cover_.resize(n, 0);
+  visit_stamp_.resize(n, 0);
+  visit_owner_.resize(n, 0);
+}
+
+void LocalBackbone::dec_cover(NodeId v, std::vector<NodeId>& zeros) {
+  if (cover_[v] == 0) {
+    throw std::logic_error("LocalBackbone: cover underflow (delta not exact?)");
+  }
+  if (--cover_[v] == 0) zeros.push_back(v);
+}
+
+void LocalBackbone::rebuild(const DeltaGraph& g,
+                            std::span<const std::uint8_t> alive) {
+  const std::size_t n = g.num_nodes();
+  if (alive.size() != n) {
+    throw std::invalid_argument("LocalBackbone: alive size mismatch");
+  }
+  grow(n);
+  std::fill(in_mis_.begin(), in_mis_.end(), std::uint8_t{0});
+  std::fill(cover_.begin(), cover_.end(), std::uint32_t{0});
+  mis_size_ = 0;
+  // Lowest-id first-fit MIS over the alive subgraph: select v iff no
+  // smaller selected neighbor, i.e. cover is still zero when its turn
+  // comes. Works unchanged on disconnected graphs.
+  for (NodeId v = 0; v < n; ++v) {
+    if (!alive[v] || cover_[v] != 0) continue;
+    in_mis_[v] = 1;
+    ++mis_size_;
+    g.for_each_neighbor(v, [&](NodeId u) {
+      if (alive[u]) ++cover_[u];
+    });
+  }
+  rebuild_connectors(g, alive);
+}
+
+void LocalBackbone::rebuild_connectors(const DeltaGraph& g,
+                                       std::span<const std::uint8_t> alive) {
+  const std::size_t n = g.num_nodes();
+  if (alive.size() != n) {
+    throw std::invalid_argument("LocalBackbone: alive size mismatch");
+  }
+  grow(n);
+  std::copy(in_mis_.begin(), in_mis_.end(), in_cds_.begin());
+  cds_size_ = mis_size_;
+  cds_dirty_ = true;
+  if (mis_size_ == 0) return;
+
+  std::vector<NodeId> alive_list;
+  alive_list.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (alive[v]) alive_list.push_back(v);
+  }
+  const graph::Graph full = g.materialize();
+  const auto induced = graph::induced_subgraph(full, alive_list);
+  const auto [labels, count] = graph::connected_components(induced.graph);
+  std::vector<std::vector<NodeId>> comp_nodes(count);
+  for (NodeId local = 0; local < induced.mapping.size(); ++local) {
+    comp_nodes[labels[local]].push_back(local);
+  }
+  // Phase 2 per component: the engine needs a connected graph and a
+  // maximal seed of it, both of which hold component-wise. The
+  // *maintained* MIS is arbitrary-maximal (not BFS-ordered like the
+  // paper's phase 1), so member fragments can sit exactly 3 hops apart —
+  // a gap no single max-gain connector can merge. When the engine
+  // stalls, patch one such gap with a connector pair and restart it;
+  // every pair merges >= 2 fragments, so the restarts are bounded by the
+  // seed size.
+  for (std::size_t c = 0; c < count; ++c) {
+    std::size_t members = 0;
+    for (const NodeId local : comp_nodes[c]) {
+      if (in_mis_[induced.mapping[local]]) ++members;
+    }
+    if (members <= 1) continue;
+    const auto sub = graph::induced_subgraph(induced.graph, comp_nodes[c]);
+    std::vector<NodeId> mem;
+    mem.reserve(members);
+    std::vector<std::uint8_t> is_mem(sub.graph.num_nodes(), 0);
+    for (NodeId i = 0; i < sub.mapping.size(); ++i) {
+      if (in_mis_[induced.mapping[sub.mapping[i]]]) {
+        mem.push_back(i);
+        is_mem[i] = 1;
+      }
+    }
+    while (true) {
+      ConnectorEngine eng(sub.graph, mem);
+      bool stalled = false;
+      while (!eng.done()) {
+        const auto step = eng.poll();
+        if (!step) {
+          stalled = true;
+          break;
+        }
+        is_mem[step->node] = 1;
+        mem.push_back(step->node);
+      }
+      if (!stalled) break;
+      if (!bridge_three_hop_gap(sub.graph, mem, is_mem)) {
+        throw std::logic_error(
+            "LocalBackbone: stalled phase 2 with no 3-hop gap (seed not a "
+            "maximal independent set of the component?)");
+      }
+    }
+    for (const NodeId local : mem) {
+      const NodeId orig = induced.mapping[sub.mapping[local]];
+      if (!in_cds_[orig]) {
+        in_cds_[orig] = 1;
+        ++cds_size_;
+      }
+    }
+  }
+}
+
+RepairStats LocalBackbone::on_event(const DeltaGraph& g,
+                                    std::span<const std::uint8_t> alive,
+                                    NodeId node, NodeChange change,
+                                    const EdgeDelta& delta) {
+  const std::size_t n = g.num_nodes();
+  if (alive.size() != n) {
+    throw std::invalid_argument("LocalBackbone: alive size mismatch");
+  }
+  grow(n);
+  RepairStats st;
+  if (delta.empty() && change == NodeChange::kNone) return st;
+  if (change != NodeChange::kNone && node >= n) {
+    throw std::invalid_argument("LocalBackbone: event node out of range");
+  }
+
+  std::vector<NodeId> zeros;
+
+  // 1. Removed edges: nodes that lost a dominator. Membership flags are
+  // still pre-event here, so in_mis_ of a dying node correctly credits
+  // the coverage its former neighbors are losing.
+  for (const auto& [u, v] : delta.removed) {
+    if (in_mis_[u]) dec_cover(v, zeros);
+    if (in_mis_[v]) dec_cover(u, zeros);
+  }
+
+  // 2. Death: the node leaves both sets. Its incident edges were all in
+  // delta.removed, so neighbor covers are already consistent.
+  if (change == NodeChange::kDied) {
+    if (in_mis_[node]) {
+      in_mis_[node] = 0;
+      --mis_size_;
+      ++st.mis_removed;
+    }
+    if (in_cds_[node]) {
+      in_cds_[node] = 0;
+      --cds_size_;
+      ++st.backbone_removed;
+      cds_dirty_ = true;
+    }
+    cover_[node] = 0;
+  }
+
+  // 3a. Added edges: count the new adjacencies first so the eviction
+  // sweeps below see fully consistent covers, and note MIS-MIS
+  // conflicts.
+  std::vector<std::pair<NodeId, NodeId>> conflicts;
+  for (const auto& [u, v] : delta.added) {
+    if (in_mis_[u]) ++cover_[v];
+    if (in_mis_[v]) ++cover_[u];
+    if (in_mis_[u] && in_mis_[v]) conflicts.emplace_back(u, v);
+  }
+  // 3b. Evictions: the larger id leaves the MIS but stays in the
+  // backbone as a plain connector, so backbone connectivity is
+  // untouched. Re-check both memberships — an earlier eviction may have
+  // already resolved a conflict chain.
+  for (const auto& [u, v] : conflicts) {
+    if (!(in_mis_[u] && in_mis_[v])) continue;
+    const NodeId w = std::max(u, v);
+    in_mis_[w] = 0;
+    --mis_size_;
+    ++st.mis_removed;
+    g.for_each_neighbor(w, [&](NodeId x) {
+      if (alive[x]) dec_cover(x, zeros);
+    });
+  }
+
+  // 4. Birth: a node with no dominator must enter the MIS itself.
+  if (change == NodeChange::kBorn) {
+    if (!alive[node]) {
+      throw std::invalid_argument("LocalBackbone: born node not alive");
+    }
+    if (cover_[node] == 0) zeros.push_back(node);
+  }
+
+  // 5. Completion cascade, ascending ids. Additions only increment
+  // covers, so no new zeros can appear: one pass restores maximality
+  // (every alive node is in the MIS or has cover >= 1 ⇒ dominated).
+  sort_unique(zeros);
+  std::vector<NodeId> new_members;
+  for (const NodeId x : zeros) {
+    if (!alive[x] || in_mis_[x] || cover_[x] != 0) continue;
+    in_mis_[x] = 1;
+    ++mis_size_;
+    ++st.mis_added;
+    if (!in_cds_[x]) {
+      in_cds_[x] = 1;
+      ++cds_size_;
+      cds_dirty_ = true;
+    }
+    g.for_each_neighbor(x, [&](NodeId y) {
+      if (alive[y]) ++cover_[y];
+    });
+    new_members.push_back(x);
+  }
+
+  // 6. Connectivity: seed the repair with every backbone node in the
+  // closed 1-hop halo of the touched nodes (plus the new MIS members).
+  // This seed set provably hits every fragment of a component whose
+  // backbone the event split (see the file comment), so the lockstep
+  // search below can stop as soon as all seeds unite.
+  std::vector<NodeId> touched;
+  touched.reserve(2 * (delta.added.size() + delta.removed.size()) + 1);
+  for (const auto& [u, v] : delta.added) {
+    touched.push_back(u);
+    touched.push_back(v);
+  }
+  for (const auto& [u, v] : delta.removed) {
+    touched.push_back(u);
+    touched.push_back(v);
+  }
+  if (change != NodeChange::kNone) touched.push_back(node);
+  sort_unique(touched);
+
+  std::vector<NodeId> seeds = std::move(new_members);
+  for (const NodeId t : touched) {
+    if (alive[t] && in_cds_[t]) seeds.push_back(t);
+    g.for_each_neighbor(t, [&](NodeId y) {
+      if (alive[y] && in_cds_[y]) seeds.push_back(y);
+    });
+  }
+  ensure_connected(g, alive, seeds, st);
+  return st;
+}
+
+void LocalBackbone::ensure_connected(const DeltaGraph& g,
+                                     std::span<const std::uint8_t> alive,
+                                     std::vector<NodeId>& seeds,
+                                     RepairStats& st) {
+  struct Group {
+    std::vector<NodeId> frontier;  ///< BFS queue, index-popped
+    std::vector<NodeId> nodes;     ///< every node visited by the group
+    std::size_t next = 0;
+    bool finished = false;
+  };
+
+  std::vector<NodeId> islanded;  // nodes of confirmed partition islands
+
+  while (true) {
+    sort_unique(seeds);
+    std::vector<NodeId> active;
+    active.reserve(seeds.size());
+    for (const NodeId s : seeds) {
+      if (!alive[s] || !in_cds_[s]) continue;
+      if (std::binary_search(islanded.begin(), islanded.end(), s)) continue;
+      active.push_back(s);
+    }
+    // With every at-risk fragment guaranteed to hold a seed, a single
+    // surviving seed means no component's backbone is split.
+    if (active.size() <= 1) return;
+
+    // Lockstep multi-source BFS over G[backbone]: always expand the
+    // smallest group, unite groups when searches meet. Stops when all
+    // groups united (connected) or at most one is still expanding (the
+    // finished ones are complete fragments to re-attach).
+    ++cur_stamp_;
+    const auto k = static_cast<std::uint32_t>(active.size());
+    graph::UnionFind uf(k);
+    std::vector<Group> groups(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const NodeId s = active[i];
+      visit_stamp_[s] = cur_stamp_;
+      visit_owner_[s] = i;
+      groups[i].frontier.push_back(s);
+      groups[i].nodes.push_back(s);
+    }
+    std::size_t live = k;
+    std::size_t unfinished = k;
+    while (live > 1 && unfinished > 1) {
+      std::uint32_t pick = k;
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if (uf.find(i) != i || groups[i].finished) continue;
+        if (groups[i].nodes.size() < best) {
+          best = groups[i].nodes.size();
+          pick = i;
+        }
+      }
+      if (pick == k) break;  // defensive: nothing left to expand
+      const NodeId x = groups[pick].frontier[groups[pick].next++];
+      std::uint32_t self = pick;
+      g.for_each_neighbor(x, [&](NodeId y) {
+        if (!alive[y] || !in_cds_[y]) return;
+        if (visit_stamp_[y] != cur_stamp_) {
+          visit_stamp_[y] = cur_stamp_;
+          visit_owner_[y] = self;
+          groups[self].frontier.push_back(y);
+          groups[self].nodes.push_back(y);
+          return;
+        }
+        const std::uint32_t other = uf.find(visit_owner_[y]);
+        if (other == self) return;
+        // Two searches met: unite, folding the loser's state into
+        // whichever index the union-find keeps as root.
+        uf.unite(other, self);
+        const std::uint32_t root = uf.find(self);
+        const std::uint32_t loser = root == self ? other : self;
+        Group& w = groups[root];
+        Group& l = groups[loser];
+        w.frontier.insert(w.frontier.end(),
+                          l.frontier.begin() + static_cast<long>(l.next),
+                          l.frontier.end());
+        w.nodes.insert(w.nodes.end(), l.nodes.begin(), l.nodes.end());
+        if (!w.finished || !l.finished) {
+          if (!w.finished && !l.finished) --unfinished;
+          w.finished = false;
+        }
+        l = Group{};
+        --live;
+        self = root;
+      });
+      Group& cur = groups[self];
+      if (cur.next >= cur.frontier.size() && !cur.finished) {
+        cur.finished = true;
+        --unfinished;
+      }
+    }
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (uf.find(i) == i) st.scope += groups[i].nodes.size();
+    }
+    if (live <= 1) return;  // every seed in one fragment ⇒ connected
+
+    // Finished groups are complete fragments: bridge each back through
+    // <= 3 hops, or prove it a partition island (no backbone node within
+    // 3 hops ⇒ by the MIS adjacency lemma it is the entire backbone of
+    // its own component).
+    std::vector<std::uint32_t> group_root(k);
+    for (std::uint32_t i = 0; i < k; ++i) group_root[i] = uf.find(i);
+    bool any_bridge = false;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      if (group_root[r] != r || !groups[r].finished) continue;
+      std::vector<NodeId>& frag = groups[r].nodes;
+      std::sort(frag.begin(), frag.end());
+      NodeId bridge[2] = {0, 0};
+      const std::size_t bn =
+          find_bridge(g, alive, frag, group_root, r, bridge);
+      if (bn == 0) {
+        islanded.insert(islanded.end(), frag.begin(), frag.end());
+        std::sort(islanded.begin(), islanded.end());
+        ++st.islands;
+        continue;
+      }
+      for (std::size_t b = 0; b < bn; ++b) {
+        in_cds_[bridge[b]] = 1;
+        ++cds_size_;
+        ++st.connectors_added;
+        cds_dirty_ = true;
+        seeds.push_back(bridge[b]);
+      }
+      any_bridge = true;
+    }
+    // No bridge added: everything left is one (possibly unfinished)
+    // group plus self-contained islands — per-component connected.
+    if (!any_bridge) return;
+  }
+}
+
+std::size_t LocalBackbone::find_bridge(
+    const DeltaGraph& g, std::span<const std::uint8_t> alive,
+    const std::vector<NodeId>& fragment,
+    const std::vector<std::uint32_t>& group_root, std::uint32_t root,
+    NodeId out[2]) const {
+  const auto in_fragment = [&](NodeId z) {
+    return visit_stamp_[z] == cur_stamp_ && group_root[visit_owner_[z]] == root;
+  };
+  std::vector<NodeId> nf;
+  std::vector<NodeId> nx;
+  std::vector<NodeId> ny;
+  // Distance 2: fragment — x — z with x outside the backbone and z a
+  // backbone node of another fragment; x alone re-attaches us.
+  // Iteration is (f asc, x asc, z asc) so the choice is deterministic.
+  for (const NodeId f : fragment) {
+    fill_neighbors(g, f, nf);
+    for (const NodeId x : nf) {
+      if (!alive[x] || in_cds_[x]) continue;
+      fill_neighbors(g, x, nx);
+      for (const NodeId z : nx) {
+        if (!alive[z] || !in_cds_[z] || in_fragment(z)) continue;
+        out[0] = x;
+        return 1;
+      }
+    }
+  }
+  // Distance 3: fragment — x — y — z, connector pair {x, y}.
+  for (const NodeId f : fragment) {
+    fill_neighbors(g, f, nf);
+    for (const NodeId x : nf) {
+      if (!alive[x] || in_cds_[x]) continue;
+      fill_neighbors(g, x, nx);
+      for (const NodeId y : nx) {
+        if (!alive[y] || in_cds_[y]) continue;
+        fill_neighbors(g, y, ny);
+        for (const NodeId z : ny) {
+          if (!alive[z] || !in_cds_[z] || in_fragment(z)) continue;
+          out[0] = x;
+          out[1] = y;
+          return 2;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+const std::vector<NodeId>& LocalBackbone::cds() const {
+  if (cds_dirty_) {
+    cds_cache_.clear();
+    cds_cache_.reserve(cds_size_);
+    for (NodeId v = 0; v < in_cds_.size(); ++v) {
+      if (in_cds_[v]) cds_cache_.push_back(v);
+    }
+    cds_dirty_ = false;
+  }
+  return cds_cache_;
+}
+
+std::vector<NodeId> LocalBackbone::mis() const {
+  std::vector<NodeId> out;
+  out.reserve(mis_size_);
+  for (NodeId v = 0; v < in_mis_.size(); ++v) {
+    if (in_mis_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+bool LocalBackbone::envelope_exceeded(double factor,
+                                      std::size_t bias) const noexcept {
+  return static_cast<double>(cds_size_) >
+         factor * static_cast<double>(mis_size_) + static_cast<double>(bias);
+}
+
+}  // namespace mcds::core

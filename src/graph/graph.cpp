@@ -22,12 +22,16 @@ void Graph::check_node(NodeId u) const {
 }
 
 void Graph::thaw() {
-  build_adj_.assign(n_, {});
+  // Stage into a local so a mid-loop allocation failure leaves the graph
+  // exactly as it was (still finalized, CSR intact); only the noexcept
+  // moves below commit the transition.
+  std::vector<std::vector<NodeId>> staged(n_);
   for (NodeId u = 0; u < n_; ++u) {
     const auto list = std::span<const NodeId>{
         neighbors_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
-    build_adj_[u].assign(list.begin(), list.end());
+    staged[u].assign(list.begin(), list.end());
   }
+  build_adj_ = std::move(staged);
   neighbors_.clear();
   finalized_ = false;
 }
@@ -37,8 +41,19 @@ void Graph::add_edge(NodeId u, NodeId v) {
   check_node(v);
   if (u == v) throw std::invalid_argument("Graph: self-loops not allowed");
   if (finalized_) thaw();
-  build_adj_[u].push_back(v);
-  build_adj_[v].push_back(u);
+  auto& fwd = build_adj_[u];
+  auto& rev = build_adj_[v];
+  // Pre-grow both endpoint lists (geometrically, to keep push_back
+  // amortized O(1)) so the two inserts below cannot throw: an edge is
+  // recorded in both lists or in neither, never half-way.
+  if (fwd.size() == fwd.capacity()) {
+    fwd.reserve(fwd.empty() ? 4 : fwd.capacity() * 2);
+  }
+  if (rev.size() == rev.capacity()) {
+    rev.reserve(rev.empty() ? 4 : rev.capacity() * 2);
+  }
+  fwd.push_back(v);
+  rev.push_back(u);
 }
 
 void Graph::finalize() {

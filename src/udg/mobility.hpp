@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "geom/vec2.hpp"
+#include "graph/delta_graph.hpp"
 #include "graph/graph.hpp"
 #include "sim/rng.hpp"
 
@@ -68,6 +69,12 @@ class RandomWaypoint {
 struct ChurnEpoch {
   graph::Graph topology;
   std::vector<bool> up;
+  /// Net position-induced edge changes versus the previous epoch's
+  /// topology (versus the initial positions for epoch 0), over *all*
+  /// nodes — liveness lives in `up`, exactly like `topology`. Canonical
+  /// (u < v, sorted, added/removed disjoint). Consumers that only want
+  /// the full graphs can ignore it.
+  graph::EdgeDelta delta;
 };
 
 /// Parameters of the fail-stop churn process layered over mobility.
@@ -76,11 +83,15 @@ struct ChurnParams {
   double recover_prob = 0.3;  ///< per-epoch chance a crashed node returns
 };
 
-/// Drives \p motion for \p epochs × \p ticks_per_epoch ticks, rebuilding
-/// the UDG (radius \p radius) after each epoch's motion and then
-/// crash/recovering nodes independently per \p churn, seeded by \p seed
-/// (deterministic, independent of the motion's own stream). Epoch e's
-/// liveness evolves from epoch e-1's; all nodes start alive.
+/// Drives \p motion for \p epochs × \p ticks_per_epoch ticks, updating
+/// a persistent GridIndex with each epoch's motion (only nodes that
+/// actually moved touch the grid — waypoint pauses leave many parked)
+/// and then crash/recovering nodes independently per \p churn, seeded
+/// by \p seed (deterministic, independent of the motion's own stream).
+/// Each epoch carries the full topology (identical CSR to a
+/// from-scratch build_udg at those positions), the net edge delta since
+/// the previous epoch, and the liveness vector. Epoch e's liveness
+/// evolves from epoch e-1's; all nodes start alive.
 [[nodiscard]] std::vector<ChurnEpoch> churn_schedule(
     RandomWaypoint& motion, double radius, std::size_t epochs,
     std::size_t ticks_per_epoch, const ChurnParams& churn, std::uint64_t seed);

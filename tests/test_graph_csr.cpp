@@ -150,6 +150,53 @@ TEST(GraphCsr, ThawRefreezeRoundTrip) {
   expect_layouts_agree(g);
 }
 
+TEST(GraphCsr, FailedAddEdgeLeavesFinalizedStateIntact) {
+  // Argument validation happens before the thaw: a rejected add_edge on
+  // a finalized graph must not drop the CSR or flip the thaw state.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(0, 7), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphCsr, ThawedAdjacencyStaysSymmetric) {
+  // Every committed edge must appear in both endpoint lists — add_edge
+  // pre-grows both before inserting, so there is no state in which an
+  // edge exists in one direction only. Verify by replaying a random
+  // graph through repeated thaw/refreeze cycles and diffing against a
+  // one-shot build.
+  const auto inst = mcds::udg::generate_instance({.nodes = 120}, 11);
+  const auto all = inst.graph.edges();
+  Graph cycled(inst.graph.num_nodes());
+  std::size_t next = 0;
+  // Feed edges in four chunks, finalizing between chunks so chunks 2-4
+  // go through the thaw path.
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    const std::size_t stop =
+        chunk == 3 ? all.size() : (all.size() * (chunk + 1)) / 4;
+    for (; next < stop; ++next) cycled.add_edge(all[next].first, all[next].second);
+    cycled.finalize();
+    ASSERT_TRUE(cycled.finalized());
+    for (NodeId u = 0; u < cycled.num_nodes(); ++u) {
+      for (const NodeId v : cycled.neighbors(u)) {
+        EXPECT_TRUE(cycled.has_edge(v, u)) << u << "-" << v;
+      }
+    }
+  }
+  const auto co = cycled.offsets();
+  const auto io = inst.graph.offsets();
+  EXPECT_TRUE(std::equal(co.begin(), co.end(), io.begin(), io.end()));
+  const auto cn = cycled.flat_neighbors();
+  const auto in = inst.graph.flat_neighbors();
+  EXPECT_TRUE(std::equal(cn.begin(), cn.end(), in.begin(), in.end()));
+}
+
 TEST(GraphCsr, DuplicateEdgesCollapse) {
   Graph g(3);
   g.add_edge(0, 1);

@@ -1,0 +1,202 @@
+// DeltaGraph: the mutable overlay over an immutable CSR base. The
+// contract under test is differential — after any interleaving of edge
+// flips, iteration must present exactly the adjacency a from-scratch
+// finalized Graph holds, in the same (ascending) order, and the edit
+// accounting must reach zero when flips cancel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/delta_graph.hpp"
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using mcds::graph::DeltaGraph;
+using mcds::graph::EdgeDelta;
+using mcds::graph::Graph;
+using mcds::graph::NodeId;
+
+Graph line_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  g.finalize();
+  return g;
+}
+
+// Neighbor iteration must be identical (order included) to a rebuilt
+// finalized Graph with the same edge set.
+void expect_matches(const DeltaGraph& dg, const Graph& oracle) {
+  ASSERT_EQ(dg.num_nodes(), oracle.num_nodes());
+  ASSERT_EQ(dg.num_edges(), oracle.num_edges());
+  for (NodeId u = 0; u < dg.num_nodes(); ++u) {
+    EXPECT_EQ(dg.degree(u), oracle.degree(u)) << "node " << u;
+    std::vector<NodeId> seen;
+    dg.for_each_neighbor(u, [&](NodeId v) { seen.push_back(v); });
+    const auto row = oracle.neighbors(u);
+    EXPECT_EQ(seen, std::vector<NodeId>(row.begin(), row.end()))
+        << "node " << u;
+    EXPECT_EQ(dg.neighbors_copy(u), seen) << "node " << u;
+  }
+  const Graph mat = dg.materialize();
+  const auto mo = mat.offsets();
+  const auto oo = oracle.offsets();
+  EXPECT_TRUE(std::equal(mo.begin(), mo.end(), oo.begin(), oo.end()));
+  const auto mn = mat.flat_neighbors();
+  const auto on = oracle.flat_neighbors();
+  EXPECT_TRUE(std::equal(mn.begin(), mn.end(), on.begin(), on.end()));
+}
+
+TEST(DynDeltaGraph, UntouchedNodesMirrorBase) {
+  const auto inst = mcds::udg::generate_instance({.nodes = 80}, 5);
+  DeltaGraph dg(inst.graph);
+  expect_matches(dg, inst.graph);
+  EXPECT_EQ(dg.overlay_edits(), 0u);
+}
+
+TEST(DynDeltaGraph, AddAndRemoveAgainstOracle) {
+  DeltaGraph dg(line_graph(6));
+  dg.remove_edge(2, 3);
+  dg.add_edge(0, 5);
+  dg.add_edge(3, 1);
+
+  Graph oracle(6);
+  oracle.add_edge(0, 1);
+  oracle.add_edge(1, 2);
+  oracle.add_edge(3, 4);
+  oracle.add_edge(4, 5);
+  oracle.add_edge(0, 5);
+  oracle.add_edge(1, 3);
+  oracle.finalize();
+  expect_matches(dg, oracle);
+  EXPECT_TRUE(dg.has_edge(5, 0));
+  EXPECT_FALSE(dg.has_edge(2, 3));
+}
+
+TEST(DynDeltaGraph, ExactDeltaErrors) {
+  DeltaGraph dg(line_graph(4));
+  EXPECT_THROW(dg.add_edge(0, 1), std::invalid_argument);   // duplicate
+  EXPECT_THROW(dg.remove_edge(0, 2), std::invalid_argument);  // absent
+  EXPECT_THROW(dg.add_edge(1, 1), std::invalid_argument);   // self-loop
+  EXPECT_THROW(dg.add_edge(0, 9), std::invalid_argument);   // range
+  dg.add_edge(0, 2);
+  EXPECT_THROW(dg.add_edge(2, 0), std::invalid_argument);  // overlay dup
+}
+
+TEST(DynDeltaGraph, CancellingFlipsDrainTheOverlay) {
+  DeltaGraph dg(line_graph(5));
+  // Tombstone a base edge, then restore it: net zero overlay.
+  dg.remove_edge(1, 2);
+  EXPECT_EQ(dg.overlay_edits(), 2u);
+  dg.add_edge(2, 1);
+  EXPECT_EQ(dg.overlay_edits(), 0u);
+  // Add a novel edge, then drop it again: also net zero.
+  dg.add_edge(0, 4);
+  EXPECT_EQ(dg.overlay_edits(), 2u);
+  dg.remove_edge(0, 4);
+  EXPECT_EQ(dg.overlay_edits(), 0u);
+  expect_matches(dg, line_graph(5));
+}
+
+TEST(DynDeltaGraph, AddNodeExtendsIdSpace) {
+  DeltaGraph dg(line_graph(3));
+  const NodeId v = dg.add_node();
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(dg.degree(v), 0u);
+  dg.add_edge(v, 0);
+  Graph oracle(4);
+  oracle.add_edge(0, 1);
+  oracle.add_edge(1, 2);
+  oracle.add_edge(0, 3);
+  oracle.finalize();
+  expect_matches(dg, oracle);
+}
+
+TEST(DynDeltaGraph, ApplyDeltaRemovalsBeforeAdditions) {
+  DeltaGraph dg(line_graph(4));
+  EdgeDelta d;
+  d.removed = {{1, 2}};
+  d.added = {{0, 2}, {1, 3}};
+  dg.apply(d);
+  Graph oracle(4);
+  oracle.add_edge(0, 1);
+  oracle.add_edge(2, 3);
+  oracle.add_edge(0, 2);
+  oracle.add_edge(1, 3);
+  oracle.finalize();
+  expect_matches(dg, oracle);
+}
+
+TEST(DynDeltaGraph, NormalizeCancelsMatchedPairs) {
+  EdgeDelta d;
+  d.added = {{3, 1}, {0, 2}};    // non-canonical on purpose
+  d.removed = {{2, 0}, {4, 5}};  // {0,2} appears on both sides
+  d.normalize();
+  const std::vector<std::pair<NodeId, NodeId>> want_added{{1, 3}};
+  const std::vector<std::pair<NodeId, NodeId>> want_removed{{4, 5}};
+  EXPECT_EQ(d.added, want_added);
+  EXPECT_EQ(d.removed, want_removed);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(DynDeltaGraph, CompactionThresholdAndReset) {
+  // Tiny threshold so a handful of edits trigger compaction.
+  DeltaGraph dg(line_graph(8), /*compact_fraction=*/0.25,
+                /*compact_min_edits=*/4);
+  EXPECT_FALSE(dg.compaction_due());
+  dg.add_edge(0, 7);
+  dg.add_edge(1, 6);
+  EXPECT_TRUE(dg.compaction_due());
+  const Graph before = dg.materialize();
+  dg.compact();
+  EXPECT_EQ(dg.compactions(), 1u);
+  EXPECT_EQ(dg.overlay_edits(), 0u);
+  EXPECT_FALSE(dg.compaction_due());
+  expect_matches(dg, before);
+  // Edits after compaction diff against the *new* base.
+  dg.remove_edge(0, 7);
+  EXPECT_EQ(dg.overlay_edits(), 2u);
+}
+
+TEST(DynDeltaGraph, RandomizedDifferential) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst =
+        mcds::udg::generate_instance({.nodes = 60, .side = 8.0}, seed);
+    DeltaGraph dg(inst.graph);
+    // Track the live edge set alongside and flip random pairs.
+    std::vector<std::vector<char>> has(
+        inst.graph.num_nodes(), std::vector<char>(inst.graph.num_nodes(), 0));
+    for (const auto& [u, v] : inst.graph.edges()) has[u][v] = has[v][u] = 1;
+    mcds::sim::Rng rng(seed * 977 + 13);
+    for (int step = 0; step < 400; ++step) {
+      const auto u = static_cast<NodeId>(rng.uniform_int(dg.num_nodes()));
+      const auto v = static_cast<NodeId>(rng.uniform_int(dg.num_nodes()));
+      if (u == v) continue;
+      if (has[u][v]) {
+        dg.remove_edge(u, v);
+        has[u][v] = has[v][u] = 0;
+      } else {
+        dg.add_edge(u, v);
+        has[u][v] = has[v][u] = 1;
+      }
+      if (dg.compaction_due()) dg.compact();
+    }
+    Graph oracle(dg.num_nodes());
+    for (NodeId u = 0; u < dg.num_nodes(); ++u) {
+      for (NodeId v = u + 1; v < dg.num_nodes(); ++v) {
+        if (has[u][v]) oracle.add_edge(u, v);
+      }
+    }
+    oracle.finalize();
+    expect_matches(dg, oracle);
+  }
+}
+
+}  // namespace

@@ -2,8 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "graph/delta_graph.hpp"
+#include "udg/builder.hpp"
+
 namespace mcds::udg {
 namespace {
+
+void expect_same_csr(const graph::Graph& got, const graph::Graph& want) {
+  const auto go = got.offsets();
+  const auto wo = want.offsets();
+  ASSERT_TRUE(std::equal(go.begin(), go.end(), wo.begin(), wo.end()));
+  const auto gn = got.flat_neighbors();
+  const auto wn = want.flat_neighbors();
+  ASSERT_TRUE(std::equal(gn.begin(), gn.end(), wn.begin(), wn.end()));
+}
 
 WaypointParams small_field() {
   WaypointParams p;
@@ -75,6 +89,37 @@ TEST(RandomWaypoint, DeterministicPerSeed) {
   for (std::size_t i = 0; i < 15; ++i) {
     EXPECT_EQ(a.positions()[i].x, b.positions()[i].x);
     EXPECT_EQ(a.positions()[i].y, b.positions()[i].y);
+  }
+}
+
+TEST(DynChurnSchedule, TopologyMatchesBatchBuilderPerEpoch) {
+  // The persistent-grid schedule must hand out the same CSR bytes the
+  // one-shot batch builder produces at each epoch's positions.
+  const WaypointParams wp = small_field();
+  RandomWaypoint scheduled(18, wp, 21);
+  RandomWaypoint shadow(18, wp, 21);
+  const auto trace = churn_schedule(scheduled, 1.5, 8, 3, {0.2, 0.3}, 4);
+  ASSERT_EQ(trace.size(), 8u);
+  for (const ChurnEpoch& epoch : trace) {
+    for (int t = 0; t < 3; ++t) shadow.step();
+    expect_same_csr(epoch.topology, build_udg(shadow.positions(), 1.5));
+  }
+}
+
+TEST(DynChurnSchedule, DeltasReplayBetweenEpochs) {
+  // epoch[e].delta applied to epoch[e-1].topology must reproduce
+  // epoch[e].topology exactly (and epoch[0].delta bridges from the
+  // initial positions).
+  const WaypointParams wp = small_field();
+  RandomWaypoint motion(25, wp, 33);
+  const graph::Graph initial = build_udg(motion.positions(), 1.2);
+  const auto trace = churn_schedule(motion, 1.2, 6, 2, {0.1, 0.3}, 8);
+  const graph::Graph* prev = &initial;
+  for (const ChurnEpoch& epoch : trace) {
+    graph::DeltaGraph replay(*prev);
+    replay.apply(epoch.delta);
+    expect_same_csr(replay.materialize(), epoch.topology);
+    prev = &epoch.topology;
   }
 }
 
