@@ -8,12 +8,14 @@
 #include "baselines/stojmenovic.hpp"
 #include "core/connector_engine.hpp"
 #include "core/greedy_connect.hpp"
+#include "core/kmcds.hpp"
 #include "core/waf.hpp"
 #include "par/batch_solver.hpp"
 #include "par/thread_pool.hpp"
 #include "dist/distributed_cds.hpp"
 #include "dist/failure_detector.hpp"
 #include "dist/fault.hpp"
+#include "dist/survivability.hpp"
 #include "dyn/dynamic_cds.hpp"
 #include "obs/obs.hpp"
 #include "exact/exact_cds.hpp"
@@ -411,6 +413,67 @@ void BM_DynamicRebuild(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_DynamicRebuild)->Arg(10000)->Arg(100000)->Complexity();
+
+// ---------------------------------------------------------------------
+// (k,m)-CDS survivability: construction cost of the fault-tolerant
+// variants, and the crash-survival harness over a hostile schedule.
+// scripts/bench_snapshot.sh (BENCH_TOPIC=survivability) records these
+// into BENCH_survivability.json; the per-variant counters are the raw
+// numbers behind the EXPERIMENTS E27 table.
+
+void BM_SurvivabilityBuild(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const core::KmParams params{static_cast<std::uint32_t>(state.range(1)),
+                              static_cast<std::uint32_t>(state.range(2))};
+  std::size_t backbone = 0;
+  for (auto _ : state) {
+    const auto r = core::kmcds(inst.graph, params);
+    backbone = r.backbone.size();
+    benchmark::DoNotOptimize(r.backbone.data());
+  }
+  state.counters["backbone"] = static_cast<double>(backbone);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SurvivabilityBuild)
+    ->Args({256, 1, 1})
+    ->Args({256, 1, 2})
+    ->Args({256, 2, 1})
+    ->Args({256, 2, 2})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 1, 2})
+    ->Args({1024, 2, 1})
+    ->Args({1024, 2, 2});
+
+void BM_SurvivabilityMassacre(benchmark::State& state) {
+  const auto inst = make_instance(256);
+  const core::KmParams params{static_cast<std::uint32_t>(state.range(0)),
+                              static_cast<std::uint32_t>(state.range(1))};
+  const dist::SurvivabilityVariant variant{"bench", params, 0};
+  // The same hostile schedule for every variant — kill the plain CDS's
+  // members in order — so events_until_invalid is comparable across
+  // rows.
+  const auto plain = core::kmcds(inst.graph, {1, 1});
+  dist::FaultPlan plan;
+  std::size_t round = 1;
+  for (const auto v : plain.backbone) {
+    plan.schedule.push_back({round++, v, false});
+  }
+  dist::SurvivabilityReport report;
+  for (auto _ : state) {
+    report = dist::survive_fault_plan(inst.graph, variant, plan);
+    benchmark::DoNotOptimize(report.events);
+  }
+  state.counters["backbone"] = static_cast<double>(report.backbone_size);
+  state.counters["events_until_invalid"] =
+      static_cast<double>(report.events_until_invalid());
+  state.counters["min_coverage"] = report.min_coverage;
+  state.counters["heal_added"] = static_cast<double>(report.heal_added);
+}
+BENCHMARK(BM_SurvivabilityMassacre)
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({2, 1})
+    ->Args({2, 2});
 
 }  // namespace
 

@@ -3,9 +3,11 @@
 //   mcds_cli generate --nodes N --side S [--model M] [--seed K] --out F
 //       deploys a connected instance and writes it as mcds-points text
 //   mcds_cli solve --in F [--algo waf|greedy|gk|stojmenovic|li-thai|
-//                          wu-li|alzoubi] [--prune] [--svg out.svg]
+//                          wu-li|alzoubi] [--km k,m] [--prune]
+//                  [--svg out.svg]
 //       builds the UDG, runs the chosen CDS algorithm, prints the
-//       backbone and stats, optionally renders an SVG
+//       backbone and stats, optionally renders an SVG; --km k,m builds
+//       a fault-tolerant (k,m)-CDS (k in {1,2}) instead of --algo
 //   mcds_cli stats --in F
 //       prints topology metrics of the instance
 //   mcds_cli dist --in F [--algo waf|greedy|alzoubi] [--reliable]
@@ -46,6 +48,7 @@
 #include "baselines/wu_li.hpp"
 #include "core/bounds.hpp"
 #include "core/greedy_connect.hpp"
+#include "core/kmcds.hpp"
 #include "core/validate.hpp"
 #include "core/waf.hpp"
 #include "dist/alzoubi_protocol.hpp"
@@ -101,7 +104,8 @@ int usage() {
             << "  mcds_cli generate --nodes N --side S [--model "
                "uniform|disk|grid|cluster|corridor] [--seed K] --out F\n"
             << "  mcds_cli solve --in F [--algo waf|greedy|gk|stojmenovic|"
-               "li-thai|wu-li|alzoubi] [--prune] [--svg F.svg] [--quiet]\n"
+               "li-thai|wu-li|alzoubi] [--km k,m] [--prune] [--svg F.svg] "
+               "[--quiet]\n"
             << "  mcds_cli stats --in F\n"
             << "  mcds_cli dist --in F [--algo waf|greedy|alzoubi] "
                "[--reliable] [--fault-plan plan.json] [--drop P] [--dup P] "
@@ -232,6 +236,54 @@ int cmd_solve(const Args& args) {
   }
 
   ObsSinks sinks(args);
+
+  // --km k,m: the fault-tolerant (k,m)-CDS family instead of a plain
+  // CDS algorithm; validated with the witness-producing check_kmcds.
+  if (const auto km = args.get("km")) {
+    core::KmParams params;
+    try {
+      const auto comma = km->find(',');
+      if (comma == std::string::npos) throw std::invalid_argument("km");
+      params.k =
+          static_cast<std::uint32_t>(std::stoul(km->substr(0, comma)));
+      params.m =
+          static_cast<std::uint32_t>(std::stoul(km->substr(comma + 1)));
+      params.validate();
+    } catch (const std::exception&) {
+      std::cerr << "solve: --km expects k,m with k in {1,2}, m >= 1 "
+                   "(e.g. --km 2,2)\n";
+      return 1;
+    }
+    const auto r = core::kmcds(g, params, 0, sinks.handle());
+    const auto check = core::check_kmcds(g, r.backbone, params);
+    if (!check.ok) {
+      std::cerr << "solve: INTERNAL ERROR - produced set is not a ("
+                << params.k << "," << params.m
+                << ")-CDS: " << check.describe() << "\n";
+      return 2;
+    }
+    std::cout << "algorithm: kmcds (" << params.k << "," << params.m << ")\n"
+              << "nodes: " << g.num_nodes() << ", links: " << g.num_edges()
+              << "\n"
+              << "backbone size: " << r.backbone.size() << " ("
+              << 100.0 * static_cast<double>(r.backbone.size()) /
+                     static_cast<double>(g.num_nodes())
+              << "% of nodes)\n"
+              << "dominators: " << r.dominators.size()
+              << ", connectors: " << r.connectors.size()
+              << ", augmenters: " << r.augmenters.size() << "\n";
+    if (!args.has_flag("quiet")) {
+      std::cout << "backbone nodes:";
+      for (const auto v : r.backbone) std::cout << ' ' << v;
+      std::cout << "\n";
+    }
+    if (const auto svg = args.get("svg")) {
+      viz::render_network(points, g, r.backbone, r.dominators).save(*svg);
+      std::cout << "wrote " << *svg << "\n";
+    }
+    return sinks.write();
+  }
+
   const std::string algo = args.get("algo").value_or("greedy");
   std::vector<graph::NodeId> cds, dominators;
   if (algo == "waf") {

@@ -13,7 +13,7 @@
 #   BUILD_DIR=...     build tree to use (default: build-bench, configured
 #                     Release by this script)
 #   BENCH_TOPIC=...   snapshot topic: phase2 (default), fault, obs,
-#                     partition, par or dynamic
+#                     partition, par, dynamic or survivability
 #   BENCH_FILTER=...  benchmark regex (default: per-topic selection)
 #   ALLOW_DEBUG_LIBBENCHMARK=1
 #                     accept a google-benchmark *library* that reports
@@ -35,6 +35,7 @@ case "$BENCH_TOPIC" in
   partition) default_filter="BM_HeartbeatRuntime|BM_PartitionedRuntime" ;;
   par)    default_filter="BM_BatchSolve|BM_BuildUdgParallel|BM_GreedyConnectorsCsr|BM_GreedyConnectorsNested" ;;
   dynamic) default_filter="BM_DynamicChurn|BM_DynamicRebuild" ;;
+  survivability) default_filter="BM_SurvivabilityBuild|BM_SurvivabilityMassacre" ;;
   *)      default_filter=".*" ;;
 esac
 BENCH_FILTER="${BENCH_FILTER:-$default_filter}"

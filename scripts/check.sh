@@ -8,11 +8,13 @@
 # benches take too long under instrumentation to be part of the gate.
 #
 # SANITIZE=tsan builds into build-tsan with ThreadSanitizer
-# (-DMCDS_SANITIZE_THREAD=ON) and runs only the threaded suites (the
-# Par* tests drive the pool, the batch engine and the parallel builder/
-# validator overloads; the Dyn* suites drive the incremental engine,
-# including concurrent independent engines); the remaining serial suites
-# learn nothing from TSan and would multiply the runtime ~10x.
+# (-DMCDS_SANITIZE_THREAD=ON) and runs only the threaded suites plus the
+# Km* fault-tolerance suites (the Par* tests drive the pool, the batch
+# engine and the parallel builder/validator overloads; the Dyn* suites
+# drive the incremental engine, including concurrent independent
+# engines; the Km* suites exercise the (k,m) builders and the
+# crash-survival harness). The remaining serial suites learn nothing
+# from TSan and would multiply the runtime ~10x.
 #
 # RUN_BENCH=1 additionally records a performance snapshot via
 # scripts/bench_snapshot.sh (opt-in: the google-benchmark run takes
@@ -29,7 +31,7 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
 elif [[ "${SANITIZE:-0}" == "tsan" ]]; then
   BUILD_DIR=build-tsan
   cmake_extra=(-DMCDS_SANITIZE_THREAD=ON -DMCDS_BUILD_BENCH=OFF)
-  ctest_extra=(-R '^(Par|Dyn|Streams/Dyn)')
+  ctest_extra=(-R '^(Par|Dyn|Streams/Dyn|Km)')
 fi
 
 # Prefer Ninja when available, but match ROADMAP's tier-1 command (the
@@ -57,6 +59,13 @@ trap 'rm -rf "$obs_dir"' EXIT
 "$BUILD_DIR"/examples/mcds_cli dist --in "$obs_dir/smoke.pts" --algo greedy \
   --drop 0.05 --seed 7 --trace "$obs_dir/smoke_trace.json" \
   --metrics "$obs_dir/smoke_metrics.json" >/dev/null
+# (k,m)-CDS smoke check: the fault-tolerant solve path must build a
+# backbone that its own witness validator accepts (non-zero exit and the
+# defect description otherwise).
+"$BUILD_DIR"/examples/mcds_cli solve --in "$obs_dir/smoke.pts" --km 2,2 \
+  --quiet | grep -q '^algorithm: kmcds (2,2)$'
+echo "(k,m)-CDS smoke check passed"
+
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$obs_dir/smoke_trace.json" "$obs_dir/smoke_metrics.json" <<'EOF'
 import json, sys

@@ -2,10 +2,12 @@
 
 namespace mcds::core {
 
-// The two supported storage layouts are instantiated here once: the CSR
-// hot path (ConnectorEngine) and the nested-vector baseline the
-// locality benchmarks compare against.
-template class BasicConnectorEngine<graph::FrozenGraph>;
-template class BasicConnectorEngine<graph::NestedView>;
+// The supported storage/policy combinations are instantiated here once:
+// the CSR hot path (ConnectorEngine), the nested-vector baseline the
+// locality benchmarks compare against, and the node-weighted CSR engine
+// behind kmcds_weighted.
+template class BasicConnectorEngine<graph::FrozenGraph, UnitGainPolicy>;
+template class BasicConnectorEngine<graph::NestedView, UnitGainPolicy>;
+template class BasicConnectorEngine<graph::FrozenGraph, NodeWeightedGainPolicy>;
 
 }  // namespace mcds::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <queue>
 #include <span>
@@ -28,22 +29,66 @@
 ///     (a node not adjacent to c sees only merges). The engine therefore
 ///     re-scores and re-pushes every non-member neighbor of each added
 ///     connector, restoring the upper-bound invariant.
-/// With the heap ordered by (gain desc, node id asc), the first popped
-/// entry whose stored gain matches its re-computed gain is exactly the
-/// node the reference picks: maximum gain, ties to the smallest id. The
+/// With the heap ordered by (score desc, node id asc), the first popped
+/// entry whose stored score matches its re-computed score is exactly the
+/// node the reference picks: maximum score, ties to the smallest id. The
 /// differential test suite pins trace-for-trace equality.
 ///
-/// The engine is a template over the adjacency view (graph::FrozenGraph
-/// for the CSR hot path, graph::NestedView for the retained
-/// vector-of-vectors layout) so the locality benchmarks can run the
-/// *same* selection code over both storage schemes; ConnectorEngine is
-/// the CSR instantiation every production caller uses.
+/// The engine is a template over two axes:
+///  * the adjacency view (graph::FrozenGraph for the CSR hot path,
+///    graph::NestedView for the retained vector-of-vectors layout), so
+///    the locality benchmarks run the *same* selection code over both
+///    storage schemes;
+///  * the *selection policy*, which owns the scoring function (how a
+///    merge count ranks against other candidates — unit gain, or gain
+///    per unit of node weight) and the feasibility predicate (when the
+///    phase is done). UnitGainPolicy reproduces the paper's plain-CDS
+///    selection bit for bit; NodeWeightedGainPolicy ranks by
+///    gain/weight for the node-weighted (1,m)-CDS family (kmcds.hpp).
+/// ConnectorEngine is the CSR + unit-gain instantiation every plain-CDS
+/// production caller uses.
+///
+/// Policy requirements (duck-typed; both shipped policies model it):
+///   using Score = <totally ordered, equality-comparable value type>;
+///   Score score(NodeId w, std::size_t distinct) const;
+///       priority of adding w given it currently touches `distinct`
+///       member components (only called with distinct >= 2). Must be
+///       non-increasing in member-set growth for a fixed w — i.e.
+///       monotone in `distinct` — or the lazy queue loses exactness.
+///   bool done(std::size_t q) const;
+///       feasibility target: true once q components are acceptable.
 
 namespace mcds::core {
 
-/// Incremental max-gain connector selection over a growing member set.
+/// The paper's plain-CDS policy: score = gain = distinct − 1, run until
+/// one component remains. Selection order is bit-identical to the
+/// pre-policy engine (same Score type, same comparisons).
+struct UnitGainPolicy {
+  using Score = std::uint32_t;
+  [[nodiscard]] Score score(NodeId /*w*/, std::size_t distinct) const noexcept {
+    return static_cast<Score>(distinct - 1);
+  }
+  [[nodiscard]] bool done(std::size_t q) const noexcept { return q <= 1; }
+};
+
+/// Node-weighted selection for the weighted (k,m)-CDS family: score =
+/// gain / weight(w), so a cheap node that merges two components beats an
+/// expensive one that merges three when the price ratio says so. Weights
+/// must be positive; ties (equal ratios) still resolve to the smallest
+/// node id via the engine's ordering.
+struct NodeWeightedGainPolicy {
+  std::span<const double> weight;  ///< weight[v] > 0, one per node
+  using Score = double;
+  [[nodiscard]] Score score(NodeId w, std::size_t distinct) const {
+    return static_cast<double>(distinct - 1) / weight[w];
+  }
+  [[nodiscard]] bool done(std::size_t q) const noexcept { return q <= 1; }
+};
+
+/// Incremental max-score connector selection over a growing member set.
 /// \tparam View a by-value adjacency view: num_nodes(), neighbors(u).
-template <class View>
+/// \tparam Policy the scoring/feasibility policy (see file comment).
+template <class View, class Policy = UnitGainPolicy>
 class BasicConnectorEngine {
  public:
   /// Seeds the engine with \p members (phase-1 dominators; any duplicate
@@ -52,8 +97,9 @@ class BasicConnectorEngine {
   /// \p obs (null sinks by default) counts union-find finds/merges and
   /// lazy-queue pops/stale re-scores under "connector_engine.*".
   BasicConnectorEngine(View g, std::span<const NodeId> members,
-                       const obs::Obs& obs = {})
+                       Policy policy = {}, const obs::Obs& obs = {})
       : g_(g),
+        policy_(std::move(policy)),
         uf_(g.num_nodes()),
         member_(g.num_nodes(), false),
         mark_(g.num_nodes(), 0),
@@ -82,7 +128,7 @@ class BasicConnectorEngine {
         }
       }
     }
-    if (q_ <= 1) return;
+    if (policy_.done(q_)) return;
     // Seed the lazy queue: per Lemma 9 a positive-gain node always exists
     // while q > 1, and any node that becomes positive later is a neighbor
     // of an added connector, which select_next() refreshes.
@@ -91,16 +137,23 @@ class BasicConnectorEngine {
     }
   }
 
+  /// Convenience overload for the default-constructed policy, keeping
+  /// the pre-policy (g, members, obs) call sites source-compatible.
+  BasicConnectorEngine(View g, std::span<const NodeId> members,
+                       const obs::Obs& obs)
+      : BasicConnectorEngine(g, members, Policy{}, obs) {}
+
   /// Number of connected components of G[members] right now.
   [[nodiscard]] std::size_t components() const noexcept { return q_; }
 
-  /// True once one component remains (phase 2 is finished).
-  [[nodiscard]] bool done() const noexcept { return q_ <= 1; }
+  /// True once the policy's feasibility target holds (plain CDS: one
+  /// component remains — phase 2 is finished).
+  [[nodiscard]] bool done() const noexcept { return policy_.done(q_); }
 
-  /// Selects the maximum-gain connector (ties toward the smaller node
+  /// Selects the maximum-score connector (ties toward the smaller node
   /// id), adds it to the member set and merges the components it touches.
   /// Throws std::logic_error if no positive-gain node exists although
-  /// more than one component remains (the seed was not a maximal
+  /// the feasibility target is unmet (the seed was not a maximal
   /// independent set of a connected graph — cf. Lemma 9).
   GreedyStep select_next() {
     if (auto step = poll()) return *step;
@@ -126,12 +179,13 @@ class BasicConnectorEngine {
         if (c_retired_) c_retired_->add();
         continue;  // gain collapsed to zero: retire the node
       }
-      const auto gain = static_cast<std::uint32_t>(distinct - 1);
-      if (gain != top.gain) {
-        heap_.push({gain, top.node});  // stale: re-score and keep popping
+      const auto score = policy_.score(top.node, distinct);
+      if (score != top.score) {
+        heap_.push({score, top.node});  // stale: re-score and keep popping
         if (c_stale_) c_stale_->add();
         continue;
       }
+      const auto gain = static_cast<std::uint32_t>(distinct - 1);
       const GreedyStep step{top.node, q_, gain};
       member_[top.node] = true;
       for (const NodeId v : g_.neighbors(top.node)) {
@@ -150,11 +204,11 @@ class BasicConnectorEngine {
 
  private:
   struct Entry {
-    std::uint32_t gain;
+    typename Policy::Score score;
     NodeId node;
     friend bool operator<(const Entry& a, const Entry& b) noexcept {
-      if (a.gain != b.gain) return a.gain < b.gain;  // max-gain first
-      return a.node > b.node;                        // then smallest id
+      if (a.score != b.score) return a.score < b.score;  // max-score first
+      return a.node > b.node;                            // then smallest id
     }
   };
 
@@ -179,11 +233,12 @@ class BasicConnectorEngine {
   void push_if_candidate(NodeId w) {
     const std::size_t distinct = distinct_adjacent(w);
     if (distinct >= 2) {
-      heap_.push({static_cast<std::uint32_t>(distinct - 1), w});
+      heap_.push({policy_.score(w, distinct), w});
     }
   }
 
   View g_;
+  Policy policy_;
   graph::UnionFind uf_;
   std::vector<bool> member_;
   std::priority_queue<Entry> heap_;
@@ -198,16 +253,32 @@ class BasicConnectorEngine {
   obs::Counter* c_retired_ = nullptr;
 };
 
-extern template class BasicConnectorEngine<graph::FrozenGraph>;
-extern template class BasicConnectorEngine<graph::NestedView>;
+extern template class BasicConnectorEngine<graph::FrozenGraph,
+                                           UnitGainPolicy>;
+extern template class BasicConnectorEngine<graph::NestedView, UnitGainPolicy>;
+extern template class BasicConnectorEngine<graph::FrozenGraph,
+                                           NodeWeightedGainPolicy>;
 
-/// The production engine: the CSR-view instantiation, constructible
-/// straight from a finalized Graph.
+/// The production engine: the CSR-view, unit-gain instantiation,
+/// constructible straight from a finalized Graph.
 class ConnectorEngine : public BasicConnectorEngine<graph::FrozenGraph> {
  public:
   ConnectorEngine(const Graph& g, std::span<const NodeId> members,
                   const obs::Obs& obs = {})
-      : BasicConnectorEngine(graph::FrozenGraph(g), members, obs) {}
+      : BasicConnectorEngine(graph::FrozenGraph(g), members, UnitGainPolicy{},
+                             obs) {}
+};
+
+/// The node-weighted engine used by kmcds_weighted's phase 2. \p weight
+/// must outlive the engine (the policy holds a span).
+class WeightedConnectorEngine
+    : public BasicConnectorEngine<graph::FrozenGraph, NodeWeightedGainPolicy> {
+ public:
+  WeightedConnectorEngine(const Graph& g, std::span<const NodeId> members,
+                          std::span<const double> weight,
+                          const obs::Obs& obs = {})
+      : BasicConnectorEngine(graph::FrozenGraph(g), members,
+                             NodeWeightedGainPolicy{weight}, obs) {}
 };
 
 }  // namespace mcds::core

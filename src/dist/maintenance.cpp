@@ -23,6 +23,7 @@ SelfHealingCds::SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
   for (std::size_t i = 0; i < 5; ++i) {
     c_action_[i] = obs_.counter(kActionName[i]);
   }
+  c_unhealable_ = obs_.counter("heal.unhealable");
   for (const NodeId v : cds_) {
     if (v >= g_.num_nodes()) {
       throw std::invalid_argument("SelfHealingCds: cds node out of range");
@@ -33,6 +34,7 @@ SelfHealingCds::SelfHealingCds(const Graph& g, std::vector<NodeId> cds,
         "SelfHealingCds: rebuild_fraction must be in [0, 1]");
   }
   std::sort(cds_.begin(), cds_.end());
+  if (!cds_.empty()) last_good_ = view();
 }
 
 void SelfHealingCds::set_island(std::vector<NodeId> island) {
@@ -73,6 +75,19 @@ HealReport SelfHealingCds::on_churn(const std::vector<bool>& up) {
   HealReport report = heal(up);
   if (cds_ != before) ++epoch_;
   report.epoch = epoch_;
+  if (report.action == HealAction::kUnhealable) {
+    // Degraded mode: nothing live in scope. Report what we are coasting
+    // on — the newest view that still had an in-scope backbone — so an
+    // operator can tell an empty island from a healer that gave up.
+    report.degraded.last_good_epoch = last_good_.epoch;
+    report.degraded.last_good_members = last_good_.cds.size();
+    report.degraded.consecutive = ++consecutive_unhealable_;
+    if (c_unhealable_) c_unhealable_->add();
+  } else {
+    consecutive_unhealable_ = 0;
+    const BackboneView now = view();
+    if (!now.cds.empty()) last_good_ = now;
+  }
   if (auto* c = c_action_[static_cast<std::size_t>(report.action)]) c->add();
   if (obs_.metrics) {
     obs_.metrics->histogram("maintenance.added").record(

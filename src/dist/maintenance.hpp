@@ -46,6 +46,20 @@ struct MaintenanceParams {
   double rebuild_fraction = 0.34;
 };
 
+/// Degraded-mode detail attached to a kUnhealable pass: the pass found
+/// nothing live to maintain, so the driver is coasting on its last good
+/// state. Distinguishes "this island is empty" (an operator can ignore
+/// it) from "the healer gave up on a populated scope" (it cannot).
+struct DegradedReport {
+  /// Epoch of the last pass that left a non-empty in-scope backbone —
+  /// the newest BackboneView worth replaying when the scope repopulates.
+  std::size_t last_good_epoch = 0;
+  /// In-scope backbone size at that epoch.
+  std::size_t last_good_members = 0;
+  /// Consecutive kUnhealable passes ending with this one.
+  std::size_t consecutive = 0;
+};
+
 /// Report of one on_churn() / reconcile() pass.
 struct HealReport {
   HealAction action = HealAction::kIntact;
@@ -57,6 +71,7 @@ struct HealReport {
   std::size_t islands = 0;    ///< connected components healed over
   std::size_t epoch = 0;      ///< replica epoch after this pass
   RunStats stats;             ///< distributed cost (kRebuilt only)
+  DegradedReport degraded;    ///< kUnhealable only (zeroed otherwise)
 };
 
 /// One replica's epoch-stamped claim about the backbone: which nodes it
@@ -112,6 +127,14 @@ class SelfHealingCds {
   /// Heal passes that changed this replica's backbone.
   [[nodiscard]] std::size_t epoch() const noexcept { return epoch_; }
 
+  /// The newest epoch-stamped view whose in-scope backbone was
+  /// non-empty — what a degraded (kUnhealable) replica is coasting on,
+  /// and the state worth replaying once its scope repopulates. Empty
+  /// island/cds at epoch 0 if no pass ever had a backbone.
+  [[nodiscard]] const BackboneView& last_good_view() const noexcept {
+    return last_good_;
+  }
+
   /// The current backbone, full-graph ids, ascending. After a heal every
   /// in-scope member is live; a valid CDS forest of the survivor graph
   /// unless the last report said kUnhealable.
@@ -128,10 +151,14 @@ class SelfHealingCds {
   /// Island restriction (ascending; empty = whole graph in scope).
   std::vector<NodeId> island_;
   std::size_t epoch_ = 0;
+  /// Degraded-mode bookkeeping (see last_good_view()).
+  BackboneView last_good_;
+  std::size_t consecutive_unhealable_ = 0;
   obs::Obs obs_;
   /// Pre-resolved per-action counters, indexed by HealAction; nullptr
   /// when metrics are off.
   obs::Counter* c_action_[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
+  obs::Counter* c_unhealable_ = nullptr;  ///< "heal.unhealable"
 };
 
 }  // namespace mcds::dist

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kmcds.hpp"
+#include "dist/fault.hpp"
+#include "udg/mobility.hpp"
+
+/// \file survivability.hpp
+/// Crash-survival harness for the (k,m)-CDS family: drive one backbone
+/// variant through a seeded fault timeline — a dist::FaultPlan crash
+/// schedule on a static topology, or a udg::churn_schedule trace where
+/// mobility rewires the graph while nodes crash and recover — and
+/// measure how long the *un-healed* backbone stays valid, how much
+/// coverage it retains at its worst, and what a reactive
+/// SelfHealingCds driven over the same timeline pays in recruits. The
+/// E27 experiment tabulates these numbers for plain CDS vs (1,2),
+/// (2,1) and (2,2): m >= 2 keeps domination through the first crash by
+/// construction, k = 2 keeps connectivity, and the plain (1,1)
+/// backbone shows why repair-after-break needs the healer at all.
+
+namespace mcds::dist {
+
+/// One backbone under test: a display name plus the (k,m) it is built
+/// with ((1,1) = the paper's plain CDS over the same engine).
+struct SurvivabilityVariant {
+  std::string name;
+  core::KmParams params;
+  NodeId root = 0;  ///< phase-1 BFS root
+};
+
+/// Outcome of one (variant, timeline) run. "Invalid" is judged on the
+/// original backbone with crashed members removed and *no healing*:
+/// domination = every live non-member keeps a live member neighbor
+/// (memberless survivor islands count as losses), connectivity = the
+/// live members inside each survivor component stay connected.
+struct SurvivabilityReport {
+  std::string name;
+  core::KmParams params;
+  std::size_t backbone_size = 0;  ///< members built on the initial topology
+  std::size_t events = 0;         ///< fault events driven
+  /// 1-based index of the first event after which domination
+  /// (resp. member connectivity) no longer held; 0 = survived them all.
+  std::size_t first_domination_loss = 0;
+  std::size_t first_disconnection = 0;
+  /// Worst fraction, over all events, of live non-members that still
+  /// had a live member neighbor.
+  double min_coverage = 1.0;
+  /// Reactive-healing cost of the same timeline: passes where the
+  /// shadowing SelfHealingCds had to change the backbone, and the
+  /// total nodes it recruited.
+  std::size_t heal_passes = 0;
+  std::size_t heal_added = 0;
+
+  /// Events survived before the first invalidity (== events when the
+  /// backbone never went invalid) — the headline E27 number.
+  [[nodiscard]] std::size_t events_until_invalid() const noexcept {
+    std::size_t first = first_domination_loss;
+    if (first_disconnection != 0 &&
+        (first == 0 || first_disconnection < first)) {
+      first = first_disconnection;
+    }
+    return first == 0 ? events : first - 1;
+  }
+};
+
+/// Builds the variant's backbone on \p g and replays \p plan's crash
+/// schedule event by event (links and partitions do not move nodes, so
+/// only the fail-stop schedule matters here). Requires a connected
+/// topology; throws std::invalid_argument on an invalid plan or an
+/// out-of-range scheduled node.
+[[nodiscard]] SurvivabilityReport survive_fault_plan(
+    const Graph& g, const SurvivabilityVariant& variant,
+    const FaultPlan& plan, const obs::Obs& obs = {});
+
+/// Builds the variant's backbone on \p initial and replays a mobility
+/// churn trace: each epoch contributes its rewired topology and its
+/// crash/recovery outcome as one event. The reactive healer is re-seeded
+/// per epoch with the epoch's topology (its carried state is the healed
+/// backbone itself). All epochs must keep \p initial's node count.
+[[nodiscard]] SurvivabilityReport survive_churn(
+    const Graph& initial, std::span<const udg::ChurnEpoch> epochs,
+    const SurvivabilityVariant& variant, const obs::Obs& obs = {});
+
+/// Exhaustive single-fault check behind the survive-by-construction
+/// claims: true iff, for *every* single member crash, every live
+/// non-member of the survivor graph keeps a live member neighbor. Holds
+/// by construction for m >= 2 backbones (coverage degrades m -> m-1);
+/// plain CDS and (2,1) can fail it through a node with a unique
+/// dominator.
+[[nodiscard]] bool dominates_after_any_single_member_crash(
+    const Graph& g, std::span<const NodeId> backbone);
+
+/// Companion connectivity check: true iff, for every single member
+/// crash, the surviving members inside each component of G - v stay
+/// connected through surviving members. Holds for k = 2 backbones
+/// (every inexcusable cut vertex was patched away).
+[[nodiscard]] bool connected_after_any_single_member_crash(
+    const Graph& g, std::span<const NodeId> backbone);
+
+}  // namespace mcds::dist

@@ -68,4 +68,42 @@ std::size_t connected_domination_number_brute_force(const SmallGraph& g) {
   return best;
 }
 
+bool is_m_fold_cds(const SmallGraph& g, Mask s, std::uint32_t m) {
+  s &= g.all();
+  if (s == 0) return false;
+  Mask outside = g.all() & ~s;
+  while (outside != 0) {
+    const graph::NodeId v = graph::lowest_bit(outside);
+    outside &= outside - 1;
+    if (static_cast<std::uint32_t>(graph::popcount(g.neighbors(v) & s)) < m) {
+      return false;
+    }
+  }
+  return g.is_connected(s);
+}
+
+std::size_t m_fold_cds_number_brute_force(const SmallGraph& g,
+                                          std::uint32_t m) {
+  check_size(g);
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("m-fold connected domination: empty graph");
+  }
+  if (!g.is_connected(g.all())) {
+    throw std::invalid_argument(
+        "m-fold connected domination: disconnected graph");
+  }
+  const Mask end = g.all();
+  // The full vertex set always qualifies (vacuous coverage), so the
+  // minimum is well defined for every m.
+  std::size_t best = g.num_nodes();
+  for (Mask s = 1;; ++s) {
+    if (is_m_fold_cds(g, s, m)) {
+      best = std::min<std::size_t>(best,
+                                   static_cast<std::size_t>(graph::popcount(s)));
+    }
+    if (s == end) break;
+  }
+  return best;
+}
+
 }  // namespace mcds::exact

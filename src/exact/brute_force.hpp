@@ -21,4 +21,17 @@ namespace mcds::exact {
 [[nodiscard]] std::size_t connected_domination_number_brute_force(
     const graph::SmallGraph& g);
 
+/// The (1,m)-CDS predicate on a subset mask: \p s is non-empty, every
+/// node outside \p s has at least \p m neighbors inside it, and G[s] is
+/// connected. The exact counterpart of core::check_kmcds with k = 1 —
+/// the differential suite pins the two against each other.
+[[nodiscard]] bool is_m_fold_cds(const graph::SmallGraph& g, graph::Mask s,
+                                 std::uint32_t m);
+
+/// Minimum size of a (1,m)-CDS by enumerating all 2^n subsets, or
+/// num_nodes() when only the full vertex set qualifies (V always does:
+/// no outside node remains). Preconditions: n <= 25 and g connected.
+[[nodiscard]] std::size_t m_fold_cds_number_brute_force(
+    const graph::SmallGraph& g, std::uint32_t m);
+
 }  // namespace mcds::exact

@@ -151,5 +151,41 @@ TEST(CheckCds, AgreesWithIsCds) {
   }
 }
 
+// An empty member set on a non-empty graph: the forest predicate has no
+// kEmpty short-circuit — every node of every component is undominated,
+// and the smallest one is the witness.
+TEST(CheckCdsComponents, EmptyMemberSet) {
+  const Graph g = test::make_path(4);
+  const auto c = check_cds_components(g, std::vector<NodeId>{});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kUndominated);
+  EXPECT_EQ(c.witness, 0u);
+}
+
+// One island lost all of its members (they crashed): the other island's
+// intact backbone does not excuse it — the memberless island's smallest
+// node is the witness.
+TEST(CheckCdsComponents, AllMembersCrashedInOneIsland) {
+  // Two triangles: {0,1,2} and {3,4,5}. Members only in the first.
+  const Graph g = mcds::test::make_graph(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  const auto c = check_cds_components(g, std::vector<NodeId>{0});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kUndominated);
+  EXPECT_EQ(c.witness, 3u);
+  // With one member per island the forest is whole again.
+  EXPECT_TRUE(check_cds_components(g, std::vector<NodeId>{0, 3}).ok);
+}
+
+// A single-node island dominates itself iff it is its own member; no
+// connectivity obligation attaches to it either way.
+TEST(CheckCdsComponents, SingleNodeIsland) {
+  const Graph g = mcds::test::make_graph(4, {{0, 1}, {1, 2}});  // path 0-1-2 plus isolated node 3
+  EXPECT_TRUE(check_cds_components(g, std::vector<NodeId>{1, 3}).ok);
+  const auto c = check_cds_components(g, std::vector<NodeId>{1});
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.defect, CdsDefect::kUndominated);
+  EXPECT_EQ(c.witness, 3u);
+}
+
 }  // namespace
 }  // namespace mcds::core

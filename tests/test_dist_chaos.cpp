@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <string>
@@ -95,6 +97,16 @@ Graph chaos_udg(std::uint64_t seed) {
   return inst->graph;
 }
 
+// Base offset for the graph seeds: scripts/chaos_fuzz.sh rotates it
+// (CHAOS_FUZZ_SEED) so every fuzz iteration explores a fresh slice of
+// the instance space; the default 0 keeps the deterministic CI grid.
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("CHAOS_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0;
+}
+
 struct Baseline {
   RunStats stats;
   std::vector<NodeId> mis;
@@ -170,7 +182,9 @@ void check_healing(const std::string& tag, const Graph& g,
 
 TEST(Chaos, RandomizedFaultGrid) {
   std::size_t pairs = 0;
-  for (std::uint64_t gseed = 0; gseed < kGraphSeeds; ++gseed) {
+  const std::uint64_t base = base_seed();
+  for (std::uint64_t i = 0; i < kGraphSeeds; ++i) {
+    const std::uint64_t gseed = base + i;
     const Graph g = chaos_udg(gseed);
     for (std::size_t ci = 0; ci < std::size(kCases); ++ci) {
       const FaultCase& fc = kCases[ci];

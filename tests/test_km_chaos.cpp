@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/kmcds.hpp"
+#include "dist/fault.hpp"
+#include "dist/fault_json.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "sim/rng.hpp"
+#include "udg/instance.hpp"
+
+/// \file test_km_chaos.cpp
+/// Chaos fuzzing for the (k,m)-CDS survive-by-construction guarantees.
+/// Each scenario draws a random connected UDG, builds a (k,m) backbone
+/// once, and replays a random crash/recovery schedule against it with
+/// *no healing*. After every event, with c = currently-down members:
+///  * m-domination degradation: every live non-member keeps >= m - c
+///    live member neighbors (coverage decays at most one per down
+///    member — the invariant behind "m >= 2 survives one crash");
+///  * fragment connectivity (k = 2, c <= 1): the surviving members
+///    inside each component of the survivor graph stay connected (the
+///    k = 2 augmentation removed every avoidable cut vertex, and an
+///    unavoidable one takes its whole topology side with it).
+/// A deliberately weakened variant — a (1,2) backbone asserted against
+/// the k = 2 invariant, i.e. the biconnect phase "forgotten" — must be
+/// caught and ddmin-shrunk to a tiny replayable schedule, printed as
+/// JSON + seed exactly like the partition chaos suite. CHAOS_FUZZ_SEED
+/// and CHAOS_FUZZ_OUT drive open-ended campaigns via
+/// scripts/chaos_fuzz.sh.
+
+namespace {
+
+using mcds::core::KmParams;
+using mcds::graph::Graph;
+using mcds::graph::NodeId;
+using namespace mcds::dist;
+
+constexpr std::size_t kScenarios = 160;
+constexpr std::size_t kNodes = 22;
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("CHAOS_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+Graph chaos_udg(std::uint64_t seed) {
+  mcds::udg::InstanceParams params;
+  params.nodes = kNodes;
+  params.side = 5.0;
+  params.radius = 1.6;
+  auto inst = mcds::udg::generate_connected_instance(params, seed);
+  EXPECT_TRUE(inst.has_value()) << "graph seed " << seed;
+  return inst->graph;
+}
+
+// Crash-heavy plan: up to 8 crashes, some with later recoveries (so the
+// down-member count c rises and falls across the replay).
+FaultPlan random_crash_plan(mcds::sim::Rng& rng, std::size_t n) {
+  FaultPlan plan;
+  plan.seed = rng();
+  const std::size_t crashes = 1 + rng.uniform_int(8);
+  for (std::size_t i = 0; i < crashes; ++i) {
+    const auto node = static_cast<NodeId>(rng.uniform_int(n));
+    const auto round = 1 + static_cast<std::size_t>(rng.uniform_int(24));
+    plan.schedule.push_back({round, node, false});
+    if (rng.uniform_int(2) == 0) {
+      plan.schedule.push_back(
+          {round + 1 + static_cast<std::size_t>(rng.uniform_int(8)), node,
+           true});
+    }
+  }
+  return plan;
+}
+
+// The invariants of one (backbone, liveness) state. \p params is what
+// the backbone *claims* to be — the broken leg claims more than it
+// built.
+std::optional<std::string> check_km_invariants(
+    const Graph& g, const std::vector<bool>& up,
+    const std::vector<NodeId>& backbone, KmParams params,
+    const std::string& when) {
+  std::vector<std::uint8_t> in_backbone(g.num_nodes(), 0);
+  for (const NodeId v : backbone) in_backbone[v] = 1;
+  std::size_t down_members = 0;
+  for (const NodeId v : backbone) {
+    if (!up[v]) ++down_members;
+  }
+
+  // m-domination degradation: coverage >= m - c for live non-members.
+  if (params.m > down_members) {
+    const std::size_t need = params.m - down_members;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!up[v] || in_backbone[v]) continue;
+      std::size_t cover = 0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (up[u] && in_backbone[u] && ++cover >= need) break;
+      }
+      if (cover < need) {
+        return when + ": node " + std::to_string(v) + " has " +
+               std::to_string(cover) + " live dominators, needs " +
+               std::to_string(need) + " (m = " + std::to_string(params.m) +
+               ", down members = " + std::to_string(down_members) + ")";
+      }
+    }
+  }
+
+  // Fragment connectivity: with at most one member down, a k = 2
+  // backbone's survivors stay connected inside every survivor component.
+  if (params.k == 2 && down_members <= 1) {
+    std::vector<NodeId> live;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (up[v]) live.push_back(v);
+    }
+    if (!live.empty()) {
+      const auto sub = mcds::graph::induced_subgraph(g, live);
+      const auto [comp, num_comps] =
+          mcds::graph::connected_components(sub.graph);
+      std::vector<std::vector<NodeId>> members_of(num_comps);
+      for (NodeId i = 0; i < sub.mapping.size(); ++i) {
+        if (in_backbone[sub.mapping[i]]) members_of[comp[i]].push_back(i);
+      }
+      for (const auto& members : members_of) {
+        if (members.size() < 2) continue;
+        if (mcds::graph::count_components_subset(sub.graph, members) > 1) {
+          return when + ": surviving members split inside one survivor "
+                        "component (down members = " +
+                 std::to_string(down_members) + ")";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Replays \p plan against a fixed backbone (no healing), asserting the
+// claimed invariants after every event.
+std::optional<std::string> run_scenario(const Graph& g, const FaultPlan& plan,
+                                        const std::vector<NodeId>& backbone,
+                                        KmParams claimed) {
+  std::vector<bool> up(g.num_nodes(), true);
+  std::size_t event = 0;
+  for (const CrashEvent& e : plan.schedule) {
+    if (e.node < g.num_nodes()) up[e.node] = e.up;
+    ++event;
+    if (auto fail = check_km_invariants(g, up, backbone, claimed,
+                                        "event " + std::to_string(event))) {
+      return fail;
+    }
+  }
+  return std::nullopt;
+}
+
+// ddmin-style shrinking: greedily delete schedule events while the
+// scenario still fails, to a fixpoint.
+FaultPlan shrink_plan(const Graph& g, FaultPlan plan,
+                      const std::vector<NodeId>& backbone, KmParams claimed) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < plan.schedule.size(); ++i) {
+      FaultPlan candidate = plan;
+      candidate.schedule.erase(candidate.schedule.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      if (run_scenario(g, candidate, backbone, claimed).has_value()) {
+        plan = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+void archive_repro(const FaultPlan& plan, std::uint64_t gseed,
+                   const std::string& tag) {
+  if (const char* dir = std::getenv("CHAOS_FUZZ_OUT")) {
+    save_fault_plan(plan, std::string(dir) + "/" + tag + "_graph" +
+                              std::to_string(gseed) + ".json");
+  }
+}
+
+}  // namespace
+
+// The real constructions must hold their invariants across every random
+// crash schedule; a failure shrinks before it reports.
+TEST(KmChaos, RandomizedCrashSchedulesHoldInvariants) {
+  const std::uint64_t base = base_seed();
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    const std::uint64_t gseed = base + i % 23;
+    const Graph g = chaos_udg(gseed);
+    mcds::sim::Rng rng(base * 6151 + i);
+    const FaultPlan plan = random_crash_plan(rng, g.num_nodes());
+    SCOPED_TRACE("scenario " + std::to_string(i) + ", graph seed " +
+                 std::to_string(gseed));
+
+    for (const KmParams params :
+         {KmParams{1, 2}, KmParams{2, 1}, KmParams{2, 2}}) {
+      const auto built = mcds::core::kmcds(g, params);
+      if (auto fail = run_scenario(g, plan, built.backbone, params)) {
+        const FaultPlan minimized =
+            shrink_plan(g, plan, built.backbone, params);
+        archive_repro(minimized, gseed, "km_healthy");
+        ADD_FAILURE() << "(" << params.k << "," << params.m << ") " << *fail
+                      << "\nminimized repro (" << minimized.schedule.size()
+                      << " events), graph seed " << gseed << ":\n"
+                      << to_json(minimized);
+        return;
+      }
+    }
+  }
+}
+
+// A (1,2) backbone asserted as (2,2) — the biconnect phase "forgotten" —
+// must be caught by the fragment-connectivity invariant and shrink to a
+// tiny schedule that replays deterministically from its JSON.
+TEST(KmChaos, MissingBiconnectPhaseIsCaughtAndShrunk) {
+  const std::uint64_t base = base_seed();
+  const KmParams claimed{2, 2};
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    const std::uint64_t gseed = base + i % 23;
+    const Graph g = chaos_udg(gseed);
+    mcds::sim::Rng rng(base * 9973 + i);
+    const FaultPlan plan = random_crash_plan(rng, g.num_nodes());
+    const auto weakened = mcds::core::kmcds(g, {1, 2});
+    if (!run_scenario(g, plan, weakened.backbone, claimed)) continue;
+
+    const FaultPlan minimized =
+        shrink_plan(g, plan, weakened.backbone, claimed);
+    EXPECT_LE(minimized.schedule.size(), 3u)
+        << "shrink left " << minimized.schedule.size() << " events";
+    EXPECT_GE(minimized.schedule.size(), 1u)
+        << "weakened backbone failed with no fault at all";
+
+    const FaultPlan replayed = fault_plan_from_json(to_json(minimized));
+    const auto replay_a = run_scenario(g, replayed, weakened.backbone, claimed);
+    const auto replay_b = run_scenario(g, replayed, weakened.backbone, claimed);
+    ASSERT_TRUE(replay_a.has_value())
+        << "minimized plan no longer fails after JSON round-trip";
+    EXPECT_EQ(*replay_a, *replay_b) << "minimized repro is not deterministic";
+    archive_repro(minimized, gseed, "km_broken");
+
+    std::cout << "caught missing biconnect phase; minimized repro ("
+              << minimized.schedule.size() << " events), graph seed " << gseed
+              << ": " << to_json(minimized) << "\n";
+    return;  // one caught-and-shrunk repro is the acceptance criterion
+  }
+  FAIL() << "weakened (1,2)-as-(2,2) variant was never caught";
+}

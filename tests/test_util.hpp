@@ -12,6 +12,15 @@ namespace mcds::test {
 using graph::Graph;
 using graph::NodeId;
 
+/// Graph on n nodes from an inline edge list.
+inline Graph make_graph(std::size_t n,
+                        std::initializer_list<std::pair<NodeId, NodeId>> edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
 /// Path graph 0-1-2-...-(n-1).
 inline Graph make_path(std::size_t n) {
   Graph g(n);
