@@ -1,0 +1,142 @@
+// Experiment E28: causal critical paths of the distributed protocols,
+// clean channels vs faulty channels (drop + duplicate + delay over
+// reliable links). Every message carries a causal span; the critical
+// path — the longest send->deliver->send chain — is the convergence
+// lower bound of the protocol run, independent of how the synchronous
+// rounds batched the traffic. Running the three constructions plus the
+// failure detector exercises all 8 protocol phase labels:
+// leader_election, bfs_tree, mis_election, connector_selection,
+// greedy_label, greedy_bid, alzoubi_connect, failure_detector.
+//
+// Falsifiers (proven invariants, the bench fails if one breaks):
+//  - every chain hop occupies >= 1 round, so a trace's critical path
+//    never exceeds the rounds its runtime executed;
+//  - delivered spans never exceed recorded spans;
+//  - the report is byte-identical across repeated executions (the
+//    determinism contract of the logical-clock tracer).
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "dist/alzoubi_protocol.hpp"
+#include "dist/distributed_cds.hpp"
+#include "dist/failure_detector.hpp"
+#include "dist/greedy_protocol.hpp"
+#include "obs/causal.hpp"
+#include "sim/table.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using namespace mcds;
+
+dist::RunConfig faulty_config(obs::CausalTracer* tracer) {
+  dist::RunConfig cfg;
+  cfg.plan.seed = 5;
+  cfg.plan.link.drop = 0.15;
+  cfg.plan.link.duplicate = 0.05;
+  cfg.plan.link.max_delay = 2;
+  cfg.reliable = true;
+  cfg.obs.causal = tracer;
+  return cfg;
+}
+
+/// Runs every protocol once under \p cfg and returns the critical-path
+/// report over all of their traces (one tracer spans the whole sweep).
+obs::CriticalPathReport sweep(const graph::Graph& g, dist::RunConfig cfg,
+                              obs::CausalTracer& tracer,
+                              bench::Falsifier& falsifier) {
+  cfg.obs.causal = &tracer;
+  const auto waf = dist::distributed_waf_cds(g, cfg);
+  const auto greedy = dist::distributed_greedy_cds(g, cfg);
+  const auto alzoubi = dist::distributed_alzoubi_cds(g, cfg);
+  dist::FailureDetectorParams fd;
+  const auto detect = dist::detect_failures(g, cfg, fd);
+
+  falsifier.check(waf.total.critical_path <= waf.total.rounds,
+                  "waf: critical path exceeds rounds executed");
+  falsifier.check(greedy.total.critical_path <= greedy.total.rounds,
+                  "greedy: critical path exceeds rounds executed");
+  falsifier.check(alzoubi.total.critical_path <= alzoubi.total.rounds,
+                  "alzoubi: critical path exceeds rounds executed");
+  falsifier.check(detect.stats.critical_path <= detect.stats.rounds,
+                  "detector: critical path exceeds rounds executed");
+  for (const obs::CausalTraceInfo& t : tracer.traces()) {
+    falsifier.check(t.delivered <= t.spans,
+                    "trace " + t.label + ": delivered > recorded spans");
+  }
+  return obs::critical_path(tracer);
+}
+
+/// Sums per-label critical paths of a report (a label can appear in
+/// several traces: greedy epochs, retries of a phase).
+std::size_t label_total(const obs::CriticalPathReport& report,
+                        const std::string& label) {
+  std::size_t total = 0;
+  for (const auto& t : report.traces) {
+    if (t.label == label) total += t.length;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E28 / causal critical paths",
+                "longest message chains, clean vs faulty channels");
+  bench::Falsifier falsifier;
+
+  const char* const kLabels[] = {
+      "leader_election", "bfs_tree",    "mis_election",    "connector_selection",
+      "greedy_label",    "greedy_bid",  "alzoubi_connect", "failure_detector",
+  };
+
+  for (const std::size_t n : {100u, 250u}) {
+    udg::InstanceParams params;
+    params.nodes = n;
+    params.side = std::sqrt(static_cast<double>(n)) * 0.85;
+    const auto inst = udg::generate_largest_component_instance(params, n + 3);
+    std::cout << "\nn=" << n << " (" << inst.graph.num_edges()
+              << " links):\n";
+
+    obs::CausalTracer clean_tracer;
+    const auto clean =
+        sweep(inst.graph, dist::RunConfig{}, clean_tracer, falsifier);
+    obs::CausalTracer faulty_tracer;
+    const auto faulty = sweep(inst.graph, faulty_config(nullptr),
+                              faulty_tracer, falsifier);
+
+    // Determinism: an identical execution writes an identical report.
+    obs::CausalTracer repeat_tracer;
+    const auto repeat = sweep(inst.graph, faulty_config(nullptr),
+                              repeat_tracer, falsifier);
+    std::ostringstream once, again;
+    faulty.write(once);
+    repeat.write(again);
+    falsifier.check(once.str() == again.str(),
+                    "critical-path report must be byte-identical across "
+                    "identical executions");
+
+    sim::Table table({"phase", "clean cp", "faulty cp"});
+    for (const char* label : kLabels) {
+      table.row()
+          .add(label)
+          .add(label_total(clean, label))
+          .add(label_total(faulty, label));
+      // Every phase of every protocol must have produced a trace.
+      falsifier.check(label_total(clean, label) > 0 || n < 2,
+                      std::string(label) + ": no causal chain recorded");
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "(faulty = 15% drop, 5% duplication, delay <= 2 over "
+               "reliable links; retransmissions extend the original "
+               "chain, so lossy critical paths dominate clean ones)\n";
+
+  falsifier.report("critical_path");
+  return falsifier.exit_code();
+}

@@ -17,6 +17,7 @@
 #include "dist/fault.hpp"
 #include "dist/survivability.hpp"
 #include "dyn/dynamic_cds.hpp"
+#include "obs/causal.hpp"
 #include "obs/obs.hpp"
 #include "exact/exact_cds.hpp"
 #include "graph/small_graph.hpp"
@@ -120,6 +121,22 @@ BENCHMARK(BM_GreedyConnectorsObserved)
     ->Arg(4096)
     ->Arg(16384)
     ->Complexity(benchmark::oNLogN);
+
+// Causal-tracing overhead (BENCH_TOPIC=obs): the full distributed waf
+// construction with a CausalTracer stamping a span per transmission,
+// against BM_FaultFreeRuntime (same construction, null sinks) as the
+// baseline. The delta prices the per-message on_send/on_deliver pair.
+void BM_CausalTracedRuntime(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    obs::CausalTracer tracer;
+    dist::RunConfig cfg;
+    cfg.obs.causal = &tracer;
+    benchmark::DoNotOptimize(dist::distributed_waf_cds(inst.graph, cfg));
+    benchmark::DoNotOptimize(tracer.num_spans());
+  }
+}
+BENCHMARK(BM_CausalTracedRuntime)->Range(64, 512);
 
 // CSR-vs-nested locality head-to-head (BENCH_TOPIC=par): the *same*
 // templated selection code (BasicConnectorEngine) instantiated over the

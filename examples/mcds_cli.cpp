@@ -27,6 +27,17 @@
 //   --trace-jsonl F  one JSON record per line (diff-friendly; the
 //                    logical clock makes identical runs byte-identical)
 //   --metrics F      counter/gauge/histogram registry as one JSON object
+//   --prom F         registry in Prometheus text exposition format
+//   --profile-folded F
+//                    flamegraph-compatible folded stacks aggregated from
+//                    the run's trace spans (pipe into flamegraph.pl)
+//   --snapshot-jsonl F [--snapshot-every N]
+//                    append a timestamped JSONL registry snapshot every
+//                    N instrumented events during long runs (default 1)
+// dist additionally accepts causal tracing:
+//   --critical-path  stamp causal span ids through every message, print
+//                    the longest send->deliver->send chain per phase
+//   --causal-jsonl F dump the full causal DAG, one span per line
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 
@@ -59,7 +70,10 @@
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "graph/metrics.hpp"
+#include "obs/causal.hpp"
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "par/thread_pool.hpp"
 #include "udg/builder.hpp"
 #include "udg/instance.hpp"
@@ -113,7 +127,11 @@ int usage() {
             << "  mcds_cli dynamic --in F [--events N] [--crash P] "
                "[--speed S] [--seed K] [--check-every M]\n"
             << "solve/dist/dynamic observability: [--trace F.json] "
-               "[--trace-jsonl F.jsonl] [--metrics F.json]\n"
+               "[--trace-jsonl F.jsonl] [--metrics F.json] [--prom F.prom] "
+               "[--profile-folded F.folded] [--snapshot-jsonl F.jsonl "
+               "[--snapshot-every N]]\n"
+            << "dist causal tracing: [--critical-path] "
+               "[--causal-jsonl F.jsonl]\n"
             << "solve/dist parallelism: [--threads N] (default: "
                "MCDS_THREADS env, else hardware concurrency)\n";
   return 1;
@@ -125,23 +143,49 @@ struct ObsSinks {
   std::optional<std::string> chrome_path;
   std::optional<std::string> jsonl_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> prom_path;
+  std::optional<std::string> folded_path;
+  std::optional<std::string> causal_path;
+  std::optional<std::string> snapshot_path;
+  bool want_causal = false;
   obs::MetricsRegistry metrics;
   obs::TraceRecorder trace;
+  obs::CausalTracer causal;
+  std::ofstream snapshot_os;
+  std::optional<obs::SnapshotSink> snapshots;
 
   explicit ObsSinks(const Args& args)
       : chrome_path(args.get("trace")),
         jsonl_path(args.get("trace-jsonl")),
-        metrics_path(args.get("metrics")) {}
+        metrics_path(args.get("metrics")),
+        prom_path(args.get("prom")),
+        folded_path(args.get("profile-folded")),
+        causal_path(args.get("causal-jsonl")),
+        snapshot_path(args.get("snapshot-jsonl")),
+        want_causal(args.has_flag("critical-path") ||
+                    args.get("causal-jsonl").has_value()) {
+    if (snapshot_path) {
+      snapshot_os.open(*snapshot_path);
+      if (!snapshot_os) {
+        throw std::runtime_error("cannot write " + *snapshot_path);
+      }
+      const auto every =
+          std::stoul(args.get("snapshot-every").value_or("1"));
+      snapshots.emplace(snapshot_os, every == 0 ? 1 : every);
+    }
+  }
 
   [[nodiscard]] obs::Obs handle() {
     obs::Obs o;
-    if (metrics_path) o.metrics = &metrics;
-    if (chrome_path || jsonl_path) o.trace = &trace;
+    if (metrics_path || prom_path || snapshots) o.metrics = &metrics;
+    if (chrome_path || jsonl_path || folded_path) o.trace = &trace;
+    if (want_causal) o.causal = &causal;
+    if (snapshots) o.snapshots = &*snapshots;
     return o;
   }
 
   /// Writes every requested sink; returns 2 on an unwritable path.
-  int write() const {
+  int write() {
     const auto dump = [](const std::string& path, const auto& emit) {
       std::ofstream os(path);
       if (!os) {
@@ -175,6 +219,40 @@ struct ObsSinks {
           rc != 0) {
         return rc;
       }
+    }
+    if (prom_path) {
+      if (const int rc = dump(*prom_path,
+                              [&](std::ostream& os) {
+                                obs::export_prometheus(metrics, os);
+                              });
+          rc != 0) {
+        return rc;
+      }
+    }
+    if (folded_path) {
+      const auto profile = obs::ProfileTree::build(trace);
+      if (const int rc =
+              dump(*folded_path,
+                   [&](std::ostream& os) { profile.write_folded(os); });
+          rc != 0) {
+        return rc;
+      }
+    }
+    if (causal_path) {
+      if (const int rc = dump(*causal_path,
+                              [&](std::ostream& os) {
+                                obs::write_causal_jsonl(causal, os);
+                              });
+          rc != 0) {
+        return rc;
+      }
+    }
+    if (snapshots) {
+      // Final snapshot so the file always ends with the run's end state.
+      snapshots->snapshot(metrics);
+      snapshot_os.flush();
+      std::cout << "wrote " << *snapshot_path << " ("
+                << snapshots->snapshots() << " snapshot(s))\n";
     }
     return 0;
   }
@@ -423,6 +501,11 @@ int cmd_dist(const Args& args) {
       std::cout << " type" << t << "=" << c;
     }
     std::cout << "\n";
+  }
+  if (args.has_flag("critical-path")) {
+    std::cout << "critical path (messages, summed over phases): "
+              << total.critical_path << "\n";
+    obs::critical_path(sinks.causal).write(std::cout);
   }
   if (!complete) {
     std::cout << "note: construction incomplete under faults (validate "

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Soft-gate comparison of a fresh benchmark snapshot against a committed
+baseline BENCH_<topic>.json.
+
+Compares per-benchmark real_time for every name present in both files
+(run_type "iteration" only; aggregates and BigO fits are skipped) and
+reports the ratio fresh/baseline. Regressions beyond the tolerance band
+are listed and reflected in the exit code -- but the gate is *soft* by
+design: CI runs it with `|| true` visibility semantics (warn, don't
+fail) because shared runners are noisy and the committed baselines may
+come from different hardware. The hard gate remains a human re-recording
+the baseline via scripts/bench_snapshot.sh on quiet hardware.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Exit codes: 0 all compared benchmarks within tolerance (or nothing to
+compare), 1 at least one regression beyond tolerance, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def iteration_times(doc):
+    """name -> real_time (ns) for plain iteration runs."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        t = b.get("real_time")
+        name = b.get("name")
+        if name and isinstance(t, (int, float)) and t > 0:
+            out[name] = float(t)
+    return out
+
+
+def provenance(doc):
+    ctx = doc.get("context", {})
+    sha = ctx.get("mcds_git_sha", "unknown")
+    date = ctx.get("mcds_snapshot_date", ctx.get("date", "unknown"))
+    return f"{sha} @ {date}"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before a benchmark is flagged "
+        "(default 0.25 = +25%%)",
+    )
+    args = ap.parse_args()
+
+    base_doc, fresh_doc = load(args.baseline), load(args.fresh)
+    base, fresh = iteration_times(base_doc), iteration_times(fresh_doc)
+    common = sorted(base.keys() & fresh.keys())
+
+    print(f"baseline: {args.baseline} ({provenance(base_doc)})")
+    print(f"fresh:    {args.fresh} ({provenance(fresh_doc)})")
+    if not common:
+        print("bench_compare: no common iteration benchmarks; nothing to do")
+        return 0
+
+    width = max(len(n) for n in common)
+    regressions = []
+    for name in common:
+        ratio = fresh[name] / base[name]
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / (1.0 + args.tolerance):
+            flag = "  (faster)"
+        print(
+            f"  {name:<{width}}  {base[name]:>14.1f} -> {fresh[name]:>14.1f} ns"
+            f"  x{ratio:.3f}{flag}"
+        )
+
+    skipped = sorted((base.keys() | fresh.keys()) - set(common))
+    if skipped:
+        print(f"  (not in both files, skipped: {', '.join(skipped)})")
+
+    if regressions:
+        print(
+            f"bench_compare: {len(regressions)} benchmark(s) slower than "
+            f"baseline by more than {args.tolerance:.0%}:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: x{ratio:.3f}")
+        print(
+            "bench_compare: soft gate -- investigate, and re-record the "
+            "baseline with scripts/bench_snapshot.sh if the change is "
+            "intentional."
+        )
+        return 1
+    print(f"bench_compare: all {len(common)} benchmark(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

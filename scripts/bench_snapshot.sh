@@ -31,7 +31,7 @@ BENCH_TOPIC="${BENCH_TOPIC:-phase2}"
 case "$BENCH_TOPIC" in
   phase2) default_filter="BM_GreedyCds|BM_GreedyConnectorsIncremental|BM_GreedyConnectorsReference|BM_BuildUdg/" ;;
   fault)  default_filter="BM_FaultFreeRuntime|BM_FaultInjectedRuntime|BM_ReliableWaf" ;;
-  obs)    default_filter="BM_GreedyConnectorsIncremental|BM_GreedyConnectorsObserved" ;;
+  obs)    default_filter="BM_GreedyConnectorsIncremental|BM_GreedyConnectorsObserved|BM_CausalTracedRuntime" ;;
   partition) default_filter="BM_HeartbeatRuntime|BM_PartitionedRuntime" ;;
   par)    default_filter="BM_BatchSolve|BM_BuildUdgParallel|BM_GreedyConnectorsCsr|BM_GreedyConnectorsNested" ;;
   dynamic) default_filter="BM_DynamicChurn|BM_DynamicRebuild" ;;
@@ -61,14 +61,23 @@ fi
   --benchmark_out_format=json \
   "$@"
 
+# Provenance: stamp the recording commit and a wall-clock date into the
+# snapshot context, so every committed BENCH_*.json says what code
+# produced it (bench_compare.py prints both when a comparison drifts).
+GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=""
+if ! git diff --quiet HEAD 2>/dev/null; then GIT_DIRTY="-dirty"; fi
+SNAP_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 # Gate on the recorded context before declaring the snapshot good.
 # mcds_build_type is stamped by perf_scaling's main() from its own
 # compile flags (NDEBUG + __OPTIMIZE__) and must say "release";
 # library_build_type is what the google-benchmark library says about
 # itself and is overridable for distro packages (see header comment).
-python3 - "$OUT" <<'EOF' || { rm -f "$OUT"; exit 1; }
+python3 - "$OUT" "$GIT_SHA$GIT_DIRTY" "$SNAP_DATE" <<'EOF' || { rm -f "$OUT"; exit 1; }
 import json, os, sys
-ctx = json.load(open(sys.argv[1]))["context"]
+doc = json.load(open(sys.argv[1]))
+ctx = doc["context"]
 mcds = ctx.get("mcds_build_type")
 if mcds != "release":
     print(f"bench_snapshot.sh: harness built without optimization "
@@ -85,6 +94,11 @@ if lib != "release" and os.environ.get("ALLOW_DEBUG_LIBBENCHMARK") != "1":
           f"optimized above), re-run with ALLOW_DEBUG_LIBBENCHMARK=1.",
           file=sys.stderr)
     sys.exit(1)
+ctx["mcds_git_sha"] = sys.argv[2]
+ctx["mcds_snapshot_date"] = sys.argv[3]
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
 EOF
 
 echo "wrote $OUT"

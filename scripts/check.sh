@@ -51,14 +51,28 @@ if [[ "${SANITIZE:-0}" != "0" ]]; then
 fi
 
 # Observability smoke check: a traced CLI run must emit parseable JSON
-# (Chrome trace-event format) and a parseable metrics registry.
+# (Chrome trace-event format), a parseable metrics registry, Prometheus
+# text exposition, flamegraph folded stacks, a causal critical-path
+# report and periodic JSONL registry snapshots.
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
 "$BUILD_DIR"/examples/mcds_cli generate --nodes 80 --side 7 --seed 3 \
   --out "$obs_dir/smoke.pts" >/dev/null
 "$BUILD_DIR"/examples/mcds_cli dist --in "$obs_dir/smoke.pts" --algo greedy \
   --drop 0.05 --seed 7 --trace "$obs_dir/smoke_trace.json" \
-  --metrics "$obs_dir/smoke_metrics.json" >/dev/null
+  --metrics "$obs_dir/smoke_metrics.json" \
+  --prom "$obs_dir/smoke.prom" \
+  --profile-folded "$obs_dir/smoke.folded" \
+  --critical-path --causal-jsonl "$obs_dir/smoke_causal.jsonl" \
+  --snapshot-jsonl "$obs_dir/smoke_snapshots.jsonl" --snapshot-every 1 \
+  > "$obs_dir/smoke_dist.out"
+grep -q '^critical path (messages, summed over phases): ' \
+  "$obs_dir/smoke_dist.out"
+grep -q '^# TYPE mcds_' "$obs_dir/smoke.prom"
+grep -Eq '^[^ ;]+(;[^ ;]+)* [0-9]+$' "$obs_dir/smoke.folded"
+grep -q '"span":1,' "$obs_dir/smoke_causal.jsonl"
+grep -q '"seq":0,' "$obs_dir/smoke_snapshots.jsonl"
+echo "telemetry export smoke check passed"
 # (k,m)-CDS smoke check: the fault-tolerant solve path must build a
 # backbone that its own witness validator accepts (non-zero exit and the
 # defect description otherwise).

@@ -40,7 +40,7 @@ void ReliableLink::post(NodeId from, NodeId to, const Message& payload) {
   wire.seq = seq;
   rt_.send(from, to, wire);
   pending_.push_back(Pending{from, to, payload, seq, params_.rto, params_.rto,
-                             params_.max_retries});
+                             params_.max_retries, rt_.context()});
 }
 
 void ReliableLink::send(NodeId from, NodeId to, Message m) {
@@ -82,6 +82,10 @@ void ReliableLink::on_round_begin() {
     Message wire = p.payload;
     wire.link = kLinkData;
     wire.seq = p.seq;
+    // Retransmit under the context captured at post() — without this,
+    // every retry under faults would become a depth-1 root and the
+    // critical path of lossy runs would be systematically understated.
+    rt_.set_context(p.ctx);
     rt_.send(p.from, p.to, wire);
     ++retransmissions_;
     if (c_retx_) c_retx_->add();
@@ -89,6 +93,7 @@ void ReliableLink::on_round_begin() {
     p.rto = std::min(p.rto * 2, params_.max_rto);
     p.timer = p.rto;
   }
+  rt_.set_context({});  // back to the root context between steps
   if (expired_now > 0) {
     expired_ += expired_now;
     if (c_expired_) c_expired_->add(expired_now);

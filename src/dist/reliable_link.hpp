@@ -83,6 +83,10 @@ class ReliableLink final : public Transport, public Protocol {
     std::size_t timer = 0;  ///< rounds until the next retransmission
     std::size_t rto = 0;    ///< current backoff interval
     std::size_t retries_left = 0;
+    /// Causal context captured at first post; retransmissions restore
+    /// it so a retried message extends the chain that caused it instead
+    /// of rooting a fresh one (the retry is the same logical send).
+    obs::CausalContext ctx;
   };
 
   void post(NodeId from, NodeId to, const Message& payload);

@@ -15,10 +15,14 @@ namespace {
 /// in-flight breakdown (their Message::type is meaningless).
 constexpr std::int32_t kAckType = -1;
 
+/// Trace events appended to a RoundLimitError as the post-mortem tail.
+constexpr std::size_t kTailEvents = 16;
+
 std::string format_round_limit(
     const std::string& protocol, std::size_t rounds_run, std::size_t in_flight,
     const std::vector<NodeId>& pending,
-    const std::vector<std::pair<std::int32_t, std::size_t>>& by_type) {
+    const std::vector<std::pair<std::int32_t, std::size_t>>& by_type,
+    const std::string& trace_tail) {
   std::ostringstream os;
   os << "Runtime::run";
   if (!protocol.empty()) os << " [" << protocol << "]";
@@ -47,6 +51,7 @@ std::string format_round_limit(
     os << ", ... (+" << pending.size() - kShow << " more)";
   }
   os << "]";
+  if (!trace_tail.empty()) os << "\n" << trace_tail;
   return os.str();
 }
 
@@ -62,6 +67,7 @@ std::size_t RunStats::of_type(std::int32_t type) const noexcept {
 RunStats& RunStats::operator+=(const RunStats& o) {
   rounds += o.rounds;
   messages += o.messages;
+  critical_path += o.critical_path;
   if (!o.by_type.empty()) {
     for (const auto& [t, c] : o.by_type) {
       const auto it = std::lower_bound(
@@ -81,10 +87,11 @@ RunStats& RunStats::operator+=(const RunStats& o) {
 RoundLimitError::RoundLimitError(
     std::string protocol, std::size_t rounds_run, std::size_t in_flight,
     std::vector<NodeId> pending_nodes,
-    std::vector<std::pair<std::int32_t, std::size_t>> in_flight_by_type)
+    std::vector<std::pair<std::int32_t, std::size_t>> in_flight_by_type,
+    std::string trace_tail)
     : std::runtime_error(format_round_limit(protocol, rounds_run, in_flight,
-                                            pending_nodes,
-                                            in_flight_by_type)),
+                                            pending_nodes, in_flight_by_type,
+                                            trace_tail)),
       protocol_(std::move(protocol)),
       rounds_(rounds_run),
       in_flight_(in_flight),
@@ -173,6 +180,13 @@ void Runtime::route(NodeId from, NodeId to, const Message& m) {
 void Runtime::enqueue(NodeId to, const Message& m, std::size_t delay) {
   while (queue_.size() <= delay) queue_.emplace_back(g_.num_nodes());
   queue_[delay][to].push_back(m);
+  if (causal_active_) {
+    // Stamp per enqueued copy: a dropped message gets no span, each
+    // duplicated copy gets its own, so a span is delivered at most once.
+    queue_[delay][to].back().span =
+        obs_.causal->on_send(causal_trace_, ctx_, m.from, to, m.type,
+                             round_offset_ + rounds_run_);
+  }
   ++in_flight_;
 }
 
@@ -290,6 +304,12 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
     h_inflight = &obs_.metrics->histogram(prefix + ".in_flight_per_round");
     fstats_before = fstats_;
   }
+  obs::CausalTracer* causal = obs_.causal;
+  if (causal) {
+    causal_trace_ = causal->begin_trace(prefix);
+    causal_active_ = true;
+    ctx_ = {};
+  }
 
   for (NodeId v = 0; v < g_.num_nodes(); ++v) {
     if (is_up(v)) p.start(v);
@@ -299,8 +319,12 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
     if (stats.rounds >= max_rounds) {
       auto breakdown = in_flight_by_type();
       if (rec) rec->span_end(span_name);
+      causal_active_ = false;
+      // Post-mortem: what the runtime was doing when the guard tripped.
       throw RoundLimitError(label_, stats.rounds, in_flight_,
-                            nodes_with_pending(), std::move(breakdown));
+                            nodes_with_pending(), std::move(breakdown),
+                            rec ? obs::format_trace_tail(*rec, kTailEvents)
+                                : std::string{});
     }
     ++stats.rounds;
     ++rounds_run_;
@@ -352,14 +376,39 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
                                        m.type, m.a, m.b, m.link, m.seq});
         }
       }
+      if (causal) {
+        // Close every delivered span and step under the deepest one —
+        // the whole inbox happened-before anything this step sends.
+        // Inbox span ids ascend (enqueue order), so "strictly deeper
+        // wins" keeps the smallest id among ties: deterministic.
+        obs::CausalContext best;
+        const std::uint64_t round = round_offset_ + rounds_run_;
+        for (const Message& m : inboxes[v]) {
+          if (m.span == obs::kNoSpan) continue;
+          causal->on_deliver(m.span, round);
+          const obs::CausalContext c = causal->context_of(m.span);
+          if (c.depth > best.depth) best = c;
+        }
+        ctx_ = best;
+      }
       p.step(v, inboxes[v]);
     }
+    // Sends between steps (the next round's on_round_begin) root fresh
+    // chains unless a link layer restores a captured context.
+    ctx_ = {};
   }
 
+  if (causal) {
+    stats.critical_path = causal->max_depth(causal_trace_);
+    causal_active_ = false;
+  }
   if (metrics_on) {
     auto& reg = *obs_.metrics;
     reg.counter(prefix + ".rounds").add(stats.rounds);
     reg.counter(prefix + ".messages").add(stats.messages);
+    if (causal) {
+      reg.counter(prefix + ".critical_path").add(stats.critical_path);
+    }
     stats.by_type.reserve(by_type.size());
     for (const auto& [t, c] : by_type) {
       reg.counter(prefix + ".msg.type" + std::to_string(t)).add(c);

@@ -9,6 +9,7 @@
 
 #include "dist/fault.hpp"
 #include "graph/graph.hpp"
+#include "obs/causal.hpp"
 #include "obs/obs.hpp"
 
 /// \file runtime.hpp
@@ -33,7 +34,10 @@ using graph::NodeId;
 /// A protocol message. Protocols define their own meaning for `type`,
 /// `a` and `b`; `from` is stamped by the runtime. `link` and `seq` are
 /// reserved for link-layer wrappers (ReliableLink) and stay zero on raw
-/// traffic.
+/// traffic. `span` is the causal trace context the runtime stamps at
+/// send time when a CausalTracer is attached (0 = untraced); the span
+/// id resolves to the full (trace, parent span) coordinates in the
+/// tracer's table, so the envelope carries one word, not two.
 struct Message {
   NodeId from = 0;
   std::int32_t type = 0;
@@ -41,6 +45,7 @@ struct Message {
   std::int64_t b = 0;
   std::int32_t link = 0;   ///< link-layer tag (0 = raw payload)
   std::uint32_t seq = 0;   ///< link-layer sequence number
+  obs::SpanId span = obs::kNoSpan;  ///< causal span id (0 = untraced)
 };
 
 /// Cost accounting for one protocol execution. Beyond the paper's
@@ -51,6 +56,12 @@ struct Message {
 struct RunStats {
   std::size_t rounds = 0;    ///< synchronous rounds executed
   std::size_t messages = 0;  ///< point-to-point messages delivered
+  /// Longest send→deliver→send chain (messages) of this execution — the
+  /// causal lower bound on convergence, independent of round batching.
+  /// Populated only when the runtime ran with a CausalTracer attached;
+  /// += sums (consecutive phases are barrier-synchronized, so the
+  /// construction-wide bound is the sum of the per-phase bounds).
+  std::size_t critical_path = 0;
   /// Delivered messages by Message::type, ascending type. Populated only
   /// when the runtime ran with metrics enabled; += merges by type.
   std::vector<std::pair<std::int32_t, std::size_t>> by_type;
@@ -71,10 +82,14 @@ struct RunStats {
 /// is also formatted into what().
 class RoundLimitError : public std::runtime_error {
  public:
+  /// \p trace_tail (optional) is a formatted post-mortem of the last
+  /// trace events before the limit tripped (obs::format_trace_tail);
+  /// when non-empty it is appended to what().
   RoundLimitError(std::string protocol, std::size_t rounds_run,
                   std::size_t in_flight, std::vector<NodeId> pending_nodes,
                   std::vector<std::pair<std::int32_t, std::size_t>>
-                      in_flight_by_type);
+                      in_flight_by_type,
+                  std::string trace_tail = {});
 
   [[nodiscard]] std::size_t rounds_run() const noexcept { return rounds_; }
   [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
@@ -198,8 +213,20 @@ class Runtime final : public Transport {
 
   /// Attaches observability sinks (null sinks by default) and the
   /// protocol label used for span names, metric prefixes and round-limit
-  /// diagnostics. Both sinks must outlive the runtime.
+  /// diagnostics. All sinks must outlive the runtime. With obs.causal
+  /// set, run() opens one causal trace labeled with the protocol name,
+  /// stamps a span id into every transmitted envelope and closes spans
+  /// at delivery — RunStats::critical_path reports the longest chain.
   void observe(const obs::Obs& obs, std::string label = {});
+
+  /// The causal context sends are currently attributed to: the deepest
+  /// span delivered to the stepping node this round, or the root
+  /// context between steps. Link layers that resend a message later
+  /// (ReliableLink retransmission timers) capture the context at first
+  /// post and restore it around the retransmit so retries extend the
+  /// original chain instead of starting a new one.
+  [[nodiscard]] obs::CausalContext context() const noexcept { return ctx_; }
+  void set_context(const obs::CausalContext& ctx) noexcept { ctx_ = ctx; }
 
  private:
   void route(NodeId from, NodeId to, const Message& m);
@@ -231,6 +258,9 @@ class Runtime final : public Transport {
   std::vector<std::size_t> delays_scratch_;
   obs::Obs obs_;        ///< null sinks unless observe() was called
   std::string label_;   ///< protocol label for spans/metrics/diagnostics
+  obs::CausalContext ctx_;  ///< causal context of the current step
+  std::uint32_t causal_trace_ = 0;  ///< trace id of the active run
+  bool causal_active_ = false;      ///< stamping spans right now?
 };
 
 }  // namespace mcds::dist

@@ -6,6 +6,7 @@
 #include "dist/maintenance.hpp"
 #include "graph/subgraph.hpp"
 #include "graph/traversal.hpp"
+#include "obs/export.hpp"
 
 namespace mcds::dist {
 
@@ -111,6 +112,7 @@ SurvivabilityReport survive_fault_plan(const Graph& g,
     ++report.events;
     record_event(report, report.events, evaluate_unhealed(g, up, in_backbone));
     record_heal(report, healer.on_churn(up));
+    obs::tick_snapshot(obs);
   }
   return report;
 }
@@ -141,6 +143,7 @@ SurvivabilityReport survive_churn(const Graph& initial,
     SelfHealingCds healer(epoch.topology, std::move(healed), {}, obs);
     record_heal(report, healer.on_churn(epoch.up));
     healed = healer.cds();
+    obs::tick_snapshot(obs);
   }
   return report;
 }

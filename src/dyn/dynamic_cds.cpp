@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/subgraph.hpp"
+#include "obs/export.hpp"
 #include "obs/timer.hpp"
 
 namespace mcds::dyn {
@@ -84,6 +85,8 @@ EventReport DynamicCds::finish(EventKind kind, NodeId node,
     c_event_[static_cast<std::size_t>(kind)]->add();
   }
   if (h_scope_) h_scope_->record(static_cast<double>(r.repair.scope));
+  // Long-run telemetry: one snapshot-sink tick per churn event.
+  obs::tick_snapshot(obs_);
   return r;
 }
 

@@ -1,0 +1,116 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mcds::obs {
+
+std::uint32_t CausalTracer::begin_trace(std::string_view label) {
+  const auto id = static_cast<std::uint32_t>(traces_.size());
+  CausalTraceInfo info;
+  info.label = std::string(label);
+  traces_.push_back(std::move(info));
+  return id;
+}
+
+SpanId CausalTracer::on_send(std::uint32_t trace, const CausalContext& ctx,
+                             std::uint32_t from, std::uint32_t to,
+                             std::int32_t type, std::uint64_t round) {
+  CausalSpan s;
+  s.parent = ctx.span;
+  s.trace = trace;
+  s.from = from;
+  s.to = to;
+  s.type = type;
+  s.depth = ctx.depth + 1;
+  s.sent_round = round;
+  spans_.push_back(s);
+  if (trace < traces_.size()) ++traces_[trace].spans;
+  return static_cast<SpanId>(spans_.size());
+}
+
+void CausalTracer::on_deliver(SpanId span, std::uint64_t round) noexcept {
+  if (span == kNoSpan || span > spans_.size()) return;
+  CausalSpan& s = spans_[span - 1];
+  if (s.delivered()) return;  // a duplicate copy has its own span
+  s.delivered_round = round;
+  if (s.trace >= traces_.size()) return;
+  CausalTraceInfo& t = traces_[s.trace];
+  ++t.delivered;
+  // Strict > keeps the smallest span id among equal depths: spans are
+  // recorded in send order, so the winner is the earliest deepest chain.
+  if (s.depth > t.max_depth) {
+    t.max_depth = s.depth;
+    t.deepest = span;
+  }
+}
+
+std::size_t CriticalPathReport::total_length() const noexcept {
+  std::size_t total = 0;
+  for (const CriticalPath& t : traces) total += t.length;
+  return total;
+}
+
+void CriticalPathReport::write(std::ostream& os, bool hops) const {
+  os << "critical path (longest send->deliver->send chain per trace)\n";
+  for (const CriticalPath& t : traces) {
+    os << "  [" << t.label << "] spans=" << t.spans
+       << " delivered=" << t.delivered << " critical_path=" << t.length;
+    if (t.length > 0) {
+      os << " rounds=" << t.rounds_span() << " (sent@" << t.first_sent_round
+         << " -> delivered@" << t.last_delivered_round << ")";
+    }
+    os << "\n";
+    if (hops) {
+      for (const CriticalHop& h : t.hops) {
+        os << "    " << h.from << " -> " << h.to << " type=" << h.type
+           << " sent@" << h.sent_round << " delivered@" << h.delivered_round
+           << "\n";
+      }
+    }
+  }
+  os << "  total critical path: " << total_length() << " message(s) over "
+     << traces.size() << " trace(s)\n";
+}
+
+CriticalPathReport critical_path(const CausalTracer& tracer) {
+  CriticalPathReport report;
+  report.traces.reserve(tracer.traces().size());
+  for (const CausalTraceInfo& info : tracer.traces()) {
+    CriticalPath path;
+    path.label = info.label;
+    path.spans = info.spans;
+    path.delivered = info.delivered;
+    path.length = info.max_depth;
+    if (info.deepest != kNoSpan) {
+      // Parent ids always precede their children, so this terminates.
+      for (SpanId id = info.deepest; id != kNoSpan;
+           id = tracer.span(id).parent) {
+        const CausalSpan& s = tracer.span(id);
+        path.hops.push_back({s.from, s.to, s.type, s.sent_round,
+                             s.delivered_round});
+      }
+      std::reverse(path.hops.begin(), path.hops.end());
+      path.first_sent_round = path.hops.front().sent_round;
+      path.last_delivered_round = path.hops.back().delivered_round;
+    }
+    report.traces.push_back(std::move(path));
+  }
+  return report;
+}
+
+void write_causal_jsonl(const CausalTracer& tracer, std::ostream& os) {
+  for (SpanId id = 1; id <= tracer.num_spans(); ++id) {
+    const CausalSpan& s = tracer.span(id);
+    os << "{\"span\":" << id << ",\"parent\":" << s.parent
+       << ",\"trace\":" << s.trace << ",\"from\":" << s.from
+       << ",\"to\":" << s.to << ",\"type\":" << s.type
+       << ",\"depth\":" << s.depth << ",\"sent\":" << s.sent_round;
+    if (s.delivered()) {
+      os << ",\"delivered\":" << s.delivered_round;
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace mcds::obs

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file causal.hpp
+/// Causal message-chain tracing for the distributed runtime. Every
+/// physical message transmission becomes a span: the runtime stamps a
+/// span id into the envelope at send time and closes the span at
+/// delivery, linking it to the deepest span delivered to the sender in
+/// the round the send happened ("happened-before" parenting: a node
+/// processes its whole inbox before it sends, so any inbox message
+/// precedes any send). The result of one protocol execution is a causal
+/// DAG of message chains; its longest send→deliver→send chain — the
+/// critical path — is the true lower bound on the protocol's
+/// convergence time, independent of how the synchronous rounds batched
+/// the traffic.
+///
+/// Everything here is driven by logical rounds and monotone ids — no
+/// wall clock, no allocation ordering — so two behaviorally identical
+/// executions produce byte-identical critical-path reports and causal
+/// JSONL dumps (the differential tests compare these strings).
+
+namespace mcds::obs {
+
+/// Id of one message transmission. 0 is "no span" (roots, tracing off).
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// The causal coordinates a sender acts under: the deepest span
+/// delivered to it this round, and that span's chain depth. The default
+/// (root) context describes spontaneous sends — protocol start(),
+/// timer-driven traffic.
+struct CausalContext {
+  SpanId span = kNoSpan;
+  std::uint32_t depth = 0;
+};
+
+/// Sentinel delivery round of a span that was never delivered (dropped
+/// by the channel, discarded by a crash or a partition cut).
+inline constexpr std::uint64_t kNeverDelivered = ~std::uint64_t{0};
+
+/// One recorded transmission. `parent` is the deepest happened-before
+/// predecessor (kNoSpan for chain roots); `depth` counts the messages
+/// on the longest causal chain ending at this span (roots have depth
+/// 1). Duplicated copies of one logical message get one span each, so
+/// every span is delivered at most once.
+struct CausalSpan {
+  SpanId parent = kNoSpan;
+  std::uint32_t trace = 0;  ///< index of the owning trace (protocol run)
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::int32_t type = 0;
+  std::uint32_t depth = 1;
+  std::uint64_t sent_round = 0;
+  std::uint64_t delivered_round = kNeverDelivered;
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return delivered_round != kNeverDelivered;
+  }
+};
+
+/// Per-trace aggregate maintained incrementally (one trace = one
+/// Runtime::run execution, labeled with its protocol name).
+struct CausalTraceInfo {
+  std::string label;
+  std::size_t spans = 0;      ///< transmissions recorded
+  std::size_t delivered = 0;  ///< transmissions that reached a live node
+  std::uint32_t max_depth = 0;  ///< critical-path length in messages
+  /// Deepest delivered span (smallest id among ties) — the critical
+  /// path's terminal hop.
+  SpanId deepest = kNoSpan;
+};
+
+/// Append-only recorder of the causal DAG. One tracer typically spans a
+/// whole multi-phase construction: each phase's runtime begins its own
+/// trace, and chains reset at phase boundaries (phases are barrier-
+/// synchronized, so the construction-wide lower bound is the sum of the
+/// per-phase critical paths).
+class CausalTracer {
+ public:
+  /// Opens a new trace and returns its id. \p label names the protocol.
+  std::uint32_t begin_trace(std::string_view label);
+
+  /// Records one transmission sent under \p ctx during \p round.
+  /// Returns the new span's id (stamped into the message envelope).
+  SpanId on_send(std::uint32_t trace, const CausalContext& ctx,
+                 std::uint32_t from, std::uint32_t to, std::int32_t type,
+                 std::uint64_t round);
+
+  /// Marks \p span delivered in \p round and updates its trace's
+  /// critical-path aggregate. No-op for kNoSpan.
+  void on_deliver(SpanId span, std::uint64_t round) noexcept;
+
+  /// Context a receiver of \p span steps under ({kNoSpan, 0} for
+  /// untraced messages).
+  [[nodiscard]] CausalContext context_of(SpanId span) const noexcept {
+    if (span == kNoSpan || span > spans_.size()) return {};
+    return {span, spans_[span - 1].depth};
+  }
+
+  [[nodiscard]] const CausalSpan& span(SpanId id) const {
+    return spans_[id - 1];
+  }
+  [[nodiscard]] std::size_t num_spans() const noexcept {
+    return spans_.size();
+  }
+  [[nodiscard]] const std::vector<CausalTraceInfo>& traces() const noexcept {
+    return traces_;
+  }
+
+  /// Critical-path length (messages) of one trace, 0 if nothing was
+  /// delivered.
+  [[nodiscard]] std::uint32_t max_depth(std::uint32_t trace) const noexcept {
+    return trace < traces_.size() ? traces_[trace].max_depth : 0;
+  }
+
+ private:
+  std::vector<CausalSpan> spans_;  ///< span id = index + 1
+  std::vector<CausalTraceInfo> traces_;
+};
+
+/// One hop of a reconstructed critical path.
+struct CriticalHop {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::int32_t type = 0;
+  std::uint64_t sent_round = 0;
+  std::uint64_t delivered_round = 0;
+};
+
+/// The longest causal chain of one trace.
+struct CriticalPath {
+  std::string label;
+  std::size_t spans = 0;
+  std::size_t delivered = 0;
+  std::size_t length = 0;  ///< messages on the chain
+  std::uint64_t first_sent_round = 0;
+  std::uint64_t last_delivered_round = 0;
+  std::vector<CriticalHop> hops;  ///< chain in causal order
+
+  /// Rounds the chain occupied (inclusive); 0 for an empty chain.
+  [[nodiscard]] std::uint64_t rounds_span() const noexcept {
+    return hops.empty() ? 0
+                        : last_delivered_round - first_sent_round + 1;
+  }
+};
+
+/// Per-trace critical paths plus the construction-wide totals.
+struct CriticalPathReport {
+  std::vector<CriticalPath> traces;
+
+  /// Sum of per-trace critical paths — the lower bound on the whole
+  /// barrier-synchronized construction.
+  [[nodiscard]] std::size_t total_length() const noexcept;
+
+  /// Byte-stable text report (logical quantities only). \p hops also
+  /// prints every hop of every chain.
+  void write(std::ostream& os, bool hops = false) const;
+};
+
+/// Walks the recorded DAG and extracts each trace's longest
+/// send→deliver→send chain (deepest delivered span, parent pointers
+/// back to its root; ties broken toward the smallest span id, so the
+/// result is unique and deterministic).
+[[nodiscard]] CriticalPathReport critical_path(const CausalTracer& tracer);
+
+/// Dumps the whole causal DAG as one JSON object per span, one per
+/// line — the exportable substrate for external chain analysis.
+/// Byte-stable for identical executions.
+void write_causal_jsonl(const CausalTracer& tracer, std::ostream& os);
+
+}  // namespace mcds::obs

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "obs/obs.hpp"
+
+/// \file export.hpp
+/// Metric export beyond the one-shot JSON dump: Prometheus text
+/// exposition (scrape-ready, the substrate a serving front end mounts
+/// under /metrics) and a periodic SnapshotSink that appends timestamped
+/// JSONL registry snapshots during long runs (dynamic churn streams,
+/// survivability massacres), so a metric's trajectory over a run is
+/// reconstructable, not just its final value.
+
+namespace mcds::obs {
+
+/// Writes \p reg in the Prometheus text exposition format (version
+/// 0.0.4). Metric names are prefixed with "mcds_" and sanitized
+/// ([^a-zA-Z0-9_:] -> '_'); counters export as counter with a "_total"
+/// suffix, gauges as gauge, histograms as summary (p50/p95/p99 quantile
+/// series plus _sum and _count). Families appear in sorted name order,
+/// so the output is deterministic for a given registry state.
+void export_prometheus(const MetricsRegistry& reg, std::ostream& os);
+
+/// Appends one JSON object per snapshot, one per line, to a caller-owned
+/// stream: {"seq":k,"events":n,"time":"<ISO-8601 UTC>","counters":{...},
+/// "gauges":{...},"histograms":{...}}. tick() counts events and
+/// snapshots every `every` of them; snapshot() appends unconditionally
+/// (a final flush, a phase boundary). The wall-clock stamp can be
+/// disabled for byte-deterministic output (the differential tests do).
+class SnapshotSink {
+ public:
+  /// \p every == 0 means "manual only": tick() counts but never
+  /// snapshots. \p os must outlive the sink.
+  explicit SnapshotSink(std::ostream& os, std::size_t every = 1,
+                        bool stamp_wall_time = true);
+
+  /// Counts one event; appends a snapshot of \p reg every `every`
+  /// events.
+  void tick(const MetricsRegistry& reg);
+
+  /// Appends a snapshot of \p reg now.
+  void snapshot(const MetricsRegistry& reg);
+
+  [[nodiscard]] std::size_t events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t snapshots() const noexcept { return seq_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t every_;
+  bool stamp_wall_time_;
+  std::size_t events_ = 0;
+  std::size_t seq_ = 0;
+};
+
+/// Ticks the handle's snapshot sink with its registry — the one-liner
+/// instrumented loops call per event. No-op unless both are attached.
+inline void tick_snapshot(const Obs& obs) {
+  if (obs.snapshots != nullptr && obs.metrics != nullptr) {
+    obs.snapshots->tick(*obs.metrics);
+  }
+}
+
+}  // namespace mcds::obs

@@ -4,7 +4,7 @@
 #include "obs/trace.hpp"
 
 /// \file obs.hpp
-/// The handle instrumented components carry: two optional sinks. The
+/// The handle instrumented components carry: four optional sinks. The
 /// default-constructed handle is the null sink — every instrumentation
 /// site is an ordinary `if (ptr)` branch (no macros), so a disabled
 /// build path costs one predictable-not-taken branch and performs no
@@ -12,12 +12,21 @@
 
 namespace mcds::obs {
 
-/// Observability sinks for one execution. Copyable, two pointers wide;
-/// both sinks (when set) must outlive every component holding the
+class CausalTracer;  // causal.hpp
+class SnapshotSink;  // export.hpp
+
+/// Observability sinks for one execution. Copyable, four pointers wide;
+/// all sinks (when set) must outlive every component holding the
 /// handle.
 struct Obs {
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  /// Causal message-chain recorder (dist::Runtime stamps span ids into
+  /// envelopes when attached).
+  CausalTracer* causal = nullptr;
+  /// Periodic JSONL metric-snapshot sink (long-run loops tick it per
+  /// event via tick_snapshot()).
+  SnapshotSink* snapshots = nullptr;
 
   [[nodiscard]] bool enabled() const noexcept {
     return metrics != nullptr || trace != nullptr;

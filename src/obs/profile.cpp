@@ -1,0 +1,153 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace mcds::obs {
+
+namespace {
+
+/// One open span on a track's replay stack.
+struct Frame {
+  std::uint32_t name = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t child = 0;  ///< inclusive time of closed children
+};
+
+struct TrackState {
+  std::vector<Frame> stack;
+  ProfileNode* base = nullptr;  ///< where this track's stacks root
+};
+
+void accumulate(ProfileNode* base, const std::vector<Frame>& stack,
+                const TraceRecorder& tr, const Frame& f,
+                std::uint64_t end_ts) {
+  const std::uint64_t inclusive = end_ts >= f.begin ? end_ts - f.begin : 0;
+  const std::uint64_t exclusive =
+      inclusive >= f.child ? inclusive - f.child : 0;
+  ProfileNode* node = base;
+  for (const Frame& ancestor : stack) {
+    node = &node->children[tr.name(ancestor.name)];
+  }
+  node = &node->children[tr.name(f.name)];
+  node->inclusive += inclusive;
+  node->exclusive += exclusive;
+  node->count += 1;
+}
+
+void fold_rec(std::ostream& os, const ProfileNode& node, std::string& path) {
+  if (node.count > 0 || node.exclusive > 0) {
+    os << path << " " << node.exclusive << "\n";
+  }
+  for (const auto& [name, child] : node.children) {
+    const std::size_t len = path.size();
+    if (!path.empty()) path.push_back(';');
+    path.append(name);
+    fold_rec(os, child, path);
+    path.resize(len);
+  }
+}
+
+void tree_rec(std::ostream& os, const ProfileNode& node,
+              const std::string& name, std::uint64_t total, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << name << "  incl=" << node.inclusive << " excl=" << node.exclusive
+     << " count=" << node.count;
+  if (total > 0) {
+    // Integer tenths of a percent keep the report byte-deterministic.
+    const std::uint64_t pct10 = node.inclusive * 1000 / total;
+    os << " (" << pct10 / 10 << "." << pct10 % 10 << "%)";
+  }
+  os << "\n";
+  for (const auto& [child_name, child] : node.children) {
+    tree_rec(os, child, child_name, total, depth + 1);
+  }
+}
+
+}  // namespace
+
+ProfileTree ProfileTree::build(const TraceRecorder& tr) {
+  ProfileTree out;
+  std::map<std::uint32_t, TrackState> tracks;
+  std::uint64_t last_ts = 0;
+  for (const TraceRecord& r : tr.snapshot()) {
+    last_ts = std::max(last_ts, r.ts);
+    if (r.kind != RecordKind::kSpanBegin && r.kind != RecordKind::kSpanEnd) {
+      continue;
+    }
+    TrackState& track = tracks[r.tid];
+    if (track.base == nullptr) {
+      if (r.tid == 0) {
+        track.base = &out.root_;
+      } else {
+        // Non-default tracks group under their name so concurrent
+        // layers' stacks don't interleave in the folded output.
+        const auto it = tr.track_names().find(r.tid);
+        const std::string label = it != tr.track_names().end()
+                                      ? it->second
+                                      : "tid" + std::to_string(r.tid);
+        track.base = &out.root_.children[label];
+      }
+    }
+    if (r.kind == RecordKind::kSpanBegin) {
+      track.stack.push_back({r.name, r.ts, 0});
+      continue;
+    }
+    // kSpanEnd: a begin lost to ring overwrite leaves the end with an
+    // empty or mismatched stack — count it, never corrupt the stack.
+    if (track.stack.empty() || track.stack.back().name != r.name) {
+      ++out.unmatched_;
+      continue;
+    }
+    const Frame f = track.stack.back();
+    track.stack.pop_back();
+    accumulate(track.base, track.stack, tr, f, r.ts);
+    if (!track.stack.empty()) {
+      const std::uint64_t inclusive = r.ts >= f.begin ? r.ts - f.begin : 0;
+      track.stack.back().child += inclusive;
+    }
+  }
+  // Close spans still open at the snapshot edge at the last timestamp
+  // seen, innermost first, so partial runs still profile.
+  for (auto& [tid, track] : tracks) {
+    (void)tid;
+    while (!track.stack.empty()) {
+      const Frame f = track.stack.back();
+      track.stack.pop_back();
+      accumulate(track.base, track.stack, tr, f, last_ts);
+      if (!track.stack.empty()) {
+        const std::uint64_t inclusive =
+            last_ts >= f.begin ? last_ts - f.begin : 0;
+        track.stack.back().child += inclusive;
+      }
+      ++out.truncated_;
+    }
+  }
+  return out;
+}
+
+void ProfileTree::write_folded(std::ostream& os) const {
+  std::string path;
+  for (const auto& [name, child] : root_.children) {
+    path = name;
+    fold_rec(os, child, path);
+  }
+}
+
+void ProfileTree::write_tree(std::ostream& os) const {
+  std::uint64_t total = 0;
+  for (const auto& [name, child] : root_.children) {
+    (void)name;
+    total += child.inclusive;
+  }
+  os << "phase profile (inclusive/exclusive, " << total << " total)";
+  if (truncated_ > 0) os << " truncated=" << truncated_;
+  if (unmatched_ > 0) os << " unmatched=" << unmatched_;
+  os << "\n";
+  for (const auto& [name, child] : root_.children) {
+    tree_rec(os, child, name, total, 1);
+  }
+}
+
+}  // namespace mcds::obs

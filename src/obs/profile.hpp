@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+
+/// \file profile.hpp
+/// Aggregates the ScopedTimer span stream of a TraceRecorder into an
+/// inclusive/exclusive phase tree — the hot-path breakdown of
+/// greedy_cds/waf_cds/the connector engine without an external
+/// profiler. Two writers: a human-readable indented tree, and
+/// flamegraph-compatible folded stacks ("a;b;c <exclusive>") that feed
+/// flamegraph.pl, speedscope or Perfetto's folded importer directly.
+///
+/// Durations are in the recorder's clock units: logical ticks under
+/// kLogical (a *count* profile: how many trace events each phase
+/// produced — still proportional to work and byte-deterministic) and
+/// nanoseconds under kWall (a real time profile).
+
+namespace mcds::obs {
+
+/// One phase (span name) at one position in the nesting. `inclusive`
+/// counts the full span durations, `exclusive` subtracts enclosed child
+/// spans; `count` is the number of completed visits.
+struct ProfileNode {
+  std::uint64_t inclusive = 0;
+  std::uint64_t exclusive = 0;
+  std::uint64_t count = 0;
+  /// Children keyed by span name — map storage keeps every writer's
+  /// output in sorted, deterministic order.
+  std::map<std::string, ProfileNode> children;
+};
+
+/// The aggregated phase tree of one recorder's retained records.
+class ProfileTree {
+ public:
+  /// Replays \p tr's snapshot, one span stack per track (tid). Spans
+  /// whose begin was overwritten by the ring are dropped (their ends
+  /// are ignored); spans still open at the end of the snapshot are
+  /// closed at the last timestamp seen and counted in truncated().
+  [[nodiscard]] static ProfileTree build(const TraceRecorder& tr);
+
+  /// Folded-stack lines, deepest-path-per-line, exclusive values:
+  /// "root;child;grandchild 1234". Tracks other than 0 prefix their
+  /// stacks with the track name (set_track_name) or "tid<k>".
+  void write_folded(std::ostream& os) const;
+
+  /// Indented tree with inclusive/exclusive durations, visit counts and
+  /// the inclusive share of the total.
+  void write_tree(std::ostream& os) const;
+
+  [[nodiscard]] const ProfileNode& root() const noexcept { return root_; }
+  /// Spans force-closed because the snapshot ended inside them.
+  [[nodiscard]] std::size_t truncated() const noexcept { return truncated_; }
+  /// Span-end records whose begin fell off the ring.
+  [[nodiscard]] std::size_t unmatched() const noexcept { return unmatched_; }
+
+ private:
+  ProfileNode root_;
+  std::size_t truncated_ = 0;
+  std::size_t unmatched_ = 0;
+};
+
+}  // namespace mcds::obs

@@ -18,6 +18,10 @@ std::uint32_t TraceRecorder::intern(std::string_view name) {
   return id;
 }
 
+void TraceRecorder::set_track_name(std::uint32_t tid, std::string_view name) {
+  track_names_.insert_or_assign(tid, std::string(name));
+}
+
 std::uint64_t TraceRecorder::now() noexcept {
   if (clock_ == ClockMode::kLogical) return ++seq_;
   return static_cast<std::uint64_t>(
@@ -111,6 +115,18 @@ void write_jsonl(const TraceRecorder& tr, std::ostream& os) {
 void write_chrome_trace(const TraceRecorder& tr, std::ostream& os) {
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Metadata first: Perfetto applies process/thread labels to every
+  // later event regardless of order, but leading with them keeps the
+  // file self-describing when read as plain text.
+  os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"name\":\"mcds\"}}";
+  first = false;
+  for (const auto& [tid, label] : tr.track_names()) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << tid << ",\"args\":{\"name\":\"";
+    write_escaped(os, label);
+    os << "\"}}";
+  }
   for (const TraceRecord& r : tr.snapshot()) {
     if (!first) os << ",";
     first = false;
@@ -129,6 +145,23 @@ void write_chrome_trace(const TraceRecorder& tr, std::ostream& os) {
   os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\""
      << (tr.clock() == ClockMode::kLogical ? "logical" : "wall_ns")
      << "\",\"dropped\":" << tr.dropped() << "}}\n";
+}
+
+std::string format_trace_tail(const TraceRecorder& tr, std::size_t n) {
+  const std::vector<TraceRecord> records = tr.snapshot();
+  if (records.empty() || n == 0) return {};
+  const std::size_t start = records.size() > n ? records.size() - n : 0;
+  std::string out = "last trace events:";
+  for (std::size_t i = start; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    out += "\n  ts=" + std::to_string(r.ts) + " " + kind_tag(r.kind) + " " +
+           tr.name(r.name);
+    if (r.kind == RecordKind::kCounter || r.kind == RecordKind::kInstant) {
+      out += "=" + std::to_string(r.value);
+    }
+    if (r.tid != 0) out += " tid=" + std::to_string(r.tid);
+  }
+  return out;
 }
 
 }  // namespace mcds::obs

@@ -65,6 +65,15 @@ class TraceRecorder {
   /// call sites intern once up front and reuse the id.
   std::uint32_t intern(std::string_view name);
 
+  /// Labels a track: the Chrome sink emits the matching thread_name
+  /// metadata event (Perfetto shows the label instead of a bare tid)
+  /// and the phase profiler prefixes the track's folded stacks with it.
+  void set_track_name(std::uint32_t tid, std::string_view name);
+  [[nodiscard]] const std::map<std::uint32_t, std::string>& track_names()
+      const noexcept {
+    return track_names_;
+  }
+
   /// The current timestamp in this recorder's clock units.
   [[nodiscard]] std::uint64_t now() noexcept;
 
@@ -96,6 +105,7 @@ class TraceRecorder {
   std::size_t dropped_ = 0;
   std::vector<std::string> names_;
   std::map<std::string, std::uint32_t, std::less<>> ids_;
+  std::map<std::uint32_t, std::string> track_names_;
   ClockMode clock_;
   std::uint64_t seq_ = 0;  ///< kLogical tick source
   std::chrono::steady_clock::time_point epoch_;
@@ -108,7 +118,16 @@ void write_jsonl(const TraceRecorder& tr, std::ostream& os);
 
 /// Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
 /// Loads directly in chrome://tracing and Perfetto; counter records
-/// become counter tracks, spans become nested slices.
+/// become counter tracks, spans become nested slices. Leads with
+/// process_name/thread_name metadata ("M") events so Perfetto labels
+/// the process and every named track (set_track_name).
 void write_chrome_trace(const TraceRecorder& tr, std::ostream& os);
+
+/// Formats the last \p n retained records as an indented human-readable
+/// tail — the post-mortem appended to RoundLimitError messages so a
+/// blown round budget reports what the runtime was doing when it died.
+/// Byte-stable under kLogical.
+[[nodiscard]] std::string format_trace_tail(const TraceRecorder& tr,
+                                            std::size_t n);
 
 }  // namespace mcds::obs

@@ -125,6 +125,43 @@ TEST(TraceRecorder, RingOverwritesOldestAndCountsDropped) {
   EXPECT_EQ(records.back().value, 9);
 }
 
+TEST(TraceRecorder, RingBehaviorExactlyAtCapacityBoundary) {
+  obs::TraceRecorder tr(4);
+  const auto id = tr.intern("e");
+  // One below capacity: nothing dropped.
+  for (std::int64_t i = 0; i < 3; ++i) tr.instant(id, i);
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  // Exactly at capacity: still nothing dropped, all retained in order.
+  tr.instant(id, 3);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  auto records = tr.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().value, 0);
+  EXPECT_EQ(records.back().value, 3);
+  // One past capacity: exactly the oldest record falls off.
+  tr.instant(id, 4);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 1u);
+  records = tr.snapshot();
+  EXPECT_EQ(records.front().value, 1);
+  EXPECT_EQ(records.back().value, 4);
+}
+
+TEST(TraceRecorder, CapacityOneRingKeepsOnlyTheNewest) {
+  obs::TraceRecorder tr(1);
+  const auto id = tr.intern("e");
+  tr.instant(id, 1);
+  EXPECT_EQ(tr.dropped(), 0u);
+  tr.instant(id, 2);
+  EXPECT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr.dropped(), 1u);
+  const auto records = tr.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().value, 2);
+}
+
 TEST(TraceSinks, JsonlAndChromeContainTheEvents) {
   obs::TraceRecorder tr(16);
   const auto id = tr.intern("phase \"x\"");  // exercises JSON escaping
@@ -139,6 +176,51 @@ TEST(TraceSinks, JsonlAndChromeContainTheEvents) {
   EXPECT_NE(chrome.str().find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(chrome.str().find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(chrome.str().find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+}
+
+TEST(TraceSinks, ChromeLeadsWithProcessAndThreadMetadata) {
+  obs::TraceRecorder tr(16);
+  tr.set_track_name(1, "pool");
+  const auto id = tr.intern("work");
+  tr.span_begin(id, 1);
+  tr.span_end(id, 1);
+  std::ostringstream chrome;
+  obs::write_chrome_trace(tr, chrome);
+  const std::string text = chrome.str();
+  const auto process = text.find("\"name\":\"process_name\"");
+  const auto thread = text.find("\"name\":\"thread_name\"");
+  ASSERT_NE(process, std::string::npos) << text;
+  ASSERT_NE(thread, std::string::npos) << text;
+  EXPECT_LT(process, thread);  // metadata precedes the event stream
+  EXPECT_LT(thread, text.find("\"ph\":\"B\""));
+  EXPECT_NE(text.find("\"args\":{\"name\":\"mcds\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"args\":{\"name\":\"pool\"}"), std::string::npos)
+      << text;
+}
+
+TEST(TraceTail, FormatsTheLastNRecords) {
+  obs::TraceRecorder tr(16);
+  const auto id = tr.intern("phase");
+  EXPECT_EQ(obs::format_trace_tail(tr, 4), "");  // empty recorder
+  tr.span_begin(id);
+  tr.instant(id, 7);
+  tr.span_end(id);
+  EXPECT_EQ(obs::format_trace_tail(tr, 0), "");  // n == 0 disables
+  const auto records = tr.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  const std::string tail = obs::format_trace_tail(tr, 2);
+  // Only the last two records survive the cut.
+  EXPECT_EQ(tail.find("ts=" + std::to_string(records[0].ts) + " B"),
+            std::string::npos)
+      << tail;
+  EXPECT_NE(tail.find("last trace events:"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("ts=" + std::to_string(records[1].ts) + " i phase=7"),
+            std::string::npos)
+      << tail;
+  EXPECT_NE(tail.find("ts=" + std::to_string(records[2].ts) + " E phase"),
+            std::string::npos)
+      << tail;
 }
 
 TEST(ScopedTimer, EmitsBalancedSpanAndHistogramSample) {
@@ -332,6 +414,36 @@ TEST(RoundLimit, BreakdownNamesProtocolAndTypes) {
     EXPECT_NE(what.find("[chatter]"), std::string::npos) << what;
     EXPECT_NE(what.find("type 7 x1"), std::string::npos) << what;
     EXPECT_NE(what.find("type 9 x1"), std::string::npos) << what;
+  }
+}
+
+TEST(RoundLimit, WhatAppendsTraceTailPostMortemWhenRecorderAttached) {
+  const Graph g = path2();
+  obs::TraceRecorder tr;
+  obs::Obs o;
+  o.trace = &tr;
+  Runtime rt(g);
+  rt.observe(o, "chatter");
+  Chatter p(rt);
+  try {
+    rt.run(p, 5);
+    FAIL() << "expected RoundLimitError";
+  } catch (const dist::RoundLimitError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("last trace events:"), std::string::npos) << what;
+    EXPECT_NE(what.find("chatter"), std::string::npos) << what;
+  }
+  // Without a recorder the post-mortem tail is absent (the existing
+  // BreakdownNamesProtocolAndTypes run covers the message body itself).
+  Runtime bare(g);
+  bare.observe(obs::Obs{}, "chatter");
+  Chatter q(bare);
+  try {
+    bare.run(q, 5);
+    FAIL() << "expected RoundLimitError";
+  } catch (const dist::RoundLimitError& e) {
+    EXPECT_EQ(std::string(e.what()).find("last trace events:"),
+              std::string::npos);
   }
 }
 

@@ -1,0 +1,273 @@
+// Tests for the telemetry export pipeline (src/obs/export.*) and the
+// phase profiler (src/obs/profile.*): Prometheus text exposition
+// (naming, sanitization, type lines, summary quantiles), the periodic
+// SnapshotSink (every-N ticking, manual snapshots, byte-determinism
+// without wall-time stamps), the tick_snapshot() null-sink helper, and
+// ProfileTree's inclusive/exclusive math, folded-stack output, track
+// grouping and truncated/unmatched span accounting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace mcds {
+namespace {
+
+// ------------------------------------------------------------ prometheus
+
+TEST(Prometheus, CountersGaugesAndSummaries) {
+  obs::MetricsRegistry reg;
+  reg.counter("dist.messages").add(42);
+  reg.gauge("runtime.in_flight").set(1.5);
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) {
+    reg.histogram("dyn.repair_scope").record(x);
+  }
+  std::ostringstream os;
+  obs::export_prometheus(reg, os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE mcds_dist_messages_total counter\n"
+                      "mcds_dist_messages_total 42\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE mcds_runtime_in_flight gauge\n"
+                      "mcds_runtime_in_flight 1.5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE mcds_dyn_repair_scope summary\n"),
+            std::string::npos)
+      << text;
+  // Exact quantiles below five observations: p50 of {1,2,3,4} is 2.5.
+  EXPECT_NE(text.find("mcds_dyn_repair_scope{quantile=\"0.5\"} 2.5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcds_dyn_repair_scope_sum 10\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcds_dyn_repair_scope_count 4\n"), std::string::npos)
+      << text;
+}
+
+TEST(Prometheus, SanitizesNamesAndSortsFamilies) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(1);
+  reg.counter("weird-name %x").add(7);
+  std::ostringstream os;
+  obs::export_prometheus(reg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("mcds_weird_name__x_total 7"), std::string::npos)
+      << text;
+  EXPECT_LT(text.find("mcds_a_first_total"), text.find("mcds_weird_name"));
+  EXPECT_LT(text.find("mcds_weird_name"), text.find("mcds_z_last_total"));
+}
+
+TEST(Prometheus, EmptyRegistryWritesNothing) {
+  obs::MetricsRegistry reg;
+  std::ostringstream os;
+  obs::export_prometheus(reg, os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// ---------------------------------------------------------- snapshot sink
+
+TEST(SnapshotSink, TicksEveryNAndCountsSequence) {
+  obs::MetricsRegistry reg;
+  reg.counter("events").add(3);
+  std::ostringstream os;
+  obs::SnapshotSink sink(os, /*every=*/2, /*stamp_wall_time=*/false);
+  for (int i = 0; i < 5; ++i) sink.tick(reg);
+  EXPECT_EQ(sink.events(), 5u);
+  EXPECT_EQ(sink.snapshots(), 2u);  // at events 2 and 4
+  sink.snapshot(reg);               // manual flush
+  EXPECT_EQ(sink.snapshots(), 3u);
+
+  const std::string text = os.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("{\"seq\":0,\"events\":2,\"counters\":{\"events\":3}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("{\"seq\":1,\"events\":4,"), std::string::npos) << text;
+  EXPECT_NE(text.find("{\"seq\":2,\"events\":5,"), std::string::npos) << text;
+  // Determinism contract: no wall-clock stamp when disabled.
+  EXPECT_EQ(text.find("\"time\""), std::string::npos) << text;
+}
+
+TEST(SnapshotSink, EveryZeroMeansManualOnly) {
+  obs::MetricsRegistry reg;
+  std::ostringstream os;
+  obs::SnapshotSink sink(os, /*every=*/0, /*stamp_wall_time=*/false);
+  for (int i = 0; i < 10; ++i) sink.tick(reg);
+  EXPECT_EQ(sink.events(), 10u);
+  EXPECT_EQ(sink.snapshots(), 0u);
+  EXPECT_TRUE(os.str().empty());
+  sink.snapshot(reg);
+  EXPECT_EQ(sink.snapshots(), 1u);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(SnapshotSink, StampsIso8601WallTimeWhenEnabled) {
+  obs::MetricsRegistry reg;
+  std::ostringstream os;
+  obs::SnapshotSink sink(os, 1, /*stamp_wall_time=*/true);
+  sink.tick(reg);
+  const std::string text = os.str();
+  const auto at = text.find("\"time\":\"");
+  ASSERT_NE(at, std::string::npos) << text;
+  // "YYYY-MM-DDThh:mm:ssZ" — spot-check shape, not the actual instant.
+  const std::string stamp = text.substr(at + 8, 20);
+  ASSERT_EQ(stamp.size(), 20u);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[19], 'Z');
+}
+
+TEST(SnapshotSink, SnapshotsCaptureFullRegistryState) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(2);
+  reg.gauge("g").set(0.5);
+  reg.histogram("h").record(3.0);
+  std::ostringstream os;
+  obs::SnapshotSink sink(os, 1, false);
+  sink.tick(reg);
+  reg.counter("c").add(5);
+  sink.tick(reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"counters\":{\"c\":2}"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"counters\":{\"c\":7}"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"gauges\":{\"g\":0.5}"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"h\":{\"count\":1,\"mean\":3"), std::string::npos)
+      << text;
+}
+
+TEST(TickSnapshot, NoOpUnlessBothSinksAttached) {
+  obs::MetricsRegistry reg;
+  std::ostringstream os;
+  obs::SnapshotSink sink(os, 1, false);
+
+  obs::Obs none;
+  obs::tick_snapshot(none);  // null handle: must be safe
+
+  obs::Obs only_sink;
+  only_sink.snapshots = &sink;
+  obs::tick_snapshot(only_sink);  // no registry to snapshot
+  EXPECT_EQ(sink.events(), 0u);
+
+  obs::Obs both;
+  both.snapshots = &sink;
+  both.metrics = &reg;
+  obs::tick_snapshot(both);
+  EXPECT_EQ(sink.events(), 1u);
+  EXPECT_EQ(sink.snapshots(), 1u);
+}
+
+// -------------------------------------------------------- phase profiler
+
+TEST(ProfileTree, InclusiveExclusiveMathOnNestedSpans) {
+  obs::TraceRecorder tr(64);  // kLogical: ts = 0,1,2,...
+  const auto a = tr.intern("a");
+  const auto b = tr.intern("b");
+  const auto c = tr.intern("c");
+  tr.span_begin(a);  // ts 0
+  tr.span_begin(b);  // ts 1
+  tr.span_end(b);    // ts 2
+  tr.span_begin(c);  // ts 3
+  tr.span_end(c);    // ts 4
+  tr.span_end(a);    // ts 5
+
+  const auto tree = obs::ProfileTree::build(tr);
+  EXPECT_EQ(tree.truncated(), 0u);
+  EXPECT_EQ(tree.unmatched(), 0u);
+  const auto& na = tree.root().children.at("a");
+  EXPECT_EQ(na.inclusive, 5u);
+  EXPECT_EQ(na.exclusive, 3u);  // 5 minus the two enclosed children
+  EXPECT_EQ(na.count, 1u);
+  EXPECT_EQ(na.children.at("b").inclusive, 1u);
+  EXPECT_EQ(na.children.at("b").exclusive, 1u);
+  EXPECT_EQ(na.children.at("c").count, 1u);
+
+  std::ostringstream folded;
+  tree.write_folded(folded);
+  EXPECT_EQ(folded.str(), "a 3\na;b 1\na;c 1\n");
+
+  std::ostringstream text;
+  tree.write_tree(text);
+  EXPECT_NE(text.str().find("phase profile (inclusive/exclusive, 5 total)"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("a  incl=5 excl=3 count=1 (100.0%)"),
+            std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("b  incl=1 excl=1 count=1 (20.0%)"),
+            std::string::npos)
+      << text.str();
+}
+
+TEST(ProfileTree, RepeatedVisitsAggregateByPath) {
+  obs::TraceRecorder tr(64);
+  const auto a = tr.intern("a");
+  const auto b = tr.intern("b");
+  for (int i = 0; i < 3; ++i) {
+    tr.span_begin(a);
+    tr.span_begin(b);
+    tr.span_end(b);
+    tr.span_end(a);
+  }
+  const auto tree = obs::ProfileTree::build(tr);
+  const auto& na = tree.root().children.at("a");
+  EXPECT_EQ(na.count, 3u);
+  EXPECT_EQ(na.children.at("b").count, 3u);
+  EXPECT_EQ(na.inclusive, 9u);  // three visits of inclusive 3 each
+  EXPECT_EQ(na.exclusive, 6u);
+}
+
+TEST(ProfileTree, NamedTracksPrefixTheirStacks) {
+  obs::TraceRecorder tr(64);
+  tr.set_track_name(1, "pool");
+  const auto w = tr.intern("work");
+  tr.span_begin(w, /*tid=*/1);
+  tr.span_end(w, /*tid=*/1);
+  const auto u = tr.intern("chunk");
+  tr.span_begin(u, /*tid=*/2);  // unnamed track falls back to tid<k>
+  tr.span_end(u, /*tid=*/2);
+
+  const auto tree = obs::ProfileTree::build(tr);
+  std::ostringstream folded;
+  tree.write_folded(folded);
+  EXPECT_EQ(folded.str(), "pool;work 1\ntid2;chunk 1\n");
+}
+
+TEST(ProfileTree, CountsTruncatedAndUnmatchedSpans) {
+  obs::TraceRecorder tr(64);
+  const auto a = tr.intern("open");
+  const auto z = tr.intern("orphan");
+  tr.span_end(z);    // end with no begin: unmatched
+  tr.span_begin(a);  // never ended: truncated at the snapshot edge
+  tr.instant(z, 1);  // advances the last timestamp seen
+  const auto tree = obs::ProfileTree::build(tr);
+  EXPECT_EQ(tree.unmatched(), 1u);
+  EXPECT_EQ(tree.truncated(), 1u);
+  const auto& na = tree.root().children.at("open");
+  EXPECT_EQ(na.count, 1u);
+  EXPECT_GE(na.inclusive, 1u);  // force-closed at the instant's timestamp
+  EXPECT_EQ(tree.root().children.count("orphan"), 0u);
+}
+
+TEST(ProfileTree, EmptyRecorderYieldsEmptyTree) {
+  obs::TraceRecorder tr(8);
+  const auto tree = obs::ProfileTree::build(tr);
+  EXPECT_TRUE(tree.root().children.empty());
+  std::ostringstream folded;
+  tree.write_folded(folded);
+  EXPECT_TRUE(folded.str().empty());
+}
+
+}  // namespace
+}  // namespace mcds

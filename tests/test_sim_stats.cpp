@@ -110,6 +110,63 @@ TEST(P2Quantile, TracksUniformRampWithinTolerance) {
   EXPECT_NEAR(p99.value(), 990.0, 15.0);
 }
 
+TEST(P2Quantile, ZeroAndOneSampleEdgeCases) {
+  for (const double q : {0.0, 0.5, 0.99}) {
+    P2Quantile est(q);
+    EXPECT_EQ(est.count(), 0u);
+    EXPECT_DOUBLE_EQ(est.value(), 0.0);  // empty estimator reads 0
+    est.add(-3.25);
+    EXPECT_EQ(est.count(), 1u);
+    // A single observation is every quantile of its own distribution.
+    EXPECT_DOUBLE_EQ(est.value(), -3.25);
+  }
+}
+
+TEST(P2Quantile, AllEqualStreamStaysExact) {
+  // Degenerate distributions are where the parabolic marker update can
+  // divide by a zero height gap: the estimate must stay pinned.
+  P2Quantile p50(0.50), p99(0.99);
+  for (int i = 0; i < 1000; ++i) {
+    p50.add(42.0);
+    p99.add(42.0);
+  }
+  EXPECT_DOUBLE_EQ(p50.value(), 42.0);
+  EXPECT_DOUBLE_EQ(p99.value(), 42.0);
+}
+
+TEST(P2Quantile, AdversarialInsertionOrders) {
+  // The P² invariants must hold for sorted, reversed and oscillating
+  // input orders, not just shuffled streams: estimates stay inside the
+  // observed range and near the true quantile.
+  const std::size_t n = 1000;
+  P2Quantile descending(0.50);
+  for (std::size_t i = n; i > 0; --i) {
+    descending.add(static_cast<double>(i));
+  }
+  EXPECT_GE(descending.value(), 1.0);
+  EXPECT_LE(descending.value(), static_cast<double>(n));
+  EXPECT_NEAR(descending.value(), 500.0, 50.0);
+
+  P2Quantile ascending(0.95);
+  for (std::size_t i = 1; i <= n; ++i) {
+    ascending.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(ascending.value(), 950.0, 50.0);
+
+  // Alternating extremes: half the mass at 0, half at 100. Any p50
+  // estimate inside the range is admissible; p95 must sit near the top.
+  P2Quantile alt50(0.50), alt95(0.95);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = (i % 2 == 0) ? 0.0 : 100.0;
+    alt50.add(x);
+    alt95.add(x);
+  }
+  EXPECT_GE(alt50.value(), 0.0);
+  EXPECT_LE(alt50.value(), 100.0);
+  EXPECT_GE(alt95.value(), 50.0);
+  EXPECT_LE(alt95.value(), 100.0);
+}
+
 TEST(Accumulator, QuantilesMatchP2OnStream) {
   Accumulator acc;
   for (int i = 1; i <= 500; ++i) {
