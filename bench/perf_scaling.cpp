@@ -12,6 +12,7 @@
 #include "core/waf.hpp"
 #include "par/batch_solver.hpp"
 #include "par/thread_pool.hpp"
+#include "serve/server.hpp"
 #include "dist/distributed_cds.hpp"
 #include "dist/failure_detector.hpp"
 #include "dist/fault.hpp"
@@ -22,6 +23,7 @@
 #include "exact/exact_cds.hpp"
 #include "graph/small_graph.hpp"
 #include "sim/rng.hpp"
+#include "sim/stats.hpp"
 #include "udg/builder.hpp"
 #include "udg/instance.hpp"
 
@@ -491,6 +493,118 @@ BENCHMARK(BM_SurvivabilityMassacre)
     ->Args({1, 2})
     ->Args({2, 1})
     ->Args({2, 2});
+
+// Solve-server benchmarks (BENCH_serve.json). BM_ServeRoundTrip is the
+// end-to-end cost of one admitted request through the full stack
+// (queue, EDF batcher, pool, watchdog accounting) with a real (1,1)
+// solve. BM_ServeOverloadedThroughput drives shaped 1ms solves at a
+// multiple of nominal capacity, with admission control on (arg 1:
+// bounded queue + overload controller) or off (arg 0: effectively
+// unbounded queue), and records goodput and the client-observed p95 —
+// the knee: past 1x offered, "on" holds p95 flat by rejecting at the
+// door while "off" lets queueing delay grow with the backlog.
+void BM_ServeRoundTrip(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  serve::Server server(serve::ServerParams{});
+  std::size_t cds = 0;
+  for (auto _ : state) {
+    serve::Request req;
+    req.instance = inst;
+    req.tier = serve::Tier::kKm11;
+    req.deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    const serve::Response r = server.submit(std::move(req)).wait();
+    if (r.status != serve::Status::kOk) state.SkipWithError("solve failed");
+    cds = r.cds.size();
+    benchmark::DoNotOptimize(cds);
+  }
+  state.counters["cds"] = static_cast<double>(cds);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ServeRoundTrip)->Range(64, 512);
+
+void BM_ServeOverloadedThroughput(benchmark::State& state) {
+  const double mult = static_cast<double>(state.range(0));
+  const bool admission = state.range(1) != 0;
+  constexpr std::size_t kThreads = 2;
+  constexpr auto kService = std::chrono::milliseconds(1);
+  constexpr double kBudgetS = 0.100;
+  double goodput = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double ok = 0.0, turned_away = 0.0;
+  for (auto _ : state) {
+    serve::ServerParams p;
+    p.threads = kThreads;
+    p.max_batch = kThreads;
+    if (admission) {
+      p.queue_capacity = 32;
+    } else {
+      p.queue_capacity = 1 << 20;
+      p.overload.enter_depth = 1.0;
+      p.overload.enter_p95_s = 1e9;
+      p.overload.exit_p95_s = 1e8;
+    }
+    p.solve_hook = [&](const serve::Request&, serve::Tier,
+                       serve::SharedState&) {
+      std::this_thread::sleep_for(kService);
+      par::BatchOutcome o;
+      o.cds = {0};
+      o.nodes = 1;
+      return o;
+    };
+    serve::Server server(std::move(p));
+    const double capacity =
+        static_cast<double>(kThreads) /
+        std::chrono::duration<double>(kService).count();
+    const double rate = mult * capacity;
+    const std::size_t total = static_cast<std::size_t>(rate * 0.4);
+    const auto gap =
+        std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / rate));
+    std::vector<serve::Ticket> tickets;
+    tickets.reserve(total);
+    const auto started = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < total; ++i) {
+      serve::Request req;
+      req.instance.points = {{0.0, 0.0}};
+      req.instance.graph = graph::Graph(1);
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<serve::Duration>(
+                         std::chrono::duration<double>(kBudgetS));
+      tickets.push_back(server.submit(std::move(req)));
+      std::this_thread::sleep_for(gap);
+    }
+    server.drain();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    sim::Accumulator lat;
+    for (serve::Ticket& t : tickets) {
+      const serve::Response r = t.wait();
+      if (r.status == serve::Status::kOk) lat.add(r.latency_seconds * 1e3);
+    }
+    const serve::ServerStats st = server.stats();
+    if (st.leaked() != 0) state.SkipWithError("leaked requests");
+    goodput = static_cast<double>(st.ok) / elapsed;
+    p50 = lat.p50();
+    p95 = lat.p95();
+    p99 = lat.p99();
+    ok = static_cast<double>(st.ok);
+    turned_away = static_cast<double>(st.rejected + st.shed + st.timeout);
+  }
+  state.counters["goodput_per_s"] = goodput;
+  state.counters["p50_ms"] = p50;
+  state.counters["p95_ms"] = p95;
+  state.counters["p99_ms"] = p99;
+  state.counters["ok"] = ok;
+  state.counters["turned_away"] = turned_away;
+}
+BENCHMARK(BM_ServeOverloadedThroughput)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,154 @@
+// serve_load: offered-load sweep for the solve server, with and without
+// admission control, locating the overload knee.
+//
+// Each cell drives an open-loop arrival process (fixed-rate submissions
+// of shaped 1ms solves) at a multiple of the server's nominal capacity
+// and reports goodput plus client-observed latency percentiles. With
+// admission control (bounded queue + overload controller) the p95 of
+// *admitted* work stays near the service time past the knee, because
+// excess load is rejected or shed at the door. Without it (an
+// effectively unbounded queue, controller disabled) queueing delay
+// grows with the backlog and latency blows through the deadline budget.
+//
+// Exits non-zero if the robustness invariants fail: any leaked request,
+// or an admitted kOk response past its own deadline.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace mcds;
+using namespace std::chrono_literals;
+
+constexpr std::chrono::milliseconds kService{1};
+constexpr std::size_t kThreads = 2;
+constexpr double kBudgetS = 0.100;  // per-request deadline budget
+
+struct Cell {
+  double offered_mult = 1.0;
+  bool admission = true;
+  double throughput = 0.0;  // ok responses per second
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::size_t ok = 0, rejected = 0, shed = 0, timeout = 0;
+  bool leak = false;
+  bool late_ok = false;
+};
+
+Cell run_cell(double mult, bool admission) {
+  serve::ServerParams p;
+  p.threads = kThreads;
+  p.max_batch = kThreads;
+  if (admission) {
+    p.queue_capacity = 32;
+  } else {
+    // "No admission control": a queue deep enough to absorb the whole
+    // run, and a controller that can never trigger.
+    p.queue_capacity = 1 << 20;
+    p.overload.enter_depth = 1.0;
+    p.overload.enter_p95_s = 1e9;
+    p.overload.exit_p95_s = 1e8;
+  }
+  p.solve_hook = [](const serve::Request&, serve::Tier,
+                    serve::SharedState&) {
+    std::this_thread::sleep_for(kService);
+    par::BatchOutcome o;
+    o.cds = {0};
+    o.nodes = 1;
+    return o;
+  };
+  serve::Server server(std::move(p));
+
+  // Nominal capacity: kThreads solves per service interval.
+  const double capacity =
+      static_cast<double>(kThreads) /
+      std::chrono::duration<double>(kService).count();
+  const double rate = mult * capacity;
+  const std::size_t total = static_cast<std::size_t>(rate * 0.8);  // ~0.8s
+  const auto gap =
+      std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / rate));
+
+  std::vector<serve::Ticket> tickets;
+  tickets.reserve(total);
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    serve::Request req;
+    req.instance.points = {{0.0, 0.0}};
+    req.instance.graph = graph::Graph(1);
+    req.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<serve::Duration>(
+                       std::chrono::duration<double>(kBudgetS));
+    tickets.push_back(server.submit(std::move(req)));
+    std::this_thread::sleep_for(gap);
+  }
+  server.drain();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  Cell c;
+  c.offered_mult = mult;
+  c.admission = admission;
+  sim::Accumulator lat;
+  for (serve::Ticket& t : tickets) {
+    const serve::Response r = t.wait();
+    if (r.status == serve::Status::kOk) {
+      lat.add(r.latency_seconds * 1e3);
+      if (r.latency_seconds > kBudgetS) c.late_ok = true;
+    }
+  }
+  const serve::ServerStats st = server.stats();
+  c.ok = st.ok;
+  c.rejected = st.rejected;
+  c.shed = st.shed;
+  c.timeout = st.timeout;
+  c.throughput = static_cast<double>(st.ok) / elapsed;
+  c.p50_ms = lat.p50();
+  c.p95_ms = lat.p95();
+  c.p99_ms = lat.p99();
+  c.leak = st.leaked() != 0;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("serve_load: open-loop sweep, %zu workers x %lldms service, "
+              "%.0fms deadline budget\n",
+              kThreads,
+              static_cast<long long>(kService.count()),
+              kBudgetS * 1e3);
+  std::printf("%-9s %-10s %10s %8s %8s %8s %6s %6s %6s %8s\n", "offered",
+              "admission", "goodput/s", "p50ms", "p95ms", "p99ms", "ok",
+              "rej", "shed", "timeout");
+  bool failed = false;
+  for (const double mult : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (const bool admission : {true, false}) {
+      const Cell c = run_cell(mult, admission);
+      std::printf("%-9.1f %-10s %10.1f %8.2f %8.2f %8.2f %6zu %6zu %6zu "
+                  "%8zu\n",
+                  c.offered_mult, c.admission ? "on" : "off", c.throughput,
+                  c.p50_ms, c.p95_ms, c.p99_ms, c.ok, c.rejected, c.shed,
+                  c.timeout);
+      if (c.leak) {
+        std::printf("  INVARIANT VIOLATED: leaked requests\n");
+        failed = true;
+      }
+      if (c.late_ok) {
+        std::printf("  INVARIANT VIOLATED: kOk response past deadline\n");
+        failed = true;
+      }
+    }
+  }
+  std::printf("\nknee reading: past 1.0x offered, 'admission on' holds p95 "
+              "near the service time by rejecting/shedding at the door; "
+              "'admission off' queues everything and p95 grows toward the "
+              "deadline budget (timeouts).\n");
+  return failed ? 1 : 0;
+}

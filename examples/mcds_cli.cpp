@@ -75,6 +75,7 @@
 #include "obs/obs.hpp"
 #include "obs/profile.hpp"
 #include "par/thread_pool.hpp"
+#include "serve/server.hpp"
 #include "udg/builder.hpp"
 #include "udg/instance.hpp"
 #include "udg/io.hpp"
@@ -126,6 +127,8 @@ int usage() {
                "[--delay D] [--seed K]\n"
             << "  mcds_cli dynamic --in F [--events N] [--crash P] "
                "[--speed S] [--seed K] [--check-every M]\n"
+            << "  mcds_cli serve --in F [--requests N] [--budget-ms B] "
+               "[--churn P] [--queue C] [--seed K]\n"
             << "solve/dist/dynamic observability: [--trace F.json] "
                "[--trace-jsonl F.jsonl] [--metrics F.json] [--prom F.prom] "
                "[--profile-folded F.folded] [--snapshot-jsonl F.jsonl "
@@ -613,6 +616,79 @@ int cmd_dynamic(const Args& args) {
   return sinks.write();
 }
 
+/// Smoke-mode for the solve server: drive a bounded request mix through
+/// serve::Server against the loaded deployment, drain, and report the
+/// accounting ledger. A leak is an error (exit 2), which makes this a
+/// usable health check in CI.
+int cmd_serve(const Args& args) {
+  const auto in = args.get("in");
+  if (!in) {
+    std::cerr << "serve: --in is required\n";
+    return 1;
+  }
+  const auto points = udg::load_points_file(*in);
+  const graph::Graph g = udg::build_udg(points);
+  if (graph::compute_metrics(g).components != 1) {
+    std::cerr << "serve: input must be connected\n";
+    return 2;
+  }
+  const std::size_t requests =
+      std::stoul(args.get("requests").value_or("50"));
+  const std::size_t budget_ms =
+      std::stoul(args.get("budget-ms").value_or("500"));
+  const double churn = std::stod(args.get("churn").value_or("0.25"));
+  const auto seed = std::stoull(args.get("seed").value_or("1"));
+
+  ObsSinks sinks(args);
+  serve::ServerParams params;
+  params.queue_capacity = std::stoul(args.get("queue").value_or("64"));
+  params.initial_points = points;
+  serve::Server server(std::move(params), sinks.handle());
+
+  udg::UdgInstance inst;
+  inst.points = points;
+  inst.graph = g;
+  inst.seed = seed;
+
+  sim::Rng rng(seed);
+  std::vector<serve::Ticket> tickets;
+  for (std::size_t i = 0; i < requests; ++i) {
+    serve::Request req;
+    req.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(budget_ms);
+    if (rng.uniform01() < churn) {
+      req.ops.push_back(
+          {serve::ChurnOp::Kind::kMove,
+           static_cast<serve::NodeId>(rng.uniform_int(points.size())),
+           {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)}});
+    } else {
+      req.instance = inst;
+      req.tier = static_cast<serve::Tier>(rng.uniform_int(3));
+      req.priority = static_cast<serve::Priority>(rng.uniform_int(3));
+    }
+    tickets.push_back(server.submit(std::move(req)));
+  }
+  server.drain();
+
+  std::size_t ok_with_valid_cds = 0;
+  for (serve::Ticket& t : tickets) {
+    const serve::Response r = t.wait();
+    if (r.status != serve::Status::kOk || r.cds.empty()) continue;
+    if (r.epoch == 0 && core::check_cds(g, r.cds).ok) ++ok_with_valid_cds;
+  }
+  const serve::ServerStats st = server.stats();
+  std::cout << "submitted " << st.submitted << ": ok " << st.ok << " ("
+            << st.degraded << " degraded, " << ok_with_valid_cds
+            << " solve responses validated), rejected " << st.rejected
+            << ", shed " << st.shed << ", timeout " << st.timeout
+            << ", errors " << st.errors << "\n"
+            << "overload transitions: "
+            << server.overload_transitions().size() << "\n"
+            << "leaked requests: " << st.leaked() << "\n";
+  if (const int rc = sinks.write(); rc != 0) return rc;
+  return st.leaked() == 0 ? 0 : 2;
+}
+
 int cmd_stats(const Args& args) {
   const auto in = args.get("in");
   if (!in) {
@@ -644,6 +720,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "dist") return cmd_dist(args);
     if (command == "dynamic") return cmd_dynamic(args);
+    if (command == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "mcds_cli: " << e.what() << "\n";

@@ -1,0 +1,210 @@
+// mcds_serve: a long-lived in-process solve server under synthetic load.
+//
+// Drives serve::Server with a built-in open-loop load generator (solve
+// and churn requests, mixed tiers and priorities, per-request deadlines)
+// until a --duration-ms budget elapses or SIGINT/SIGTERM arrives, then
+// drains: no new admissions, queued and in-flight work runs (or times
+// out) to a terminal status, and the process exits with the accounting
+// ledger printed. A non-zero leak count is a bug and exits 2.
+//
+//   mcds_serve [--nodes N] [--side S] [--seed K] [--duration-ms D]
+//              [--rate R] [--queue C] [--batch B] [--churn P]
+//              [--checkpoint F --checkpoint-every-ms M] [--prom F]
+//
+// Exit status: 0 clean drain with zero leaks, 1 usage error, 2 failure.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "sim/rng.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using namespace mcds;
+using namespace std::chrono_literals;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  std::size_t nodes = 40;
+  double side = 5.0;
+  std::uint64_t seed = 1;
+  std::size_t duration_ms = 2000;  // 0 = run until signalled
+  std::size_t rate = 200;          // offered load, requests/second
+  std::size_t queue = 64;
+  std::size_t batch = 8;
+  double churn = 0.3;  // fraction of requests that are churn ops
+  std::string checkpoint;
+  std::size_t checkpoint_every_ms = 250;
+  std::string prom;
+};
+
+int usage() {
+  std::cerr << "usage: mcds_serve [--nodes N] [--side S] [--seed K]\n"
+            << "                  [--duration-ms D] [--rate R] [--queue C]\n"
+            << "                  [--batch B] [--churn P]\n"
+            << "                  [--checkpoint F [--checkpoint-every-ms M]]\n"
+            << "                  [--prom F]\n"
+            << "Runs until --duration-ms elapses (0 = forever) or\n"
+            << "SIGINT/SIGTERM, then drains and reports. Exits 2 if any\n"
+            << "request leaks.\n";
+  return 1;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) return false;
+    kv[key.substr(2)] = argv[++i];
+  }
+  try {
+    if (kv.count("nodes")) opt.nodes = std::stoul(kv["nodes"]);
+    if (kv.count("side")) opt.side = std::stod(kv["side"]);
+    if (kv.count("seed")) opt.seed = std::stoull(kv["seed"]);
+    if (kv.count("duration-ms")) opt.duration_ms = std::stoul(kv["duration-ms"]);
+    if (kv.count("rate")) opt.rate = std::stoul(kv["rate"]);
+    if (kv.count("queue")) opt.queue = std::stoul(kv["queue"]);
+    if (kv.count("batch")) opt.batch = std::stoul(kv["batch"]);
+    if (kv.count("churn")) opt.churn = std::stod(kv["churn"]);
+    if (kv.count("checkpoint")) opt.checkpoint = kv["checkpoint"];
+    if (kv.count("checkpoint-every-ms")) {
+      opt.checkpoint_every_ms = std::stoul(kv["checkpoint-every-ms"]);
+    }
+    if (kv.count("prom")) opt.prom = kv["prom"];
+  } catch (const std::exception&) {
+    return false;
+  }
+  return opt.rate > 0 && opt.nodes > 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // A pool of solve instances plus one live deployment for churn.
+  udg::InstanceParams ip;
+  ip.nodes = opt.nodes;
+  ip.side = opt.side;
+  std::vector<udg::UdgInstance> pool;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    pool.push_back(
+        udg::generate_largest_component_instance(ip, opt.seed * 100 + s));
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::Obs obs;
+  obs.metrics = &metrics;
+
+  serve::ServerParams params;
+  params.queue_capacity = opt.queue;
+  params.max_batch = opt.batch;
+  params.initial_points = pool[0].points;
+  params.dyn.radius = pool[0].radius;
+  if (!opt.checkpoint.empty()) {
+    params.checkpoint_path = opt.checkpoint;
+    params.checkpoint_every =
+        std::chrono::milliseconds(opt.checkpoint_every_ms);
+  }
+  serve::Server server(std::move(params), obs);
+
+  sim::Rng rng(opt.seed);
+  const auto started = std::chrono::steady_clock::now();
+  const auto gap = std::chrono::nanoseconds(1'000'000'000ull / opt.rate);
+  const std::size_t base_nodes = pool[0].points.size();
+
+  std::vector<serve::Ticket> tickets;
+  std::size_t sent = 0;
+  while (g_stop == 0) {
+    if (opt.duration_ms > 0 &&
+        std::chrono::steady_clock::now() - started >
+            std::chrono::milliseconds(opt.duration_ms)) {
+      break;
+    }
+    serve::Request req;
+    req.deadline = std::chrono::steady_clock::now() + 250ms;
+    if (rng.uniform01() < opt.churn) {
+      // Valid-by-construction churn: moves of base nodes and inserts.
+      serve::ChurnOp op;
+      const geom::Vec2 pos{rng.uniform(0.0, opt.side),
+                           rng.uniform(0.0, opt.side)};
+      if (rng.uniform_int(4) == 0) {
+        op = {serve::ChurnOp::Kind::kInsert, 0, pos};
+      } else {
+        op = {serve::ChurnOp::Kind::kMove,
+              static_cast<serve::NodeId>(rng.uniform_int(base_nodes)), pos};
+      }
+      req.ops.push_back(op);
+    } else {
+      req.instance = pool[rng.uniform_int(pool.size())];
+      req.tier = static_cast<serve::Tier>(rng.uniform_int(3));
+      req.priority = static_cast<serve::Priority>(rng.uniform_int(3));
+    }
+    tickets.push_back(server.submit(std::move(req)));
+    ++sent;
+    // Reap settled tickets so memory stays flat on long runs.
+    if (tickets.size() > 4096) {
+      std::erase_if(tickets,
+                    [](serve::Ticket& t) { return t.done(); });
+    }
+    std::this_thread::sleep_for(gap);
+  }
+
+  const char* why = g_stop != 0 ? "signal" : "duration";
+  std::cout << "stopping (" << why << "): draining " << server.queue_depth()
+            << " queued request(s)...\n";
+  server.drain();
+
+  const serve::ServerStats st = server.stats();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+  std::cout << "ran " << elapsed << "s at ~" << opt.rate << " req/s\n"
+            << "submitted: " << st.submitted << "\n"
+            << "  ok:        " << st.ok << " (" << st.degraded
+            << " degraded)\n"
+            << "  rejected:  " << st.rejected << "\n"
+            << "  shed:      " << st.shed << "\n"
+            << "  timeout:   " << st.timeout << "\n"
+            << "  cancelled: " << st.cancelled << "\n"
+            << "  invalid:   " << st.invalid << "\n"
+            << "  errors:    " << st.errors << "\n"
+            << "overload transitions: " << server.overload_transitions().size()
+            << " (final level " << server.overload_level() << ")\n"
+            << "checkpoints written: " << st.checkpoints << "\n"
+            << "leaked requests: " << st.leaked() << "\n";
+
+  if (!opt.prom.empty()) {
+    std::ofstream os(opt.prom);
+    if (!os) {
+      std::cerr << "mcds_serve: cannot write " << opt.prom << "\n";
+      return 2;
+    }
+    obs::export_prometheus(metrics, os);
+    std::cout << "wrote " << opt.prom << "\n";
+  }
+  if (st.leaked() != 0 || st.inflight != 0) {
+    std::cerr << "mcds_serve: request accounting leak!\n";
+    return 2;
+  }
+  return 0;
+}

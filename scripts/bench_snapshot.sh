@@ -36,6 +36,7 @@ case "$BENCH_TOPIC" in
   par)    default_filter="BM_BatchSolve|BM_BuildUdgParallel|BM_GreedyConnectorsCsr|BM_GreedyConnectorsNested" ;;
   dynamic) default_filter="BM_DynamicChurn|BM_DynamicRebuild" ;;
   survivability) default_filter="BM_SurvivabilityBuild|BM_SurvivabilityMassacre" ;;
+  serve)  default_filter="BM_ServeRoundTrip|BM_ServeOverloadedThroughput" ;;
   *)      default_filter=".*" ;;
 esac
 BENCH_FILTER="${BENCH_FILTER:-$default_filter}"

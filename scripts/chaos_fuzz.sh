@@ -3,6 +3,7 @@
 #   partition  tests/test_dist_partition_chaos  PartitionChaos.RandomizedPartitionSchedules
 #   dist       tests/test_dist_chaos            Chaos.RandomizedFaultGrid
 #   km         tests/test_km_chaos              KmChaos.RandomizedCrashSchedulesHoldInvariants
+#   serve      tests/test_serve_chaos           ServeChaos.SustainedOverloadHoldsInvariants
 # The time budget is shared: iterations round-robin over the suites with
 # a fresh base seed each, so a 300 s run splits roughly evenly between
 # partition schedules, the protocol fault grid and the (k,m) crash
@@ -19,8 +20,8 @@
 #                        printed so any run can be reproduced exactly)
 #   CHAOS_FUZZ_OUT=...   directory for minimized repro plans
 #                        (default: chaos-artifacts)
-#   CHAOS_SUITES=...     comma-separated subset of partition,dist,km
-#                        (default: all three)
+#   CHAOS_SUITES=...     comma-separated subset of partition,dist,km,
+#                        serve (default: all four)
 #
 # Exit status: 0 if every iteration passed, 1 on the first failure (the
 # failing suite, seed and any minimized plan files are reported).
@@ -31,7 +32,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 BUDGET="${1:-${CHAOS_BUDGET:-300}}"
 SEED="${CHAOS_FUZZ_SEED:-$(date +%s)}"
 OUT="${CHAOS_FUZZ_OUT:-chaos-artifacts}"
-SUITES="${CHAOS_SUITES:-partition,dist,km}"
+SUITES="${CHAOS_SUITES:-partition,dist,km,serve}"
 
 declare -A BIN FILTER
 BIN[partition]="$BUILD_DIR/tests/test_dist_partition_chaos"
@@ -40,11 +41,13 @@ BIN[dist]="$BUILD_DIR/tests/test_dist_chaos"
 FILTER[dist]='Chaos.RandomizedFaultGrid'
 BIN[km]="$BUILD_DIR/tests/test_km_chaos"
 FILTER[km]='KmChaos.RandomizedCrashSchedulesHoldInvariants'
+BIN[serve]="$BUILD_DIR/tests/test_serve_chaos"
+FILTER[serve]='ServeChaos.SustainedOverloadHoldsInvariants'
 
 IFS=',' read -r -a suites <<<"$SUITES"
 for suite in "${suites[@]}"; do
   if [[ -z "${BIN[$suite]:-}" ]]; then
-    echo "chaos_fuzz.sh: unknown suite '$suite' (want partition,dist,km)" >&2
+    echo "chaos_fuzz.sh: unknown suite '$suite' (want partition,dist,km,serve)" >&2
     exit 2
   fi
   if [[ ! -x "${BIN[$suite]}" ]]; then

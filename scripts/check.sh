@@ -13,8 +13,10 @@
 # engine and the parallel builder/validator overloads; the Dyn* suites
 # drive the incremental engine, including concurrent independent
 # engines; the Km* suites exercise the (k,m) builders and the
-# crash-survival harness). The remaining serial suites learn nothing
-# from TSan and would multiply the runtime ~10x.
+# crash-survival harness; the Serve* suites drive the solve server's
+# batcher/watchdog/checkpointer threads under load). The remaining
+# serial suites learn nothing from TSan and would multiply the runtime
+# ~10x.
 #
 # RUN_BENCH=1 additionally records a performance snapshot via
 # scripts/bench_snapshot.sh (opt-in: the google-benchmark run takes
@@ -31,7 +33,7 @@ if [[ "${SANITIZE:-0}" == "1" ]]; then
 elif [[ "${SANITIZE:-0}" == "tsan" ]]; then
   BUILD_DIR=build-tsan
   cmake_extra=(-DMCDS_SANITIZE_THREAD=ON -DMCDS_BUILD_BENCH=OFF)
-  ctest_extra=(-R '^(Par|Dyn|Streams/Dyn|Km)')
+  ctest_extra=(-R '^(Par|Dyn|Streams/Dyn|Km|Serve)')
 fi
 
 # Prefer Ninja when available, but match ROADMAP's tier-1 command (the

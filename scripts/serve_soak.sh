@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Serve soak smoke: run the mcds_serve demo under sustained synthetic
+# load for SOAK_SECONDS (default 60), then SIGTERM it and require a
+# clean drain — exit 0 and "leaked requests: 0" in the report. Run it
+# against an ASan build tree (SANITIZE=1 scripts/check.sh builds one in
+# build-asan) and the same invocation also gates on sanitizer cleanness,
+# since any ASan report makes the binary exit non-zero.
+#
+# Usage: scripts/serve_soak.sh [soak_seconds]
+#   BUILD_DIR=...     build tree holding examples/mcds_serve
+#                     (default: build)
+#   SOAK_SECONDS=...  soak duration (default: 60; positional wins)
+#   SOAK_RATE=...     offered load in requests/second (default: 300)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SOAK="${1:-${SOAK_SECONDS:-60}}"
+RATE="${SOAK_RATE:-300}"
+BIN="$BUILD_DIR/examples/mcds_serve"
+
+if [[ ! -x "$BIN" ]]; then
+  cmake --build "$BUILD_DIR" --target mcds_serve_demo -j "$(nproc)"
+fi
+if [[ ! -x "$BIN" ]]; then
+  echo "serve_soak.sh: demo binary not built: $BIN" >&2
+  exit 1
+fi
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+ckpt="$(mktemp -u)"
+
+echo "serve_soak: ${SOAK}s at ${RATE} req/s, then SIGTERM drain"
+"$BIN" --duration-ms 0 --rate "$RATE" --nodes 40 --churn 0.3 \
+  --checkpoint "$ckpt" --checkpoint-every-ms 500 >"$log" 2>&1 &
+pid=$!
+sleep "$SOAK"
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+rm -f "$ckpt" "$ckpt.tmp"
+
+cat "$log"
+if [[ "$status" != 0 ]]; then
+  echo "serve_soak: FAIL — mcds_serve exited $status" >&2
+  exit 1
+fi
+if ! grep -q '^stopping (signal)' "$log"; then
+  echo "serve_soak: FAIL — no signal-initiated drain in the log" >&2
+  exit 1
+fi
+if ! grep -q '^leaked requests: 0$' "$log"; then
+  echo "serve_soak: FAIL — leaked requests (or report missing)" >&2
+  exit 1
+fi
+echo "serve_soak: PASS (clean SIGTERM drain, zero leaks)"

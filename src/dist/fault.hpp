@@ -188,6 +188,13 @@ struct ReliableLinkParams {
                         ///< two rounds to return, so rto >= 3 keeps a clean
                         ///< link free of spurious retransmits.
   std::size_t max_rto = 16;  ///< exponential-backoff cap
+  /// Time-to-live: total rounds a payload may sit unacked (while its
+  /// sender is up) before the link gives up on it regardless of the
+  /// retry budget. 0 = no TTL (budget-only). Either way, an abandoned
+  /// payload surfaces as a structured DeliveryFailure — a permanently
+  /// dead peer produces a bounded number of retransmissions and a
+  /// delivery_failed outcome, never an unbounded retry loop.
+  std::size_t ttl_rounds = 0;
 };
 
 /// How to execute a protocol under faults: the plan, whether to route

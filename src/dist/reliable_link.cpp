@@ -18,6 +18,10 @@ std::size_t reliable_delivery_bound(const ReliableLinkParams& params) noexcept {
     total += rto;
     rto = std::min(rto * 2, params.max_rto);
   }
+  // A TTL abandons the payload after ttl_rounds unacked rounds, so the
+  // last transmission that can still land is the one the round before;
+  // its copy delivers one round later.
+  if (params.ttl_rounds > 0) total = std::min(total, params.ttl_rounds + 1);
   return total;
 }
 
@@ -31,6 +35,7 @@ ReliableLink::ReliableLink(Runtime& rt, const ReliableLinkParams& params,
   c_retx_ = obs.counter("reliable_link.retransmissions");
   c_expired_ = obs.counter("reliable_link.expired");
   c_dedup_ = obs.counter("reliable_link.dedup_hits");
+  c_failed_ = obs.counter("reliable_link.delivery_failed");
 }
 
 void ReliableLink::post(NodeId from, NodeId to, const Message& payload) {
@@ -40,7 +45,7 @@ void ReliableLink::post(NodeId from, NodeId to, const Message& payload) {
   wire.seq = seq;
   rt_.send(from, to, wire);
   pending_.push_back(Pending{from, to, payload, seq, params_.rto, params_.rto,
-                             params_.max_retries, rt_.context()});
+                             params_.max_retries, /*age=*/0, rt_.context()});
 }
 
 void ReliableLink::send(NodeId from, NodeId to, Message m) {
@@ -71,12 +76,26 @@ void ReliableLink::on_round_begin() {
   // inboxes, exactly like sends from step(). Crashed senders keep their
   // queue but the clock stops (fail-stop with stable storage).
   std::size_t expired_now = 0;
+  const auto abandon = [&](Pending& p, DeliveryFailureReason reason) {
+    failures_.push_back(DeliveryFailure{
+        p.from, p.to, p.seq, p.payload,
+        params_.max_retries - p.retries_left, reason});
+    p.seq = 0;  // tombstone, collected below (seq 0 is never assigned)
+    ++expired_now;
+  };
   for (Pending& p : pending_) {
     if (!rt_.is_up(p.from)) continue;
+    ++p.age;
+    // TTL first: a payload past its lifetime is abandoned even if
+    // retries remain, so a dead peer costs at most ttl_rounds of
+    // traffic per payload.
+    if (params_.ttl_rounds > 0 && p.age >= params_.ttl_rounds) {
+      abandon(p, DeliveryFailureReason::kTtlExpired);
+      continue;
+    }
     if (--p.timer > 0) continue;
     if (p.retries_left == 0) {
-      p.seq = 0;  // tombstone, collected below (seq 0 is never assigned)
-      ++expired_now;
+      abandon(p, DeliveryFailureReason::kRetryBudget);
       continue;
     }
     Message wire = p.payload;
@@ -97,6 +116,7 @@ void ReliableLink::on_round_begin() {
   if (expired_now > 0) {
     expired_ += expired_now;
     if (c_expired_) c_expired_->add(expired_now);
+    if (c_failed_) c_failed_->add(expired_now);
     std::erase_if(pending_, [](const Pending& p) { return p.seq == 0; });
   }
 }

@@ -28,9 +28,30 @@ inline constexpr std::int32_t kLinkAck = 2;
 
 /// Worst-case rounds from handing a message to ReliableLink until the
 /// wrapped protocol processes it, assuming the retry budget is not
-/// exhausted: the full backoff schedule plus the final delivery round.
+/// exhausted: the full backoff schedule plus the final delivery round,
+/// capped by the TTL when one is configured (a payload older than
+/// ttl_rounds is abandoned, so no delivery can land later than that).
 [[nodiscard]] std::size_t reliable_delivery_bound(
     const ReliableLinkParams& params) noexcept;
+
+/// Why the link abandoned a payload.
+enum class DeliveryFailureReason : std::uint8_t {
+  kRetryBudget,  ///< max_retries retransmissions went unacked
+  kTtlExpired,   ///< the payload aged past ttl_rounds unacked
+};
+
+/// One payload the link gave up on — the structured delivery_failed
+/// outcome a protocol (or its driver) consumes instead of inferring
+/// loss from silence. The original payload is retained so the caller
+/// can requeue, reroute or report it.
+struct DeliveryFailure {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t seq = 0;          ///< link-layer sequence number
+  Message payload;                ///< original message (link/seq clear)
+  std::size_t retransmissions = 0;  ///< retransmissions spent on it
+  DeliveryFailureReason reason = DeliveryFailureReason::kRetryBudget;
+};
 
 /// The ack/retransmission wrapper. Construct against a Runtime, build
 /// the protocol against *this* as its Transport, then attach() it and
@@ -67,11 +88,17 @@ class ReliableLink final : public Transport, public Protocol {
   [[nodiscard]] std::size_t retransmissions() const noexcept {
     return retransmissions_;
   }
-  /// Payloads abandoned after max_retries unacked retransmissions.
+  /// Payloads abandoned (retry budget exhausted or TTL exceeded).
   [[nodiscard]] std::size_t expired() const noexcept { return expired_; }
   /// Duplicate data frames suppressed by receiver-side dedup.
   [[nodiscard]] std::size_t dedup_hits() const noexcept {
     return dedup_hits_;
+  }
+  /// Structured record of every abandoned payload, in abandonment
+  /// order. failed_deliveries().size() == expired().
+  [[nodiscard]] const std::vector<DeliveryFailure>& failed_deliveries()
+      const noexcept {
+    return failures_;
   }
 
  private:
@@ -83,6 +110,7 @@ class ReliableLink final : public Transport, public Protocol {
     std::size_t timer = 0;  ///< rounds until the next retransmission
     std::size_t rto = 0;    ///< current backoff interval
     std::size_t retries_left = 0;
+    std::size_t age = 0;  ///< rounds spent unacked (sender up), for TTL
     /// Causal context captured at first post; retransmissions restore
     /// it so a retried message extends the chain that caused it instead
     /// of rooting a fresh one (the retry is the same logical send).
@@ -102,11 +130,13 @@ class ReliableLink final : public Transport, public Protocol {
   std::size_t retransmissions_ = 0;
   std::size_t expired_ = 0;
   std::size_t dedup_hits_ = 0;
+  std::vector<DeliveryFailure> failures_;
   /// Pre-resolved metric sinks (nullptr when observability is off, so
   /// the hot paths pay one pointer test each).
   obs::Counter* c_retx_ = nullptr;
   obs::Counter* c_expired_ = nullptr;
   obs::Counter* c_dedup_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
 };
 
 /// Plumbing shared by the fault-aware protocol entry points: one

@@ -19,18 +19,38 @@ BatchResult BatchSolver::solve(std::span<const udg::UdgInstance> corpus,
                [&corpus, &r, &solver](std::size_t begin, std::size_t end,
                                       std::size_t /*chunk*/) {
                  for (std::size_t i = begin; i < end; ++i) {
-                   r.outcomes[i] = solver(corpus[i]);
+                   // Containment boundary: a throwing solve poisons its
+                   // own slot only. The catch writes a fresh outcome, so
+                   // partial writes by the solver cannot leak through.
+                   try {
+                     r.outcomes[i] = solver(corpus[i]);
+                   } catch (const std::exception& e) {
+                     r.outcomes[i] = BatchOutcome{};
+                     r.outcomes[i].failed = true;
+                     r.outcomes[i].error = e.what();
+                     r.outcomes[i].nodes = corpus[i].graph.num_nodes();
+                   } catch (...) {
+                     r.outcomes[i] = BatchOutcome{};
+                     r.outcomes[i].failed = true;
+                     r.outcomes[i].error = "unknown exception";
+                     r.outcomes[i].nodes = corpus[i].graph.num_nodes();
+                   }
                  }
                });
 
   // Aggregate strictly in corpus order: summarize() over index-ordered
   // observations is what makes the Summary fields thread-count
-  // invariant.
+  // invariant. Failed slots are skipped, not zero-filled — a failure
+  // must not drag the corpus statistics.
   std::vector<double> sizes, doms, fracs;
   sizes.reserve(r.outcomes.size());
   doms.reserve(r.outcomes.size());
   fracs.reserve(r.outcomes.size());
   for (const BatchOutcome& o : r.outcomes) {
+    if (o.failed) {
+      ++r.failed;
+      continue;
+    }
     sizes.push_back(static_cast<double>(o.cds.size()));
     doms.push_back(static_cast<double>(o.dominators));
     fracs.push_back(o.nodes == 0 ? 0.0
@@ -46,6 +66,7 @@ BatchResult BatchSolver::solve(std::span<const udg::UdgInstance> corpus,
   if (obs_.metrics) {
     obs_.metrics->gauge("par.batch.instances")
         .set(static_cast<double>(corpus.size()));
+    if (r.failed > 0) obs_.metrics->counter("par.batch.failed").add(r.failed);
     obs_.metrics->gauge("par.batch.wall_seconds").set(r.wall_seconds);
     pool_->publish(*obs_.metrics);
   }

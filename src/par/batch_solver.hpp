@@ -27,11 +27,15 @@
 
 namespace mcds::par {
 
-/// Per-instance output of a batch solve.
+/// Per-instance output of a batch solve. A solve that threw is recorded
+/// in place (failed/error) instead of poisoning the batch: every other
+/// slot is bit-identical to a clean run.
 struct BatchOutcome {
   std::vector<graph::NodeId> cds;  ///< the backbone, ascending node id
   std::size_t dominators = 0;      ///< phase-1 MIS size (0 if not phased)
   std::size_t nodes = 0;           ///< instance size, for ratios
+  bool failed = false;             ///< the solver threw on this instance
+  std::string error;               ///< what() of the escaped exception
 };
 
 /// The per-instance solver. Must be deterministic and thread-safe for
@@ -39,9 +43,12 @@ struct BatchOutcome {
 using BatchSolveFn =
     std::function<BatchOutcome(const udg::UdgInstance&)>;
 
-/// Aggregated result of one batch run.
+/// Aggregated result of one batch run. Summaries cover the successful
+/// outcomes only (in corpus order), so they stay thread-count invariant
+/// whether or not some instances failed.
 struct BatchResult {
   std::vector<BatchOutcome> outcomes;  ///< index-aligned with the corpus
+  std::size_t failed = 0;              ///< outcomes with failed == true
   sim::Summary cds_size;               ///< over |cds|
   sim::Summary dominators;             ///< over phase-1 MIS sizes
   sim::Summary backbone_fraction;      ///< over |cds| / nodes
@@ -59,8 +66,11 @@ class BatchSolver {
       : pool_(&pool), obs_(obs) {}
 
   /// Solves every instance of \p corpus with \p solver. Instances are
-  /// independent tasks; an exception from a solve is rethrown for the
-  /// lowest failing corpus index regardless of scheduling.
+  /// independent tasks and failures are contained per slot: an
+  /// exception escaping one solve marks only that outcome failed (with
+  /// the exception's what() as its structured error) and every other
+  /// slot is bit-identical to a clean run — the error-containment
+  /// differential test proves this at 1/2/8 threads.
   [[nodiscard]] BatchResult solve(std::span<const udg::UdgInstance> corpus,
                                   const BatchSolveFn& solver) const;
 

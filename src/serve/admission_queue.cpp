@@ -1,0 +1,138 @@
+#include "serve/admission_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcds::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("AdmissionQueue: capacity must be >= 1");
+  }
+}
+
+void AdmissionQueue::finish(QueueItem& item, Status status) {
+  Response r;
+  r.id = item.req.id;
+  r.status = status;
+  r.tier = item.req.tier;
+  item.state->complete(std::move(r));
+}
+
+bool AdmissionQueue::try_push(QueueItem item) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(std::move(item));
+  ++pushed_;
+  return true;
+}
+
+std::vector<QueueItem> AdmissionQueue::pop_batch(std::size_t max_batch,
+                                                 TimePoint now) {
+  std::vector<QueueItem> batch;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Expire first so a stale head never occupies a batch slot.
+  for (QueueItem& it : items_) {
+    if (it.req.deadline <= now) {
+      finish(it, Status::kTimeout);
+      ++purged_;
+      it.state.reset();  // tombstone
+    }
+  }
+  std::erase_if(items_, [](const QueueItem& it) { return !it.state; });
+  if (items_.empty() || max_batch == 0) return batch;
+  // EDF: full sort keeps the remainder ordered too — the queue is
+  // small (bounded by capacity), so O(n log n) here is noise next to
+  // one instance solve.
+  std::sort(items_.begin(), items_.end(),
+            [](const QueueItem& a, const QueueItem& b) {
+              if (a.req.deadline != b.req.deadline) {
+                return a.req.deadline < b.req.deadline;
+              }
+              return a.seqno < b.seqno;
+            });
+  const std::size_t take = std::min(max_batch, items_.size());
+  batch.assign(std::make_move_iterator(items_.begin()),
+               std::make_move_iterator(items_.begin() + take));
+  items_.erase(items_.begin(), items_.begin() + take);
+  return batch;
+}
+
+std::size_t AdmissionQueue::purge_expired(TimePoint now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (QueueItem& it : items_) {
+    if (it.req.deadline <= now) {
+      finish(it, Status::kTimeout);
+      ++n;
+      it.state.reset();
+    }
+  }
+  std::erase_if(items_, [](const QueueItem& it) { return !it.state; });
+  purged_ += n;
+  return n;
+}
+
+std::size_t AdmissionQueue::shed(Priority cutoff, std::size_t max_count) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (max_count == 0 || items_.empty()) return 0;
+  // Latest deadline first among sheddable items: under overload the
+  // furthest-out low-priority work is the cheapest to give up.
+  std::vector<std::size_t> sheddable;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].req.priority <= cutoff) sheddable.push_back(i);
+  }
+  std::sort(sheddable.begin(), sheddable.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (items_[a].req.deadline != items_[b].req.deadline) {
+                return items_[a].req.deadline > items_[b].req.deadline;
+              }
+              return items_[a].seqno > items_[b].seqno;
+            });
+  std::size_t n = 0;
+  for (std::size_t i : sheddable) {
+    if (n >= max_count) break;
+    finish(items_[i], Status::kShed);
+    items_[i].state.reset();
+    ++n;
+  }
+  std::erase_if(items_, [](const QueueItem& it) { return !it.state; });
+  shed_ += n;
+  return n;
+}
+
+std::size_t AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  const std::size_t n = items_.size();
+  for (QueueItem& it : items_) finish(it, Status::kCancelled);
+  items_.clear();
+  return n;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::pushed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pushed_;
+}
+
+std::size_t AdmissionQueue::purged() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return purged_;
+}
+
+std::size_t AdmissionQueue::shed_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
+}
+
+}  // namespace mcds::serve

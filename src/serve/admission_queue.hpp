@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+/// \file admission_queue.hpp
+/// The bounded, deadline-aware request queue between admission and the
+/// batcher. Three jobs:
+///
+///   bounded    — try_push refuses when full (the caller turns that into
+///                a kRejected response: back-pressure, not buffering).
+///   EDF        — pop_batch hands out the earliest-deadline requests
+///                first (FIFO tiebreak by admission order), so deadline
+///                pressure, not arrival order, decides who runs next.
+///   expiry     — purge_expired cancels work whose deadline already
+///                passed *before* it reaches a worker, completing it
+///                kTimeout. A queue under overload spends workers only
+///                on requests that can still make it.
+///
+/// The queue is passive (mutex-protected, no internal threads) and uses
+/// an injected `now` for every deadline comparison, so tests drive it
+/// with a fake clock deterministically.
+
+namespace mcds::serve {
+
+/// One queued unit: the request plus its completion slot.
+struct QueueItem {
+  Request req;
+  std::shared_ptr<SharedState> state;
+  std::uint64_t seqno = 0;   ///< admission order, the EDF tiebreak
+  TimePoint submitted{};     ///< admission time, for latency accounting
+};
+
+class AdmissionQueue {
+ public:
+  /// \p capacity is the back-pressure bound; must be >= 1.
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits \p item unless the queue is full or closed. Returns true
+  /// iff admitted; on false the caller owns the completion.
+  [[nodiscard]] bool try_push(QueueItem item);
+
+  /// Removes and returns up to \p max_batch items in EDF order
+  /// (deadline, then seqno). Items already past their deadline at
+  /// \p now are completed kTimeout instead of returned (counted via
+  /// purged()). Non-blocking; returns empty when the queue is empty.
+  [[nodiscard]] std::vector<QueueItem> pop_batch(std::size_t max_batch,
+                                                 TimePoint now);
+
+  /// Completes every expired item kTimeout without popping live work.
+  /// Returns how many were purged.
+  std::size_t purge_expired(TimePoint now);
+
+  /// Sheds up to \p max_count queued items of priority <= \p cutoff,
+  /// latest-deadline first (the least likely to matter), completing
+  /// them kShed. Returns how many were shed.
+  std::size_t shed(Priority cutoff, std::size_t max_count);
+
+  /// Closes the queue: subsequent try_push fails; queued items are
+  /// completed kCancelled and dropped. Returns how many were cancelled.
+  std::size_t close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+  /// Lifetime counters (monotone).
+  [[nodiscard]] std::size_t pushed() const;
+  [[nodiscard]] std::size_t purged() const;
+  [[nodiscard]] std::size_t shed_total() const;
+
+ private:
+  /// Completes \p item with \p status (latency left 0: never started).
+  static void finish(QueueItem& item, Status status);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<QueueItem> items_;
+  bool closed_ = false;
+  std::size_t pushed_ = 0;
+  std::size_t purged_ = 0;
+  std::size_t shed_ = 0;
+};
+
+}  // namespace mcds::serve

@@ -1,0 +1,237 @@
+#include "serve/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace mcds::serve {
+
+namespace {
+
+/// Little-endian append helpers. The repo only targets little-endian
+/// platforms (x86-64 / aarch64), so memcpy of the native representation
+/// is the format.
+template <class T>
+void put(std::vector<std::byte>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+template <class T>
+T get(std::span<const std::byte> in, std::size_t& at) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (at + sizeof(T) > in.size()) {
+    throw CheckpointError("checkpoint: truncated payload");
+  }
+  T v;
+  std::memcpy(&v, in.data() + at, sizeof(T));
+  at += sizeof(T);
+  return v;
+}
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t hash_backbone(std::span<const graph::NodeId> cds) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const graph::NodeId v : cds) {
+    for (std::size_t b = 0; b < sizeof(v); ++b) {
+      h ^= (static_cast<std::uint64_t>(v) >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+std::uint32_t crc32(std::span<const std::byte> bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::byte b : bytes) {
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void save_checkpoint(const std::string& path, const CheckpointData& data) {
+  std::vector<std::byte> payload;
+  payload.reserve(64 + data.base_points.size() * 16 +
+                  data.journal.size() * 21);
+  put<std::uint64_t>(payload, data.base_points.size());
+  for (const geom::Vec2& p : data.base_points) {
+    put<double>(payload, p.x);
+    put<double>(payload, p.y);
+  }
+  put<std::uint64_t>(payload, data.journal.size());
+  for (const ChurnOp& op : data.journal) {
+    put<std::uint8_t>(payload, static_cast<std::uint8_t>(op.kind));
+    put<std::uint32_t>(payload, op.node);
+    put<double>(payload, op.pos.x);
+    put<double>(payload, op.pos.y);
+  }
+  put<std::uint64_t>(payload, data.epoch);
+  put<std::uint64_t>(payload, data.cds_size);
+  put<std::uint64_t>(payload, data.cds_hash);
+
+  std::vector<std::byte> file;
+  file.reserve(payload.size() + 24);
+  for (const char c : kCheckpointMagic) put<char>(file, c);
+  put<std::uint32_t>(file, kCheckpointVersion);
+  put<std::uint64_t>(file, payload.size());
+  put<std::uint32_t>(file, crc32(payload));
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  // tmp + flush + atomic rename: a crash at any point leaves either the
+  // old checkpoint or none, never a torn one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("save_checkpoint: cannot open " + tmp);
+    }
+    os.write(reinterpret_cast<const char*>(file.data()),
+             static_cast<std::streamsize>(file.size()));
+    os.flush();
+    if (!os) {
+      throw std::runtime_error("save_checkpoint: write failed on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_checkpoint: rename to " + path +
+                             " failed");
+  }
+}
+
+CheckpointData load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("checkpoint: cannot open " + path);
+  const std::string raw((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> file(raw.size());
+  std::memcpy(file.data(), raw.data(), raw.size());
+  std::size_t at = 0;
+  const std::span<const std::byte> bytes(file);
+  if (bytes.size() < sizeof(kCheckpointMagic) + 4 + 8 + 4) {
+    throw CheckpointError("checkpoint: file shorter than header");
+  }
+  for (const char c : kCheckpointMagic) {
+    if (get<char>(bytes, at) != c) {
+      throw CheckpointError("checkpoint: bad magic (not a checkpoint?)");
+    }
+  }
+  const auto version = get<std::uint32_t>(bytes, at);
+  if (version != kCheckpointVersion) {
+    throw CheckpointError("checkpoint: version " + std::to_string(version) +
+                          " unsupported (want " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  const auto size = get<std::uint64_t>(bytes, at);
+  const auto crc = get<std::uint32_t>(bytes, at);
+  if (bytes.size() - at != size) {
+    throw CheckpointError("checkpoint: truncated (payload " +
+                          std::to_string(bytes.size() - at) + " of " +
+                          std::to_string(size) + " bytes)");
+  }
+  const std::span<const std::byte> payload = bytes.subspan(at);
+  if (crc32(payload) != crc) {
+    throw CheckpointError("checkpoint: CRC mismatch (corrupted file)");
+  }
+
+  CheckpointData data;
+  std::size_t p = 0;
+  const auto n_points = get<std::uint64_t>(payload, p);
+  if (n_points > payload.size() / 16) {
+    throw CheckpointError("checkpoint: implausible point count");
+  }
+  data.base_points.reserve(n_points);
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    const double x = get<double>(payload, p);
+    const double y = get<double>(payload, p);
+    data.base_points.push_back({x, y});
+  }
+  const auto n_ops = get<std::uint64_t>(payload, p);
+  if (n_ops > payload.size() / 21) {
+    throw CheckpointError("checkpoint: implausible journal length");
+  }
+  data.journal.reserve(n_ops);
+  for (std::uint64_t i = 0; i < n_ops; ++i) {
+    ChurnOp op;
+    const auto kind = get<std::uint8_t>(payload, p);
+    if (kind > 3) throw CheckpointError("checkpoint: bad op kind");
+    op.kind = static_cast<ChurnOp::Kind>(kind);
+    op.node = get<std::uint32_t>(payload, p);
+    op.pos.x = get<double>(payload, p);
+    op.pos.y = get<double>(payload, p);
+    data.journal.push_back(op);
+  }
+  data.epoch = get<std::uint64_t>(payload, p);
+  data.cds_size = get<std::uint64_t>(payload, p);
+  data.cds_hash = get<std::uint64_t>(payload, p);
+  if (p != payload.size()) {
+    throw CheckpointError("checkpoint: trailing bytes after payload");
+  }
+  return data;
+}
+
+dyn::EventReport apply_churn_op(dyn::DynamicCds& engine, const ChurnOp& op) {
+  switch (op.kind) {
+    case ChurnOp::Kind::kInsert: {
+      dyn::EventReport rep;
+      engine.insert(op.pos, &rep);
+      return rep;
+    }
+    case ChurnOp::Kind::kMove:
+      return engine.move(op.node, op.pos);
+    case ChurnOp::Kind::kErase:
+      return engine.erase(op.node);
+    case ChurnOp::Kind::kRevive:
+      return engine.revive(op.node, op.pos);
+  }
+  throw CheckpointError("apply_churn_op: bad op kind");
+}
+
+std::unique_ptr<dyn::DynamicCds> restore_engine(const CheckpointData& data,
+                                                const dyn::DynParams& params,
+                                                const obs::Obs& obs) {
+  auto engine =
+      std::make_unique<dyn::DynamicCds>(data.base_points, params, obs);
+  for (const ChurnOp& op : data.journal) {
+    try {
+      apply_churn_op(*engine, op);
+    } catch (const std::exception& e) {
+      throw CheckpointError(std::string("checkpoint: journal replay "
+                                        "failed: ") +
+                            e.what());
+    }
+  }
+  // Differential verify: the replayed engine must reproduce the exact
+  // state fingerprint recorded at save time. The engine is
+  // deterministic, so any divergence means corruption (or an engine
+  // behavior change, which a restore must also refuse to paper over).
+  if (engine->epoch() != data.epoch) {
+    throw CheckpointError("checkpoint: replay diverged (epoch " +
+                          std::to_string(engine->epoch()) + " != saved " +
+                          std::to_string(data.epoch) + ")");
+  }
+  if (engine->cds_size() != data.cds_size ||
+      hash_backbone(engine->cds()) != data.cds_hash) {
+    throw CheckpointError("checkpoint: replay diverged (backbone "
+                          "fingerprint mismatch)");
+  }
+  return engine;
+}
+
+}  // namespace mcds::serve

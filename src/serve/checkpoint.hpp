@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dyn/dynamic_cds.hpp"
+#include "geom/vec2.hpp"
+#include "serve/serve.hpp"
+
+/// \file checkpoint.hpp
+/// Crash-safe persistence of the server's dynamic-CDS state. The
+/// checkpoint is *event-sourced*: it stores the base point set the
+/// engine was constructed from plus the churn-op journal applied since,
+/// not the engine's internal layers. Because dyn::DynamicCds is
+/// deterministic, replaying the journal over the base points rebuilds
+/// the engine byte-identically — restore_engine() then differentially
+/// verifies the replay against the epoch / backbone-size / backbone-hash
+/// recorded at save time and refuses a divergent restore.
+///
+/// On-disk format (little-endian, fixed-width):
+///
+///   magic    "MCDSCKPT"            8 bytes
+///   version  u32                   kCheckpointVersion
+///   size     u64                   payload byte count
+///   crc32    u32                   CRC-32 (IEEE) of the payload
+///   payload:
+///     u64 n_points, then n_points * (f64 x, f64 y)
+///     u64 n_ops,    then n_ops * (u8 kind, u32 node, f64 x, f64 y)
+///     u64 epoch, u64 cds_size, u64 cds_hash
+///
+/// Durability discipline: save_checkpoint writes to "<path>.tmp",
+/// flushes, then atomically renames over <path> — a crash mid-write
+/// leaves the previous checkpoint intact, never a torn file. A torn,
+/// truncated, bit-flipped or version-skewed file fails loudly in
+/// load_checkpoint (CheckpointError), never silently restores garbage.
+
+namespace mcds::serve {
+
+inline constexpr char kCheckpointMagic[8] = {'M', 'C', 'D', 'S',
+                                             'C', 'K', 'P', 'T'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Any load/restore failure: missing file, bad magic, wrong version,
+/// truncation, checksum mismatch, or differential-verify divergence.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The event-sourced state: everything needed to rebuild the engine,
+/// plus the expected-state fingerprint for differential verification.
+struct CheckpointData {
+  std::vector<geom::Vec2> base_points;
+  std::vector<ChurnOp> journal;
+  std::size_t epoch = 0;     ///< engine epoch at save time
+  std::size_t cds_size = 0;  ///< backbone size at save time
+  std::uint64_t cds_hash = 0;  ///< hash_backbone() at save time
+};
+
+/// FNV-1a over the backbone's node ids in order — the fingerprint the
+/// differential verify compares.
+[[nodiscard]] std::uint64_t hash_backbone(
+    std::span<const graph::NodeId> cds) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected) of \p bytes.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes) noexcept;
+
+/// Serializes \p data to \p path via tmp-file + atomic rename. Throws
+/// std::runtime_error on I/O failure (disk full, unwritable dir).
+void save_checkpoint(const std::string& path, const CheckpointData& data);
+
+/// Parses and fully validates \p path (magic, version, size, CRC).
+/// Throws CheckpointError naming what was wrong.
+[[nodiscard]] CheckpointData load_checkpoint(const std::string& path);
+
+/// Rebuilds the engine: constructs DynamicCds over base_points, replays
+/// the journal, then differentially verifies epoch, backbone size and
+/// backbone hash against the checkpoint's fingerprint. Throws
+/// CheckpointError on divergence (a replay that does not reproduce the
+/// saved state is a bug or a corrupted journal — refusing is the only
+/// safe answer).
+[[nodiscard]] std::unique_ptr<dyn::DynamicCds> restore_engine(
+    const CheckpointData& data, const dyn::DynParams& params = {},
+    const obs::Obs& obs = {});
+
+/// Applies one churn op to \p engine (the single replay/serve path, so
+/// live serving and restore replay cannot drift apart). Returns the
+/// event's report.
+dyn::EventReport apply_churn_op(dyn::DynamicCds& engine, const ChurnOp& op);
+
+}  // namespace mcds::serve

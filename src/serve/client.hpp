@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "serve/server.hpp"
+#include "sim/rng.hpp"
+
+/// \file client.hpp
+/// Client-side retry for back-pressure outcomes. A kRejected (queue
+/// full) or kShed (overload) response is the server telling the caller
+/// "not now" — the correct client reaction is to back off and retry,
+/// with *jitter*, so a thundering herd of rejected clients does not
+/// re-synchronize into the exact burst that overloaded the server in
+/// the first place. Full-jitter exponential backoff: the k-th retry
+/// sleeps uniform(0, min(cap, base * 2^k)).
+///
+/// Every other status (kOk, kTimeout, kError, kInvalid, kCancelled) is
+/// terminal and returned as-is: retrying a timed-out request against
+/// the same deadline cannot succeed, and retrying an invalid one is
+/// futile.
+
+namespace mcds::serve {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 5;  ///< total attempts (first + retries)
+  Duration base = std::chrono::milliseconds(2);
+  Duration cap = std::chrono::milliseconds(100);
+  std::uint64_t seed = 1;  ///< jitter stream (deterministic per client)
+};
+
+/// Sleep seam so tests retry without real waiting.
+using SleepFn = std::function<void(Duration)>;
+
+/// Submits \p req (re-stamping the deadline via \p make_deadline on
+/// every attempt — a retried request gets a fresh deadline, not the
+/// stale one that already expired while backing off), retrying on
+/// kRejected/kShed per \p policy. Returns the last response.
+inline Response submit_with_retry(
+    Server& server, Request req, const RetryPolicy& policy,
+    const std::function<TimePoint()>& clock,
+    const std::function<Duration()>& deadline_budget,
+    const SleepFn& sleep) {
+  sim::Rng rng(policy.seed);
+  Response last;
+  for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    Request r = req;
+    r.deadline = clock() + deadline_budget();
+    last = server.submit(std::move(r)).wait();
+    if (last.status != Status::kRejected && last.status != Status::kShed) {
+      return last;
+    }
+    if (attempt + 1 == policy.max_attempts) break;
+    // Full jitter: uniform over [0, min(cap, base << attempt)].
+    const auto shift = std::min<std::size_t>(attempt, 16);
+    const Duration ceiling = std::min(policy.cap, policy.base * (1u << shift));
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(ceiling)
+            .count();
+    const Duration wait = std::chrono::nanoseconds(
+        ns > 0 ? static_cast<std::int64_t>(
+                     rng.uniform_int(static_cast<std::uint64_t>(ns) + 1))
+               : 0);
+    sleep(wait);
+  }
+  return last;
+}
+
+}  // namespace mcds::serve

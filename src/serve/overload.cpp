@@ -1,0 +1,49 @@
+#include "serve/overload.hpp"
+
+#include <stdexcept>
+
+namespace mcds::serve {
+
+void OverloadParams::validate() const {
+  if (exit_depth >= enter_depth || exit_p95_s >= enter_p95_s) {
+    throw std::invalid_argument(
+        "OverloadParams: exit thresholds must sit strictly below entry "
+        "thresholds (the hysteresis band)");
+  }
+  if (dwell_up == 0 || dwell_down == 0) {
+    throw std::invalid_argument("OverloadParams: dwells must be >= 1");
+  }
+  if (max_level > 3) {
+    throw std::invalid_argument("OverloadParams: max_level <= 3");
+  }
+}
+
+OverloadController::OverloadController(OverloadParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+std::size_t OverloadController::observe(double depth_fraction,
+                                        double p95_seconds) {
+  ++obs_n_;
+  const bool over = depth_fraction > params_.enter_depth ||
+                    p95_seconds > params_.enter_p95_s;
+  const bool under = depth_fraction < params_.exit_depth &&
+                     p95_seconds < params_.exit_p95_s;
+  // Inside the hysteresis band (neither over nor under) both streaks
+  // reset: the controller holds its level until the signal commits.
+  over_streak_ = over ? over_streak_ + 1 : 0;
+  under_streak_ = under ? under_streak_ + 1 : 0;
+  if (over_streak_ >= params_.dwell_up && level_ < params_.max_level) {
+    transitions_.push_back({obs_n_, level_, level_ + 1});
+    ++level_;
+    over_streak_ = 0;  // the next step needs a fresh streak
+  } else if (under_streak_ >= params_.dwell_down && level_ > 0) {
+    transitions_.push_back({obs_n_, level_, level_ - 1});
+    --level_;
+    under_streak_ = 0;
+  }
+  return level_;
+}
+
+}  // namespace mcds::serve

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+/// \file overload.hpp
+/// The graceful-degradation state machine. The controller watches two
+/// pressure signals — queue depth as a fraction of capacity, and the
+/// observed p95 service latency — and maps them onto a small ladder of
+/// overload levels:
+///
+///   level 0: full quality (requested tier, full trace)
+///   level 1: tier capped at (1,1) — the cheap half of the ladder
+///   level 2: tier capped at greedy, phase trace stripped
+///   level 3: additionally shed Priority::kLow work
+///
+/// Transitions are hysteresis-guarded: escalation needs `dwell_up`
+/// consecutive over-threshold observations, de-escalation `dwell_down`
+/// consecutive under-threshold ones, and the exit thresholds sit well
+/// below the entry thresholds. Both guards exist for the same reason —
+/// a controller that flaps converts load noise into quality noise.
+/// Every transition moves exactly one level (monotone steps, the chaos
+/// invariant), and the full transition history is kept for audit.
+
+namespace mcds::serve {
+
+struct OverloadParams {
+  /// Escalate when depth/capacity > enter_depth OR p95 > enter_p95_s.
+  double enter_depth = 0.75;
+  double enter_p95_s = 0.5;
+  /// De-escalate only when depth/capacity < exit_depth AND
+  /// p95 < exit_p95_s (strictly below entry: the hysteresis band).
+  double exit_depth = 0.35;
+  double exit_p95_s = 0.25;
+  /// Consecutive observations required before a transition.
+  std::size_t dwell_up = 2;
+  std::size_t dwell_down = 4;
+  std::size_t max_level = 3;
+
+  /// Throws std::invalid_argument unless exit < enter on both signals,
+  /// dwells >= 1 and max_level <= 3.
+  void validate() const;
+};
+
+/// One recorded level change.
+struct OverloadTransition {
+  std::size_t observation = 0;  ///< observe() call index
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadParams params = {});
+
+  /// Feeds one pressure sample; returns the (possibly new) level.
+  /// Single-writer: call from the batcher loop only.
+  std::size_t observe(double depth_fraction, double p95_seconds);
+
+  [[nodiscard]] std::size_t level() const noexcept { return level_; }
+
+  /// The quality actually served for a request asking \p requested.
+  [[nodiscard]] Tier cap_tier(Tier requested) const noexcept {
+    Tier cap = Tier::kKm22;
+    if (level_ == 1) cap = Tier::kKm11;
+    if (level_ >= 2) cap = Tier::kGreedy;
+    return requested < cap ? cap : requested;
+  }
+  /// Drop the phase-decomposition trace from responses?
+  [[nodiscard]] bool strip_trace() const noexcept { return level_ >= 2; }
+  /// Shed Priority::kLow work?
+  [[nodiscard]] bool shed_low_priority() const noexcept {
+    return level_ >= 3;
+  }
+
+  [[nodiscard]] const std::vector<OverloadTransition>& transitions()
+      const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] std::size_t observations() const noexcept { return obs_n_; }
+
+ private:
+  OverloadParams params_;
+  std::size_t level_ = 0;
+  std::size_t over_streak_ = 0;
+  std::size_t under_streak_ = 0;
+  std::size_t obs_n_ = 0;
+  std::vector<OverloadTransition> transitions_;
+};
+
+}  // namespace mcds::serve

@@ -1,0 +1,227 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "graph/graph.hpp"
+#include "udg/instance.hpp"
+
+/// \file serve.hpp
+/// Core vocabulary of the solve server: requests, responses, the quality
+/// ladder, and the first-completion-wins ticket a caller blocks on.
+///
+/// The server's overload story is a *quality ladder*, not a cliff. A
+/// request names the tier it wants; under pressure the overload
+/// controller caps the tier actually served ((2,2) -> (1,1) -> greedy),
+/// strips the phase-decomposition trace, and finally sheds low-priority
+/// work at admission. Every response says which tier it was served at,
+/// so degradation is observable, never silent.
+///
+/// Completion discipline: each submitted request owns exactly one
+/// SharedState and receives exactly one completion — from the solver,
+/// the watchdog (deadline), the shedder, or the drain path, whichever
+/// gets there first. complete() is atomic first-writer-wins, which is
+/// what lets the watchdog convert a hung solve into a structured
+/// timeout without racing the solver's own (late, discarded) result.
+
+namespace mcds::serve {
+
+using graph::NodeId;
+
+/// Steady-clock time, injectable for tests (ServerParams::clock).
+using TimePoint = std::chrono::steady_clock::time_point;
+using Duration = std::chrono::steady_clock::duration;
+using Clock = std::function<TimePoint()>;
+
+/// The quality ladder, best first. Numeric order is degradation order:
+/// the overload controller only ever caps the tier downward (max of
+/// requested and cap), so a response's tier >= requested tier (as
+/// integers) iff the server degraded it.
+enum class Tier : std::uint8_t {
+  kKm22 = 0,    ///< (2,2)-CDS: 2-connected backbone, 2-fold domination
+  kKm11 = 1,    ///< (1,1)-CDS via the same two-phased engine
+  kGreedy = 2,  ///< the paper's Section IV greedy
+};
+
+/// Shedding order under overload: kLow goes first.
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// Terminal status of one request. Exactly one per request.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRejected,   ///< refused at admission: queue full (back-pressure)
+  kShed,       ///< dropped by the overload controller (priority shed)
+  kTimeout,    ///< deadline passed before a result was ready
+  kCancelled,  ///< caller cancelled, or server shut down before solve
+  kInvalid,    ///< malformed request (empty graph, bad deadline, ...)
+  kError,      ///< the solve threw; error carries what()
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kShed: return "shed";
+    case Status::kTimeout: return "timeout";
+    case Status::kCancelled: return "cancelled";
+    case Status::kInvalid: return "invalid";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::kKm22: return "km22";
+    case Tier::kKm11: return "km11";
+    case Tier::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+/// One churn operation against the server's dynamic engine. Mirrors the
+/// dyn::DynamicCds event surface; the checkpoint journal is a sequence
+/// of these (replay-on-restore reproduces the engine byte-identically,
+/// because the engine itself is deterministic).
+struct ChurnOp {
+  enum class Kind : std::uint8_t { kInsert = 0, kMove, kErase, kRevive };
+  Kind kind = Kind::kInsert;
+  NodeId node = 0;  ///< ignored for kInsert (engine assigns the id)
+  geom::Vec2 pos{0.0, 0.0};
+
+  bool operator==(const ChurnOp&) const = default;
+};
+
+/// One unit of work. A request either carries a solve instance or a
+/// churn batch (ops non-empty); never both.
+struct Request {
+  std::uint64_t id = 0;  ///< assigned by Server::submit
+  udg::UdgInstance instance;
+  std::vector<ChurnOp> ops;  ///< non-empty = dynamic-churn request
+  Tier tier = Tier::kKm11;   ///< requested quality (may be degraded)
+  Priority priority = Priority::kNormal;
+  TimePoint deadline{};  ///< absolute, on the server's clock
+  bool want_trace = true;  ///< full phase decomposition in the response
+
+  [[nodiscard]] bool is_churn() const noexcept { return !ops.empty(); }
+};
+
+/// What the caller gets back. Exactly one per submitted request.
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kCancelled;
+  Tier tier = Tier::kKm11;  ///< tier actually served (>= requested)
+  bool degraded = false;    ///< tier or trace was reduced under overload
+  std::vector<NodeId> cds;  ///< the backbone (kOk only), ascending
+  std::size_t dominators = 0;
+  /// Phase decomposition (connectors then augmenters, pick order) —
+  /// the "full trace". Empty when stripped under overload or for
+  /// greedy-tier solves.
+  std::vector<NodeId> trace;
+  bool trace_stripped = false;
+  std::size_t epoch = 0;  ///< engine epoch after a churn request
+  std::string error;      ///< kError / kInvalid detail
+  double latency_seconds = 0.0;  ///< submit -> completion
+};
+
+/// First-completion-wins shared slot between caller, solver, watchdog
+/// and shedder.
+class SharedState {
+ public:
+  /// Installs \p r as the final response unless one is already set.
+  /// Returns true iff this call won.
+  bool complete(Response&& r) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (done_) return false;
+      resp_ = std::move(r);
+      done_ = true;
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Cooperative cancellation flag, polled by long solves (and by the
+  /// test fault hooks). Setting it does not complete the request.
+  void request_cancel() noexcept { cancelled_.store(true); }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load();
+  }
+
+  [[nodiscard]] bool done() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+  }
+
+  /// Terminal status / degradation flag (meaningful once done()).
+  [[nodiscard]] Status status() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return resp_.status;
+  }
+  [[nodiscard]] bool response_degraded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return resp_.degraded;
+  }
+
+  Response wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return done_; });
+    return resp_;
+  }
+
+  template <class Rep, class Period>
+  [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> d) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, d, [&] { return done_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Response resp_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The caller's handle on one in-flight request.
+class Ticket {
+ public:
+  Ticket() = default;
+  explicit Ticket(std::shared_ptr<SharedState> s) : state_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->done(); }
+
+  /// Blocks until the terminal response (every request gets one —
+  /// rejection and shedding complete immediately, the watchdog bounds
+  /// the rest — so this cannot block forever on a live server).
+  Response wait() { return state_->wait(); }
+
+  template <class Rep, class Period>
+  [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> d) {
+    return state_->wait_for(d);
+  }
+
+  /// Requests cooperative cancellation (the watchdog still enforces the
+  /// deadline either way).
+  void cancel() {
+    if (state_) state_->request_cancel();
+  }
+
+  [[nodiscard]] const std::shared_ptr<SharedState>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<SharedState> state_;
+};
+
+}  // namespace mcds::serve

@@ -179,6 +179,76 @@ TEST(ReliableLink, RetryBudgetExpiresOnDeadLink) {
   EXPECT_FALSE(p.seen()[1]);
 }
 
+// A peer that crashes and never recovers must not cost an unbounded
+// retry loop: the sender spends its finite budget, records a structured
+// delivery_failed outcome (with the original payload, for requeueing),
+// and the link quiesces.
+TEST(ReliableLink, DeadPeerYieldsStructuredDeliveryFailure) {
+  const Graph g = mcds::test::make_path(2);
+  FaultPlan plan;
+  plan.schedule.push_back({0, 1, false});  // node 1 dead from the start
+  Runtime rt(g, plan);
+  ReliableLinkParams params;
+  params.max_retries = 3;
+  params.rto = 1;
+  params.max_rto = 2;
+  ReliableLink link(rt, params);
+  FloodProbe p(link);
+  link.attach(p);
+  const RunStats stats = rt.run(link, 1000);
+  // Bounded retransmissions, then quiescence well before the round cap.
+  EXPECT_EQ(link.retransmissions(), 3u);
+  EXPECT_LT(stats.rounds, 1000u);
+  EXPECT_TRUE(link.idle());
+  // One structured failure carrying the original payload.
+  ASSERT_EQ(link.failed_deliveries().size(), 1u);
+  EXPECT_EQ(link.failed_deliveries().size(), link.expired());
+  const DeliveryFailure& f = link.failed_deliveries()[0];
+  EXPECT_EQ(f.from, 0u);
+  EXPECT_EQ(f.to, 1u);
+  EXPECT_EQ(f.reason, DeliveryFailureReason::kRetryBudget);
+  EXPECT_EQ(f.retransmissions, 3u);
+  EXPECT_EQ(f.payload.a, 7);  // the flood token, preserved verbatim
+  EXPECT_FALSE(p.seen()[1]);
+}
+
+// With a TTL configured the link gives up even earlier: the payload is
+// abandoned once it has sat unacked ttl_rounds rounds, before the retry
+// budget runs out, and the failure says so.
+TEST(ReliableLink, TtlAbandonsBeforeRetryBudget) {
+  const Graph g = mcds::test::make_path(2);
+  FaultPlan plan;
+  plan.schedule.push_back({0, 1, false});
+  Runtime rt(g, plan);
+  ReliableLinkParams params;
+  params.max_retries = 100;  // budget alone would retry for a long time
+  params.rto = 2;
+  params.max_rto = 2;  // flat schedule: retransmit every 2 rounds
+  params.ttl_rounds = 5;
+  ReliableLink link(rt, params);
+  FloodProbe p(link);
+  link.attach(p);
+  const RunStats stats = rt.run(link, 1000);
+  EXPECT_LE(stats.rounds, params.ttl_rounds + 2);
+  ASSERT_EQ(link.failed_deliveries().size(), 1u);
+  EXPECT_EQ(link.failed_deliveries()[0].reason,
+            DeliveryFailureReason::kTtlExpired);
+  // rto 2: one retransmission at age 2, one at age 4, abandoned at 5.
+  EXPECT_EQ(link.retransmissions(), 2u);
+  EXPECT_EQ(link.expired(), 1u);
+}
+
+TEST(ReliableLink, TtlCapsTheDeliveryBound) {
+  ReliableLinkParams p;
+  p.max_retries = 3;
+  p.rto = 2;
+  p.max_rto = 8;
+  p.ttl_rounds = 4;
+  EXPECT_EQ(reliable_delivery_bound(p), 5u);  // ttl + final delivery round
+  p.ttl_rounds = 0;
+  EXPECT_EQ(reliable_delivery_bound(p), 15u);  // budget-only schedule
+}
+
 TEST(ReliableLink, CrashedSenderFreezesItsTimers) {
   const Graph g = mcds::test::make_path(2);
   FaultPlan plan;

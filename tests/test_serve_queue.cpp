@@ -1,0 +1,200 @@
+// Admission-control unit tests: the bounded EDF queue and the
+// hysteresis overload controller, both driven with a fake clock /
+// synthetic signals so every deadline comparison and level transition
+// is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+#include "serve/admission_queue.hpp"
+#include "serve/overload.hpp"
+
+namespace {
+
+using namespace mcds::serve;
+using std::chrono::seconds;
+
+TimePoint t0() { return TimePoint{} + seconds(1000); }
+
+QueueItem make_item(std::uint64_t seq, TimePoint deadline,
+                    Priority prio = Priority::kNormal) {
+  QueueItem it;
+  it.req.id = seq;
+  it.req.deadline = deadline;
+  it.req.priority = prio;
+  it.state = std::make_shared<SharedState>();
+  it.seqno = seq;
+  return it;
+}
+
+TEST(AdmissionQueue, RejectsWhenFull) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.try_push(make_item(1, t0() + seconds(10))));
+  EXPECT_TRUE(q.try_push(make_item(2, t0() + seconds(10))));
+  EXPECT_FALSE(q.try_push(make_item(3, t0() + seconds(10))));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pushed(), 2u);
+}
+
+TEST(AdmissionQueue, PopIsEdfOrderedWithFifoTiebreak) {
+  AdmissionQueue q(8);
+  // Admission order 1..4; deadlines out of order, 3 and 4 tied.
+  ASSERT_TRUE(q.try_push(make_item(1, t0() + seconds(30))));
+  ASSERT_TRUE(q.try_push(make_item(2, t0() + seconds(10))));
+  ASSERT_TRUE(q.try_push(make_item(3, t0() + seconds(20))));
+  ASSERT_TRUE(q.try_push(make_item(4, t0() + seconds(20))));
+  const auto batch = q.pop_batch(3, t0());
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].seqno, 2u);  // earliest deadline
+  EXPECT_EQ(batch[1].seqno, 3u);  // tie broken by admission order
+  EXPECT_EQ(batch[2].seqno, 4u);
+  const auto rest = q.pop_batch(3, t0());
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].seqno, 1u);
+}
+
+TEST(AdmissionQueue, ExpiredWorkIsTimedOutBeforeReachingAWorker) {
+  AdmissionQueue q(8);
+  auto late = make_item(1, t0() - seconds(1));
+  auto live = make_item(2, t0() + seconds(5));
+  const auto late_state = late.state;
+  ASSERT_TRUE(q.try_push(std::move(late)));
+  ASSERT_TRUE(q.try_push(std::move(live)));
+  const auto batch = q.pop_batch(8, t0());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].seqno, 2u);
+  EXPECT_EQ(q.purged(), 1u);
+  ASSERT_TRUE(late_state->done());
+  EXPECT_EQ(late_state->status(), Status::kTimeout);
+}
+
+TEST(AdmissionQueue, PurgeExpiredLeavesLiveWorkQueued) {
+  AdmissionQueue q(8);
+  ASSERT_TRUE(q.try_push(make_item(1, t0() + seconds(1))));
+  ASSERT_TRUE(q.try_push(make_item(2, t0() + seconds(60))));
+  EXPECT_EQ(q.purge_expired(t0() + seconds(30)), 1u);
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(AdmissionQueue, ShedTakesLowestPriorityLatestDeadlineFirst) {
+  AdmissionQueue q(8);
+  auto low_far = make_item(1, t0() + seconds(60), Priority::kLow);
+  auto low_near = make_item(2, t0() + seconds(5), Priority::kLow);
+  auto norm = make_item(3, t0() + seconds(60), Priority::kNormal);
+  auto high = make_item(4, t0() + seconds(60), Priority::kHigh);
+  const auto far_state = low_far.state;
+  const auto near_state = low_near.state;
+  ASSERT_TRUE(q.try_push(std::move(low_far)));
+  ASSERT_TRUE(q.try_push(std::move(low_near)));
+  ASSERT_TRUE(q.try_push(std::move(norm)));
+  ASSERT_TRUE(q.try_push(std::move(high)));
+  EXPECT_EQ(q.shed(Priority::kLow, 1), 1u);
+  EXPECT_TRUE(far_state->done());  // furthest-out low went first
+  EXPECT_EQ(far_state->status(), Status::kShed);
+  EXPECT_FALSE(near_state->done());
+  EXPECT_EQ(q.depth(), 3u);
+  // Cutoff kNormal sheds the remaining low and the normal, never high.
+  EXPECT_EQ(q.shed(Priority::kNormal, 8), 2u);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.shed_total(), 3u);
+}
+
+TEST(AdmissionQueue, CloseCancelsQueuedWorkAndRefusesNewWork) {
+  AdmissionQueue q(4);
+  auto item = make_item(1, t0() + seconds(60));
+  const auto state = item.state;
+  ASSERT_TRUE(q.try_push(std::move(item)));
+  EXPECT_EQ(q.close(), 1u);
+  ASSERT_TRUE(state->done());
+  EXPECT_EQ(state->status(), Status::kCancelled);
+  EXPECT_FALSE(q.try_push(make_item(2, t0() + seconds(60))));
+}
+
+TEST(AdmissionQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(AdmissionQueue(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- overload
+
+OverloadParams tight() {
+  OverloadParams p;
+  p.enter_depth = 0.7;
+  p.exit_depth = 0.3;
+  p.enter_p95_s = 1.0;
+  p.exit_p95_s = 0.5;
+  p.dwell_up = 2;
+  p.dwell_down = 3;
+  return p;
+}
+
+TEST(OverloadController, EscalatesOnlyAfterDwellUpConsecutiveSamples) {
+  OverloadController c(tight());
+  EXPECT_EQ(c.observe(0.9, 0.0), 0u);  // one over-threshold sample: hold
+  EXPECT_EQ(c.observe(0.1, 0.0), 0u);  // streak broken
+  EXPECT_EQ(c.observe(0.9, 0.0), 0u);
+  EXPECT_EQ(c.observe(0.9, 0.0), 1u);  // second consecutive: step up
+}
+
+TEST(OverloadController, LatencySignalAloneEscalates) {
+  OverloadController c(tight());
+  c.observe(0.0, 2.0);
+  EXPECT_EQ(c.observe(0.0, 2.0), 1u);  // p95 over enter_p95_s
+}
+
+TEST(OverloadController, HysteresisBandHoldsTheLevel) {
+  OverloadController c(tight());
+  c.observe(0.9, 0.0);
+  c.observe(0.9, 0.0);
+  ASSERT_EQ(c.level(), 1u);
+  // Samples inside the band (0.3 < depth < 0.7): no de-escalation ever.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c.observe(0.5, 0.0), 1u);
+  // Below the exit threshold: needs dwell_down consecutive samples.
+  c.observe(0.1, 0.0);
+  c.observe(0.1, 0.0);
+  EXPECT_EQ(c.level(), 1u);
+  EXPECT_EQ(c.observe(0.1, 0.0), 0u);
+}
+
+TEST(OverloadController, TransitionsAreMonotoneSingleSteps) {
+  OverloadController c(tight());
+  for (int i = 0; i < 30; ++i) c.observe(1.0, 5.0);
+  EXPECT_EQ(c.level(), 3u);  // saturates at max_level
+  for (int i = 0; i < 30; ++i) c.observe(0.0, 0.0);
+  EXPECT_EQ(c.level(), 0u);
+  for (const OverloadTransition& t : c.transitions()) {
+    EXPECT_EQ(std::max(t.from, t.to) - std::min(t.from, t.to), 1u)
+        << "transition " << t.from << " -> " << t.to;
+  }
+  EXPECT_EQ(c.transitions().size(), 6u);  // 3 up, 3 down
+}
+
+TEST(OverloadController, LadderMapsLevelsToDegradation) {
+  OverloadController c(tight());
+  EXPECT_EQ(c.cap_tier(Tier::kKm22), Tier::kKm22);
+  EXPECT_FALSE(c.strip_trace());
+  EXPECT_FALSE(c.shed_low_priority());
+  c.observe(1.0, 0.0);
+  c.observe(1.0, 0.0);  // level 1
+  EXPECT_EQ(c.cap_tier(Tier::kKm22), Tier::kKm11);
+  EXPECT_EQ(c.cap_tier(Tier::kGreedy), Tier::kGreedy);  // never upgrades
+  EXPECT_FALSE(c.strip_trace());
+  c.observe(1.0, 0.0);
+  c.observe(1.0, 0.0);  // level 2
+  EXPECT_EQ(c.cap_tier(Tier::kKm22), Tier::kGreedy);
+  EXPECT_TRUE(c.strip_trace());
+  EXPECT_FALSE(c.shed_low_priority());
+  c.observe(1.0, 0.0);
+  c.observe(1.0, 0.0);  // level 3
+  EXPECT_TRUE(c.shed_low_priority());
+}
+
+TEST(OverloadController, InvertedThresholdsThrow) {
+  OverloadParams p;
+  p.enter_depth = 0.3;
+  p.exit_depth = 0.7;  // exit above entry: no hysteresis band
+  EXPECT_THROW(OverloadController{p}, std::invalid_argument);
+}
+
+}  // namespace

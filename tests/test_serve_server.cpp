@@ -1,0 +1,312 @@
+// Server integration tests: admission, deadline enforcement, error
+// containment, degradation, drain and the client retry loop — against
+// the real thread stack (batcher + watchdog + pool), with the
+// solve_hook seam shaping latency and injecting faults where needed.
+// Timing margins are generous (tens of milliseconds vs millisecond
+// polls) to stay robust on loaded CI machines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/validate.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "udg/instance.hpp"
+
+namespace {
+
+using namespace mcds::serve;
+using namespace std::chrono_literals;
+
+mcds::udg::UdgInstance small_instance(std::uint64_t seed) {
+  mcds::udg::InstanceParams p;
+  p.nodes = 25;
+  p.side = 4.0;
+  return mcds::udg::generate_largest_component_instance(p, seed);
+}
+
+Request make_request(std::uint64_t seed, Duration budget = 5s,
+                     Tier tier = Tier::kKm11) {
+  Request r;
+  r.instance = small_instance(seed);
+  r.tier = tier;
+  r.deadline = std::chrono::steady_clock::now() + budget;
+  return r;
+}
+
+mcds::par::BatchOutcome trivial_outcome() {
+  mcds::par::BatchOutcome o;
+  o.cds = {0};
+  o.dominators = 1;
+  o.nodes = 1;
+  return o;
+}
+
+TEST(ServeServer, SolvesValidRequestsAtEveryTier) {
+  Server server(ServerParams{});
+  for (const Tier t : {Tier::kKm22, Tier::kKm11, Tier::kGreedy}) {
+    auto inst = small_instance(42);
+    const auto g = inst.graph;
+    Request req;
+    req.instance = std::move(inst);
+    req.tier = t;
+    req.deadline = std::chrono::steady_clock::now() + 10s;
+    const Response r = server.submit(std::move(req)).wait();
+    ASSERT_EQ(r.status, Status::kOk) << to_string(t) << ": " << r.error;
+    EXPECT_EQ(r.tier, t);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_TRUE(mcds::core::check_cds(g, r.cds).ok) << to_string(t);
+    if (t != Tier::kGreedy) {
+      EXPECT_GT(r.dominators, 0u);
+      EXPECT_FALSE(r.trace_stripped);
+    }
+    EXPECT_GE(r.latency_seconds, 0.0);
+  }
+  server.drain();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.ok, 3u);
+  EXPECT_EQ(s.leaked(), 0u);
+}
+
+TEST(ServeServer, MalformedRequestsAreInvalidNotFatal) {
+  Server server(ServerParams{});
+  {
+    Request r;  // no instance, no ops
+    r.deadline = std::chrono::steady_clock::now() + 1s;
+    EXPECT_EQ(server.submit(std::move(r)).wait().status, Status::kInvalid);
+  }
+  {
+    Request r = make_request(1);
+    r.deadline = std::chrono::steady_clock::now() - 1s;  // already past
+    EXPECT_EQ(server.submit(std::move(r)).wait().status, Status::kInvalid);
+  }
+  {
+    Request r;  // churn without an engine
+    r.ops.push_back({ChurnOp::Kind::kInsert, 0, {1.0, 1.0}});
+    r.deadline = std::chrono::steady_clock::now() + 1s;
+    EXPECT_EQ(server.submit(std::move(r)).wait().status, Status::kInvalid);
+  }
+  // The server still serves after all that.
+  EXPECT_EQ(server.submit(make_request(2)).wait().status, Status::kOk);
+  server.drain();
+  EXPECT_EQ(server.stats().leaked(), 0u);
+}
+
+TEST(ServeServer, FullQueueRejectsInsteadOfBuffering) {
+  std::atomic<bool> release{false};
+  ServerParams p;
+  p.queue_capacity = 2;
+  p.max_batch = 1;
+  p.solve_hook = [&](const Request&, Tier, SharedState&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return trivial_outcome();
+  };
+  Server server(std::move(p));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 12; ++i) {
+    tickets.push_back(server.submit(make_request(i)));
+  }
+  // With one in flight and two queued slots, most of the burst must
+  // have been rejected synchronously.
+  std::size_t rejected = 0;
+  for (Ticket& t : tickets) {
+    if (t.done() && t.state()->status() == Status::kRejected) ++rejected;
+  }
+  EXPECT_GE(rejected, 12u - 4u);
+  release.store(true);
+  server.drain();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.leaked(), 0u);
+  EXPECT_EQ(s.submitted, 12u);
+  EXPECT_GE(s.rejected, 8u);
+}
+
+TEST(ServeServer, WatchdogConvertsHungSolveIntoStructuredTimeout) {
+  ServerParams p;
+  p.solve_hook = [](const Request&, Tier, SharedState& st) {
+    // A "hung" solve: only cooperative cancellation ends it early.
+    for (int i = 0; i < 2000 && !st.cancel_requested(); ++i) {
+      std::this_thread::sleep_for(1ms);
+    }
+    return trivial_outcome();
+  };
+  Server server(std::move(p));
+  const auto start = std::chrono::steady_clock::now();
+  Request req = make_request(7, /*budget=*/50ms);
+  const Response r = server.submit(std::move(req)).wait();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.status, Status::kTimeout);
+  // The caller was unblocked by the watchdog near the deadline, not
+  // after the 2-second hang.
+  EXPECT_LT(waited, 1s);
+  // And the server is not poisoned: a fresh fast request still works.
+  ServerStats s = server.stats();
+  EXPECT_GE(s.timeout, 1u);
+  server.drain();
+  EXPECT_EQ(server.stats().leaked(), 0u);
+}
+
+TEST(ServeServer, ThrowingSolveYieldsStructuredErrorOnlyForThatRequest) {
+  ServerParams p;
+  p.solve_hook = [](const Request& r, Tier, SharedState&) {
+    if (r.instance.seed == 3) throw std::runtime_error("injected fault");
+    return trivial_outcome();
+  };
+  Server server(std::move(p));
+  std::vector<Ticket> tickets;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    tickets.push_back(server.submit(make_request(seed)));
+  }
+  std::size_t ok = 0, err = 0;
+  for (Ticket& t : tickets) {
+    const Response r = t.wait();
+    if (r.status == Status::kOk) ++ok;
+    if (r.status == Status::kError) {
+      ++err;
+      EXPECT_EQ(r.error, "injected fault");
+    }
+  }
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(err, 1u);
+  server.drain();
+  EXPECT_EQ(server.stats().leaked(), 0u);
+}
+
+TEST(ServeServer, NoSuccessPastDeadlineEvenIfTheSolverFinishes) {
+  ServerParams p;
+  p.solve_hook = [](const Request&, Tier, SharedState&) {
+    std::this_thread::sleep_for(80ms);
+    return trivial_outcome();  // a "success", but too late
+  };
+  Server server(std::move(p));
+  const Response r = server.submit(make_request(1, /*budget=*/30ms)).wait();
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_TRUE(r.cds.empty());
+  server.drain();
+  EXPECT_EQ(server.stats().leaked(), 0u);
+}
+
+TEST(ServeServer, OverloadDegradesTierAndRecordsMonotoneTransitions) {
+  ServerParams p;
+  p.queue_capacity = 16;
+  p.max_batch = 2;
+  // Aggressive controller: escalate as soon as the p95 latency of the
+  // shaped 5ms solves is visible.
+  p.overload.enter_p95_s = 0.002;
+  p.overload.exit_p95_s = 0.001;
+  p.overload.dwell_up = 1;
+  p.solve_hook = [](const Request&, Tier, SharedState&) {
+    std::this_thread::sleep_for(5ms);
+    return trivial_outcome();
+  };
+  mcds::obs::MetricsRegistry reg;
+  mcds::obs::Obs obs;
+  obs.metrics = &reg;
+  Server server(std::move(p), obs);
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 40; ++i) {
+    Request r = make_request(i, 10s, Tier::kKm22);
+    tickets.push_back(server.submit(std::move(r)));
+  }
+  std::size_t degraded = 0;
+  for (Ticket& t : tickets) {
+    const Response r = t.wait();
+    if (r.status == Status::kOk && r.degraded) {
+      ++degraded;
+      EXPECT_GT(static_cast<int>(r.tier), static_cast<int>(Tier::kKm22));
+    }
+  }
+  EXPECT_GT(degraded, 0u);
+  const auto transitions = server.overload_transitions();
+  EXPECT_FALSE(transitions.empty());
+  for (const OverloadTransition& t : transitions) {
+    EXPECT_EQ(std::max(t.from, t.to) - std::min(t.from, t.to), 1u);
+  }
+  server.drain();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.leaked(), 0u);
+  EXPECT_EQ(s.degraded, degraded);
+  // The degradation is visible in metrics, not just return values.
+  EXPECT_GT(reg.counter("serve.degraded").value(), 0u);
+}
+
+TEST(ServeServer, ChurnRequestsApplyInOrderAndJournal) {
+  auto inst = small_instance(11);
+  ServerParams p;
+  p.initial_points = inst.points;
+  p.dyn.radius = inst.radius;
+  Server server(std::move(p));
+  Request r;
+  r.ops.push_back({ChurnOp::Kind::kInsert, 0, inst.points[0]});
+  r.ops.push_back({ChurnOp::Kind::kErase, 1, {}});
+  r.deadline = std::chrono::steady_clock::now() + 10s;
+  const Response resp = server.submit(std::move(r)).wait();
+  ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+  EXPECT_EQ(server.journal_size(), 2u);
+  ASSERT_NE(server.engine(), nullptr);
+  server.drain();
+  EXPECT_FALSE(server.engine()->alive(1));
+  EXPECT_EQ(server.engine()->cds(), resp.cds);
+  EXPECT_EQ(server.stats().leaked(), 0u);
+}
+
+TEST(ServeServer, ClientRetryRidesOutBackpressure) {
+  std::atomic<int> solves{0};
+  ServerParams p;
+  p.queue_capacity = 1;
+  p.max_batch = 1;
+  p.solve_hook = [&](const Request&, Tier, SharedState&) {
+    std::this_thread::sleep_for(20ms);
+    ++solves;
+    return trivial_outcome();
+  };
+  Server server(std::move(p));
+  // Saturate: one in flight, one queued. Wait for the batcher to pop
+  // the first request before queueing the second, else the second races
+  // the 1-slot queue and gets rejected.
+  auto a = server.submit(make_request(1, 10s));
+  for (int i = 0; i < 2000 && server.queue_depth() > 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  auto b = server.submit(make_request(2, 10s));
+  // A bare submit now is rejected; the retrying client succeeds once
+  // the backlog clears.
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.base = 5ms;
+  policy.cap = 20ms;
+  const Response r = submit_with_retry(
+      server, make_request(3, 10s), policy,
+      [] { return std::chrono::steady_clock::now(); }, [] { return Duration(10s); },
+      [](Duration d) { std::this_thread::sleep_for(d); });
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(a.wait().status, Status::kOk);
+  EXPECT_EQ(b.wait().status, Status::kOk);
+  server.drain();
+  EXPECT_EQ(server.stats().leaked(), 0u);
+}
+
+TEST(ServeServer, ShutdownCancelsQueuedWorkWithoutLeaks) {
+  std::atomic<bool> release{false};
+  ServerParams p;
+  p.queue_capacity = 8;
+  p.max_batch = 1;
+  p.solve_hook = [&](const Request&, Tier, SharedState&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return trivial_outcome();
+  };
+  auto server = std::make_unique<Server>(std::move(p));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 6; ++i) tickets.push_back(server->submit(make_request(i)));
+  release.store(true);
+  server->shutdown();
+  const ServerStats s = server->stats();
+  EXPECT_EQ(s.leaked(), 0u);
+  EXPECT_EQ(s.inflight, 0u);
+  for (Ticket& t : tickets) EXPECT_TRUE(t.done());
+}
+
+}  // namespace
