@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <map>
+#include <memory>
+
 #include "baselines/guha_khuller.hpp"
 #include "baselines/stojmenovic.hpp"
 #include "core/connector_engine.hpp"
@@ -604,6 +608,114 @@ BENCHMARK(BM_ServeOverloadedThroughput)
     ->Args({2, 0})
     ->Args({4, 1})
     ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// Experiment E30: parallel round execution of the distributed runtime.
+// The two heavyweight WAF phases (rank MIS election, connector
+// selection) run end-to-end on large connected UDGs, serially
+// (threads = 0: the golden single-thread engine with the recycled
+// inbox arena) and on a 1/2/8-worker pool. Parallel rounds are
+// byte-identical to serial (tests/test_dist_par.cpp proves it per
+// run); only the wall clock may differ. scripts/bench_snapshot.sh
+// records the trajectory into BENCH_dist.json.
+
+struct DistBenchInputs {
+  udg::UdgInstance inst;
+  graph::NodeId leader = 0;
+  std::vector<graph::NodeId> parent;
+  std::vector<graph::NodeId> level;
+  std::vector<bool> in_mis;
+};
+
+const DistBenchInputs& dist_bench_inputs(std::size_t n) {
+  static std::map<std::size_t, DistBenchInputs> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    DistBenchInputs in;
+    udg::InstanceParams params;
+    params.nodes = n;
+    params.side = std::sqrt(static_cast<double>(n)) * 0.55;
+    in.inst = udg::generate_largest_component_instance(params, 42 + n);
+    const auto tree = dist::build_bfs_tree(in.inst.graph, in.leader);
+    in.parent = tree.parent;
+    in.level = tree.level;
+    in.in_mis = dist::elect_mis(in.inst.graph, in.level).in_mis;
+    it = cache.emplace(n, std::move(in)).first;
+  }
+  return it->second;
+}
+
+void BM_DistMisRounds(benchmark::State& state) {
+  const auto& in = dist_bench_inputs(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  std::unique_ptr<par::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<par::ThreadPool>(threads);
+  double rounds = 0.0;
+  double messages = 0.0;
+  for (auto _ : state) {
+    dist::RunConfig cfg;
+    cfg.pool = pool.get();
+    const auto r = dist::elect_mis(in.inst.graph, in.level, cfg);
+    rounds += static_cast<double>(r.stats.rounds);
+    messages += static_cast<double>(r.stats.messages);
+    benchmark::DoNotOptimize(r.mis.size());
+  }
+  state.counters["rounds_per_s"] =
+      benchmark::Counter(rounds, benchmark::Counter::kIsRate);
+  state.counters["msgs_per_s"] =
+      benchmark::Counter(messages, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistMisRounds)
+    ->ArgNames({"n", "threads"})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 8})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 8})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistConnectorRounds(benchmark::State& state) {
+  const auto& in = dist_bench_inputs(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  std::unique_ptr<par::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<par::ThreadPool>(threads);
+  double rounds = 0.0;
+  double messages = 0.0;
+  for (auto _ : state) {
+    dist::RunConfig cfg;
+    cfg.pool = pool.get();
+    const auto r = dist::select_connectors(in.inst.graph, in.leader, in.parent,
+                                           in.in_mis, cfg);
+    rounds += static_cast<double>(r.stats.rounds);
+    messages += static_cast<double>(r.stats.messages);
+    benchmark::DoNotOptimize(r.cds.size());
+  }
+  state.counters["rounds_per_s"] =
+      benchmark::Counter(rounds, benchmark::Counter::kIsRate);
+  state.counters["msgs_per_s"] =
+      benchmark::Counter(messages, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistConnectorRounds)
+    ->ArgNames({"n", "threads"})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 8})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 8})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 8})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

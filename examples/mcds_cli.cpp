@@ -12,10 +12,12 @@
 //       prints topology metrics of the instance
 //   mcds_cli dist --in F [--algo waf|greedy|alzoubi] [--reliable]
 //                 [--fault-plan plan.json] [--drop P] [--dup P]
-//                 [--delay D] [--seed K]
+//                 [--delay D] [--seed K] [--threads N]
 //       runs the distributed construction, optionally under faults;
 //       --fault-plan replays a serialized FaultPlan (e.g. a minimized
-//       chaos-fuzzer repro) and the scalar flags refine it
+//       chaos-fuzzer repro) and the scalar flags refine it; --threads
+//       executes each round's node steps on a worker pool (results and
+//       traces are byte-identical at any thread count)
 //   mcds_cli dynamic --in F [--events N] [--crash P] [--speed S]
 //                    [--seed K] [--check-every M]
 //       streams synthetic churn (jittered moves, fail-stop crashes,
@@ -124,7 +126,7 @@ int usage() {
             << "  mcds_cli stats --in F\n"
             << "  mcds_cli dist --in F [--algo waf|greedy|alzoubi] "
                "[--reliable] [--fault-plan plan.json] [--drop P] [--dup P] "
-               "[--delay D] [--seed K]\n"
+               "[--delay D] [--seed K] [--threads N]\n"
             << "  mcds_cli dynamic --in F [--events N] [--crash P] "
                "[--speed S] [--seed K] [--check-every M]\n"
             << "  mcds_cli serve --in F [--requests N] [--budget-ms B] "
@@ -460,6 +462,9 @@ int cmd_dist(const Args& args) {
   }
   cfg.reliable = args.has_flag("reliable");
   cfg.obs = sinks.handle();
+  // The same pool that built the UDG drives parallel round execution —
+  // byte-identical results at any --threads value.
+  cfg.pool = &pool;
   try {
     cfg.plan.validate();
   } catch (const std::exception& e) {

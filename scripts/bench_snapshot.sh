@@ -13,7 +13,8 @@
 #   BUILD_DIR=...     build tree to use (default: build-bench, configured
 #                     Release by this script)
 #   BENCH_TOPIC=...   snapshot topic: phase2 (default), fault, obs,
-#                     partition, par, dynamic or survivability
+#                     partition, par, dynamic, survivability, serve or
+#                     dist (serial-vs-parallel round execution)
 #   BENCH_FILTER=...  benchmark regex (default: per-topic selection)
 #   ALLOW_DEBUG_LIBBENCHMARK=1
 #                     accept a google-benchmark *library* that reports
@@ -37,6 +38,7 @@ case "$BENCH_TOPIC" in
   dynamic) default_filter="BM_DynamicChurn|BM_DynamicRebuild" ;;
   survivability) default_filter="BM_SurvivabilityBuild|BM_SurvivabilityMassacre" ;;
   serve)  default_filter="BM_ServeRoundTrip|BM_ServeOverloadedThroughput" ;;
+  dist)   default_filter="BM_DistMisRounds|BM_DistConnectorRounds" ;;
   *)      default_filter=".*" ;;
 esac
 BENCH_FILTER="${BENCH_FILTER:-$default_filter}"

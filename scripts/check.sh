@@ -10,7 +10,8 @@
 # SANITIZE=tsan builds into build-tsan with ThreadSanitizer
 # (-DMCDS_SANITIZE_THREAD=ON) and runs only the threaded suites plus the
 # Km* fault-tolerance suites (the Par* tests drive the pool, the batch
-# engine and the parallel builder/validator overloads; the Dyn* suites
+# engine, the parallel builder/validator overloads and — via ParDist* —
+# the distributed runtime's parallel round engine; the Dyn* suites
 # drive the incremental engine, including concurrent independent
 # engines; the Km* suites exercise the (k,m) builders and the
 # crash-survival harness; the Serve* suites drive the solve server's

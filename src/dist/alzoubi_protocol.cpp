@@ -34,7 +34,7 @@ class ConnectProtocol final : public Protocol {
   ConnectProtocol(Transport& rt, const std::vector<bool>& in_mis)
       : rt_(rt),
         in_mis_(in_mis),
-        connector_(rt.topology().num_nodes(), false),
+        connector_(rt.topology().num_nodes(), 0),
         handled_(rt.topology().num_nodes()),
         forwarded_(rt.topology().num_nodes()) {}
 
@@ -46,7 +46,7 @@ class ConnectProtocol final : public Protocol {
                                 pack_relays(kNoRelay, kNoRelay)});
   }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (m.type >= kProbeBase) {
         on_probe(self, m);
@@ -58,7 +58,7 @@ class ConnectProtocol final : public Protocol {
     }
   }
 
-  [[nodiscard]] const std::vector<bool>& connectors() const {
+  [[nodiscard]] const std::vector<std::uint8_t>& connectors() const {
     return connector_;
   }
 
@@ -102,7 +102,7 @@ class ConnectProtocol final : public Protocol {
   }
 
   void on_join(NodeId self, const Message& m) {
-    connector_[self] = true;
+    connector_[self] = 1;
     const auto [r1, r2] = unpack_relays(m.b);
     // self == r2; pass the join on to r1 if the path had two relays.
     if (r2 == self && r1 != kNoRelay && r1 != self) {
@@ -113,16 +113,18 @@ class ConnectProtocol final : public Protocol {
 
   Transport& rt_;
   const std::vector<bool>& in_mis_;
-  std::vector<bool> connector_;
+  // Byte flags: concurrent steps write disjoint bytes, unlike
+  // vector<bool> bits.
+  std::vector<std::uint8_t> connector_;
   std::vector<std::unordered_set<NodeId>> handled_;
   std::vector<std::unordered_set<NodeId>> forwarded_;
 };
 
-void assemble(const Graph& g, const std::vector<bool>& conn,
+void assemble(const Graph& g, const std::vector<std::uint8_t>& conn,
               AlzoubiResult& out) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (conn[v] && !out.mis.in_mis[v]) out.connectors.push_back(v);
-    if (conn[v] || out.mis.in_mis[v]) out.cds.push_back(v);
+    if (conn[v] != 0 && !out.mis.in_mis[v]) out.connectors.push_back(v);
+    if (conn[v] != 0 || out.mis.in_mis[v]) out.cds.push_back(v);
   }
   out.total = out.mis_stats;
   out.total += out.connect_stats;

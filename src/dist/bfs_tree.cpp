@@ -24,7 +24,7 @@ class BfsProtocol final : public Protocol {
     }
   }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     if (level_[self] != graph::kNoNode || inbox.empty()) return;
     // All offers in one round carry the same level (synchronous BFS);
     // adopt the smallest-id offeror as parent.

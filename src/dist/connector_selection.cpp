@@ -32,8 +32,8 @@ class ConnectorProtocol final : public Protocol {
         leader_(leader),
         parent_(parent),
         in_mis_(in_mis),
-        covered_by_s_(rt.topology().num_nodes(), false),
-        connector_(rt.topology().num_nodes(), false),
+        covered_by_s_(rt.topology().num_nodes(), 0),
+        connector_(rt.topology().num_nodes(), 0),
         phase_len_(phase_len),
         strict_(strict) {}
 
@@ -50,11 +50,13 @@ class ConnectorProtocol final : public Protocol {
 
   void on_round_begin() override { ++round_; }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       switch (m.type) {
         case kReport:
           // Leader picks the best reporter (max count, then min id).
+          // Only the leader receives reports, so this cross-node field
+          // has a single writer even under parallel rounds.
           if (best_ == graph::kNoNode || m.a > best_count_ ||
               (m.a == best_count_ && m.from < best_)) {
             best_ = m.from;
@@ -63,15 +65,15 @@ class ConnectorProtocol final : public Protocol {
           break;
         case kElect:
           s_ = self;
-          connector_[self] = true;
+          connector_[self] = 1;
           rt_.broadcast(self, Message{0, kIAmS, 0, 0});
           break;
         case kIAmS:
-          covered_by_s_[self] = true;
+          covered_by_s_[self] = 1;
           break;
         case kInvite:
           if (!connector_[self]) {
-            connector_[self] = true;
+            connector_[self] = 1;
             rt_.broadcast(self, Message{0, kAccept, 0, 0});
           }
           break;
@@ -113,7 +115,7 @@ class ConnectorProtocol final : public Protocol {
   }
 
   [[nodiscard]] NodeId s() const { return s_; }
-  [[nodiscard]] const std::vector<bool>& connectors() const {
+  [[nodiscard]] const std::vector<std::uint8_t>& connectors() const {
     return connector_;
   }
 
@@ -122,8 +124,10 @@ class ConnectorProtocol final : public Protocol {
   NodeId leader_;
   const std::vector<NodeId>& parent_;
   const std::vector<bool>& in_mis_;
-  std::vector<bool> covered_by_s_;
-  std::vector<bool> connector_;
+  // Byte flags (not vector<bool>) so concurrent steps write disjoint
+  // bytes.
+  std::vector<std::uint8_t> covered_by_s_;
+  std::vector<std::uint8_t> connector_;
   NodeId best_ = graph::kNoNode;
   std::int64_t best_count_ = -1;
   NodeId s_ = graph::kNoNode;
@@ -137,8 +141,8 @@ void assemble(const Graph& g, const ConnectorProtocol& protocol,
   out.s = protocol.s();
   const auto& conn = protocol.connectors();
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (conn[v] && !in_mis[v]) out.connectors.push_back(v);
-    if (conn[v] || in_mis[v]) out.cds.push_back(v);
+    if (conn[v] != 0 && !in_mis[v]) out.connectors.push_back(v);
+    if (conn[v] != 0 || in_mis[v]) out.cds.push_back(v);
   }
 }
 

@@ -36,6 +36,7 @@ FailureDetector::FailureDetector(Transport& net,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     st_[v].resize(g.degree(v));
   }
+  dedup_by_node_.assign(g.num_nodes(), 0);
   c_heartbeats_ = obs.counter("failure_detector.heartbeats");
   c_dedup_ = obs.counter("failure_detector.dedup");
   c_suspicions_ = obs.counter("failure_detector.suspicions");
@@ -55,7 +56,7 @@ void FailureDetector::on_round_begin() {
   if (round_ <= params_.rounds) sweep_suspicions();
 }
 
-void FailureDetector::step(NodeId self, const std::vector<Message>& inbox) {
+void FailureDetector::step(NodeId self, std::span<const Message> inbox) {
   for (const Message& m : inbox) {
     if (m.type != kHeartbeatType) continue;
     const std::size_t i = neighbor_index(net_.topology(), self, m.from);
@@ -69,7 +70,7 @@ void FailureDetector::step(NodeId self, const std::vector<Message>& inbox) {
       if (c_recoveries_) c_recoveries_->add(1);
     }
     if (m.a <= e.last_payload) {
-      ++dedup_hits_;
+      ++dedup_by_node_[self];
       if (c_dedup_) c_dedup_->add(1);
       continue;
     }
@@ -94,6 +95,12 @@ void FailureDetector::step(NodeId self, const std::vector<Message>& inbox) {
                                  static_cast<std::int64_t>(round_), 0});
     if (c_heartbeats_) c_heartbeats_->add(net_.topology().degree(self));
   }
+}
+
+std::size_t FailureDetector::dedup_hits() const noexcept {
+  std::size_t total = 0;
+  for (const std::size_t h : dedup_by_node_) total += h;
+  return total;
 }
 
 double FailureDetector::phi_of(const Edge& e) const {

@@ -48,7 +48,7 @@ class FailureDetector final : public Protocol {
 
   void start(NodeId self) override;
   void on_round_begin() override;
-  void step(NodeId self, const std::vector<Message>& inbox) override;
+  void step(NodeId self, std::span<const Message> inbox) override;
   /// Keeps the runtime ticking through quiet rounds (a detector watching
   /// a crashed neighborhood sees no traffic at all) until the
   /// observation horizon is reached.
@@ -77,9 +77,7 @@ class FailureDetector final : public Protocol {
   }
 
   /// Heartbeat frames discarded as stale retransmitted copies.
-  [[nodiscard]] std::size_t dedup_hits() const noexcept {
-    return dedup_hits_;
-  }
+  [[nodiscard]] std::size_t dedup_hits() const noexcept;
 
  private:
   /// Detection state of one directed observer->neighbor pair.
@@ -106,7 +104,9 @@ class FailureDetector final : public Protocol {
   std::vector<std::uint32_t> group_truth_;
   bool track_ = false;
   std::optional<std::size_t> converged_round_;
-  std::size_t dedup_hits_ = 0;
+  /// Per-observer dedup tallies (dedup_hits() sums): each concurrent
+  /// step writes only its own slot.
+  std::vector<std::size_t> dedup_by_node_;
   obs::Counter* c_heartbeats_ = nullptr;
   obs::Counter* c_dedup_ = nullptr;
   obs::Counter* c_suspicions_ = nullptr;

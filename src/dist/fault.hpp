@@ -22,6 +22,10 @@
 /// model the paper assumes. Plans serialize to JSON (fault_json.hpp) so
 /// fuzzer-minimized repros replay from the command line.
 
+namespace mcds::par {
+class ThreadPool;
+}  // namespace mcds::par
+
 namespace mcds::dist {
 
 using graph::Graph;
@@ -212,6 +216,13 @@ struct RunConfig {
   /// recorder) threaded through every phase's runtime and link layer.
   /// Default: null sinks — zero-overhead disabled instrumentation.
   obs::Obs obs;
+  /// When non-null, every phase's runtime executes its rounds in
+  /// parallel on this pool (see Runtime::parallelize) — byte-identical
+  /// to the serial execution at any thread count. The pool must outlive
+  /// the run.
+  par::ThreadPool* pool = nullptr;
+  /// Nodes per shard for parallel rounds (0 = auto).
+  std::size_t shard_grain = 0;
 };
 
 }  // namespace mcds::dist

@@ -38,7 +38,7 @@ class LabelProtocol final : public Protocol {
     rt_.broadcast(self, Message{0, 0, static_cast<std::int64_t>(self), 0});
   }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     if (!member_[self]) return;  // radio noise for non-members
     bool improved = false;
     for (const Message& m : inbox) {
@@ -86,6 +86,7 @@ class BidProtocol final : public Protocol {
         best_rival_id_(rt.topology().num_nodes(), graph::kNoNode),
         my_gain_(rt.topology().num_nodes(), 0),
         seen_bidders_(rt.topology().num_nodes()),
+        won_(rt.topology().num_nodes(), 0),
         phase_len_(phase_len) {}
 
   void start(NodeId self) override {
@@ -97,7 +98,7 @@ class BidProtocol final : public Protocol {
 
   void on_round_begin() override { ++round_; }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       switch (m.type) {
         case kLabel:
@@ -143,7 +144,10 @@ class BidProtocol final : public Protocol {
            (best_rival_gain_[self] == my_gain_[self] &&
             best_rival_id_[self] < self));
       if (!beaten) {
-        winners_.push_back(self);
+        // Per-node byte flag instead of a shared push_back: all wins
+        // land in the same round, so the serial winner order was
+        // ascending node id anyway — winners() reproduces it exactly.
+        won_[self] = 1;
         rt_.broadcast(self, Message{0, kJoin, 0, 0});
       }
     }
@@ -156,8 +160,12 @@ class BidProtocol final : public Protocol {
     return phase_len_ == 1 || round_ >= 3 * phase_len_;
   }
 
-  [[nodiscard]] const std::vector<NodeId>& winners() const {
-    return winners_;
+  [[nodiscard]] std::vector<NodeId> winners() const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < won_.size(); ++v) {
+      if (won_[v] != 0) out.push_back(v);
+    }
+    return out;
   }
 
  private:
@@ -179,7 +187,7 @@ class BidProtocol final : public Protocol {
   std::vector<NodeId> best_rival_id_;
   std::vector<std::size_t> my_gain_;
   std::vector<std::vector<NodeId>> seen_bidders_;
-  std::vector<NodeId> winners_;
+  std::vector<std::uint8_t> won_;  ///< byte per node: joined this epoch
   std::size_t round_ = 0;
   std::size_t phase_len_ = 1;
 };
@@ -232,12 +240,13 @@ DistGreedyResult distributed_greedy_cds(const Graph& g) {
     Runtime bid_rt(g);
     BidProtocol bids(bid_rt, member, labels.labels());
     out.total += bid_rt.run(bids);
-    if (bids.winners().empty()) {
+    const std::vector<NodeId> winners = bids.winners();
+    if (winners.empty()) {
       throw std::logic_error(
           "distributed_greedy_cds: no winner although q > 1 (Lemma 9 "
           "guarantees the global maximum bidder wins)");
     }
-    for (const NodeId w : bids.winners()) {
+    for (const NodeId w : winners) {
       member[w] = true;
       out.connectors.push_back(w);
     }
@@ -312,14 +321,15 @@ DistGreedyResult distributed_greedy_cds(const Graph& g, const RunConfig& cfg,
     const RunStats bid_stats = bid_h.run(bids);
     out.total += bid_stats;
     offset += bid_stats.rounds;
-    if (bids.winners().empty()) {
+    const std::vector<NodeId> winners = bids.winners();
+    if (winners.empty()) {
       // Lemma 9's guarantee needs every bid delivered; with losses the
       // epoch can come up dry. The component count cannot increase, so
       // stopping here is safe — the caller repairs what is missing.
       out.complete = false;
       break;
     }
-    for (const NodeId w : bids.winners()) {
+    for (const NodeId w : winners) {
       member[w] = true;
       out.connectors.push_back(w);
     }

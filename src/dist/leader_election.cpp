@@ -20,7 +20,7 @@ class MinIdFlood final : public Protocol {
     rt_.broadcast(self, Message{0, 0, static_cast<std::int64_t>(self), 0});
   }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     bool improved = false;
     for (const Message& m : inbox) {
       const auto id = static_cast<NodeId>(m.a);

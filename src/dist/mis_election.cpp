@@ -16,9 +16,9 @@ class MisProtocol final : public Protocol {
     const Graph& g = rt.topology();
     const std::size_t n = g.num_nodes();
     undecided_lower_.assign(n, 0);
-    decided_.assign(n, false);
-    in_mis_.assign(n, false);
-    blocked_.assign(n, false);
+    decided_.assign(n, 0);
+    in_mis_.assign(n, 0);
+    blocked_.assign(n, 0);
     for (NodeId v = 0; v < n; ++v) {
       for (const NodeId u : g.neighbors(v)) {
         if (rank_less(u, v)) ++undecided_lower_[v];
@@ -28,24 +28,26 @@ class MisProtocol final : public Protocol {
 
   void start(NodeId self) override { try_decide(self); }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (rank_less(m.from, self)) {
         --undecided_lower_[self];
-        if (m.a == 1) blocked_[self] = true;
+        if (m.a == 1) blocked_[self] = 1;
       }
     }
     try_decide(self);
   }
 
-  [[nodiscard]] const std::vector<bool>& in_mis() const { return in_mis_; }
+  [[nodiscard]] std::vector<bool> in_mis() const {
+    return {in_mis_.begin(), in_mis_.end()};
+  }
   [[nodiscard]] bool all_decided() const {
-    for (const bool d : decided_) {
+    for (const std::uint8_t d : decided_) {
       if (!d) return false;
     }
     return true;
   }
-  [[nodiscard]] bool decided(NodeId v) const { return decided_[v]; }
+  [[nodiscard]] bool decided(NodeId v) const { return decided_[v] != 0; }
 
  private:
   [[nodiscard]] bool rank_less(NodeId a, NodeId b) const {
@@ -57,23 +59,25 @@ class MisProtocol final : public Protocol {
     // Early out: a lower-ranked dominator neighbor settles it.
     // Completion: all lower-ranked neighbors decided (all dominatees).
     if (blocked_[self]) {
-      decided_[self] = true;
-      in_mis_[self] = false;
+      decided_[self] = 1;
+      in_mis_[self] = 0;
     } else if (undecided_lower_[self] == 0) {
-      decided_[self] = true;
-      in_mis_[self] = true;
+      decided_[self] = 1;
+      in_mis_[self] = 1;
     } else {
       return;
     }
-    rt_.broadcast(self, Message{0, 0, in_mis_[self] ? 1 : 0, 0});
+    rt_.broadcast(self, Message{0, 0, in_mis_[self] != 0 ? 1 : 0, 0});
   }
 
   Transport& rt_;
   const std::vector<NodeId>& level_;
   std::vector<std::size_t> undecided_lower_;
-  std::vector<bool> decided_;
-  std::vector<bool> in_mis_;
-  std::vector<bool> blocked_;
+  // std::uint8_t, not vector<bool>: per-node flags must occupy distinct
+  // bytes so concurrent steps never write adjacent bits of one word.
+  std::vector<std::uint8_t> decided_;
+  std::vector<std::uint8_t> in_mis_;
+  std::vector<std::uint8_t> blocked_;
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -77,7 +78,11 @@ class ReliableLink final : public Transport, public Protocol {
   // Protocol surface (driven by the runtime).
   void start(NodeId self) override;
   void on_round_begin() override;
-  void step(NodeId self, const std::vector<Message>& inbox) override;
+  void step(NodeId self, std::span<const Message> inbox) override;
+  /// Round barrier: integrates the per-node ack/post staging produced by
+  /// (possibly concurrent) steps into the global pending list, in node
+  /// order — the order the serial loop appended in.
+  void on_round_end() override;
   /// Not idle while any live sender still waits for an ack — keeps the
   /// runtime ticking through empty rounds so backoff timers can fire.
   /// Packets owned by crashed senders are frozen (stable storage) and do
@@ -91,9 +96,7 @@ class ReliableLink final : public Transport, public Protocol {
   /// Payloads abandoned (retry budget exhausted or TTL exceeded).
   [[nodiscard]] std::size_t expired() const noexcept { return expired_; }
   /// Duplicate data frames suppressed by receiver-side dedup.
-  [[nodiscard]] std::size_t dedup_hits() const noexcept {
-    return dedup_hits_;
-  }
+  [[nodiscard]] std::size_t dedup_hits() const noexcept;
   /// Structured record of every abandoned payload, in abandonment
   /// order. failed_deliveries().size() == expired().
   [[nodiscard]] const std::vector<DeliveryFailure>& failed_deliveries()
@@ -118,18 +121,35 @@ class ReliableLink final : public Transport, public Protocol {
   };
 
   void post(NodeId from, NodeId to, const Message& payload);
+  void merge_staged();
 
   Runtime& rt_;
   ReliableLinkParams params_;
   Protocol* inner_ = nullptr;
+  /// The global retransmission queue, in post order. Only the host
+  /// thread touches it (on_round_begin timers, on_round_end merges);
+  /// steps stage into the per-node arrays below instead, and the merge
+  /// reproduces the serial append order exactly (all of one round's
+  /// acks target pre-round entries, so erase-then-append-in-node-order
+  /// equals the serial interleaving).
   std::vector<Pending> pending_;
-  std::unordered_map<std::uint64_t, std::uint32_t> next_seq_;
-  /// Receiver-side dedup: seqs already delivered, per directed link.
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+  /// Posts a node's step produced this round (sender-owned slot).
+  std::vector<std::vector<Pending>> staged_;
+  /// Acks a node's step received this round: (peer, seq) of our
+  /// self -> peer transmission (receiver-owned slot).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> acked_;
+  /// True when any staged_/acked_ slot is non-empty. Relaxed atomic:
+  /// concurrent steps may set it; the host reads it between rounds.
+  std::atomic<bool> has_staged_ = false;
+  /// Next sequence number per directed link, sharded by sender.
+  std::vector<std::unordered_map<NodeId, std::uint32_t>> next_seq_;
+  /// Receiver-side dedup: seqs already delivered, sharded by receiver.
+  std::vector<std::unordered_map<NodeId, std::unordered_set<std::uint32_t>>>
       delivered_;
   std::size_t retransmissions_ = 0;
   std::size_t expired_ = 0;
-  std::size_t dedup_hits_ = 0;
+  /// Receiver-owned dedup tallies (dedup_hits() sums).
+  std::vector<std::size_t> dedup_by_node_;
   std::vector<DeliveryFailure> failures_;
   /// Pre-resolved metric sinks (nullptr when observability is off, so
   /// the hot paths pay one pointer test each).
@@ -151,6 +171,7 @@ class FaultHarness {
       : rt_(g, cfg.plan, round_offset), max_rounds_(cfg.max_rounds) {
     rt_.record_trace(cfg.trace);
     rt_.observe(cfg.obs, std::move(label));
+    rt_.parallelize(cfg.pool, cfg.shard_grain);
     if (cfg.reliable) link_.emplace(rt_, cfg.link, cfg.obs);
   }
 

@@ -1,6 +1,8 @@
 #include "dist/runtime.hpp"
 
 #include "dist/reliable_link.hpp"
+#include "graph/traversal.hpp"
+#include "par/thread_pool.hpp"
 
 #include <algorithm>
 #include <map>
@@ -17,6 +19,12 @@ constexpr std::int32_t kAckType = -1;
 
 /// Trace events appended to a RoundLimitError as the post-mortem tail.
 constexpr std::size_t kTailEvents = 16;
+
+/// Auto-sharding for parallel rounds: enough shards per worker that the
+/// work-stealing pool balances uneven protocol work, but shards big
+/// enough that per-chunk submission cost stays invisible.
+constexpr std::size_t kShardsPerWorker = 4;
+constexpr std::size_t kMinShard = 256;
 
 std::string format_round_limit(
     const std::string& protocol, std::size_t rounds_run, std::size_t in_flight,
@@ -56,6 +64,8 @@ std::string format_round_limit(
 }
 
 }  // namespace
+
+thread_local Runtime::StepCtx Runtime::tl_step_;
 
 std::size_t RunStats::of_type(std::int32_t type) const noexcept {
   for (const auto& [t, c] : by_type) {
@@ -98,14 +108,55 @@ RoundLimitError::RoundLimitError(
       pending_(std::move(pending_nodes)),
       by_type_(std::move(in_flight_by_type)) {}
 
+void Runtime::InboxArena::reset(std::size_t n) {
+  begin_.assign(n, 0);
+  len_.assign(n, 0);
+  cursor_.assign(n, 0);
+  epoch_of_.assign(n, 0);
+  epoch_ = 0;
+  buf_.clear();
+  touched_.clear();
+}
+
+void Runtime::InboxArena::stage(const Bucket& due) {
+  ++epoch_;
+  touched_.clear();
+  const std::size_t total = due.msgs.size();
+  buf_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const NodeId to = due.tos[i];
+    if (epoch_of_[to] != epoch_) {
+      epoch_of_[to] = epoch_;
+      len_[to] = 0;
+      touched_.push_back(to);
+    }
+    ++len_[to];
+  }
+  std::uint32_t off = 0;
+  for (const NodeId v : touched_) {
+    begin_[v] = off;
+    cursor_[v] = off;
+    off += len_[v];
+  }
+  // Stable scatter: per-destination order stays enqueue order, exactly
+  // the inbox order of the former per-destination vectors.
+  for (std::size_t i = 0; i < total; ++i) {
+    buf_[cursor_[due.tos[i]]++] = due.msgs[i];
+  }
+}
+
 Runtime::Runtime(const Graph& g) : g_(g) {
-  queue_.emplace_back(g.num_nodes());
+  if (g.finalized()) frozen_.emplace(g);
+  arena_.reset(g.num_nodes());
+  queue_.emplace_back();
 }
 
 Runtime::Runtime(const Graph& g, const FaultPlan& plan,
                  std::size_t round_offset)
     : g_(g), plan_(plan), round_offset_(round_offset) {
-  queue_.emplace_back(g.num_nodes());
+  if (g.finalized()) frozen_.emplace(g);
+  arena_.reset(g.num_nodes());
+  queue_.emplace_back();
   faulty_ = !plan_.trivial();
   if (!faulty_) return;
   plan_.validate();
@@ -128,17 +179,38 @@ void Runtime::observe(const obs::Obs& obs, std::string label) {
   label_ = std::move(label);
 }
 
+obs::CausalContext Runtime::context() const noexcept {
+  return tl_step_.buf != nullptr ? tl_step_.ctx : ctx_;
+}
+
 void Runtime::send(NodeId from, NodeId to, Message m) {
-  if (!g_.has_edge(from, to)) {
+  // O(log deg) binary search on the frozen CSR; out-of-range ids (and a
+  // never-finalized topology) take the checked Graph path, preserving
+  // its exception behavior.
+  const bool edge =
+      (frozen_ && from < g_.num_nodes() && to < g_.num_nodes())
+          ? frozen_->has_edge(from, to)
+          : g_.has_edge(from, to);
+  if (!edge) {
     throw std::invalid_argument(
         "Runtime::send: nodes are not one-hop neighbors");
   }
   m.from = from;
+  if (ShardBuf* cap = tl_step_.buf) {
+    cap->sends.push_back(CapturedSend{to, m});
+    return;
+  }
   route(from, to, m);
 }
 
 void Runtime::broadcast(NodeId from, Message m) {
   m.from = from;
+  if (ShardBuf* cap = tl_step_.buf) {
+    for (const NodeId to : g_.neighbors(from)) {
+      cap->sends.push_back(CapturedSend{to, m});
+    }
+    return;
+  }
   for (const NodeId to : g_.neighbors(from)) {
     route(from, to, m);
   }
@@ -177,17 +249,65 @@ void Runtime::route(NodeId from, NodeId to, const Message& m) {
   enqueue(to, m, 0);
 }
 
+Runtime::Bucket Runtime::take_spare() {
+  if (spare_.empty()) return {};
+  Bucket b = std::move(spare_.back());
+  spare_.pop_back();
+  return b;
+}
+
+void Runtime::recycle(Bucket&& b) {
+  b.clear();  // capacity retained — the arena's recycling discipline
+  spare_.push_back(std::move(b));
+}
+
 void Runtime::enqueue(NodeId to, const Message& m, std::size_t delay) {
-  while (queue_.size() <= delay) queue_.emplace_back(g_.num_nodes());
-  queue_[delay][to].push_back(m);
+  while (queue_.size() <= delay) queue_.push_back(take_spare());
+  Bucket& bucket = queue_[delay];
+  bucket.msgs.push_back(m);
+  bucket.tos.push_back(to);
   if (causal_active_) {
     // Stamp per enqueued copy: a dropped message gets no span, each
     // duplicated copy gets its own, so a span is delivered at most once.
-    queue_[delay][to].back().span =
+    bucket.msgs.back().span =
         obs_.causal->on_send(causal_trace_, ctx_, m.from, to, m.type,
                              round_offset_ + rounds_run_);
   }
   ++in_flight_;
+}
+
+void Runtime::discard_queued(const PartitionEvent* cut, NodeId crashed) {
+  // Stable compaction over the flat buckets; `cut` non-null drops
+  // cross-group traffic (group_ already updated), otherwise everything
+  // addressed to the crashed node is lost.
+  for (Bucket& bucket : queue_) {
+    const std::size_t size = bucket.msgs.size();
+    std::size_t w = 0;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      const bool drop = cut != nullptr
+                            ? group_[bucket.msgs[i].from] != group_[bucket.tos[i]]
+                            : bucket.tos[i] == crashed;
+      if (drop) {
+        ++removed;
+        continue;
+      }
+      if (w != i) {
+        bucket.msgs[w] = bucket.msgs[i];
+        bucket.tos[w] = bucket.tos[i];
+      }
+      ++w;
+    }
+    if (removed == 0) continue;
+    bucket.msgs.resize(w);
+    bucket.tos.resize(w);
+    in_flight_ -= removed;
+    if (cut != nullptr) {
+      fstats_.partition_dropped += removed;
+    } else {
+      fstats_.crash_discarded += removed;
+    }
+  }
 }
 
 void Runtime::apply_events_through(std::size_t global_round) {
@@ -198,13 +318,7 @@ void Runtime::apply_events_through(std::size_t global_round) {
     up_[e.node] = e.up;
     if (e.up) continue;
     // Fail-stop: everything queued for the crashed node is lost.
-    for (auto& bucket : queue_) {
-      const std::size_t k = bucket[e.node].size();
-      if (k == 0) continue;
-      bucket[e.node].clear();
-      in_flight_ -= k;
-      fstats_.crash_discarded += k;
-    }
+    discard_queued(nullptr, e.node);
   }
   while (next_partition_ < plan_.partitions.size() &&
          plan_.partitions[next_partition_].round <= global_round) {
@@ -238,51 +352,46 @@ void Runtime::apply_partition(const PartitionEvent& e) {
   }
   // Messages already in the air across the new cut go down with the
   // link, exactly as crash discard loses a dead node's queue.
-  for (auto& bucket : queue_) {
-    for (NodeId to = 0; to < g_.num_nodes(); ++to) {
-      auto& inbox = bucket[to];
-      const auto cut = [&](const Message& m) {
-        return group_[m.from] != group_[to];
-      };
-      const std::size_t k = static_cast<std::size_t>(
-          std::count_if(inbox.begin(), inbox.end(), cut));
-      if (k == 0) continue;
-      inbox.erase(std::remove_if(inbox.begin(), inbox.end(), cut),
-                  inbox.end());
-      in_flight_ -= k;
-      fstats_.partition_dropped += k;
-    }
-  }
+  discard_queued(&e, graph::kNoNode);
 }
 
 std::vector<NodeId> Runtime::nodes_with_pending() const {
   std::vector<NodeId> out;
-  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-    for (const auto& bucket : queue_) {
-      if (!bucket[v].empty()) {
-        out.push_back(v);
-        break;
-      }
-    }
+  for (const Bucket& bucket : queue_) {
+    out.insert(out.end(), bucket.tos.begin(), bucket.tos.end());
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
 std::vector<std::pair<std::int32_t, std::size_t>> Runtime::in_flight_by_type()
     const {
   std::map<std::int32_t, std::size_t> counts;
-  for (const auto& bucket : queue_) {
-    for (const auto& inbox : bucket) {
-      for (const Message& m : inbox) {
-        ++counts[m.link == kLinkAck ? kAckType : m.type];
-      }
+  for (const Bucket& bucket : queue_) {
+    for (const Message& m : bucket.msgs) {
+      ++counts[m.link == kLinkAck ? kAckType : m.type];
     }
   }
   return {counts.begin(), counts.end()};
 }
 
+obs::CausalContext Runtime::deepest_context(
+    std::span<const Message> inbox) const noexcept {
+  // Inbox span ids ascend (enqueue order), so "strictly deeper wins"
+  // keeps the smallest id among ties: deterministic at any thread count.
+  obs::CausalContext best;
+  for (const Message& m : inbox) {
+    if (m.span == obs::kNoSpan) continue;
+    const obs::CausalContext c = obs_.causal->context_of(m.span);
+    if (c.depth > best.depth) best = c;
+  }
+  return best;
+}
+
 RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
   RunStats stats;
+  const std::size_t n = g_.num_nodes();
   // Observability setup (all of it skipped on the null-sink path).
   obs::TraceRecorder* rec = obs_.trace;
   const bool metrics_on = obs_.metrics != nullptr;
@@ -311,7 +420,43 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
     ctx_ = {};
   }
 
-  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+  // Shard layout for parallel rounds, mirroring par::parallel_for's
+  // chunking: chunk c covers [c*grain, min(n, (c+1)*grain)).
+  const bool parallel = pool_ != nullptr && n > 0;
+  std::size_t grain = 0;
+  std::size_t chunks = 0;
+  if (parallel) {
+    grain = grain_;
+    if (grain == 0) {
+      const std::size_t workers = std::max<std::size_t>(1, pool_->size());
+      grain = std::max(kMinShard, n / (workers * kShardsPerWorker));
+    }
+    chunks = (n - 1) / grain + 1;
+    if (shards_.size() < chunks) shards_.resize(chunks);
+  }
+
+  // The per-node delivery prelude shared by the serial loop and the
+  // parallel barrier replay: record trace events, close delivered spans
+  // and set the causal context the node's sends are attributed to.
+  const auto deliver_prelude = [&](NodeId v, std::span<const Message> inbox) {
+    if (trace_) {
+      for (const Message& m : inbox) {
+        trace_->push_back(TraceEvent{round_offset_ + rounds_run_, m.from, v,
+                                     m.type, m.a, m.b, m.link, m.seq});
+      }
+    }
+    if (causal) {
+      // Close every delivered span and step under the deepest one —
+      // the whole inbox happened-before anything this step sends.
+      const std::uint64_t round = round_offset_ + rounds_run_;
+      for (const Message& m : inbox) {
+        if (m.span != obs::kNoSpan) causal->on_deliver(m.span, round);
+      }
+      ctx_ = deepest_context(inbox);
+    }
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
     if (is_up(v)) p.start(v);
   }
 
@@ -329,24 +474,22 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
     ++stats.rounds;
     ++rounds_run_;
     if (faulty_) apply_events_through(round_offset_ + rounds_run_);
-    // Swap in this round's inboxes (the head delay bucket); sends during
-    // step() land next round or later.
-    std::vector<std::vector<Message>> inboxes(g_.num_nodes());
-    if (!queue_.empty()) {
-      inboxes.swap(queue_.front());
+    // Stage this round's inboxes (the head delay bucket) into the
+    // recycled arena; sends during step() land next round or later.
+    {
+      Bucket due = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_.empty()) queue_.push_back(take_spare());
+      arena_.stage(due);
+      recycle(std::move(due));
     }
-    if (queue_.empty()) queue_.emplace_back(g_.num_nodes());
-    std::size_t delivered = 0;
-    for (const auto& inbox : inboxes) delivered += inbox.size();
+    const std::size_t delivered = arena_.all().size();
     in_flight_ -= delivered;
     stats.messages += delivered;
     if (metrics_on || rec) {
       // Per-type delivered counts; under the ring-buffer trace each
       // active type becomes a Perfetto counter track.
-      for (const auto& inbox : inboxes) {
-        for (const Message& m : inbox) ++by_type[m.type];
-      }
+      for (const Message& m : arena_.all()) ++by_type[m.type];
       if (metrics_on) {
         stats.per_round.push_back(delivered);
         h_inflight->record(static_cast<double>(in_flight_));
@@ -368,34 +511,65 @@ RunStats Runtime::run(Protocol& p, std::size_t max_rounds) {
       }
     }
     p.on_round_begin();
-    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-      if (faulty_ && !up_[v]) continue;
-      if (trace_) {
-        for (const Message& m : inboxes[v]) {
-          trace_->push_back(TraceEvent{round_offset_ + rounds_run_, m.from, v,
-                                       m.type, m.a, m.b, m.link, m.seq});
+    if (parallel) {
+      // Phase A (workers): step contiguous shards concurrently. Sends
+      // are captured raw — no queue, channel-RNG or tracer access — and
+      // each worker computes its node's causal context from the
+      // immutable span table.
+      par::parallel_for(
+          pool_, n, grain,
+          [&](std::size_t begin, std::size_t end, std::size_t c) {
+            ShardBuf& buf = shards_[c];
+            buf.clear();
+            tl_step_.buf = &buf;
+            struct Reset {
+              ~Reset() { tl_step_.buf = nullptr; }
+            } reset;
+            for (std::size_t v = begin; v < end; ++v) {
+              const auto node = static_cast<NodeId>(v);
+              if (!(faulty_ && !up_[node])) {
+                tl_step_.ctx = causal ? deepest_context(arena_.inbox(node))
+                                      : obs::CausalContext{};
+                p.step(node, arena_.inbox(node));
+              }
+              buf.node_end.push_back(
+                  static_cast<std::uint32_t>(buf.sends.size()));
+            }
+          });
+      // Phase B (barrier, host thread): replay outboxes in (node id,
+      // send order) — the serial interleaving of deliveries and sends —
+      // so span allocation, RNG draws and fault accounting are
+      // byte-identical to the serial loop.
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = std::min(n, begin + grain);
+        const ShardBuf& buf = shards_[c];
+        std::size_t cursor = 0;
+        for (std::size_t v = begin; v < end; ++v) {
+          const auto node = static_cast<NodeId>(v);
+          const std::size_t node_end = buf.node_end[v - begin];
+          if (faulty_ && !up_[node]) {
+            cursor = node_end;
+            continue;
+          }
+          deliver_prelude(node, arena_.inbox(node));
+          for (; cursor < node_end; ++cursor) {
+            const CapturedSend& s = buf.sends[cursor];
+            route(s.m.from, s.to, s.m);
+          }
         }
       }
-      if (causal) {
-        // Close every delivered span and step under the deepest one —
-        // the whole inbox happened-before anything this step sends.
-        // Inbox span ids ascend (enqueue order), so "strictly deeper
-        // wins" keeps the smallest id among ties: deterministic.
-        obs::CausalContext best;
-        const std::uint64_t round = round_offset_ + rounds_run_;
-        for (const Message& m : inboxes[v]) {
-          if (m.span == obs::kNoSpan) continue;
-          causal->on_deliver(m.span, round);
-          const obs::CausalContext c = causal->context_of(m.span);
-          if (c.depth > best.depth) best = c;
-        }
-        ctx_ = best;
+    } else {
+      for (NodeId v = 0; v < n; ++v) {
+        if (faulty_ && !up_[v]) continue;
+        deliver_prelude(v, arena_.inbox(v));
+        p.step(v, arena_.inbox(v));
       }
-      p.step(v, inboxes[v]);
     }
     // Sends between steps (the next round's on_round_begin) root fresh
     // chains unless a link layer restores a captured context.
     ctx_ = {};
+    p.on_round_end();
   }
 
   if (causal) {

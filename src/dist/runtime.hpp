@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,6 +26,19 @@
 /// fail-stop crash schedule and scheduled network partitions, all
 /// consulted at delivery time. With the default (trivial) plan the
 /// execution is bit-identical to the ideal fault-free model.
+///
+/// Parallel round execution: the round boundary is a global barrier and
+/// step() implementations are node-local, so a round's steps can run
+/// concurrently on a par::ThreadPool (parallelize()). Workers capture
+/// raw sends into per-shard outboxes; at the barrier the outboxes are
+/// replayed through route() in (node id, send order) — exactly the
+/// order the serial loop would have produced — so channel RNG draws,
+/// fault application, causal span ids, trace events and RunStats are
+/// byte-identical to the serial runtime at any thread count.
+
+namespace mcds::par {
+class ThreadPool;
+}  // namespace mcds::par
 
 namespace mcds::dist {
 
@@ -141,6 +155,12 @@ class Transport {
 /// then step() each round with the node's inbox, until a round passes
 /// with no messages in flight (quiescence) or the protocol declares
 /// completion via Runtime::all_idle_means_done.
+///
+/// Threading contract: step(self, ...) may run concurrently with other
+/// nodes' steps when the runtime executes parallel rounds, so it must
+/// only write state owned by `self` (and must not write adjacent bits
+/// of a shared std::vector<bool>). start(), on_round_begin() and
+/// on_round_end() are always invoked from the host thread.
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -153,8 +173,16 @@ class Protocol {
   virtual void on_round_begin() {}
 
   /// Called once per node per round with the messages delivered this
-  /// round (possibly empty once the protocol is winding down).
-  virtual void step(NodeId self, const std::vector<Message>& inbox) = 0;
+  /// round (possibly empty once the protocol is winding down). The span
+  /// points into the runtime's recycled inbox arena and is only valid
+  /// for the duration of the call.
+  virtual void step(NodeId self, std::span<const Message> inbox) = 0;
+
+  /// Called once at the end of each round, after every step() and after
+  /// captured sends have been routed — the round barrier. Protocols
+  /// that defer cross-node bookkeeping from step() (ReliableLink's
+  /// pending-list merges) integrate it here, on the host thread.
+  virtual void on_round_end() {}
 
   /// Quiescence hook: the runtime keeps executing rounds while messages
   /// are in flight *or* this returns false. Link layers with pending
@@ -179,6 +207,17 @@ class Runtime final : public Transport {
 
   void send(NodeId from, NodeId to, Message m) override;
   void broadcast(NodeId from, Message m) override;
+
+  /// Switches run() to parallel round execution on \p pool (nullptr
+  /// restores the serial loop). Live nodes are partitioned into
+  /// contiguous shards of \p grain nodes (0 = auto) stepped
+  /// concurrently; outboxes are merged at the barrier in (node id, send
+  /// order), so the execution is byte-identical to the serial loop at
+  /// any thread count. The pool must outlive every run().
+  void parallelize(par::ThreadPool* pool, std::size_t grain = 0) noexcept {
+    pool_ = pool;
+    grain_ = grain;
+  }
 
   /// Runs \p p until no messages are in flight and p.idle(). \p
   /// max_rounds guards against livelock; exceeding it throws
@@ -224,20 +263,99 @@ class Runtime final : public Transport {
   /// context between steps. Link layers that resend a message later
   /// (ReliableLink retransmission timers) capture the context at first
   /// post and restore it around the retransmit so retries extend the
-  /// original chain instead of starting a new one.
-  [[nodiscard]] obs::CausalContext context() const noexcept { return ctx_; }
+  /// original chain instead of starting a new one. Thread-safe during
+  /// parallel steps (each worker sees its stepping node's context).
+  [[nodiscard]] obs::CausalContext context() const noexcept;
   void set_context(const obs::CausalContext& ctx) noexcept { ctx_ = ctx; }
 
  private:
+  /// One future delivery slot: messages that cross the same number of
+  /// round boundaries, in send order. Flat parallel arrays instead of
+  /// per-destination vectors so a round's enqueues are appends into one
+  /// recycled buffer.
+  struct Bucket {
+    std::vector<Message> msgs;
+    std::vector<NodeId> tos;  ///< destination of msgs[i]
+
+    [[nodiscard]] bool empty() const noexcept { return msgs.empty(); }
+    void clear() noexcept {
+      msgs.clear();
+      tos.clear();
+    }
+  };
+
+  /// The recycled inbox arena: each round the due Bucket is grouped by
+  /// destination into one flat Message buffer (stable counting sort, so
+  /// per-destination order is enqueue order) and protocols step over
+  /// spans into it. All buffers are reused across rounds — after
+  /// warmup the per-round cost is O(delivered), with no allocation.
+  class InboxArena {
+   public:
+    void reset(std::size_t n);
+    void stage(const Bucket& due);
+    [[nodiscard]] std::span<const Message> inbox(NodeId v) const noexcept {
+      if (epoch_of_[v] != epoch_) return {};
+      return {buf_.data() + begin_[v], len_[v]};
+    }
+    /// Every message delivered this round (grouped by destination).
+    [[nodiscard]] std::span<const Message> all() const noexcept {
+      return buf_;
+    }
+
+   private:
+    std::vector<Message> buf_;
+    std::vector<std::uint32_t> begin_;
+    std::vector<std::uint32_t> len_;
+    std::vector<std::uint32_t> cursor_;
+    std::vector<std::uint64_t> epoch_of_;
+    std::uint64_t epoch_ = 0;
+    std::vector<NodeId> touched_;  ///< destinations, first-seen order
+  };
+
+  /// A send captured during a parallel step, replayed at the barrier.
+  struct CapturedSend {
+    NodeId to = 0;
+    Message m;  ///< from already stamped
+  };
+
+  /// Per-shard outbox: sends in step order, plus the cumulative send
+  /// count after each node of the shard (robust node boundaries even if
+  /// a protocol sends with from != self).
+  struct ShardBuf {
+    std::vector<CapturedSend> sends;
+    std::vector<std::uint32_t> node_end;
+
+    void clear() noexcept {
+      sends.clear();
+      node_end.clear();
+    }
+  };
+
+  /// Worker-side capture target + causal context of the node being
+  /// stepped. Null buf = direct routing (serial loop / host thread).
+  struct StepCtx {
+    ShardBuf* buf = nullptr;
+    obs::CausalContext ctx;
+  };
+  static thread_local StepCtx tl_step_;
+
   void route(NodeId from, NodeId to, const Message& m);
   void enqueue(NodeId to, const Message& m, std::size_t delay);
   void apply_events_through(std::size_t global_round);
   void apply_partition(const PartitionEvent& e);
+  void discard_queued(const PartitionEvent* cut, NodeId crashed);
+  [[nodiscard]] Bucket take_spare();
+  void recycle(Bucket&& b);
   [[nodiscard]] std::vector<NodeId> nodes_with_pending() const;
   [[nodiscard]] std::vector<std::pair<std::int32_t, std::size_t>>
   in_flight_by_type() const;
+  [[nodiscard]] obs::CausalContext deepest_context(
+      std::span<const Message> inbox) const noexcept;
 
   const Graph& g_;
+  /// Bounds-check-free CSR view for route()'s O(log deg) edge check
+  /// (unset only for a not-yet-finalized topology).
+  std::optional<graph::FrozenGraph> frozen_;
   FaultPlan plan_;  ///< empty for the fault-free constructor
   bool faulty_ = false;
   std::optional<ChannelModel> model_;
@@ -245,9 +363,11 @@ class Runtime final : public Transport {
   /// Active partition grouping (empty = no partition scheduled or the
   /// network healed back into one group).
   std::vector<std::uint32_t> group_;
-  /// queue_[d][v]: messages reaching v after d more round boundaries
-  /// (queue_[0] is the next round's inbox set).
-  std::deque<std::vector<std::vector<Message>>> queue_;
+  /// queue_[d]: messages crossing d+1 more round boundaries (queue_[0]
+  /// is the next round's traffic), recycled through spare_.
+  std::deque<Bucket> queue_;
+  std::vector<Bucket> spare_;
+  InboxArena arena_;
   std::size_t in_flight_ = 0;
   std::size_t round_offset_ = 0;
   std::size_t rounds_run_ = 0;
@@ -256,6 +376,9 @@ class Runtime final : public Transport {
   FaultStats fstats_;
   std::vector<TraceEvent>* trace_ = nullptr;
   std::vector<std::size_t> delays_scratch_;
+  par::ThreadPool* pool_ = nullptr;  ///< non-null = parallel rounds
+  std::size_t grain_ = 0;            ///< shard size (0 = auto)
+  std::vector<ShardBuf> shards_;     ///< recycled per-chunk outboxes
   obs::Obs obs_;        ///< null sinks unless observe() was called
   std::string label_;   ///< protocol label for spans/metrics/diagnostics
   obs::CausalContext ctx_;  ///< causal context of the current step

@@ -7,7 +7,8 @@ namespace mcds::obs {
 Counter& MetricsRegistry::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  // try_emplace: the atomic counter is not copyable.
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {

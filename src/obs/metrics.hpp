@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -19,14 +20,22 @@
 
 namespace mcds::obs {
 
-/// Monotone event counter.
+/// Monotone event counter. Relaxed-atomic so components updating a
+/// shared counter from concurrent workers (the parallel distributed
+/// runtime's protocols) stay race-free; addition is commutative, so the
+/// final value is thread-count-independent. Single-threaded updaters
+/// pay one uncontended atomic add.
 class Counter {
  public:
-  void add(std::uint64_t d = 1) noexcept { value_ += d; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void add(std::uint64_t d = 1) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_ = 0;
 };
 
 /// Last-write-wins instantaneous value.

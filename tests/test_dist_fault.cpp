@@ -35,7 +35,7 @@ class FloodProbe final : public Protocol {
       net_.broadcast(0, Message{0, 1, 7, 0});
     }
   }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (!seen_[self]) {
         seen_[self] = true;
@@ -62,7 +62,7 @@ class Ticker final : public Protocol {
     if (self == 0) net_.send(0, 1, Message{0, 1, 0, 0});
   }
   void on_round_begin() override { ++round_; }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     if (self == 1) received_ += inbox.size();
     if (self == 0 && round_ < limit_) {
       net_.send(0, 1, Message{0, 1, static_cast<std::int64_t>(round_), 0});
@@ -87,7 +87,7 @@ class PingPong final : public Protocol {
   void start(NodeId self) override {
     if (self == 0) net_.send(0, 1, Message{});
   }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) net_.send(self, m.from, Message{});
   }
 
@@ -456,7 +456,7 @@ class PayloadRecorder final : public Protocol {
     if (self == 0) net_.send(0, 1, Message{0, 1, 0, 0});
   }
   void on_round_begin() override { ++round_; }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     if (self == 1) {
       for (const Message& m : inbox) payloads_.push_back(m.a);
     }

@@ -29,7 +29,7 @@ class FloodProbe final : public Protocol {
       net_.broadcast(0, Message{0, 1, 7, 0});
     }
   }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (!seen_[self]) {
         seen_[self] = true;

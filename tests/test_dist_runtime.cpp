@@ -21,7 +21,7 @@ class TokenPass final : public Protocol {
     }
   }
 
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     if (inbox.empty()) return;
     visited_[self] = true;
     forward(self);
@@ -74,7 +74,7 @@ TEST(Runtime, BroadcastReachesAllNeighbors) {
     void start(NodeId self) override {
       if (self == 0) rt_.broadcast(0, Message{});
     }
-    void step(NodeId self, const std::vector<Message>& inbox) override {
+    void step(NodeId self, std::span<const Message> inbox) override {
       got_[self] += inbox.size();
     }
     Runtime& rt_;
@@ -99,7 +99,7 @@ TEST(Runtime, FromFieldStamped) {
     void start(NodeId self) override {
       if (self == 1) rt_.send(1, 0, Message{.from = 99, .type = 5});
     }
-    void step(NodeId self, const std::vector<Message>& inbox) override {
+    void step(NodeId self, std::span<const Message> inbox) override {
       if (self == 0 && !inbox.empty()) {
         from = inbox[0].from;
         type = inbox[0].type;
@@ -127,7 +127,7 @@ TEST(Runtime, RoundLimitGuard) {
     void start(NodeId self) override {
       if (self == 0) rt_.send(0, 1, Message{});
     }
-    void step(NodeId self, const std::vector<Message>& inbox) override {
+    void step(NodeId self, std::span<const Message> inbox) override {
       if (!inbox.empty()) rt_.send(self, self == 0 ? 1 : 0, Message{});
     }
     Runtime& rt_;
@@ -144,7 +144,7 @@ TEST(Runtime, QuiescenceWithNoInitialMessages) {
   class Silent final : public Protocol {
    public:
     void start(NodeId) override {}
-    void step(NodeId, const std::vector<Message>&) override {}
+    void step(NodeId, std::span<const Message>) override {}
   };
 
   Silent p;

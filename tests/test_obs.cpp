@@ -383,7 +383,7 @@ class Chatter final : public dist::Protocol {
       net_.send(0, 1, Message{0, 9, 0, 0});  // type 9
     }
   }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       net_.send(self, m.from, Message{0, m.type, 0, 0});
     }

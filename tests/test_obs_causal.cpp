@@ -57,7 +57,7 @@ class Relay final : public dist::Protocol {
   void start(NodeId self) override {
     if (self == 0) net_.send(0, 1, Message{0, 1, 0, 0});
   }
-  void step(NodeId self, const std::vector<Message>& inbox) override {
+  void step(NodeId self, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (m.type != 1) continue;
       ++received_[self];
